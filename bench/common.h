@@ -1,0 +1,89 @@
+// common.h -- shared plumbing for the experiment harness.
+//
+// Every fig*/table* binary reproduces one table or figure of the paper.
+// Defaults are sized to finish in at most a couple of minutes on one
+// laptop core; the REPRO_* environment variables (documented in
+// EXPERIMENTS.md) scale each experiment up to paper scale:
+//
+//   REPRO_SUITE_COUNT   number of ZDock-substitute molecules (default 10,
+//                       paper: 84)
+//   REPRO_MAX_ATOMS     largest suite molecule (default 16301 = paper)
+//   REPRO_CMV_ATOMS     atoms in the CMV-substitute shell (default 30000,
+//                       paper: 509640)
+//   REPRO_BTV_ATOMS     atoms in the BTV-substitute shell (default 20000,
+//                       paper: ~6M)
+//   REPRO_REPS          repetitions for min/max bands (default 20 = paper)
+//   REPRO_CSV_DIR       if set, each experiment also writes its table as
+//                       CSV into this directory
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/gb/calculator.h"
+#include "src/molecule/generators.h"
+#include "src/util/env.h"
+#include "src/util/table.h"
+
+namespace octgb::bench {
+
+/// Number of suite molecules for figure sweeps.
+inline int suite_count() {
+  return static_cast<int>(util::env_int("REPRO_SUITE_COUNT", 10));
+}
+
+inline std::size_t max_suite_atoms() {
+  return static_cast<std::size_t>(util::env_int("REPRO_MAX_ATOMS", 16301));
+}
+
+inline std::size_t cmv_atoms() {
+  return static_cast<std::size_t>(util::env_int("REPRO_CMV_ATOMS", 30000));
+}
+
+inline std::size_t btv_atoms() {
+  return static_cast<std::size_t>(util::env_int("REPRO_BTV_ATOMS", 20000));
+}
+
+inline int reps() {
+  return static_cast<int>(util::env_int("REPRO_REPS", 20));
+}
+
+/// Calculator parameters used by all experiments: the paper's eps
+/// 0.9/0.9 on the triangulated Gaussian-surface pipeline (marching
+/// tetrahedra + Dunavant quadrature -- the paper's own surface source).
+inline gb::CalculatorParams bench_params() {
+  gb::CalculatorParams params;
+  params.approx.eps_born = 0.9;
+  params.approx.eps_epol = 0.9;
+  // Small leaves shrink the exact-block horizon of both phases (the
+  // paper's leaves are also its static work-division grain).
+  params.octree.leaf_capacity = 8;
+  // Figures 5-9 and 11 use approximate math (the paper turns it off
+  // only for the Figure 10 sweep; ablation_fast_math isolates it).
+  params.approx.approx_math = true;
+  return params;
+}
+
+/// Prints the table and mirrors it to $REPRO_CSV_DIR/<name>.csv when set.
+inline void emit(const util::Table& table, const std::string& name) {
+  table.print(std::cout);
+  const std::string dir = util::env_string("REPRO_CSV_DIR", "");
+  if (!dir.empty()) {
+    const std::string path = dir + "/" + name + ".csv";
+    if (table.write_csv_file(path)) {
+      std::printf("[csv] wrote %s\n", path.c_str());
+    } else {
+      std::printf("[csv] FAILED to write %s\n", path.c_str());
+    }
+  }
+}
+
+/// Header line naming the experiment and its paper counterpart.
+inline void banner(const char* experiment, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n  reproduces: %s\n", experiment, paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace octgb::bench

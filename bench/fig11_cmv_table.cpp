@@ -1,0 +1,127 @@
+// fig11_cmv_table -- reproduces Figure 11 (a table): scalability on the
+// Cucumber Mosaic Virus shell. Rows: OCT_CILK, Amber, OCT_MPI+CILK,
+// OCT_MPI; columns: time on 12 cores, time on 144 cores, speedups
+// w.r.t. Amber, energy, % difference with naive.
+//
+// Paper numbers (509,640 atoms): OCT_CILK 12.5s (187x), Amber 39min ->
+// 3.3min, OCT_MPI+CILK 4.8s/0.61s (488x/325x), OCT_MPI 4.5s/0.46s
+// (520x/430x), energies ~ -1.47e6 kcal/mol, errors < 1% vs naive.
+// GBr6 and Tinker ran out of memory; Gromacs/NAMD only ran at useless
+// cutoffs. We reproduce the *shape*: the ordering, the 1-2 order-of-
+// magnitude octree-vs-Amber gap growing with molecule size, sub-percent
+// errors, and the OOM refusals.
+//
+// 12-core / 144-core times come from the perfmodel replay of measured
+// work (this host has one core); wall-clock serial work is printed too.
+#include "bench/common.h"
+#include "src/baselines/packages.h"
+#include "src/perfmodel/cluster.h"
+#include "src/runtime/drivers.h"
+
+int main() {
+  using namespace octgb;
+  bench::banner("fig11_cmv_table",
+                "Figure 11 (CMV shell: 12 vs 144 cores, speedup vs Amber)");
+
+  const std::size_t atoms = bench::cmv_atoms();
+  std::printf("CMV substitute: hollow capsid, %zu atoms (paper: 509,640; "
+              "scale with REPRO_CMV_ATOMS)\n",
+              atoms);
+  const molecule::Molecule cmv = molecule::generate_capsid(atoms, 71);
+  const gb::CalculatorParams params = bench::bench_params();
+  const auto spec = perfmodel::ClusterSpec::lonestar4();
+
+  // Naive reference for the error column.
+  std::printf("running the naive exact reference (O(M*m + M^2))...\n");
+  const gb::GBResult naive = gb::compute_gb_energy_naive(cmv, params);
+  std::printf("  naive E = %.6g kcal/mol (%.1fs serial)\n", naive.energy,
+              naive.t_born + naive.t_epol);
+
+  // Octree programs: measure serial phases once per algorithm class.
+  std::printf("running OCT_MPI (single-tree)...\n");
+  const runtime::DriverResult mpi = runtime::run_oct_mpi(cmv, 1, params);
+  std::printf("running OCT_CILK (dual-tree)...\n");
+  const runtime::DriverResult cilk = runtime::run_oct_cilk(cmv, 1, params);
+
+  // Amber-like baseline: the O(M^2) descreening pass dominates.
+  std::printf("running amberlike (O(M^2))...\n");
+  baselines::PackageConfig pkg_config;
+  pkg_config.ranks = 1;  // measure serial work; model divides by cores
+  const baselines::PackageResult amber =
+      baselines::make_amberlike().run(cmv, pkg_config);
+
+  // Tinker / GBr6 refusals (the paper's "ran out of memory").
+  const auto tinker = baselines::make_tinkerlike().run(cmv, pkg_config);
+  const auto gbr6 = baselines::make_gbr6like().run(cmv, pkg_config);
+  std::printf("tinkerlike: %s\n",
+              tinker.out_of_memory ? tinker.failure.c_str() : "ran (!)");
+  std::printf("gbr6like:   %s\n",
+              gbr6.out_of_memory ? gbr6.failure.c_str() : "ran (!)");
+
+  // Model every program on 12 and 144 cores.
+  const std::size_t born_bytes =
+      (cmv.size() * 2 + mpi.num_qpoints / 8) * sizeof(double);
+  auto workload_of = [&](const runtime::DriverResult& r,
+                         bool with_comm) {
+    perfmodel::Workload w;
+    w.phases.push_back({r.t_born, with_comm ? born_bytes : 0});
+    w.phases.push_back({r.t_epol, with_comm ? sizeof(double) : 0});
+    w.data_bytes_per_rank = r.data_bytes_per_rank;
+    return w;
+  };
+  const perfmodel::Workload w_single = workload_of(mpi, true);
+  const perfmodel::Workload w_dual = workload_of(cilk, false);
+  perfmodel::Workload w_amber;
+  w_amber.phases.push_back(
+      {amber.seconds, cmv.size() * 2 * sizeof(double)});
+  w_amber.data_bytes_per_rank = cmv.size() * 64;
+
+  struct Config {
+    const char* name;
+    const perfmodel::Workload* work;
+    int r12, t12;    // 12-core configuration
+    int r144, t144;  // 144-core configuration (0 = unsupported)
+  };
+  const Config configs[] = {
+      {"OCT_CILK", &w_dual, 1, 12, 0, 0},  // shared memory: one node only
+      {"Amber", &w_amber, 12, 1, 144, 1},
+      {"OCT_MPI+CILK", &w_single, 2, 6, 24, 6},
+      {"OCT_MPI", &w_single, 12, 1, 144, 1},
+  };
+
+  const double amber12 =
+      perfmodel::model_run(spec, w_amber, 12, 1).total_seconds();
+  const double amber144 =
+      perfmodel::model_run(spec, w_amber, 144, 1).total_seconds();
+
+  util::Table table({"program", "12 cores", "144 cores",
+                     "speedup vs Amber (12)", "speedup vs Amber (144)",
+                     "energy kcal/mol", "% diff vs naive"});
+  for (const Config& c : configs) {
+    const double t12 =
+        perfmodel::model_run(spec, *c.work, c.r12, c.t12).total_seconds();
+    const double t144 =
+        c.r144 ? perfmodel::model_run(spec, *c.work, c.r144, c.t144)
+                     .total_seconds()
+               : -1.0;
+    const double energy = std::string(c.name) == "Amber" ? amber.energy
+                          : std::string(c.name) == "OCT_CILK"
+                              ? cilk.energy
+                              : mpi.energy;
+    table.row()
+        .cell(c.name)
+        .cell(util::format_seconds(t12))
+        .cell(t144 > 0 ? util::format_seconds(t144) : std::string("X"))
+        .cell(amber12 / t12, 4)
+        .cell(t144 > 0 ? amber144 / t144 : 0.0, 4)
+        .cell(energy, 6)
+        .cell(100.0 * gb::relative_error(energy, naive.energy), 3);
+  }
+  bench::emit(table, "fig11_cmv_table");
+  std::printf(
+      "\npaper: OCT programs 10^2-10^3x faster than Amber at half a\n"
+      "million atoms with <1%% error; Tinker/GBr6 refuse (OOM). The\n"
+      "octree-vs-Amber factor grows with REPRO_CMV_ATOMS (O(M logM) vs\n"
+      "O(M^2)).\n");
+  return 0;
+}

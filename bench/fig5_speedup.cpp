@@ -1,0 +1,67 @@
+// fig5_speedup -- reproduces Figure 5: speedup of OCT_MPI and
+// OCT_MPI+CILK on the BTV virus w.r.t. the running time on one node
+// (12 cores), as the number of cores grows.
+//
+// Method (DESIGN.md "Measurement policy"): the serial work of the two
+// parallel phases and the collective payload sizes are *measured* on the
+// BTV-substitute capsid; the core-count sweep is *modeled* on the
+// Lonestar4 ClusterSpec. OCT_MPI packs 12 single-thread ranks per node,
+// OCT_MPI+CILK packs 2 ranks x 6 threads, exactly as in Section V-B.
+#include "bench/common.h"
+#include "src/perfmodel/cluster.h"
+#include "src/runtime/drivers.h"
+
+int main() {
+  using namespace octgb;
+  bench::banner("fig5_speedup",
+                "Figure 5 (speedup vs cores, BTV, w.r.t. one 12-core node)");
+
+  const std::size_t atoms = bench::btv_atoms();
+  std::printf("BTV substitute: hollow capsid, %zu atoms (paper: 6M; scale "
+              "with REPRO_BTV_ATOMS)\n",
+              atoms);
+  const molecule::Molecule btv = molecule::generate_capsid(atoms, 61);
+
+  // Measure the real serial work of the parallel phases (P=1 run).
+  std::printf("measuring serial phase work...\n");
+  const runtime::DriverResult serial =
+      runtime::run_oct_mpi(btv, 1, bench::bench_params());
+  std::printf("  born %.2fs, epol %.2fs, q-points %zu, data/rank %s\n",
+              serial.t_born, serial.t_epol, serial.num_qpoints,
+              util::format_bytes(serial.data_bytes_per_rank).c_str());
+
+  perfmodel::Workload workload;
+  // Allreduce payloads: node integrals + atom integrals, then radii.
+  const std::size_t born_bytes =
+      (btv.size() * 2 + serial.num_qpoints / 8) * sizeof(double);
+  workload.phases.push_back({serial.t_born, born_bytes});
+  workload.phases.push_back({serial.t_epol, sizeof(double)});
+  workload.data_bytes_per_rank = serial.data_bytes_per_rank;
+  const auto spec = perfmodel::ClusterSpec::lonestar4();
+
+  // Baseline: one node = 12 cores, per program.
+  const double mpi_base =
+      perfmodel::model_run(spec, workload, 12, 1).total_seconds();
+  const double hyb_base =
+      perfmodel::model_run(spec, workload, 2, 6).total_seconds();
+
+  util::Table table({"cores", "nodes", "OCT_MPI speedup",
+                     "OCT_MPI+CILK speedup"});
+  for (const int nodes : {1, 2, 4, 6, 8, 10, 12, 15, 18, 24, 30, 36}) {
+    const int cores = nodes * 12;
+    const double mpi =
+        perfmodel::model_run(spec, workload, cores, 1).total_seconds();
+    const double hyb =
+        perfmodel::model_run(spec, workload, nodes * 2, 6).total_seconds();
+    table.row()
+        .cell(static_cast<std::int64_t>(cores))
+        .cell(static_cast<std::int64_t>(nodes))
+        .cell(mpi_base / mpi, 4)
+        .cell(hyb_base / hyb, 4);
+  }
+  bench::emit(table, "fig5_speedup");
+  std::printf(
+      "\npaper shape: near-linear speedup with cores; both programs track\n"
+      "each other closely, with the hybrid gaining at high node counts.\n");
+  return 0;
+}

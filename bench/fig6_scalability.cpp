@@ -1,0 +1,81 @@
+// fig6_scalability -- reproduces Figure 6: running time vs core count on
+// BTV, minimum and maximum of 20 runs, OCT_MPI vs OCT_MPI+CILK, plus the
+// Section V-B memory paragraph (8.2 GB vs 1.4 GB = 5.86x replication).
+//
+// Paper observations this must reproduce:
+//  * min(OCT_MPI+CILK) < min(OCT_MPI) once the core count passes ~180;
+//  * max(OCT_MPI+CILK) < max(OCT_MPI) at *every* core count (the pure
+//    MPI program has 6x more ranks and proportionally more jitter);
+//  * per-node memory of 12x1 ranks ~ 6x that of 2x6 ranks.
+#include <algorithm>
+
+#include "bench/common.h"
+#include "src/perfmodel/cluster.h"
+#include "src/runtime/drivers.h"
+
+int main() {
+  using namespace octgb;
+  bench::banner("fig6_scalability",
+                "Figure 6 (runtime vs cores, min/max of 20 runs, BTV)");
+
+  const std::size_t atoms = bench::btv_atoms();
+  const molecule::Molecule btv = molecule::generate_capsid(atoms, 61);
+  std::printf("BTV substitute: %zu atoms; measuring serial phase work...\n",
+              atoms);
+  const runtime::DriverResult serial =
+      runtime::run_oct_mpi(btv, 1, bench::bench_params());
+
+  perfmodel::Workload workload;
+  const std::size_t born_bytes =
+      (btv.size() * 2 + serial.num_qpoints / 8) * sizeof(double);
+  workload.phases.push_back({serial.t_born, born_bytes});
+  workload.phases.push_back({serial.t_epol, sizeof(double)});
+  workload.data_bytes_per_rank = serial.data_bytes_per_rank;
+  const auto spec = perfmodel::ClusterSpec::lonestar4();
+  const int reps = bench::reps();
+
+  util::Table table({"cores", "MPI min", "MPI max", "HYB min", "HYB max",
+                     "hybrid min wins"});
+  int crossover_cores = -1;
+  for (const int nodes : {1, 2, 4, 6, 8, 10, 12, 15, 18, 24, 30, 36}) {
+    const int cores = nodes * 12;
+    const auto mpi = perfmodel::model_repetitions(spec, workload, cores, 1,
+                                                  reps, 1000 + cores);
+    const auto hyb = perfmodel::model_repetitions(
+        spec, workload, nodes * 2, 6, reps, 2000 + cores);
+    const double mpi_min = *std::min_element(mpi.begin(), mpi.end());
+    const double mpi_max = *std::max_element(mpi.begin(), mpi.end());
+    const double hyb_min = *std::min_element(hyb.begin(), hyb.end());
+    const double hyb_max = *std::max_element(hyb.begin(), hyb.end());
+    const bool wins = hyb_min < mpi_min;
+    if (wins && crossover_cores < 0) crossover_cores = cores;
+    table.row()
+        .cell(static_cast<std::int64_t>(cores))
+        .cell(util::format_seconds(mpi_min))
+        .cell(util::format_seconds(mpi_max))
+        .cell(util::format_seconds(hyb_min))
+        .cell(util::format_seconds(hyb_max))
+        .cell(wins ? "yes" : "no");
+  }
+  bench::emit(table, "fig6_scalability");
+  if (crossover_cores > 0) {
+    std::printf("\nhybrid minimum first beats pure MPI at %d cores "
+                "(paper: ~180)\n",
+                crossover_cores);
+  } else {
+    std::printf("\nhybrid minimum never won in this sweep (paper: ~180 "
+                "cores)\n");
+  }
+
+  // Section V-B memory paragraph.
+  const std::size_t per_rank = serial.data_bytes_per_rank;
+  const std::size_t mpi_node = 12 * per_rank;
+  const std::size_t hyb_node = 2 * per_rank;
+  std::printf("\nmemory per node (replicated data): OCT_MPI 12x1 = %s, "
+              "OCT_MPI+CILK 2x6 = %s  ratio %.2fx (paper: 8.2GB/1.4GB = "
+              "5.86x)\n",
+              util::format_bytes(mpi_node).c_str(),
+              util::format_bytes(hyb_node).c_str(),
+              static_cast<double>(mpi_node) / hyb_node);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// fig8_comparison -- reproduces Figure 8(a,b): running time of all nine
+// programs across the ZDock suite sorted by molecule size, and speedup
+// w.r.t. Amber on one 12-core node.
+//
+// Paper observations to reproduce in shape:
+//  * OCT_MPI / OCT_MPI+CILK fastest overall, gap widening with size;
+//  * Gromacs next (max speedup ~6.2x on a small molecule, ~2.7x at 16k);
+//  * Amber slower than Gromacs and the octree programs, faster than
+//    NAMD / Tinker / GBr6 (max speedups 1.1 / 2.1 / 1.14 vs Amber).
+// Speedups are computed from the modeled 12-core node times; wall times
+// on this 1-core host are printed for reference.
+#include <map>
+
+#include "bench/common.h"
+#include "src/baselines/packages.h"
+#include "src/gb/naive.h"
+#include "src/perfmodel/cluster.h"
+#include "src/runtime/drivers.h"
+
+int main() {
+  using namespace octgb;
+  bench::banner("fig8_comparison",
+                "Figure 8 (all programs: times and speedup vs Amber)");
+
+  const gb::CalculatorParams params = bench::bench_params();
+  const auto suite = molecule::zdock_suite_spec(
+      bench::suite_count(), 400, bench::max_suite_atoms());
+  const auto spec = perfmodel::ClusterSpec::lonestar4();
+  const auto packages = baselines::all_packages();
+  baselines::PackageConfig pkg_config;
+  pkg_config.ranks = 12;
+  pkg_config.threads = 12;
+
+  util::Table times({"molecule", "atoms", "gromacs", "namd", "amber",
+                     "tinker", "gbr6", "OCT_MPI", "OCT_HYB", "naive"});
+  util::Table speedups({"molecule", "atoms", "gromacs/amber",
+                        "namd/amber", "tinker/amber", "gbr6/amber",
+                        "OCT_MPI/amber", "OCT_HYB/amber"});
+  std::map<std::string, double> max_speedup;
+
+  for (const auto& entry : suite) {
+    const molecule::Molecule mol = molecule::generate_suite_molecule(entry);
+    std::printf("running %s (%zu atoms)...\n", entry.name.c_str(),
+                mol.size());
+
+    // Package runs (wall = total work on 1 core; model = wall / 12 for
+    // the MPI/shared packages, wall for the serial one).
+    std::map<std::string, double> model_time;
+    times.row().cell(entry.name).cell(mol.size());
+    for (const auto& pkg : packages) {
+      const baselines::PackageResult res = pkg.run(mol, pkg_config);
+      if (res.out_of_memory) {
+        times.cell("X (OOM)");
+        model_time[pkg.info().name] = -1.0;
+        continue;
+      }
+      const bool serial = pkg.info().parallelism == "Serial";
+      const double cores = serial ? 1.0 : 12.0;
+      model_time[pkg.info().name] = res.seconds / cores;
+      times.cell(util::format_seconds(res.seconds));
+    }
+
+    // Octree programs: measured phases -> modeled 12-core node.
+    const runtime::DriverResult mpi = runtime::run_oct_mpi(mol, 12, params);
+    const runtime::DriverResult hyb =
+        runtime::run_oct_mpi_cilk(mol, 2, 6, params);
+    const std::size_t born_bytes =
+        (mol.size() * 2 + mpi.num_qpoints / 8) * sizeof(double);
+    perfmodel::Workload work;
+    work.phases.push_back({mpi.t_born, born_bytes});
+    work.phases.push_back({mpi.t_epol, sizeof(double)});
+    work.data_bytes_per_rank = mpi.data_bytes_per_rank;
+    model_time["OCT_MPI"] =
+        perfmodel::model_run(spec, work, 12, 1).total_seconds();
+    model_time["OCT_HYB"] =
+        perfmodel::model_run(spec, work, 2, 6).total_seconds();
+    times.cell(util::format_seconds(mpi.t_born + mpi.t_epol));
+    times.cell(util::format_seconds(hyb.t_born + hyb.t_epol));
+
+    // Naive exact reference (serial).
+    const gb::GBResult naive = gb::compute_gb_energy_naive(mol, params);
+    times.cell(util::format_seconds(naive.t_born + naive.t_epol));
+
+    // Figure 8(b): speedups w.r.t. amber on the modeled 12-core node.
+    const double amber = model_time["amberlike"];
+    speedups.row().cell(entry.name).cell(mol.size());
+    for (const char* name : {"gromacslike", "namdlike", "tinkerlike",
+                             "gbr6like", "OCT_MPI", "OCT_HYB"}) {
+      const double t = model_time[name];
+      if (t <= 0.0 || amber <= 0.0) {
+        speedups.cell("X");
+        continue;
+      }
+      const double s = amber / t;
+      speedups.cell(s, 4);
+      auto& best = max_speedup[name];
+      best = std::max(best, s);
+    }
+  }
+
+  std::printf("\n-- Figure 8(a): running times --\n");
+  bench::emit(times, "fig8a_times");
+  std::printf("\n-- Figure 8(b): speedup w.r.t. Amber (modeled 12-core "
+              "node) --\n");
+  bench::emit(speedups, "fig8b_speedups");
+
+  std::printf("\nmax speedup vs Amber across the suite (paper in "
+              "parentheses):\n");
+  std::printf("  OCT_MPI   %.2fx (paper ~11x at 16k atoms)\n",
+              max_speedup["OCT_MPI"]);
+  std::printf("  gromacs   %.2fx (paper max 6.2x, 2.7x at 16k)\n",
+              max_speedup["gromacslike"]);
+  std::printf("  namd      %.2fx (paper max 1.1x)\n",
+              max_speedup["namdlike"]);
+  std::printf("  tinker    %.2fx (paper max 2.1x)\n",
+              max_speedup["tinkerlike"]);
+  std::printf("  gbr6      %.2fx (paper max 1.14x)\n",
+              max_speedup["gbr6like"]);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// table1_environment -- reproduces Table I: "Simulation Environment".
+//
+// Prints the actual host this harness runs on next to the modeled
+// Lonestar4 cluster (ClusterSpec) that the scalability figures replay
+// measured work onto. See DESIGN.md "Measurement policy".
+#include <sstream>
+
+#include "bench/common.h"
+#include "src/perfmodel/cluster.h"
+#include "src/util/hostinfo.h"
+
+int main() {
+  using namespace octgb;
+  bench::banner("table1_environment", "Table I (simulation environment)");
+
+  const util::HostInfo host = util::query_host();
+  const perfmodel::ClusterSpec spec = perfmodel::ClusterSpec::lonestar4();
+
+  util::Table table({"attribute", "paper (Lonestar4, modeled)", "this host"});
+  table.row()
+      .cell("Processors")
+      .cell("3.33 GHz Hexa-Core Intel Westmere x2")
+      .cell(host.cpu_model.empty() ? "(unknown)" : host.cpu_model);
+  table.row()
+      .cell("Cores/node")
+      .cell(static_cast<std::int64_t>(spec.cores_per_node))
+      .cell(static_cast<std::int64_t>(host.logical_cores));
+  table.row()
+      .cell("RAM")
+      .cell(util::format_bytes(spec.ram_per_node))
+      .cell(util::format_bytes(host.total_ram));
+  {
+    std::ostringstream ib;
+    ib << "InfiniBand fat tree, t_s=" << spec.t_s_inter * 1e6
+       << "us, bw=" << 1.0 / spec.t_w_inter / 1e9 << "GB/s";
+    table.row().cell("Interconnect").cell(ib.str()).cell(
+        "(none; simmpi threads-as-ranks)");
+  }
+  table.row()
+      .cell("Cache")
+      .cell(util::format_bytes(spec.l3_per_socket) + " L3/socket x" +
+            std::to_string(spec.sockets_per_node))
+      .cell("(per /proc, unqueried)");
+  table.row().cell("Operating system").cell("Linux CentOS 5.5").cell(
+      host.os);
+  table.row()
+      .cell("Parallelism platform")
+      .cell("Intel Cilk-4.5.4 + MVAPICH2/1.6")
+      .cell("octgb work-stealing pool + simmpi");
+  table.row().cell("Optimization").cell("-O3").cell("-O2 (CMake Release)");
+  bench::emit(table, "table1_environment");
+  return 0;
+}

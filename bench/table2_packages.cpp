@@ -1,0 +1,28 @@
+// table2_packages -- reproduces Table II: packages, GB models and
+// parallelism types, for both the comparison packages and our octree
+// programs.
+#include "bench/common.h"
+#include "src/baselines/packages.h"
+
+int main() {
+  using namespace octgb;
+  bench::banner("table2_packages",
+                "Table II (packages, GB models, parallelism)");
+
+  util::Table table({"package", "GB-model", "parallelism"});
+  for (const auto& pkg : baselines::all_packages()) {
+    table.row()
+        .cell(pkg.info().name)
+        .cell(pkg.info().gb_model)
+        .cell(pkg.info().parallelism);
+  }
+  table.row().cell("OCT_CILK").cell("STILL (surface r^6)").cell(
+      "Shared (work-stealing pool)");
+  table.row().cell("OCT_MPI").cell("STILL (surface r^6)").cell(
+      "Distributed (simmpi)");
+  table.row().cell("OCT_MPI+CILK").cell("STILL (surface r^6)").cell(
+      "Distributed (simmpi) + shared (pool)");
+  table.row().cell("Naive").cell("STILL (surface r^6)").cell("Serial");
+  bench::emit(table, "table2_packages");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// docking_scan -- the drug-design workload from the paper's introduction.
+//
+// Computing the polarization energy of a ligand-receptor complex is the
+// inner loop of docking: the ligand is placed at thousands of candidate
+// poses and each pose is scored. This example uses the PoseScorer, which
+// implements the paper's Section IV-C reuse: surfaces, octrees and self
+// Born integrals are computed once; per pose the ligand octrees are
+// rigid-*transformed* (not rebuilt) and only the receptor<->ligand cross
+// integrals are evaluated. Poses are ranked by the GB desolvation score
+//     dE = E_pol(complex) - E_pol(receptor) - E_pol(ligand).
+//
+// Usage: docking_scan [receptor_atoms] [num_poses]   (default 3000, 24)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numbers>
+#include <vector>
+
+#include "src/docking/pose_scorer.h"
+#include "src/gb/calculator.h"
+#include "src/molecule/generators.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace octgb;
+
+  const std::size_t receptor_atoms =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
+  const int num_poses = argc > 2 ? std::atoi(argv[2]) : 24;
+
+  const molecule::Molecule receptor =
+      molecule::generate_protein(receptor_atoms, /*seed=*/7);
+  const molecule::Molecule ligand = molecule::generate_ligand(40, /*seed=*/9);
+
+  std::printf("== docking scan ==\n");
+  std::printf("receptor: %zu atoms, ligand: %zu atoms, %d poses\n",
+              receptor.size(), ligand.size(), num_poses);
+
+  util::WallTimer setup_timer;
+  const docking::PoseScorer scorer(receptor, ligand);
+  std::printf("pose-invariant setup (surfaces, octrees, self integrals): "
+              "%.2fs, %zu q-points\n",
+              setup_timer.seconds(), scorer.num_qpoints());
+  std::printf("E_pol(receptor) = %.2f kcal/mol\n",
+              scorer.receptor_energy());
+  std::printf("E_pol(ligand)   = %.2f kcal/mol\n", scorer.ligand_energy());
+
+  // Poses: the ligand approaches from random directions, grazing the
+  // receptor surface, with a random orientation.
+  const double contact_radius =
+      0.5 * receptor.center_bounds().max_extent() + 4.0;
+  util::Xoshiro256 rng(123);
+
+  struct Pose {
+    int id;
+    double delta_e;
+  };
+  std::vector<Pose> poses;
+  util::WallTimer scan_timer;
+  for (int k = 0; k < num_poses; ++k) {
+    double a, b, s;
+    do {
+      a = rng.uniform(-1, 1);
+      b = rng.uniform(-1, 1);
+      s = a * a + b * b;
+    } while (s >= 1.0);
+    const double t = 2.0 * std::sqrt(1.0 - s);
+    const geom::Vec3 dir{a * t, b * t, 1.0 - 2.0 * s};
+
+    const geom::Rigid pose =
+        geom::Rigid::translate(receptor.centroid() + dir * contact_radius) *
+        geom::Rigid{geom::Mat3::euler_zyx(rng.uniform(0, 2 * std::numbers::pi),
+                                          rng.uniform(0, std::numbers::pi),
+                                          rng.uniform(0, 2 * std::numbers::pi)),
+                    {}} *
+        geom::Rigid::translate(-ligand.centroid());
+    poses.push_back({k, scorer.score(pose).delta_energy});
+  }
+  const double scan_seconds = scan_timer.seconds();
+
+  std::sort(poses.begin(), poses.end(),
+            [](const Pose& x, const Pose& y) {
+              return x.delta_e < y.delta_e;
+            });
+
+  std::printf("\ntop poses by GB desolvation score dE:\n");
+  const int top = std::min<int>(5, static_cast<int>(poses.size()));
+  for (int k = 0; k < top; ++k) {
+    std::printf("  pose %2d: dE = %+8.3f kcal/mol\n", poses[k].id,
+                poses[k].delta_e);
+  }
+  std::printf("\nscored %d poses in %.2fs (%.3fs per pose; surfaces and\n"
+              "self-integrals amortized across all poses)\n",
+              num_poses, scan_seconds, scan_seconds / num_poses);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// epsilon_tuning -- the speed/accuracy dial.
+//
+// The octree solver's single most important property (Section II) is the
+// space-independent speed-accuracy tradeoff: the two approximation
+// parameters trade error for time without changing memory use. This
+// example sweeps eps_epol (Born eps fixed at the paper's 0.9, exactly as
+// in Figure 10) on one molecule and prints the achieved error and
+// runtime, plus the octree memory footprint to show it does not move.
+//
+// Usage: epsilon_tuning [num_atoms]   (default 4000)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/gb/born.h"
+#include "src/gb/calculator.h"
+#include "src/gb/diagnostics.h"
+#include "src/gb/epol.h"
+#include "src/gb/naive.h"
+#include "src/molecule/generators.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace octgb;
+
+  const std::size_t num_atoms =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+  const molecule::Molecule mol =
+      molecule::generate_protein(num_atoms, /*seed=*/17);
+
+  std::printf("== epsilon tuning on a %zu-atom protein ==\n", mol.size());
+
+  // Shared preprocessing: surface + octrees are epsilon-independent
+  // (the paper's point: one build serves every accuracy setting).
+  const surface::QuadratureSurface surf = surface::build_surface(mol);
+  const gb::BornOctrees trees = gb::build_born_octrees(mol, surf);
+  std::printf("surface: %zu q-points; octrees: %zu + %zu nodes, %s\n",
+              surf.size(), trees.atoms.num_nodes(),
+              trees.qpoints.num_nodes(),
+              util::format_bytes(trees.atoms.memory_bytes() +
+                                 trees.qpoints.memory_bytes())
+                  .c_str());
+
+  // Exact reference (radii + energy).
+  const auto exact_radii = gb::born_radii_naive_r6(mol, surf);
+  const double exact_energy =
+      gb::epol_naive(mol, exact_radii.radii).energy;
+  std::printf("naive reference: E_pol = %.4f kcal/mol\n\n", exact_energy);
+
+  gb::ApproxParams params;
+  params.eps_born = 0.9;  // fixed, as in Figure 10
+
+  util::Table table({"eps_epol", "E_pol", "error %", "time",
+                     "pairs pruned %", "octree mem"});
+  for (const double eps : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    params.eps_epol = eps;
+    util::WallTimer timer;
+    const auto radii = gb::born_radii_octree(trees, mol, surf, params);
+    const double energy =
+        gb::epol_octree(trees.atoms, mol, radii.radii, params).energy;
+    const double seconds = timer.seconds();
+    // Where the time goes: the fraction of naive pairwise work the
+    // far-field criterion prunes at this eps.
+    const auto stats = gb::epol_traversal_stats(trees.atoms, params);
+    table.row()
+        .cell(eps, 2)
+        .cell(energy, 6)
+        .cell(100.0 * gb::relative_error(energy, exact_energy), 3)
+        .cell(util::format_seconds(seconds))
+        .cell(100.0 * stats.pruning_ratio(), 3)
+        .cell(util::format_bytes(trees.atoms.memory_bytes() +
+                                 trees.qpoints.memory_bytes()));
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nNote the memory column: unlike cutoff-based nonbonded lists,\n"
+      "the octree's footprint is identical at every accuracy setting.\n");
+  return 0;
+}

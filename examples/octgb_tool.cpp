@@ -1,0 +1,214 @@
+// octgb_tool -- the command-line entry point a downstream user drives.
+//
+// Subcommands:
+//   generate <atoms> <out.pqr> [--capsid] [--seed N]
+//       write a synthetic protein (or virus capsid shell) as PQR
+//   energy <in.pqr> [--eps-born X] [--eps-epol X] [--threads N]
+//          [--naive] [--surface-cache FILE]
+//       compute E_pol and a Born-radius summary
+//   radii <in.pqr> <out.txt>
+//       write per-atom r^6 Born radii, one per line
+//   convert <in.pqr|in.xyzr> <out.pqr|out.xyzr>
+//       format conversion (by extension)
+//   suite [count]
+//       print the ZDock-substitute suite specification
+//
+// Exit code 0 on success, 1 on usage error, 2 on runtime failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/gb/calculator.h"
+#include "src/molecule/generators.h"
+#include "src/molecule/io.h"
+#include "src/parallel/pool.h"
+#include "src/surface/surface_io.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace octgb;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: octgb_tool <command> ...\n"
+      "  generate <atoms> <out.pqr> [--capsid] [--seed N]\n"
+      "  energy <in.pqr> [--eps-born X] [--eps-epol X] [--threads N]\n"
+      "         [--naive] [--surface-cache FILE]\n"
+      "  radii <in.pqr> <out.txt>\n"
+      "  convert <in.(pqr|xyzr)> <out.(pqr|xyzr)>\n"
+      "  suite [count]\n");
+  return 1;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+molecule::Molecule read_any(const std::string& path) {
+  if (ends_with(path, ".xyzr")) return molecule::read_xyzr_file(path);
+  return molecule::read_pqr_file(path);
+}
+
+bool write_any(const std::string& path, const molecule::Molecule& mol) {
+  if (ends_with(path, ".xyzr")) return molecule::write_xyzr_file(path, mol);
+  return molecule::write_pqr_file(path, mol);
+}
+
+int cmd_generate(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const auto atoms = std::strtoull(args[0].c_str(), nullptr, 10);
+  const std::string out = args[1];
+  bool capsid = false;
+  std::uint64_t seed = 1;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--capsid") {
+      capsid = true;
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  const molecule::Molecule mol = capsid
+                                     ? molecule::generate_capsid(atoms, seed)
+                                     : molecule::generate_protein(atoms, seed);
+  if (!write_any(out, mol)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 2;
+  }
+  std::printf("wrote %zu atoms to %s\n", mol.size(), out.c_str());
+  return 0;
+}
+
+int cmd_energy(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string in = args[0];
+  gb::CalculatorParams params;
+  int threads = 1;
+  bool naive = false;
+  std::string cache;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--eps-born" && i + 1 < args.size()) {
+      params.approx.eps_born = std::strtod(args[++i].c_str(), nullptr);
+    } else if (args[i] == "--eps-epol" && i + 1 < args.size()) {
+      params.approx.eps_epol = std::strtod(args[++i].c_str(), nullptr);
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      threads = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--naive") {
+      naive = true;
+    } else if (args[i] == "--surface-cache" && i + 1 < args.size()) {
+      cache = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  const molecule::Molecule mol = read_any(in);
+  std::printf("%zu atoms, net charge %+.3f e\n", mol.size(),
+              mol.net_charge());
+
+  gb::GBResult result;
+  if (naive) {
+    result = gb::compute_gb_energy_naive(mol, params);
+  } else if (!cache.empty()) {
+    // Surface caching path: load if present, else build and save.
+    surface::QuadratureSurface surf;
+    bool loaded = false;
+    if (std::ifstream probe(cache, std::ios::binary); probe.good()) {
+      surf = surface::load_surface_file(cache);
+      loaded = true;
+    } else {
+      surf = surface::build_surface(mol, params.surface);
+      surface::save_surface_file(cache, surf);
+    }
+    std::printf("surface cache %s: %s (%zu q-points)\n", cache.c_str(),
+                loaded ? "loaded" : "built+saved", surf.size());
+    const auto trees = gb::build_born_octrees(mol, surf, params.octree);
+    parallel::WorkStealingPool pool(threads);
+    auto born = gb::born_radii_octree(trees, mol, surf, params.approx,
+                                      &pool);
+    result.energy = gb::epol_octree(trees.atoms, mol, born.radii,
+                                    params.approx, params.physics, &pool)
+                        .energy;
+    result.born_radii = std::move(born.radii);
+    result.num_qpoints = surf.size();
+  } else {
+    parallel::WorkStealingPool pool(threads);
+    result = gb::compute_gb_energy(mol, params, &pool);
+  }
+
+  util::RunningStats radii;
+  for (const double r : result.born_radii) radii.add(r);
+  std::printf("E_pol = %.6f kcal/mol  (eps %g/%g%s)\n", result.energy,
+              params.approx.eps_born, params.approx.eps_epol,
+              naive ? ", naive exact" : "");
+  std::printf("Born radii: min %.3f  mean %.3f  max %.3f A\n", radii.min(),
+              radii.mean(), radii.max());
+  return 0;
+}
+
+int cmd_radii(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const molecule::Molecule mol = read_any(args[0]);
+  const gb::GBResult result = gb::compute_gb_energy(mol);
+  std::ofstream out(args[1]);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", args[1].c_str());
+    return 2;
+  }
+  out << "# per-atom r^6 Born radii (Angstrom), " << mol.size()
+      << " atoms\n";
+  out.precision(17);
+  for (const double r : result.born_radii) out << r << '\n';
+  std::printf("wrote %zu radii to %s\n", result.born_radii.size(),
+              args[1].c_str());
+  return 0;
+}
+
+int cmd_convert(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const molecule::Molecule mol = read_any(args[0]);
+  if (!write_any(args[1], mol)) {
+    std::fprintf(stderr, "cannot write %s\n", args[1].c_str());
+    return 2;
+  }
+  std::printf("converted %zu atoms: %s -> %s\n", mol.size(),
+              args[0].c_str(), args[1].c_str());
+  return 0;
+}
+
+int cmd_suite(const std::vector<std::string>& args) {
+  const int count = args.empty() ? 84 : std::atoi(args[0].c_str());
+  util::Table table({"name", "atoms", "seed"});
+  for (const auto& entry : molecule::zdock_suite_spec(count)) {
+    table.row().cell(entry.name).cell(entry.num_atoms).cell(
+        static_cast<std::int64_t>(entry.seed));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "energy") return cmd_energy(args);
+    if (command == "radii") return cmd_radii(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "suite") return cmd_suite(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}

@@ -1,0 +1,81 @@
+// pqr_pipeline -- the file-driven workflow.
+//
+// Reads a PQR file (the PDB-like format with per-atom charge and radius
+// that GB codes consume) and prints the polarization energy and a Born-
+// radius summary; with no argument it first writes a synthetic protein
+// to a temporary PQR so the example is runnable out of the box.
+//
+// Usage: pqr_pipeline [molecule.pqr]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/gb/calculator.h"
+#include "src/molecule/generators.h"
+#include "src/molecule/io.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace octgb;
+
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    path = "/tmp/octgb_demo.pqr";
+    const molecule::Molecule demo =
+        molecule::generate_protein(1200, /*seed=*/2026);
+    if (!molecule::write_pqr_file(path, demo)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("no input given; wrote a synthetic 1200-atom protein to "
+                "%s\n",
+                path.c_str());
+  }
+
+  molecule::Molecule mol;
+  try {
+    mol = molecule::read_pqr_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to read %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("read %zu atoms from %s (net charge %+.3f e)\n", mol.size(),
+              path.c_str(), mol.net_charge());
+  if (mol.empty()) {
+    std::fprintf(stderr, "no ATOM records found\n");
+    return 1;
+  }
+
+  const gb::CalculatorParams params;  // eps 0.9 / 0.9
+  const gb::GBResult result = gb::compute_gb_energy(mol, params);
+
+  util::RunningStats radii;
+  for (const double r : result.born_radii) radii.add(r);
+
+  util::Table table({"quantity", "value"});
+  table.row().cell("E_pol (kcal/mol)").cell(result.energy, 6);
+  table.row().cell("surface q-points").cell(result.num_qpoints);
+  table.row().cell("Born radius min (A)").cell(radii.min(), 3);
+  table.row().cell("Born radius mean (A)").cell(radii.mean(), 3);
+  table.row().cell("Born radius max (A)").cell(radii.max(), 3);
+  table.row()
+      .cell("time surface")
+      .cell(util::format_seconds(result.t_surface));
+  table.row()
+      .cell("time octrees")
+      .cell(util::format_seconds(result.t_tree_build));
+  table.row().cell("time Born radii").cell(
+      util::format_seconds(result.t_born));
+  table.row().cell("time E_pol").cell(util::format_seconds(result.t_epol));
+  table.print(std::cout);
+
+  // Round-trip demonstration: XYZR export next to the input.
+  const std::string out = path + ".xyzr";
+  if (molecule::write_xyzr_file(out, mol)) {
+    std::printf("\nwrote %s (xyzr export)\n", out.c_str());
+  }
+  return 0;
+}

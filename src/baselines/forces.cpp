@@ -1,0 +1,105 @@
+#include "src/baselines/forces.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace octgb::baselines {
+
+namespace {
+
+// Pair kernel pieces for f^2 = u + w * exp(-u / (4w)), u = d^2,
+// w = R_i R_j.
+struct PairKernel {
+  double inv_f;      // 1 / f
+  double dinvf_du;   // d(1/f)/du at fixed radii
+  double dinvf_dRi;  // d(1/f)/dR_i (for dR_j swap i<->j)
+  double dinvf_dRj;
+};
+
+PairKernel pair_kernel(double u, double ri, double rj) {
+  const double w = ri * rj;
+  const double e = std::exp(-u / (4.0 * w));
+  const double f2 = u + w * e;
+  const double inv_f = 1.0 / std::sqrt(f2);
+  const double inv_f3 = inv_f * inv_f * inv_f;
+  // df^2/du = 1 - e/4;   df^2/dR_i = R_j e (1 + u / (4w)).
+  const double df2_du = 1.0 - 0.25 * e;
+  const double df2_dri = rj * e * (1.0 + u / (4.0 * w));
+  const double df2_drj = ri * e * (1.0 + u / (4.0 * w));
+  return {inv_f, -0.5 * inv_f3 * df2_du, -0.5 * inv_f3 * df2_dri,
+          -0.5 * inv_f3 * df2_drj};
+}
+
+}  // namespace
+
+GBForceResult gb_energy_and_forces_hct(const molecule::Molecule& mol,
+                                       const Nblist& nblist,
+                                       std::span<const double> born_radii,
+                                       const HctParams& params,
+                                       const gb::Physics& physics,
+                                       std::size_t atom_begin,
+                                       std::size_t atom_end) {
+  const std::size_t n = mol.size();
+  GBForceResult out;
+  out.forces.assign(n, geom::Vec3{});
+  if (n == 0) return out;
+  atom_end = std::min(atom_end, n);
+
+  const auto positions = mol.positions();
+  const auto charges = mol.charges();
+  const auto radii = mol.radii();
+  const double c2 = 0.5 * physics.tau() * physics.coulomb_k;
+
+  // Pass 1: owned energy terms, direct pair forces, and the *full*
+  // dS/dR_i for owned atoms (each unordered pair appears in both
+  // neighbor lists, so summing over nb(i) with a factor 2 reconstructs
+  // the ordered double sum's derivative).
+  std::vector<double> dS_dR(n, 0.0);  // only [atom_begin, atom_end) used
+  double s_sum = 0.0;
+  for (std::size_t i = atom_begin; i < atom_end; ++i) {
+    const double qi = charges[i];
+    const double ri = born_radii[i];
+    s_sum += qi * qi / ri;                 // self energy
+    dS_dR[i] -= qi * qi / (ri * ri);       // d(q^2/R)/dR
+    for (const std::uint32_t j : nblist.neighbors_of(i)) {
+      const geom::Vec3 dvec = positions[i] - positions[j];
+      const double u = dvec.norm2();
+      const PairKernel k = pair_kernel(u, ri, born_radii[j]);
+      const double qq = qi * charges[j];
+      s_sum += qq * k.inv_f;  // owned ordered term t_ij
+      // Direct force: F = c2 * dS/dx; per owned pair applied once to
+      // each side (the mirror term t_ji is applied by j's owner).
+      const geom::Vec3 fdir = dvec * (2.0 * c2 * qq * k.dinvf_du);
+      out.forces[i] += fdir;
+      out.forces[j] -= fdir;
+      // Full dS/dR_i gets 2x the owned term's derivative (t_ij + t_ji).
+      dS_dR[i] += 2.0 * qq * k.dinvf_dRi;
+    }
+  }
+  out.energy = -c2 * s_sum;
+
+  // Pass 2: Born-radius chain rule. The owner of atom i applies the
+  // whole of R_i's dependence on every descreener position.
+  for (std::size_t i = atom_begin; i < atom_end; ++i) {
+    const double ri = born_radii[i];
+    const double rho = std::max(radii[i] - params.offset, 0.3);
+    // Clamped radii are flat in the geometry: no chain contribution.
+    if (ri >= 29.99 || ri <= rho * (1.0 + 1e-12)) continue;
+    const double coeff = c2 * dS_dR[i] * ri * ri;  // c2 dS/dR_i dR/dI...
+    for (const std::uint32_t j : nblist.neighbors_of(i)) {
+      const geom::Vec3 dvec = positions[i] - positions[j];
+      const double d = dvec.norm();
+      if (d <= 0.0) continue;
+      const double s =
+          params.scale * std::max(radii[j] - params.offset, 0.3);
+      // dR_i/dd_ij = R_i^2 * dI/dd (I reduces 1/R_i).
+      const double dI = descreen_integral_r4_ddist(d, s, rho);
+      const geom::Vec3 fchain = dvec * (coeff * dI / d);
+      out.forces[i] += fchain;
+      out.forces[j] -= fchain;
+    }
+  }
+  return out;
+}
+
+}  // namespace octgb::baselines

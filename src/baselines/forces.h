@@ -1,0 +1,59 @@
+// forces.h -- GB energy *gradients*, as the MD packages compute them.
+//
+// A molecular-dynamics package cannot evaluate a GB energy without also
+// producing forces -- its inner loop is the force routine (the paper had
+// to run NAMD twice and subtract, Section V, precisely because there is
+// no energy-only code path). The octree programs in this repository are
+// pure energy evaluators; the amberlike / gromacslike / namdlike
+// baselines therefore carry the honest extra cost of the gradient:
+//
+//   F_a = -dE/dx_a
+//       = direct pair terms (d f_GB / d r_ij)
+//       + Born-radius chain terms (dE/dR_i * dR_i/dx_a),
+//
+// where dR_i/dx_a follows from the HCT descreening derivative
+// (descreen_integral_r4_ddist). This is the standard 3-pass GB force
+// scheme (radii -> energy + dE/dR -> chain rule), validated against
+// finite differences of the full pipeline in tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/baselines/gbmodels.h"
+#include "src/baselines/nblist.h"
+#include "src/gb/types.h"
+#include "src/geom/vec3.h"
+#include "src/molecule/molecule.h"
+
+namespace octgb::baselines {
+
+struct GBForceResult {
+  double energy = 0.0;               // kcal/mol
+  std::vector<geom::Vec3> forces;    // kcal/mol/Angstrom, one per atom
+};
+
+/// Energy and forces with HCT radii; pair interactions and descreening
+/// truncated by `nblist`. The atom segment [atom_begin, atom_end) scopes
+/// the *energy/force ownership* (each rank computes terms owned by its
+/// atoms; force arrays are merged by allreduce in the callers), while
+/// radii for all atoms are taken from `born_radii` (plus the per-pair
+/// derivative information recomputed on the fly).
+GBForceResult gb_energy_and_forces_hct(const molecule::Molecule& mol,
+                                       const Nblist& nblist,
+                                       std::span<const double> born_radii,
+                                       const HctParams& params,
+                                       const gb::Physics& physics,
+                                       std::size_t atom_begin,
+                                       std::size_t atom_end);
+
+/// Convenience: whole molecule.
+inline GBForceResult gb_energy_and_forces_hct(
+    const molecule::Molecule& mol, const Nblist& nblist,
+    std::span<const double> born_radii, const HctParams& params = {},
+    const gb::Physics& physics = {}) {
+  return gb_energy_and_forces_hct(mol, nblist, born_radii, params, physics,
+                                  0, mol.size());
+}
+
+}  // namespace octgb::baselines

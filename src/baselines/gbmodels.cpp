@@ -1,0 +1,366 @@
+#include "src/baselines/gbmodels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/geom/celllist.h"
+
+namespace octgb::baselines {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Antiderivative of the lens-band integrand
+//   (s^2 - (d - r)^2) / (4 d r^3)
+// with respect to r (see descreen_integral_r4).
+double band_antiderivative(double r, double d, double s) {
+  return ((d * d - s * s) / (2.0 * r * r) - 2.0 * d / r - std::log(r)) /
+         (4.0 * d);
+}
+
+}  // namespace
+
+double descreen_integral_r4(double d, double s, double rho) {
+  if (s <= 0.0 || d <= 0.0) return 0.0;
+  // Shell decomposition about the observation atom: a shell of radius r
+  // intersects the descreening ball over area fraction
+  //   g(r) = (s^2 - (d - r)^2) / (4 d r)    for |d - s| <= r <= d + s,
+  // g = 1 for r < s - d (atom center inside the ball), 0 elsewhere.
+  // The integral is  I = int g(r) / r^2 dr  over r > rho.
+  const double upper = d + s;
+  if (rho >= upper) return 0.0;
+
+  double total = 0.0;
+  double band_lo = std::abs(d - s);
+  if (d < s) {
+    // Full shells between rho and s - d.
+    const double full_hi = s - d;
+    if (rho < full_hi) {
+      total += 1.0 / std::max(rho, 1e-12) - 1.0 / full_hi;
+    }
+    band_lo = full_hi;
+  }
+  const double lo = std::max(band_lo, rho);
+  if (lo < upper) {
+    total += band_antiderivative(upper, d, s) -
+             band_antiderivative(lo, d, s);
+  }
+  return total;
+}
+
+double descreen_integral_r4_ddist(double d, double s, double rho) {
+  if (s <= 0.0 || d <= 0.0) return 0.0;
+  const double upper = d + s;
+  if (rho >= upper) return 0.0;
+  // Differentiate the closed form piecewise. The band antiderivative is
+  //   G(r; d) = ((d^2 - s^2)/(2 r^2) - 2 d / r - ln r) / (4 d),
+  // and I = G(U) - G(L) with U = d + s, L depending on the regime. Use
+  // dI/dd = dG/dd(U) - dG/dd(L) + G'(U) dU/dd - G'(L) dL/dd, where
+  // G'(r) is the integrand itself.
+  auto integrand = [&](double r) {
+    return (s * s - (d - r) * (d - r)) / (4.0 * d * r * r * r);
+  };
+  // Partial of G w.r.t. d at fixed r.
+  auto dG_dd = [&](double r) {
+    // G = (d^2 - s^2) / (8 d r^2) - 1/(2 r) - ln(r) / (4 d)
+    return (d * d + s * s) / (8.0 * d * d * r * r) +
+           std::log(r) / (4.0 * d * d);
+  };
+
+  double total = 0.0;
+  double band_lo = std::abs(d - s);
+  double dlo_dd = d >= s ? 1.0 : -1.0;  // d|d-s|/dd
+  if (d < s) {
+    // Full-shell part: rho..(s - d), integrand 1/r^2; boundary moves.
+    const double full_hi = s - d;
+    if (rho < full_hi) {
+      // d/dd [1/rho - 1/(s-d)] = -1/(s-d)^2.
+      total += -1.0 / (full_hi * full_hi);
+    }
+    band_lo = full_hi;
+    dlo_dd = -1.0;
+  }
+  const double lo = std::max(band_lo, rho);
+  const double dlo_eff = lo == rho ? 0.0 : dlo_dd;
+  if (lo < upper) {
+    total += dG_dd(upper) - dG_dd(lo);
+    total += integrand(upper) * 1.0;        // dU/dd = 1; g(U) = 0 though
+    total -= integrand(lo) * dlo_eff;
+  }
+  return total;
+}
+
+std::vector<double> born_radii_hct(const molecule::Molecule& mol,
+                                   const Nblist& nblist,
+                                   const HctParams& params) {
+  return born_radii_hct_segment(mol, nblist, 0, mol.size(), params);
+}
+
+std::vector<double> born_radii_hct_segment(const molecule::Molecule& mol,
+                                           const Nblist& nblist,
+                                           std::size_t atom_begin,
+                                           std::size_t atom_end,
+                                           const HctParams& params) {
+  const std::size_t n = mol.size();
+  std::vector<double> out(n, 0.0);
+  const auto positions = mol.positions();
+  const auto radii = mol.radii();
+  for (std::size_t i = atom_begin; i < std::min(atom_end, n); ++i) {
+    const double rho = std::max(radii[i] - params.offset, 0.3);
+    double sum = 0.0;
+    for (const std::uint32_t j : nblist.neighbors_of(i)) {
+      const double d = geom::distance(positions[i], positions[j]);
+      const double s =
+          params.scale * std::max(radii[j] - params.offset, 0.3);
+      sum += descreen_integral_r4(d, s, rho);
+    }
+    const double inv = 1.0 / rho - sum;
+    // Deeply buried atoms can drive the denominator through zero (the
+    // failure mode OBC was invented to fix); clamp like the packages do
+    // (Amber's rgbmax-style ceiling of 30 A).
+    out[i] = 1.0 / std::clamp(inv, 1.0 / 30.0, 1.0 / rho);
+  }
+  return out;
+}
+
+std::vector<double> born_radii_obc(const molecule::Molecule& mol,
+                                   const Nblist& nblist,
+                                   const ObcParams& params) {
+  return born_radii_obc_segment(mol, nblist, 0, mol.size(), params);
+}
+
+std::vector<double> born_radii_obc_segment(const molecule::Molecule& mol,
+                                           const Nblist& nblist,
+                                           std::size_t atom_begin,
+                                           std::size_t atom_end,
+                                           const ObcParams& params) {
+  const std::size_t n = mol.size();
+  std::vector<double> out(n, 0.0);
+  const auto positions = mol.positions();
+  const auto radii = mol.radii();
+  for (std::size_t i = atom_begin; i < std::min(atom_end, n); ++i) {
+    const double rho_i = radii[i];
+    const double rho = std::max(rho_i - params.hct.offset, 0.3);
+    double sum = 0.0;
+    for (const std::uint32_t j : nblist.neighbors_of(i)) {
+      const double d = geom::distance(positions[i], positions[j]);
+      const double s =
+          params.hct.scale * std::max(radii[j] - params.hct.offset, 0.3);
+      sum += descreen_integral_r4(d, s, rho);
+    }
+    const double psi = sum * rho;
+    const double poly =
+        params.alpha * psi - params.beta * psi * psi +
+        params.gamma * psi * psi * psi;
+    const double inv = 1.0 / rho - std::tanh(poly) / rho_i;
+    out[i] = 1.0 / std::clamp(inv, 1.0 / 30.0, 1.0 / rho);
+  }
+  return out;
+}
+
+namespace {
+
+// Antiderivative of the r^6 lens-band integrand
+//   3 (s^2 - (d - r)^2) / (4 d r^5).
+double band_antiderivative_r6(double r, double d, double s) {
+  const double r2 = r * r;
+  return 3.0 / (4.0 * d) *
+         ((d * d - s * s) / (4.0 * r2 * r2) - 2.0 * d / (3.0 * r2 * r) +
+          1.0 / (2.0 * r2));
+}
+
+}  // namespace
+
+double descreen_integral_r6(double d, double s, double rho) {
+  if (s <= 0.0 || d <= 0.0) return 0.0;
+  // Same shell decomposition as descreen_integral_r4 with the r^6
+  // weight: I = int 3 g(r) / r^4 dr over r > rho.
+  const double upper = d + s;
+  if (rho >= upper) return 0.0;
+
+  double total = 0.0;
+  double band_lo = std::abs(d - s);
+  if (d < s) {
+    const double full_hi = s - d;
+    if (rho < full_hi) {
+      const double lo3 = std::max(rho, 1e-12);
+      total += 1.0 / (lo3 * lo3 * lo3) - 1.0 / (full_hi * full_hi * full_hi);
+    }
+    band_lo = full_hi;
+  }
+  const double lo = std::max(band_lo, rho);
+  if (lo < upper) {
+    total += band_antiderivative_r6(upper, d, s) -
+             band_antiderivative_r6(lo, d, s);
+  }
+  return total;
+}
+
+std::vector<double> born_radii_analytic_r6(const molecule::Molecule& mol,
+                                           double probe) {
+  const std::size_t n = mol.size();
+  std::vector<double> out(n, 0.0);
+  const auto positions = mol.positions();
+  const auto radii = mol.radii();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rho = radii[i] + probe;
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d = geom::distance(positions[i], positions[j]);
+      sum += descreen_integral_r6(d, radii[j] + probe, rho);
+    }
+    const double inv3 = 1.0 / (rho * rho * rho) - sum;
+    const double floor3 = 1.0 / (30.0 * 30.0 * 30.0);
+    out[i] = std::cbrt(1.0 / std::max(inv3, floor3));
+  }
+  return out;
+}
+
+std::vector<double> born_radii_volume_r6(const molecule::Molecule& mol,
+                                         double grid_spacing,
+                                         std::size_t memory_budget,
+                                         double probe) {
+  const std::size_t n = mol.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+
+  const double max_r = mol.max_radius() + probe;
+  const geom::Aabb box = mol.center_bounds().padded(max_r + grid_spacing);
+  const geom::Vec3 size = box.size();
+  const double h = grid_spacing;
+  const auto nx = static_cast<std::size_t>(std::ceil(size.x / h)) + 1;
+  const auto ny = static_cast<std::size_t>(std::ceil(size.y / h)) + 1;
+  const auto nz = static_cast<std::size_t>(std::ceil(size.z / h)) + 1;
+  const std::size_t nvox = nx * ny * nz;
+  if (memory_budget != 0 && nvox > memory_budget) {
+    throw OutOfMemoryBudget("volume_r6 grid(" + mol.name() + ")", nvox,
+                            memory_budget);
+  }
+
+  // Occupancy: voxel center inside any atom ball.
+  std::vector<std::uint8_t> solute(nvox, 0);
+  const geom::CellList cells(mol.positions(), std::max(2.0 * max_r, 1.0));
+  const auto radii = mol.radii();
+  auto vox_center = [&](std::size_t x, std::size_t y, std::size_t z) {
+    return geom::Vec3{box.lo.x + (static_cast<double>(x) + 0.5) * h,
+                      box.lo.y + (static_cast<double>(y) + 0.5) * h,
+                      box.lo.z + (static_cast<double>(z) + 0.5) * h};
+  };
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const geom::Vec3 c = vox_center(x, y, z);
+        bool inside = false;
+        cells.for_each_within(c, max_r,
+                              [&](std::uint32_t a, const geom::Vec3& pa) {
+                                if (inside) return;
+                                const double ra = radii[a] + probe;
+                                if (geom::distance2(c, pa) < ra * ra) {
+                                  inside = true;
+                                }
+                              });
+        solute[(z * ny + y) * nx + x] = inside ? 1 : 0;
+      }
+    }
+  }
+
+  // Per-atom local integration: beyond `reach` the integrand tail of a
+  // filled environment is ~r^-3 and negligible vs 1/rho^3.
+  const double voxel_volume = h * h * h;
+  // Beyond `reach` a filled environment contributes < 1% of 1/rho^3
+  // (the r^-6 tail integrates to ~reach^-3).
+  const double reach = 8.0;
+  const auto positions = mol.positions();
+  const int span = static_cast<int>(std::ceil(reach / h));
+
+  // The 1/r^6 integrand is dominated by the shell just outside the
+  // atom's own ball, where voxel quantization is catastrophic (a voxel
+  // straddling the ball boundary mis-contributes ~h^3/rho^6). Handle
+  // the shell [rho, rho + delta] analytically: sample the solute
+  // occupancy fraction on Fibonacci directions at the shell midpoint
+  // and weight the exact closed-form shell integral by it. The grid
+  // then only covers r > rho + delta, where the integrand is tame.
+  const double shell_delta = 2.0 * h;
+  constexpr int kShellDirs = 64;
+  std::vector<geom::Vec3> dirs;
+  dirs.reserve(kShellDirs);
+  {
+    const double golden = kPi * (3.0 - std::sqrt(5.0));
+    for (int k = 0; k < kShellDirs; ++k) {
+      const double zz = 1.0 - (2.0 * k + 1.0) / kShellDirs;
+      const double rr = std::sqrt(std::max(0.0, 1.0 - zz * zz));
+      const double phi = golden * k;
+      dirs.push_back({rr * std::cos(phi), rr * std::sin(phi), zz});
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Vec3 xi = positions[i];
+    const double rho = radii[i] + probe;  // own dielectric-boundary radius
+
+    // Solute fraction of the near shell, from ball membership (exact
+    // geometry, not the voxel mask).
+    int inside_count = 0;
+    const double probe_r = rho + 0.5 * shell_delta;
+    for (const auto& dir : dirs) {
+      const geom::Vec3 pt = xi + dir * probe_r;
+      bool inside = false;
+      cells.for_each_within(pt, max_r,
+                            [&](std::uint32_t a, const geom::Vec3& pa) {
+                              if (inside || a == i) return;
+                              const double ra = radii[a] + probe;
+                              if (geom::distance2(pt, pa) < ra * ra) {
+                                inside = true;
+                              }
+                            });
+      if (inside) ++inside_count;
+    }
+    const double fraction =
+        static_cast<double>(inside_count) / kShellDirs;
+    // (3/4pi) * int_{rho}^{rho+delta} r^-6 * 4 pi r^2 dr
+    //   = 1/rho^3 - 1/(rho+delta)^3, weighted by the solute fraction.
+    const double shell_hi = rho + shell_delta;
+    const double near_term =
+        fraction * (1.0 / (rho * rho * rho) -
+                    1.0 / (shell_hi * shell_hi * shell_hi));
+    const double exclude2 = shell_hi * shell_hi;
+    const auto cx = static_cast<long>((xi.x - box.lo.x) / h);
+    const auto cy = static_cast<long>((xi.y - box.lo.y) / h);
+    const auto cz = static_cast<long>((xi.z - box.lo.z) / h);
+    double integral = 0.0;
+    for (long z = std::max(0L, cz - span);
+         z <= std::min<long>(static_cast<long>(nz) - 1, cz + span); ++z) {
+      for (long y = std::max(0L, cy - span);
+           y <= std::min<long>(static_cast<long>(ny) - 1, cy + span); ++y) {
+        for (long x = std::max(0L, cx - span);
+             x <= std::min<long>(static_cast<long>(nx) - 1, cx + span);
+             ++x) {
+          const std::size_t v =
+              (static_cast<std::size_t>(z) * ny +
+               static_cast<std::size_t>(y)) *
+                  nx +
+              static_cast<std::size_t>(x);
+          if (!solute[v]) continue;
+          const geom::Vec3 c = vox_center(
+              static_cast<std::size_t>(x), static_cast<std::size_t>(y),
+              static_cast<std::size_t>(z));
+          const double d2 = geom::distance2(c, xi);
+          if (d2 <= exclude2 || d2 > reach * reach) continue;
+          integral += voxel_volume / (d2 * d2 * d2);
+        }
+      }
+    }
+    // 1/R^3 = 1/rho^3 - (3/4pi) * integral over solute outside the ball
+    // (analytic near shell + grid far part).
+    const double inv3 = 1.0 / (rho * rho * rho) - near_term -
+                        3.0 / (4.0 * kPi) * integral;
+    const double floor3 = 1.0 / (30.0 * 30.0 * 30.0);  // R <= 30 A
+    out[i] = std::cbrt(1.0 / std::max(inv3, floor3));
+  }
+  return out;
+}
+
+}  // namespace octgb::baselines

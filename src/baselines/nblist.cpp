@@ -1,0 +1,71 @@
+#include "src/baselines/nblist.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/geom/celllist.h"
+
+namespace octgb::baselines {
+
+Nblist::Nblist(const molecule::Molecule& mol, double cutoff,
+               std::size_t memory_budget)
+    : cutoff_(cutoff) {
+  const std::size_t n = mol.size();
+  start_.assign(n + 1, 0);
+  if (n == 0) return;
+
+  // Pre-check the budget with the density-based estimate so a doomed
+  // build refuses fast (the paper's packages die the same way: the
+  // allocation, not the fill, is what fails).
+  const geom::Aabb box = mol.center_bounds();
+  const double volume = std::max(
+      1.0, box.size().x * box.size().y * box.size().z);
+  const double density = static_cast<double>(n) / volume;
+  const std::size_t predicted = predict_bytes(n, density, cutoff);
+  if (memory_budget != 0 && predicted > memory_budget) {
+    throw OutOfMemoryBudget("nblist(" + mol.name() + ")", predicted,
+                            memory_budget);
+  }
+
+  const geom::CellList cells(mol.positions(),
+                             std::max(cutoff, 1.0));
+  const auto positions = mol.positions();
+
+  // Counting pass.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t count = 0;
+    cells.for_each_within(positions[i], cutoff,
+                          [&](std::uint32_t j, const geom::Vec3&) {
+                            if (j != i) ++count;
+                          });
+    start_[i + 1] = start_[i] + count;
+  }
+  const std::size_t total = start_[n];
+  if (memory_budget != 0 &&
+      total * sizeof(std::uint32_t) > memory_budget) {
+    throw OutOfMemoryBudget("nblist(" + mol.name() + ")",
+                            total * sizeof(std::uint32_t), memory_budget);
+  }
+  neighbors_.resize(total);
+
+  // Fill pass.
+  std::vector<std::uint64_t> cursor(start_.begin(), start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    cells.for_each_within(positions[i], cutoff,
+                          [&](std::uint32_t j, const geom::Vec3&) {
+                            if (j != static_cast<std::uint32_t>(i)) {
+                              neighbors_[cursor[i]++] = j;
+                            }
+                          });
+  }
+}
+
+std::size_t Nblist::predict_bytes(std::size_t atoms, double density,
+                                  double cutoff) {
+  const double pairs_per_atom =
+      density * 4.0 / 3.0 * std::numbers::pi * cutoff * cutoff * cutoff;
+  return static_cast<std::size_t>(static_cast<double>(atoms) *
+                                  pairs_per_atom * sizeof(std::uint32_t));
+}
+
+}  // namespace octgb::baselines

@@ -1,0 +1,80 @@
+// pose_scorer.h -- incremental GB rescoring of rigid ligand poses.
+//
+// The drug-design workload from the paper's introduction, built on the
+// reuse trick of Section IV-C step 1: "for drug-design and docking where
+// we need to place the ligand at thousands of different positions w.r.t.
+// the receptor, we can move the same octree to different positions or
+// rotate it as needed ... and then recompute the energy values."
+//
+// Pose-invariant work is computed once at construction:
+//  * both molecules' quadrature surfaces (the expensive pipeline),
+//  * both molecules' octrees,
+//  * both molecules' *self* Born integrals (each molecule against its
+//    own surface) -- rigid-motion invariant,
+//  * both isolated energies.
+//
+// Per pose only the *cross* integrals (receptor atoms vs transformed
+// ligand surface, and vice versa) are evaluated -- the ligand octrees
+// are rigid-transformed, not rebuilt -- followed by one E_pol pass over
+// the complex with the combined Born radii.
+//
+// Approximation (standard in GB rescoring, stated here explicitly): the
+// complex surface is taken as the union of the two molecules' isolated
+// surfaces; interface occlusion (ligand atoms burying receptor surface
+// patches and vice versa) is ignored. The score is the GB desolvation
+// energy  dE = E_pol(complex) - E_pol(receptor) - E_pol(ligand).
+#pragma once
+
+#include <vector>
+
+#include "src/gb/born.h"
+#include "src/gb/calculator.h"
+#include "src/geom/transform.h"
+#include "src/molecule/molecule.h"
+#include "src/parallel/pool.h"
+
+namespace octgb::docking {
+
+struct PoseScore {
+  double complex_energy = 0.0;  // E_pol of the posed complex, kcal/mol
+  double delta_energy = 0.0;    // dE vs isolated molecules
+};
+
+class PoseScorer {
+ public:
+  /// Precomputes all pose-invariant state. `pool` (optional) is used for
+  /// both the precomputation and every score() call; it must outlive the
+  /// scorer.
+  PoseScorer(molecule::Molecule receptor, molecule::Molecule ligand,
+             const gb::CalculatorParams& params = {},
+             parallel::WorkStealingPool* pool = nullptr);
+
+  double receptor_energy() const { return receptor_energy_; }
+  double ligand_energy() const { return ligand_energy_; }
+  std::size_t num_qpoints() const {
+    return receptor_surf_.size() + ligand_surf_.size();
+  }
+
+  /// Scores the ligand placed at `pose` (applied to the ligand's
+  /// original coordinates).
+  PoseScore score(const geom::Rigid& pose) const;
+
+ private:
+  struct Cached {
+    gb::BornOctrees trees;
+    std::vector<double> self_sums;  // raw self integrals per atom
+  };
+
+  gb::CalculatorParams params_;
+  parallel::WorkStealingPool* pool_;
+  molecule::Molecule receptor_;
+  molecule::Molecule ligand_;
+  surface::QuadratureSurface receptor_surf_;
+  surface::QuadratureSurface ligand_surf_;
+  Cached receptor_cache_;
+  Cached ligand_cache_;
+  double receptor_energy_ = 0.0;
+  double ligand_energy_ = 0.0;
+};
+
+}  // namespace octgb::docking

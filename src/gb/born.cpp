@@ -1,0 +1,481 @@
+#include "src/gb/born.h"
+
+#include <atomic>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/util/fastmath.h"
+
+namespace octgb::gb {
+
+namespace {
+
+constexpr double kFourPi = 4.0 * std::numbers::pi;
+
+// Squared far-field threshold factor: far iff d^2 > (r_A+r_Q)^2 * this.
+// Default: (d_max/d_min) <= 1+eps, i.e. factor (2+eps)/eps = 1 + 2/eps
+// (the same geometric test as the E_pol phase; see ApproxParams).
+// Strict: the literal sixth-root reading, factor (k+1)/(k-1) with
+// k = (1+eps)^(1/6).
+double far_factor2(const ApproxParams& params) {
+  const double eps = params.eps_born;
+  if (eps <= 0.0) {
+    throw std::invalid_argument("ApproxParams: eps must be > 0");
+  }
+  double f;
+  if (params.strict_born_criterion) {
+    const double k = std::pow(1.0 + eps, 1.0 / 6.0);
+    f = (k + 1.0) / (k - 1.0);
+  } else {
+    f = 1.0 + 2.0 / eps;
+  }
+  return f * f;
+}
+
+void atomic_add(double& target, double value) {
+  std::atomic_ref<double>(target).fetch_add(value,
+                                            std::memory_order_relaxed);
+}
+
+// Inverse kernel denominator: 1/d^Power given d^2, for the r^6 (Eq. 4)
+// and r^4 (Eq. 3, Coulomb-field) Born integrals.
+template <int Power>
+double inv_pow(double d2) {
+  static_assert(Power == 4 || Power == 6);
+  if constexpr (Power == 4) {
+    return 1.0 / (d2 * d2);
+  } else {
+    return 1.0 / (d2 * d2 * d2);
+  }
+}
+
+// Exact kernel contributions of q-leaf Q to every atom of atom-leaf A.
+template <int Power>
+void exact_leaf_pair(const octree::Octree& atoms_tree,
+                     const molecule::Molecule& mol,
+                     const octree::Octree& q_tree,
+                     const surface::QuadratureSurface& surf,
+                     const octree::Node& a_node, const octree::Node& q_node,
+                     BornWorkspace& ws) {
+  const auto a_index = atoms_tree.point_index();
+  const auto q_index = q_tree.point_index();
+  const auto positions = mol.positions();
+  for (std::uint32_t ai = a_node.begin; ai < a_node.end; ++ai) {
+    const std::uint32_t a = a_index[ai];
+    const geom::Vec3 x = positions[a];
+    double acc = 0.0;
+    for (std::uint32_t qi = q_node.begin; qi < q_node.end; ++qi) {
+      const std::uint32_t q = q_index[qi];
+      const geom::Vec3 d = surf.points[q] - x;
+      const double r2 = d.norm2();
+      acc += surf.weights[q] * d.dot(surf.normals[q]) * inv_pow<Power>(r2);
+    }
+    atomic_add(ws.atom_s[a], acc);
+  }
+}
+
+// Far-field monopole deposit of q-node Q into atom-node A's accumulator.
+template <int Power>
+void far_deposit(const geom::Vec3& q_weighted_normal,
+                 const octree::Node& a_node, const octree::Node& q_node,
+                 double d2, std::uint32_t a_idx, BornWorkspace& ws) {
+  const geom::Vec3 diff = q_node.center - a_node.center;
+  atomic_add(ws.node_s[a_idx],
+             q_weighted_normal.dot(diff) * inv_pow<Power>(d2));
+}
+
+// Single-tree APPROX-INTEGRALS (Figure 2): Q is a fixed q-point leaf;
+// recurse over the atoms tree only.
+template <int Power = 6>
+void approx_integrals_one_leaf(const octree::Octree& atoms_tree,
+                               const molecule::Molecule& mol,
+                               const octree::Octree& q_tree,
+                               std::span<const geom::Vec3> q_node_normals,
+                               const surface::QuadratureSurface& surf,
+                               std::uint32_t qleaf, double factor2,
+                               BornWorkspace& ws) {
+  const octree::Node& q_node = q_tree.node(qleaf);
+  const geom::Vec3& nq = q_node_normals[qleaf];
+
+  // Explicit stack instead of recursion: T_A can be ~20 deep, but leaf
+  // tasks run on scheduler worker stacks shared with deep spawn trees.
+  std::uint32_t stack[256];  // >= 7 * max_depth + 8 entries
+  int top = 0;
+  stack[top++] = atoms_tree.root_index();
+  while (top > 0) {
+    const std::uint32_t a_idx = stack[--top];
+    const octree::Node& a_node = atoms_tree.node(a_idx);
+    const double s = a_node.radius + q_node.radius;
+    const double d2 = geom::distance2(a_node.center, q_node.center);
+    if (d2 > s * s * factor2 && d2 > 0.0) {
+      far_deposit<Power>(nq, a_node, q_node, d2, a_idx, ws);
+    } else if (a_node.leaf) {
+      exact_leaf_pair<Power>(atoms_tree, mol, q_tree, surf, a_node, q_node,
+                             ws);
+    } else {
+      for (const auto child : a_node.children) {
+        if (child != octree::Node::kInvalid) stack[top++] = child;
+      }
+    }
+  }
+}
+
+template <typename Math, bool kR4 = false>
+void push_integrals_recurse(const BornOctrees& trees,
+                            const molecule::Molecule& mol,
+                            const BornWorkspace& ws, std::uint32_t a_idx,
+                            double prefix, std::size_t begin,
+                            std::size_t end, std::span<double> out,
+                            parallel::WorkStealingPool* pool) {
+  const octree::Node& node = trees.atoms.node(a_idx);
+  if (node.end <= begin || node.begin >= end) return;  // outside segment
+  const double total = prefix + ws.node_s[a_idx];
+  const auto a_index = trees.atoms.point_index();
+  const auto radii = mol.radii();
+  if (node.leaf) {
+    const auto lo = std::max<std::size_t>(node.begin, begin);
+    const auto hi = std::min<std::size_t>(node.end, end);
+    for (std::size_t ai = lo; ai < hi; ++ai) {
+      const std::uint32_t a = a_index[ai];
+      const double s = (ws.atom_s[a] + total) / kFourPi;
+      double r_eff;
+      if constexpr (kR4) {
+        r_eff = s > 0.0 ? 1.0 / s : radii[a];  // Eq. 3: 1/R = s/4pi
+      } else {
+        r_eff = s > 0.0 ? Math::invcbrt(s) : radii[a];  // Eq. 4
+      }
+      out[a] = std::max(radii[a], r_eff);
+    }
+    return;
+  }
+  if (pool != nullptr && node.count() > 4096) {
+    parallel::TaskGroup tg(*pool);
+    for (const auto child : node.children) {
+      if (child == octree::Node::kInvalid) continue;
+      tg.spawn([&, child] {
+        push_integrals_recurse<Math, kR4>(trees, mol, ws, child, total,
+                                          begin, end, out, pool);
+      });
+    }
+    tg.wait();
+  } else {
+    for (const auto child : node.children) {
+      if (child == octree::Node::kInvalid) continue;
+      push_integrals_recurse<Math, kR4>(trees, mol, ws, child, total,
+                                        begin, end, out, nullptr);
+    }
+  }
+}
+
+}  // namespace
+
+BornOctrees build_born_octrees(const molecule::Molecule& mol,
+                               const surface::QuadratureSurface& surf,
+                               const octree::OctreeParams& params) {
+  BornOctrees trees;
+  trees.atoms = octree::Octree(mol.positions(), params);
+  trees.qpoints = octree::Octree(surf.points, params);
+
+  // Node aggregates ñ_Q = sum w_q n_q. Nodes are stored in DFS pre-order
+  // (children after parents), so a reverse sweep sees children first.
+  trees.q_weighted_normal.assign(trees.qpoints.num_nodes(), geom::Vec3{});
+  const auto q_index = trees.qpoints.point_index();
+  for (std::size_t i = trees.qpoints.num_nodes(); i-- > 0;) {
+    const octree::Node& node = trees.qpoints.node(i);
+    geom::Vec3 sum;
+    if (node.leaf) {
+      for (std::uint32_t qi = node.begin; qi < node.end; ++qi) {
+        const std::uint32_t q = q_index[qi];
+        sum += surf.normals[q] * surf.weights[q];
+      }
+    } else {
+      for (const auto child : node.children) {
+        if (child != octree::Node::kInvalid) {
+          sum += trees.q_weighted_normal[child];
+        }
+      }
+    }
+    trees.q_weighted_normal[i] = sum;
+  }
+  return trees;
+}
+
+void approx_integrals(const BornOctrees& trees,
+                      const molecule::Molecule& mol,
+                      const surface::QuadratureSurface& surf,
+                      std::size_t qleaf_begin, std::size_t qleaf_end,
+                      const ApproxParams& params, BornWorkspace& ws,
+                      parallel::WorkStealingPool* pool) {
+  if (trees.atoms.empty() || trees.qpoints.empty()) return;
+  const double factor2 = far_factor2(params);
+  const auto leaves = trees.qpoints.leaves();
+  qleaf_end = std::min(qleaf_end, leaves.size());
+  if (qleaf_begin >= qleaf_end) return;
+
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      approx_integrals_one_leaf<6>(trees.atoms, mol, trees.qpoints,
+                                   trees.q_weighted_normal, surf,
+                                   leaves[i], factor2, ws);
+    }
+  };
+  if (pool != nullptr) {
+    pool->run([&] {
+      parallel::parallel_for(*pool, qleaf_begin, qleaf_end, 1, body);
+    });
+  } else {
+    body(qleaf_begin, qleaf_end);
+  }
+}
+
+void push_integrals_to_atoms(const BornOctrees& trees,
+                             const molecule::Molecule& mol,
+                             const BornWorkspace& ws,
+                             std::size_t atom_begin, std::size_t atom_end,
+                             const ApproxParams& params,
+                             std::span<double> out_radii,
+                             parallel::WorkStealingPool* pool) {
+  if (trees.atoms.empty()) return;
+  atom_end = std::min(atom_end, trees.atoms.num_points());
+  if (atom_begin >= atom_end) return;
+  auto launch = [&](parallel::WorkStealingPool* p) {
+    if (params.approx_math) {
+      push_integrals_recurse<util::ApproxMath>(trees, mol, ws,
+                                               trees.atoms.root_index(), 0.0,
+                                               atom_begin, atom_end,
+                                               out_radii, p);
+    } else {
+      push_integrals_recurse<util::ExactMath>(trees, mol, ws,
+                                              trees.atoms.root_index(), 0.0,
+                                              atom_begin, atom_end,
+                                              out_radii, p);
+    }
+  };
+  if (pool != nullptr) {
+    pool->run([&] { launch(pool); });
+  } else {
+    launch(nullptr);
+  }
+}
+
+void approx_integrals_cross(const octree::Octree& atoms_tree,
+                            const molecule::Molecule& atoms_mol,
+                            const octree::Octree& q_tree,
+                            std::span<const geom::Vec3> q_node_normals,
+                            const surface::QuadratureSurface& surf,
+                            const ApproxParams& params, BornWorkspace& ws,
+                            parallel::WorkStealingPool* pool) {
+  if (atoms_tree.empty() || q_tree.empty()) return;
+  const double factor2 = far_factor2(params);
+  const auto leaves = q_tree.leaves();
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      approx_integrals_one_leaf<6>(atoms_tree, atoms_mol, q_tree,
+                                   q_node_normals, surf, leaves[i],
+                                   factor2, ws);
+    }
+  };
+  if (pool != nullptr) {
+    pool->run([&] {
+      parallel::parallel_for(*pool, 0, leaves.size(), 1, body);
+    });
+  } else {
+    body(0, leaves.size());
+  }
+}
+
+void collect_integrals_to_atoms(const octree::Octree& atoms_tree,
+                                const BornWorkspace& ws,
+                                std::span<double> out_sums) {
+  if (atoms_tree.empty()) return;
+  // DFS with ancestor prefix sums; the tree is in pre-order, so a simple
+  // recursion over node indices suffices.
+  struct Frame {
+    std::uint32_t node;
+    double prefix;
+  };
+  std::vector<Frame> stack{{atoms_tree.root_index(), 0.0}};
+  const auto index = atoms_tree.point_index();
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const octree::Node& node = atoms_tree.node(f.node);
+    const double total = f.prefix + ws.node_s[f.node];
+    if (node.leaf) {
+      for (std::uint32_t ai = node.begin; ai < node.end; ++ai) {
+        const std::uint32_t a = index[ai];
+        out_sums[a] = ws.atom_s[a] + total;
+      }
+      continue;
+    }
+    for (const auto child : node.children) {
+      if (child != octree::Node::kInvalid) stack.push_back({child, total});
+    }
+  }
+}
+
+BornRadiiResult born_radii_octree(const BornOctrees& trees,
+                                  const molecule::Molecule& mol,
+                                  const surface::QuadratureSurface& surf,
+                                  const ApproxParams& params,
+                                  parallel::WorkStealingPool* pool) {
+  BornWorkspace ws(trees);
+  approx_integrals(trees, mol, surf, 0, trees.qpoints.num_leaves(), params,
+                   ws, pool);
+  BornRadiiResult out;
+  out.radii.assign(mol.size(), 0.0);
+  push_integrals_to_atoms(trees, mol, ws, 0, mol.size(), params, out.radii,
+                          pool);
+  return out;
+}
+
+BornRadiiResult born_radii_octree_r4(const BornOctrees& trees,
+                                     const molecule::Molecule& mol,
+                                     const surface::QuadratureSurface& surf,
+                                     const ApproxParams& params,
+                                     parallel::WorkStealingPool* pool) {
+  BornRadiiResult out;
+  out.radii.assign(mol.size(), 0.0);
+  if (trees.atoms.empty() || trees.qpoints.empty()) return out;
+  BornWorkspace ws(trees);
+  const double factor2 = far_factor2(params);
+  const auto leaves = trees.qpoints.leaves();
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      approx_integrals_one_leaf<4>(trees.atoms, mol, trees.qpoints,
+                                   trees.q_weighted_normal, surf,
+                                   leaves[i], factor2, ws);
+    }
+  };
+  if (pool != nullptr) {
+    pool->run([&] {
+      parallel::parallel_for(*pool, 0, leaves.size(), 1, body);
+    });
+  } else {
+    body(0, leaves.size());
+  }
+  auto push = [&](parallel::WorkStealingPool* p) {
+    if (params.approx_math) {
+      push_integrals_recurse<util::ApproxMath, true>(
+          trees, mol, ws, trees.atoms.root_index(), 0.0, 0, mol.size(),
+          out.radii, p);
+    } else {
+      push_integrals_recurse<util::ExactMath, true>(
+          trees, mol, ws, trees.atoms.root_index(), 0.0, 0, mol.size(),
+          out.radii, p);
+    }
+  };
+  if (pool != nullptr) {
+    pool->run([&] { push(pool); });
+  } else {
+    push(nullptr);
+  }
+  return out;
+}
+
+BornRadiiResult born_radii_dualtree(const BornOctrees& trees,
+                                    const molecule::Molecule& mol,
+                                    const surface::QuadratureSurface& surf,
+                                    const ApproxParams& params,
+                                    parallel::WorkStealingPool* pool) {
+  BornWorkspace ws(trees);
+  if (!trees.atoms.empty() && !trees.qpoints.empty()) {
+    const double factor2 = far_factor2(params);
+
+    // Simultaneous traversal, collected into an explicit pair frontier
+    // so the leaf-level work can be distributed by the scheduler.
+    struct Pair {
+      std::uint32_t a, q;
+    };
+    std::vector<Pair> frontier{{trees.atoms.root_index(),
+                                trees.qpoints.root_index()}};
+    std::vector<Pair> work;  // pairs ready for direct evaluation
+    const std::size_t expand_target = pool ? 4096 : 1;
+
+    auto classify = [&](const Pair& pr, auto&& emit_pair,
+                        auto&& emit_work) {
+      const octree::Node& a_node = trees.atoms.node(pr.a);
+      const octree::Node& q_node = trees.qpoints.node(pr.q);
+      const double s = a_node.radius + q_node.radius;
+      const double d2 = geom::distance2(a_node.center, q_node.center);
+      if ((d2 > s * s * factor2 && d2 > 0.0) ||
+          (a_node.leaf && q_node.leaf)) {
+        emit_work(pr);
+        return;
+      }
+      // Recurse into the non-leaf side(s); when both are internal split
+      // the one with the larger radius (keeps pairs well-balanced).
+      const bool split_a =
+          !a_node.leaf && (q_node.leaf || a_node.radius >= q_node.radius);
+      if (split_a) {
+        for (const auto child : a_node.children) {
+          if (child != octree::Node::kInvalid) emit_pair({child, pr.q});
+        }
+      } else {
+        for (const auto child : q_node.children) {
+          if (child != octree::Node::kInvalid) emit_pair({pr.a, child});
+        }
+      }
+    };
+
+    while (!frontier.empty() && frontier.size() + work.size() < expand_target) {
+      std::vector<Pair> next;
+      next.reserve(frontier.size() * 4);
+      for (const Pair& pr : frontier) {
+        classify(
+            pr, [&](Pair p) { next.push_back(p); },
+            [&](Pair p) { work.push_back(p); });
+      }
+      frontier = std::move(next);
+    }
+
+    auto process = [&](const Pair& start) {
+      // Depth-first from `start`, evaluating far/leaf pairs in place.
+      std::vector<Pair> stack{start};
+      while (!stack.empty()) {
+        const Pair pr = stack.back();
+        stack.pop_back();
+        classify(
+            pr, [&](Pair p) { stack.push_back(p); },
+            [&](Pair p) {
+              const octree::Node& a_node = trees.atoms.node(p.a);
+              const octree::Node& q_node = trees.qpoints.node(p.q);
+              const double s = a_node.radius + q_node.radius;
+              const double d2 =
+                  geom::distance2(a_node.center, q_node.center);
+              if (d2 > s * s * factor2 && d2 > 0.0) {
+                far_deposit<6>(trees.q_weighted_normal[p.q], a_node,
+                               q_node, d2, p.a, ws);
+              } else {
+                exact_leaf_pair<6>(trees.atoms, mol, trees.qpoints, surf,
+                                   a_node, q_node, ws);
+              }
+            });
+      }
+    };
+
+    std::vector<Pair> all(std::move(work));
+    all.insert(all.end(), frontier.begin(), frontier.end());
+    if (pool != nullptr) {
+      pool->run([&] {
+        parallel::parallel_for(*pool, 0, all.size(), 1,
+                               [&](std::size_t lo, std::size_t hi) {
+                                 for (std::size_t i = lo; i < hi; ++i) {
+                                   process(all[i]);
+                                 }
+                               });
+      });
+    } else {
+      for (const Pair& pr : all) process(pr);
+    }
+  }
+
+  BornRadiiResult out;
+  out.radii.assign(mol.size(), 0.0);
+  push_integrals_to_atoms(trees, mol, ws, 0, mol.size(), params, out.radii,
+                          pool);
+  return out;
+}
+
+}  // namespace octgb::gb

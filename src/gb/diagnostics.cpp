@@ -1,0 +1,88 @@
+#include "src/gb/diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace octgb::gb {
+
+namespace {
+
+double far_factor(const ApproxParams& params, bool born) {
+  if (born && params.strict_born_criterion) {
+    const double k = std::pow(1.0 + params.eps_born, 1.0 / 6.0);
+    return (k + 1.0) / (k - 1.0);
+  }
+  const double eps = born ? params.eps_born : params.eps_epol;
+  return 1.0 + 2.0 / eps;
+}
+
+// Walks one target-leaf-vs-tree traversal, counting partition outcomes.
+void walk(const octree::Octree& tree, const octree::Node& target,
+          double factor, bool leaf_first, TraversalStats& stats) {
+  const double factor2 = factor * factor;
+  std::vector<std::uint32_t> stack{tree.root_index()};
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
+    stack.pop_back();
+    const octree::Node& node = tree.node(idx);
+    const double s = node.radius + target.radius;
+    const double d2 = geom::distance2(node.center, target.center);
+    // E_pol checks LEAF(U) before the far test (Figure 3); the Born
+    // traversal checks far first (Figure 2).
+    const bool is_far = d2 > s * s * factor2 && d2 > 0.0;
+    if (leaf_first && node.leaf) {
+      ++stats.exact_blocks;
+      stats.exact_pairs += node.count() * target.count();
+      continue;
+    }
+    if (is_far) {
+      ++stats.far_boxes;
+      const double d = std::sqrt(d2);
+      if (d > s) {
+        stats.max_kernel_spread =
+            std::max(stats.max_kernel_spread, (d + s) / (d - s));
+      }
+      continue;
+    }
+    if (node.leaf) {
+      ++stats.exact_blocks;
+      stats.exact_pairs += node.count() * target.count();
+      continue;
+    }
+    for (const auto child : node.children) {
+      if (child != octree::Node::kInvalid) stack.push_back(child);
+    }
+  }
+}
+
+}  // namespace
+
+TraversalStats born_traversal_stats(const BornOctrees& trees,
+                                    const ApproxParams& params) {
+  TraversalStats stats;
+  if (trees.atoms.empty() || trees.qpoints.empty()) return stats;
+  stats.naive_pairs =
+      trees.atoms.num_points() * trees.qpoints.num_points();
+  const double factor = far_factor(params, /*born=*/true);
+  for (const auto qleaf : trees.qpoints.leaves()) {
+    walk(trees.atoms, trees.qpoints.node(qleaf), factor,
+         /*leaf_first=*/false, stats);
+  }
+  return stats;
+}
+
+TraversalStats epol_traversal_stats(const octree::Octree& atoms_tree,
+                                    const ApproxParams& params) {
+  TraversalStats stats;
+  if (atoms_tree.empty()) return stats;
+  stats.naive_pairs = atoms_tree.num_points() * atoms_tree.num_points();
+  const double factor = far_factor(params, /*born=*/false);
+  for (const auto vleaf : atoms_tree.leaves()) {
+    walk(atoms_tree, atoms_tree.node(vleaf), factor, /*leaf_first=*/true,
+         stats);
+  }
+  return stats;
+}
+
+}  // namespace octgb::gb

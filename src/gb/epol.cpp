@@ -1,0 +1,328 @@
+#include "src/gb/epol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/fastmath.h"
+
+namespace octgb::gb {
+
+namespace {
+
+// Bin index of Born radius R: floor(log_{1+eps}(R / R_min)), clamped.
+int bin_of(double born, const ChargeBins& bins) {
+  if (born <= bins.r_min) return 0;
+  const int k = static_cast<int>(std::log(born / bins.r_min) *
+                                 bins.inv_log1p);
+  return std::clamp(k, 0, bins.num_bins - 1);
+}
+
+template <typename Math>
+double exact_block(const octree::Octree& tree,
+                   const molecule::Molecule& mol,
+                   std::span<const double> born_radii,
+                   const octree::Node& u_node, const octree::Node& v_node) {
+  const auto index = tree.point_index();
+  const auto positions = mol.positions();
+  const auto charges = mol.charges();
+  double sum = 0.0;
+  for (std::uint32_t vi = v_node.begin; vi < v_node.end; ++vi) {
+    const std::uint32_t v = index[vi];
+    const geom::Vec3 pv = positions[v];
+    const double qv = charges[v];
+    const double rv = born_radii[v];
+    for (std::uint32_t ui = u_node.begin; ui < u_node.end; ++ui) {
+      const std::uint32_t u = index[ui];
+      if (u == v) {
+        sum += qv * qv / rv;  // self term, f_GB(i,i) = R_i
+        continue;
+      }
+      const double r2 = geom::distance2(positions[u], pv);
+      const double rr = born_radii[u] * rv;
+      const double f2 = r2 + rr * Math::exp(-r2 / (4.0 * rr));
+      sum += charges[u] * qv * Math::rsqrt(f2);
+    }
+  }
+  return sum;
+}
+
+template <typename Math>
+double far_block(const ChargeBins& bins, std::uint32_t u_idx,
+                 std::uint32_t v_idx, double d2) {
+  double sum = 0.0;
+  const int m = bins.num_bins;
+  for (int i = 0; i < m; ++i) {
+    const double qu = bins.at(u_idx, i);
+    if (qu == 0.0) continue;
+    for (int j = 0; j < m; ++j) {
+      const double qv = bins.at(v_idx, j);
+      if (qv == 0.0) continue;
+      const double rr = bins.bin_radius[static_cast<std::size_t>(i)] *
+                        bins.bin_radius[static_cast<std::size_t>(j)];
+      const double f2 = d2 + rr * Math::exp(-d2 / (4.0 * rr));
+      sum += qu * qv * Math::rsqrt(f2);
+    }
+  }
+  return sum;
+}
+
+// Kernel sum of one leaf V against the subtree rooted at U (iterative).
+template <typename Math>
+double epol_one_leaf(const octree::Octree& tree,
+                     const molecule::Molecule& mol, const ChargeBins& bins,
+                     std::span<const double> born_radii, std::uint32_t vleaf,
+                     double far_mult) {
+  const octree::Node& v_node = tree.node(vleaf);
+  double sum = 0.0;
+  std::uint32_t stack[256];
+  int top = 0;
+  stack[top++] = tree.root_index();
+  while (top > 0) {
+    const std::uint32_t u_idx = stack[--top];
+    const octree::Node& u_node = tree.node(u_idx);
+    if (u_node.leaf) {
+      sum += exact_block<Math>(tree, mol, born_radii, u_node, v_node);
+      continue;
+    }
+    const double s = (u_node.radius + v_node.radius) * far_mult;
+    const double d2 = geom::distance2(u_node.center, v_node.center);
+    if (d2 > s * s && d2 > 0.0) {
+      sum += far_block<Math>(bins, u_idx, vleaf, d2);
+      continue;
+    }
+    for (const auto child : u_node.children) {
+      if (child != octree::Node::kInvalid) stack[top++] = child;
+    }
+  }
+  return sum;
+}
+
+template <typename Math>
+double epol_range(const octree::Octree& tree, const molecule::Molecule& mol,
+                  const ChargeBins& bins,
+                  std::span<const double> born_radii, std::size_t leaf_begin,
+                  std::size_t leaf_end, double far_mult,
+                  parallel::WorkStealingPool* pool) {
+  const auto leaves = tree.leaves();
+  if (pool != nullptr) {
+    std::atomic<double> total{0.0};
+    pool->run([&] {
+      parallel::parallel_for(
+          *pool, leaf_begin, leaf_end, 1,
+          [&](std::size_t lo, std::size_t hi) {
+            double local = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) {
+              local += epol_one_leaf<Math>(tree, mol, bins, born_radii,
+                                           leaves[i], far_mult);
+            }
+            total.fetch_add(local, std::memory_order_relaxed);
+          });
+    });
+    return total.load();
+  }
+  double total = 0.0;
+  for (std::size_t i = leaf_begin; i < leaf_end; ++i) {
+    total += epol_one_leaf<Math>(tree, mol, bins, born_radii, leaves[i],
+                                 far_mult);
+  }
+  return total;
+}
+
+}  // namespace
+
+ChargeBins build_charge_bins(const octree::Octree& tree,
+                             std::span<const double> charges,
+                             std::span<const double> born_radii,
+                             double eps, int max_bins) {
+  if (eps <= 0.0) {
+    throw std::invalid_argument("build_charge_bins: eps must be > 0");
+  }
+  ChargeBins bins;
+  if (tree.empty()) return bins;
+
+  double r_min = born_radii[0], r_max = born_radii[0];
+  for (const double r : born_radii) {
+    r_min = std::min(r_min, r);
+    r_max = std::max(r_max, r);
+  }
+  bins.r_min = r_min;
+  const double log1p = std::log(1.0 + eps);
+  const int m = std::max(
+      1, static_cast<int>(std::ceil(std::log(r_max / r_min) / log1p)));
+  bins.num_bins = std::min(m, max_bins);
+  // If capped, widen the effective bins so the range is still covered.
+  const double eff_log1p =
+      std::max(log1p, std::log(r_max / r_min) /
+                          std::max(1, bins.num_bins));
+  bins.inv_log1p = 1.0 / eff_log1p;
+  bins.bin_radius.resize(static_cast<std::size_t>(bins.num_bins));
+  for (int k = 0; k < bins.num_bins; ++k) {
+    // Geometric bin midpoint: R_min (1+eps_eff)^(k + 1/2).
+    bins.bin_radius[static_cast<std::size_t>(k)] =
+        r_min * std::exp(eff_log1p * (k + 0.5));
+  }
+
+  bins.q.assign(tree.num_nodes() * static_cast<std::size_t>(bins.num_bins),
+                0.0);
+  const auto index = tree.point_index();
+  // Reverse sweep: leaves fill from their atoms, parents sum children.
+  for (std::size_t n = tree.num_nodes(); n-- > 0;) {
+    const octree::Node& node = tree.node(n);
+    double* row = &bins.q[n * static_cast<std::size_t>(bins.num_bins)];
+    if (node.leaf) {
+      for (std::uint32_t ai = node.begin; ai < node.end; ++ai) {
+        const std::uint32_t a = index[ai];
+        row[bin_of(born_radii[a], bins)] += charges[a];
+      }
+    } else {
+      for (const auto child : node.children) {
+        if (child == octree::Node::kInvalid) continue;
+        const double* crow =
+            &bins.q[child * static_cast<std::size_t>(bins.num_bins)];
+        for (int k = 0; k < bins.num_bins; ++k) row[k] += crow[k];
+      }
+    }
+  }
+  return bins;
+}
+
+double approx_epol(const octree::Octree& tree,
+                   const molecule::Molecule& mol, const ChargeBins& bins,
+                   std::span<const double> born_radii,
+                   std::size_t leaf_begin, std::size_t leaf_end,
+                   const ApproxParams& params,
+                   parallel::WorkStealingPool* pool) {
+  if (tree.empty()) return 0.0;
+  leaf_end = std::min(leaf_end, tree.num_leaves());
+  if (leaf_begin >= leaf_end) return 0.0;
+  const double far_mult = 1.0 + 2.0 / params.eps_epol;
+  return params.approx_math
+             ? epol_range<util::ApproxMath>(tree, mol, bins, born_radii,
+                                            leaf_begin, leaf_end, far_mult,
+                                            pool)
+             : epol_range<util::ExactMath>(tree, mol, bins, born_radii,
+                                           leaf_begin, leaf_end, far_mult,
+                                           pool);
+}
+
+EpolResult epol_octree(const octree::Octree& tree,
+                       const molecule::Molecule& mol,
+                       std::span<const double> born_radii,
+                       const ApproxParams& params, const Physics& physics,
+                       parallel::WorkStealingPool* pool) {
+  const ChargeBins bins =
+      build_charge_bins(tree, mol.charges(), born_radii, params.eps_epol);
+  const double sum = approx_epol(tree, mol, bins, born_radii, 0,
+                                 tree.num_leaves(), params, pool);
+  EpolResult out;
+  out.energy = -0.5 * physics.tau() * physics.coulomb_k * sum;
+  return out;
+}
+
+EpolResult epol_dualtree(const octree::Octree& tree,
+                         const molecule::Molecule& mol,
+                         std::span<const double> born_radii,
+                         const ApproxParams& params, const Physics& physics,
+                         parallel::WorkStealingPool* pool) {
+  EpolResult out;
+  if (tree.empty()) return out;
+  const ChargeBins bins =
+      build_charge_bins(tree, mol.charges(), born_radii, params.eps_epol);
+  const double far_mult = 1.0 + 2.0 / params.eps_epol;
+
+  struct Pair {
+    std::uint32_t u, v;
+  };
+
+  auto eval_pair = [&](const Pair& pr, auto&& recurse_out) -> double {
+    const octree::Node& u_node = tree.node(pr.u);
+    const octree::Node& v_node = tree.node(pr.v);
+    const double s = (u_node.radius + v_node.radius) * far_mult;
+    const double d2 = geom::distance2(u_node.center, v_node.center);
+    // Far boxes need both sides internal-or-leaf alike; the bin
+    // histograms exist for every node, so the test is uniform.
+    if (d2 > s * s && d2 > 0.0) {
+      return params.approx_math
+                 ? far_block<util::ApproxMath>(bins, pr.u, pr.v, d2)
+                 : far_block<util::ExactMath>(bins, pr.u, pr.v, d2);
+    }
+    if (u_node.leaf && v_node.leaf) {
+      return params.approx_math
+                 ? exact_block<util::ApproxMath>(tree, mol, born_radii,
+                                                 u_node, v_node)
+                 : exact_block<util::ExactMath>(tree, mol, born_radii,
+                                                u_node, v_node);
+    }
+    const bool split_u =
+        !u_node.leaf && (v_node.leaf || u_node.radius >= v_node.radius);
+    if (split_u) {
+      for (const auto child : u_node.children) {
+        if (child != octree::Node::kInvalid) recurse_out({child, pr.v});
+      }
+    } else {
+      for (const auto child : v_node.children) {
+        if (child != octree::Node::kInvalid) recurse_out({pr.u, child});
+      }
+    }
+    return 0.0;
+  };
+
+  auto process = [&](Pair start) {
+    double sum = 0.0;
+    std::vector<Pair> stack{start};
+    while (!stack.empty()) {
+      const Pair pr = stack.back();
+      stack.pop_back();
+      sum += eval_pair(pr, [&](Pair p) { stack.push_back(p); });
+    }
+    return sum;
+  };
+
+  // Expand a frontier for parallel distribution (as in born dual-tree).
+  // Terminal pairs (far boxes / leaf-leaf blocks) encountered during
+  // expansion are evaluated immediately into expanded_sum; only pairs
+  // that still need recursion stay in the frontier.
+  std::vector<Pair> frontier{{tree.root_index(), tree.root_index()}};
+  double expanded_sum = 0.0;
+  const std::size_t expand_target = pool ? 4096 : 1;
+  while (!frontier.empty() && frontier.size() < expand_target) {
+    std::vector<Pair> next;
+    next.reserve(frontier.size() * 4);
+    bool any_expanded = false;
+    for (const Pair& pr : frontier) {
+      bool expanded = false;
+      expanded_sum += eval_pair(pr, [&](Pair p) {
+        next.push_back(p);
+        expanded = true;
+      });
+      any_expanded = any_expanded || expanded;
+    }
+    frontier = std::move(next);
+    if (!any_expanded) break;
+  }
+  std::vector<Pair> all(std::move(frontier));
+
+  double sum = expanded_sum;
+  if (pool != nullptr) {
+    std::atomic<double> total{0.0};
+    pool->run([&] {
+      parallel::parallel_for(*pool, 0, all.size(), 1,
+                             [&](std::size_t lo, std::size_t hi) {
+                               double local = 0.0;
+                               for (std::size_t i = lo; i < hi; ++i) {
+                                 local += process(all[i]);
+                               }
+                               total.fetch_add(local,
+                                               std::memory_order_relaxed);
+                             });
+    });
+    sum += total.load();
+  } else {
+    for (const Pair& pr : all) sum += process(pr);
+  }
+  out.energy = -0.5 * physics.tau() * physics.coulomb_k * sum;
+  return out;
+}
+
+}  // namespace octgb::gb

@@ -1,0 +1,114 @@
+#include "src/gb/naive.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/util/fastmath.h"
+
+namespace octgb::gb {
+
+namespace {
+
+constexpr double kFourPi = 4.0 * std::numbers::pi;
+
+template <typename Math>
+BornRadiiResult born_radii_r6_impl(const molecule::Molecule& mol,
+                                   const surface::QuadratureSurface& surf) {
+  BornRadiiResult out;
+  out.radii.resize(mol.size());
+  const auto positions = mol.positions();
+  const auto radii = mol.radii();
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    const geom::Vec3 x = positions[i];
+    double sum = 0.0;
+    for (std::size_t q = 0; q < surf.size(); ++q) {
+      const geom::Vec3 d = surf.points[q] - x;
+      const double r2 = d.norm2();
+      sum += surf.weights[q] * d.dot(surf.normals[q]) / (r2 * r2 * r2);
+    }
+    const double s = sum / kFourPi;
+    // Interior points of a closed surface have s ~ 1/R^3 > 0; numerical
+    // noise or atoms poking out of the iso-surface can make s <= 0, in
+    // which case the intrinsic radius clamp takes over.
+    const double r_eff = s > 0.0 ? Math::invcbrt(s) : radii[i];
+    out.radii[i] = std::max(radii[i], r_eff);
+  }
+  return out;
+}
+
+template <typename Math>
+BornRadiiResult born_radii_r4_impl(const molecule::Molecule& mol,
+                                   const surface::QuadratureSurface& surf) {
+  BornRadiiResult out;
+  out.radii.resize(mol.size());
+  const auto positions = mol.positions();
+  const auto radii = mol.radii();
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    const geom::Vec3 x = positions[i];
+    double sum = 0.0;
+    for (std::size_t q = 0; q < surf.size(); ++q) {
+      const geom::Vec3 d = surf.points[q] - x;
+      const double r2 = d.norm2();
+      sum += surf.weights[q] * d.dot(surf.normals[q]) / (r2 * r2);
+    }
+    const double s = sum / kFourPi;
+    out.radii[i] = std::max(radii[i], s > 0.0 ? 1.0 / s : radii[i]);
+  }
+  return out;
+}
+
+template <typename Math>
+EpolResult epol_impl(const molecule::Molecule& mol,
+                     std::span<const double> born_radii,
+                     const Physics& physics) {
+  const auto positions = mol.positions();
+  const auto charges = mol.charges();
+  const std::size_t n = mol.size();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Self term: f_GB(i,i) = R_i.
+    sum += charges[i] * charges[i] / born_radii[i];
+    // Unordered pairs counted twice (matches the ordered double sum).
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double r2 = geom::distance2(positions[i], positions[j]);
+      const double rr = born_radii[i] * born_radii[j];
+      const double f2 = r2 + rr * Math::exp(-r2 / (4.0 * rr));
+      sum += 2.0 * charges[i] * charges[j] * Math::rsqrt(f2);
+    }
+  }
+  EpolResult out;
+  out.energy = -0.5 * physics.tau() * physics.coulomb_k * sum;
+  return out;
+}
+
+}  // namespace
+
+BornRadiiResult born_radii_naive_r6(const molecule::Molecule& mol,
+                                    const surface::QuadratureSurface& surf,
+                                    bool approx_math) {
+  return approx_math ? born_radii_r6_impl<util::ApproxMath>(mol, surf)
+                     : born_radii_r6_impl<util::ExactMath>(mol, surf);
+}
+
+BornRadiiResult born_radii_naive_r4(const molecule::Molecule& mol,
+                                    const surface::QuadratureSurface& surf,
+                                    bool approx_math) {
+  return approx_math ? born_radii_r4_impl<util::ApproxMath>(mol, surf)
+                     : born_radii_r4_impl<util::ExactMath>(mol, surf);
+}
+
+EpolResult epol_naive(const molecule::Molecule& mol,
+                      std::span<const double> born_radii,
+                      const Physics& physics, bool approx_math) {
+  return approx_math ? epol_impl<util::ApproxMath>(mol, born_radii, physics)
+                     : epol_impl<util::ExactMath>(mol, born_radii, physics);
+}
+
+double gb_pair_term(double q1, double q2, double dist2, double born1,
+                    double born2) {
+  const double rr = born1 * born2;
+  const double f2 = dist2 + rr * std::exp(-dist2 / (4.0 * rr));
+  return q1 * q2 / std::sqrt(f2);
+}
+
+}  // namespace octgb::gb

@@ -1,0 +1,48 @@
+// naive.h -- exact (quadratic) reference implementations.
+//
+// These are the paper's "Naive" rows: direct evaluation of the discrete
+// Born-radius integrals (Eqs. 3 and 4) over all (atom, q-point) pairs and
+// of the STILL GB energy (Eq. 2) over all atom pairs. Everything else in
+// the library is validated against these.
+#pragma once
+
+#include <span>
+
+#include "src/gb/types.h"
+#include "src/molecule/molecule.h"
+#include "src/surface/quadrature.h"
+
+namespace octgb::gb {
+
+/// Exact surface r^6 Born radii (Eq. 4):
+///   1/R_i^3 = (1/4pi) sum_q w_q (p_q - x_i).n_q / |p_q - x_i|^6,
+/// clamped below by the atom's intrinsic radius:
+///   R_i = max(r_i, (sum/4pi)^(-1/3)).
+/// `approx_math` selects the fast-math kernels.
+BornRadiiResult born_radii_naive_r6(const molecule::Molecule& mol,
+                                    const surface::QuadratureSurface& surf,
+                                    bool approx_math = false);
+
+/// Exact surface r^4 Born radii (Eq. 3, the Coulomb-field approximation):
+///   1/R_i = (1/4pi) sum_q w_q (p_q - x_i).n_q / |p_q - x_i|^4.
+BornRadiiResult born_radii_naive_r4(const molecule::Molecule& mol,
+                                    const surface::QuadratureSurface& surf,
+                                    bool approx_math = false);
+
+/// Exact STILL GB polarization energy (Eq. 2):
+///   E = -(tau/2) k sum_{i,j} q_i q_j / f_GB(i,j),
+///   f_GB = sqrt(r_ij^2 + R_i R_j exp(-r_ij^2 / (4 R_i R_j))),
+/// where the double sum runs over *all* ordered pairs including i == j
+/// (the self term q_i^2 / R_i is the Born self-energy).
+EpolResult epol_naive(const molecule::Molecule& mol,
+                      std::span<const double> born_radii,
+                      const Physics& physics = {},
+                      bool approx_math = false);
+
+/// The pairwise GB kernel q_i q_j / f_GB for one ordered pair; exposed
+/// for tests and the nblist baselines. Template-free convenience (exact
+/// math).
+double gb_pair_term(double q1, double q2, double dist2, double born1,
+                    double born2);
+
+}  // namespace octgb::gb

@@ -1,0 +1,92 @@
+// aabb.h -- axis-aligned bounding boxes.
+//
+// Octree construction subdivides cubic AABBs; the surface grid rasterizes
+// the molecule's padded AABB.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "src/geom/vec3.h"
+
+namespace octgb::geom {
+
+/// Axis-aligned box. Default-constructed boxes are *empty* (inverted
+/// bounds) so that `extend` can be used to accumulate.
+struct Aabb {
+  Vec3 lo{std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  Vec3 hi{-std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+
+  constexpr Aabb() = default;
+  constexpr Aabb(const Vec3& lo_, const Vec3& hi_) : lo(lo_), hi(hi_) {}
+
+  bool empty() const { return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z; }
+
+  void extend(const Vec3& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  void extend(const Aabb& b) {
+    extend(b.lo);
+    extend(b.hi);
+  }
+
+  Vec3 center() const { return (lo + hi) * 0.5; }
+  Vec3 size() const { return hi - lo; }
+  double max_extent() const {
+    const Vec3 s = size();
+    return std::max({s.x, s.y, s.z});
+  }
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  /// Grows the box by `pad` in every direction.
+  Aabb padded(double pad) const {
+    return {lo - Vec3{pad, pad, pad}, hi + Vec3{pad, pad, pad}};
+  }
+
+  /// Smallest *cube* covering this box, centered on the box center.
+  /// Octrees are built over cubes so that all children are congruent.
+  Aabb bounding_cube() const {
+    const double half = 0.5 * max_extent();
+    const Vec3 c = center();
+    return {c - Vec3{half, half, half}, c + Vec3{half, half, half}};
+  }
+
+  /// One of the 8 octants of this (cubic) box. Bit 0/1/2 of `oct` selects
+  /// the upper half in x/y/z respectively -- the same convention the
+  /// octree builder uses for child indexing.
+  Aabb octant(int oct) const {
+    const Vec3 c = center();
+    Vec3 l = lo, h = hi;
+    if (oct & 1) {
+      l.x = c.x;
+    } else {
+      h.x = c.x;
+    }
+    if (oct & 2) {
+      l.y = c.y;
+    } else {
+      h.y = c.y;
+    }
+    if (oct & 4) {
+      l.z = c.z;
+    } else {
+      h.z = c.z;
+    }
+    return {l, h};
+  }
+};
+
+}  // namespace octgb::geom

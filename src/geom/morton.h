@@ -1,0 +1,67 @@
+// morton.h -- 3D Morton (Z-order) codes.
+//
+// The octree builder sorts points by Morton code once, after which every
+// octree node's points occupy a contiguous range -- this is what makes the
+// linear octree cache-friendly (the property the paper leans on when
+// contrasting octrees with nonbonded lists).
+#pragma once
+
+#include <cstdint>
+
+#include "src/geom/aabb.h"
+#include "src/geom/vec3.h"
+
+namespace octgb::geom {
+
+/// Spreads the low 21 bits of `v` so that there are two zero bits between
+/// each original bit.
+constexpr std::uint64_t morton_spread(std::uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+/// Inverse of morton_spread.
+constexpr std::uint64_t morton_compact(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffff;
+  return v;
+}
+
+/// Interleaves three 21-bit integer coordinates into a 63-bit code.
+constexpr std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y,
+                                      std::uint32_t z) {
+  return morton_spread(x) | (morton_spread(y) << 1) | (morton_spread(z) << 2);
+}
+
+constexpr void morton_decode(std::uint64_t code, std::uint32_t& x,
+                             std::uint32_t& y, std::uint32_t& z) {
+  x = static_cast<std::uint32_t>(morton_compact(code));
+  y = static_cast<std::uint32_t>(morton_compact(code >> 1));
+  z = static_cast<std::uint32_t>(morton_compact(code >> 2));
+}
+
+/// Quantizes `p` inside cube `box` onto a 2^21 grid and returns its Morton
+/// code. Points outside the box are clamped.
+inline std::uint64_t morton_code(const Vec3& p, const Aabb& box) {
+  constexpr double kScale = static_cast<double>(1u << 21) - 1.0;
+  const Vec3 s = box.size();
+  auto quant = [](double v, double lo, double len) -> std::uint32_t {
+    if (len <= 0.0) return 0;
+    double t = (v - lo) / len;
+    t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+    return static_cast<std::uint32_t>(t * kScale);
+  };
+  return morton_encode(quant(p.x, box.lo.x, s.x), quant(p.y, box.lo.y, s.y),
+                       quant(p.z, box.lo.z, s.z));
+}
+
+}  // namespace octgb::geom

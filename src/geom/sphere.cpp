@@ -1,0 +1,52 @@
+#include "src/geom/sphere.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace octgb::geom {
+
+Sphere enclosing_sphere_at(const Vec3& center, std::span<const Vec3> points) {
+  double r2 = 0.0;
+  for (const Vec3& p : points) r2 = std::max(r2, distance2(center, p));
+  return {center, std::sqrt(r2)};
+}
+
+Sphere ritter_sphere(std::span<const Vec3> points) {
+  if (points.empty()) return {};
+  // Pick a point x, find the farthest point y from x, then the farthest
+  // point z from y; start with the sphere through y and z and grow.
+  const Vec3 x = points.front();
+  Vec3 y = x;
+  double best = -1.0;
+  for (const Vec3& p : points) {
+    const double d = distance2(x, p);
+    if (d > best) {
+      best = d;
+      y = p;
+    }
+  }
+  Vec3 z = y;
+  best = -1.0;
+  for (const Vec3& p : points) {
+    const double d = distance2(y, p);
+    if (d > best) {
+      best = d;
+      z = p;
+    }
+  }
+  Sphere s{(y + z) * 0.5, 0.5 * distance(y, z)};
+  for (const Vec3& p : points) {
+    const double d = distance(s.center, p);
+    if (d > s.radius) {
+      // Grow the sphere minimally to include p: the new sphere is tangent
+      // to the old one on the far side of p.
+      const double nr = 0.5 * (s.radius + d);
+      const double shift = (nr - s.radius) / d;
+      s.center += (p - s.center) * shift;
+      s.radius = nr;
+    }
+  }
+  return s;
+}
+
+}  // namespace octgb::geom

@@ -1,0 +1,33 @@
+// sphere.h -- bounding spheres.
+//
+// Octree nodes carry the radius of the smallest ball enclosing the point
+// centers beneath them (the paper's r_A / r_Q); the Greengard-Rokhlin
+// far-field test compares center distance against these radii.
+#pragma once
+
+#include <span>
+
+#include "src/geom/vec3.h"
+
+namespace octgb::geom {
+
+struct Sphere {
+  Vec3 center;
+  double radius = 0.0;
+
+  bool contains(const Vec3& p, double eps = 1e-12) const {
+    return distance(center, p) <= radius + eps;
+  }
+};
+
+/// Exact smallest sphere centered at `center` covering all `points`
+/// (i.e. radius = max distance from the fixed center). This is what the
+/// paper uses: node "centers" are geometric centroids and the radius is
+/// measured from there.
+Sphere enclosing_sphere_at(const Vec3& center, std::span<const Vec3> points);
+
+/// Ritter's approximate minimum enclosing sphere (within ~5% of optimal).
+/// Used by tests and by the capsid generator for sanity geometry.
+Sphere ritter_sphere(std::span<const Vec3> points);
+
+}  // namespace octgb::geom

@@ -1,0 +1,41 @@
+#include "src/geom/transform.h"
+
+#include <cmath>
+
+namespace octgb::geom {
+
+Mat3 Mat3::axis_angle(const Vec3& axis, double angle) {
+  const Vec3 u = axis.normalized();
+  const double c = std::cos(angle), s = std::sin(angle), ic = 1.0 - c;
+  Mat3 r;
+  r.m = {c + u.x * u.x * ic,       u.x * u.y * ic - u.z * s, u.x * u.z * ic + u.y * s,
+         u.y * u.x * ic + u.z * s, c + u.y * u.y * ic,       u.y * u.z * ic - u.x * s,
+         u.z * u.x * ic - u.y * s, u.z * u.y * ic + u.x * s, c + u.z * u.z * ic};
+  return r;
+}
+
+Mat3 Mat3::euler_zyx(double yaw, double pitch, double roll) {
+  return axis_angle({0, 0, 1}, yaw) * axis_angle({0, 1, 0}, pitch) *
+         axis_angle({1, 0, 0}, roll);
+}
+
+Mat3 Mat3::operator*(const Mat3& o) const {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < 3; ++k) s += m[3 * i + k] * o.m[3 * k + j];
+      r.m[3 * i + j] = s;
+    }
+  }
+  return r;
+}
+
+Mat3 Mat3::transposed() const {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) r.m[3 * i + j] = m[3 * j + i];
+  return r;
+}
+
+}  // namespace octgb::geom

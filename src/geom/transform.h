@@ -1,0 +1,66 @@
+// transform.h -- rigid-body transforms (rotation + translation).
+//
+// The paper notes (Section IV-C, Step 1) that for docking one reuses the
+// same octree across thousands of ligand poses by transforming it rather
+// than rebuilding. `Rigid` is the transform type used by the docking
+// example and by `Molecule::transform`.
+#pragma once
+
+#include <array>
+
+#include "src/geom/vec3.h"
+
+namespace octgb::geom {
+
+/// Row-major 3x3 rotation matrix. Constructors guarantee orthonormality
+/// only when built through the named factories.
+struct Mat3 {
+  std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  static Mat3 identity() { return {}; }
+
+  /// Rotation of `angle` radians about the (not necessarily unit) `axis`,
+  /// via Rodrigues' formula.
+  static Mat3 axis_angle(const Vec3& axis, double angle);
+
+  /// Intrinsic Z-Y-X Euler rotation.
+  static Mat3 euler_zyx(double yaw, double pitch, double roll);
+
+  Vec3 apply(const Vec3& v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  }
+
+  Mat3 operator*(const Mat3& o) const;
+  Mat3 transposed() const;
+};
+
+/// Rigid motion p -> R p + t.
+struct Rigid {
+  Mat3 rotation;
+  Vec3 translation;
+
+  static Rigid identity() { return {}; }
+  static Rigid translate(const Vec3& t) { return {Mat3::identity(), t}; }
+  static Rigid rotate_about(const Vec3& pivot, const Mat3& rot) {
+    return {rot, pivot - rot.apply(pivot)};
+  }
+
+  Vec3 apply(const Vec3& p) const { return rotation.apply(p) + translation; }
+  /// Rotates a direction (normals) without translating.
+  Vec3 apply_dir(const Vec3& d) const { return rotation.apply(d); }
+
+  /// Composition: (a * b).apply(p) == a.apply(b.apply(p)).
+  Rigid operator*(const Rigid& o) const {
+    return {rotation * o.rotation,
+            rotation.apply(o.translation) + translation};
+  }
+
+  Rigid inverse() const {
+    const Mat3 rt = rotation.transposed();
+    return {rt, -rt.apply(translation)};
+  }
+};
+
+}  // namespace octgb::geom

@@ -1,0 +1,11 @@
+#include "src/geom/vec3.h"
+
+#include <ostream>
+
+namespace octgb::geom {
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace octgb::geom

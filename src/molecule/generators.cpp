@@ -1,0 +1,259 @@
+#include "src/molecule/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <unordered_map>
+
+#include "src/util/rng.h"
+
+namespace octgb::molecule {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Protein-like element mix (fractions roughly matching heavy+H content of
+// real proteins) with element-typical partial charge distributions.
+struct ElementDraw {
+  Element element;
+  double cumulative;  // cumulative probability
+  double charge_mean;
+  double charge_sigma;
+};
+
+constexpr ElementDraw kElementTable[] = {
+    {Element::H, 0.50, +0.12, 0.10},  // ~half of protein atoms are H
+    {Element::C, 0.82, +0.05, 0.15},
+    {Element::N, 0.90, -0.40, 0.15},
+    {Element::O, 0.98, -0.50, 0.15},
+    {Element::S, 1.00, -0.20, 0.10},
+};
+
+Atom draw_atom(util::Xoshiro256& rng, const geom::Vec3& position) {
+  const double u = rng.uniform();
+  for (const auto& row : kElementTable) {
+    if (u <= row.cumulative) {
+      Atom a;
+      a.position = position;
+      a.element = row.element;
+      a.radius = vdw_radius(row.element);
+      a.charge = row.charge_mean + row.charge_sigma * rng.normal();
+      return a;
+    }
+  }
+  Atom a;
+  a.position = position;
+  a.element = Element::Other;
+  a.radius = vdw_radius(Element::Other);
+  return a;
+}
+
+geom::Vec3 random_unit(util::Xoshiro256& rng) {
+  // Marsaglia's method.
+  for (;;) {
+    const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+    const double s = a * a + b * b;
+    if (s >= 1.0) continue;
+    const double t = 2.0 * std::sqrt(1.0 - s);
+    return {a * t, b * t, 1.0 - 2.0 * s};
+  }
+}
+
+// Spatial hash enforcing minimum separation between residue centers.
+class SeparationGrid {
+ public:
+  explicit SeparationGrid(double min_sep) : min_sep_(min_sep) {}
+
+  bool try_insert(const geom::Vec3& p) {
+    const Key k = key_of(p);
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const Key nk{k.x + dx, k.y + dy, k.z + dz};
+          const auto it = cells_.find(hash(nk));
+          if (it == cells_.end()) continue;
+          for (const auto& q : it->second) {
+            if (geom::distance2(p, q) < min_sep_ * min_sep_) return false;
+          }
+        }
+      }
+    }
+    cells_[hash(k)].push_back(p);
+    return true;
+  }
+
+ private:
+  struct Key {
+    long x, y, z;
+  };
+  Key key_of(const geom::Vec3& p) const {
+    return {static_cast<long>(std::floor(p.x / min_sep_)),
+            static_cast<long>(std::floor(p.y / min_sep_)),
+            static_cast<long>(std::floor(p.z / min_sep_))};
+  }
+  static std::uint64_t hash(const Key& k) {
+    auto mix = [](long v) {
+      return static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+    };
+    return mix(k.x) ^ (mix(k.y) << 1) ^ (mix(k.z) << 2);
+  }
+
+  const double min_sep_;
+  std::unordered_map<std::uint64_t, std::vector<geom::Vec3>> cells_;
+};
+
+// Adds a cluster of `count` atoms around `center` to `mol`.
+void add_residue(Molecule& mol, util::Xoshiro256& rng,
+                 const geom::Vec3& center, std::size_t count, double sigma) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const geom::Vec3 offset{sigma * rng.normal(), sigma * rng.normal(),
+                            sigma * rng.normal()};
+    mol.add_atom(draw_atom(rng, center + offset));
+  }
+}
+
+void zero_net_charge(Molecule& mol) {
+  if (mol.empty()) return;
+  mol.shift_charges(-mol.net_charge() / static_cast<double>(mol.size()));
+}
+
+}  // namespace
+
+Molecule generate_protein(std::size_t num_atoms, std::uint64_t seed,
+                          const ProteinParams& params) {
+  Molecule mol("protein_" + std::to_string(num_atoms) + "_" +
+               std::to_string(seed));
+  if (num_atoms == 0) return mol;
+  mol.reserve(num_atoms);
+  util::Xoshiro256 rng(seed ^ 0x9607e117ULL);
+
+  const auto residues = static_cast<std::size_t>(std::ceil(
+      static_cast<double>(num_atoms) / params.atoms_per_residue));
+  // Globule radius from target density: n = rho * (4/3) pi R^3.
+  const double radius =
+      std::cbrt(3.0 * static_cast<double>(num_atoms) /
+                (4.0 * kPi * params.atom_density));
+
+  SeparationGrid grid(params.min_residue_sep);
+  std::vector<geom::Vec3> centers;
+  centers.reserve(residues);
+  int consecutive_failures = 0;
+  while (centers.size() < residues) {
+    // Uniform point in the ball.
+    const double r = radius * std::cbrt(rng.uniform());
+    const geom::Vec3 p = random_unit(rng) * r;
+    if (grid.try_insert(p)) {
+      centers.push_back(p);
+      consecutive_failures = 0;
+    } else if (++consecutive_failures > 200) {
+      // The ball is packed tighter than min_residue_sep allows; accept
+      // the overlap rather than looping forever (density wins).
+      centers.push_back(p);
+      consecutive_failures = 0;
+    }
+  }
+
+  std::size_t remaining = num_atoms;
+  for (std::size_t i = 0; i < centers.size() && remaining > 0; ++i) {
+    const std::size_t take = std::min<std::size_t>(
+        remaining, (i + 1 == centers.size())
+                       ? remaining
+                       : static_cast<std::size_t>(params.atoms_per_residue));
+    add_residue(mol, rng, centers[i], take, params.residue_sigma);
+    remaining -= take;
+  }
+  zero_net_charge(mol);
+  return mol;
+}
+
+Molecule generate_capsid(std::size_t num_atoms, std::uint64_t seed,
+                         double thickness) {
+  Molecule mol("capsid_" + std::to_string(num_atoms) + "_" +
+               std::to_string(seed));
+  if (num_atoms == 0) return mol;
+  mol.reserve(num_atoms);
+  util::Xoshiro256 rng(seed ^ 0xcab51dULL);
+
+  const ProteinParams params;
+  // Shell mid-radius from density: n = rho * 4 pi R^2 t.
+  const double mid_radius =
+      std::sqrt(static_cast<double>(num_atoms) /
+                (4.0 * kPi * thickness * params.atom_density));
+  const auto residues = static_cast<std::size_t>(std::ceil(
+      static_cast<double>(num_atoms) / params.atoms_per_residue));
+
+  SeparationGrid grid(params.min_residue_sep);
+  std::vector<geom::Vec3> centers;
+  centers.reserve(residues);
+  int consecutive_failures = 0;
+  while (centers.size() < residues) {
+    const geom::Vec3 dir = random_unit(rng);
+    const double r = mid_radius + thickness * (rng.uniform() - 0.5);
+    const geom::Vec3 p = dir * r;
+    if (grid.try_insert(p) || ++consecutive_failures > 200) {
+      centers.push_back(p);
+      consecutive_failures = 0;
+    }
+  }
+
+  std::size_t remaining = num_atoms;
+  for (std::size_t i = 0; i < centers.size() && remaining > 0; ++i) {
+    const std::size_t take = std::min<std::size_t>(
+        remaining, (i + 1 == centers.size())
+                       ? remaining
+                       : static_cast<std::size_t>(params.atoms_per_residue));
+    add_residue(mol, rng, centers[i], take, params.residue_sigma);
+    remaining -= take;
+  }
+  zero_net_charge(mol);
+  return mol;
+}
+
+Molecule generate_ligand(std::size_t num_atoms, std::uint64_t seed) {
+  // A ligand is just a tiny, slightly denser globule.
+  ProteinParams params;
+  params.atom_density = 0.11;
+  params.atoms_per_residue = 4.0;
+  params.residue_sigma = 1.2;
+  params.min_residue_sep = 3.0;
+  Molecule mol = generate_protein(num_atoms, seed ^ 0x11a9dULL, params);
+  mol.set_name("ligand_" + std::to_string(num_atoms));
+  return mol;
+}
+
+std::vector<SuiteEntry> zdock_suite_spec(int count, std::size_t min_atoms,
+                                         std::size_t max_atoms) {
+  std::vector<SuiteEntry> suite;
+  if (count <= 0) return suite;
+  suite.reserve(static_cast<std::size_t>(count));
+  util::Xoshiro256 rng(0x5d0c2d0cULL);
+  const double lo = std::log(static_cast<double>(min_atoms));
+  const double hi = std::log(static_cast<double>(max_atoms));
+  for (int i = 0; i < count; ++i) {
+    const double t =
+        count == 1 ? 1.0 : static_cast<double>(i) / (count - 1);
+    // Log-spaced sizes with +-10% deterministic jitter; the largest entry
+    // is pinned to max_atoms to reproduce the paper's 16,301-atom case.
+    double atoms = std::exp(lo + (hi - lo) * t);
+    if (i + 1 < count) atoms *= 1.0 + 0.1 * (rng.uniform() * 2.0 - 1.0);
+    char name[16];
+    std::snprintf(name, sizeof(name), "Z%03d", i + 1);
+    suite.push_back({name,
+                     std::max<std::size_t>(
+                         min_atoms, static_cast<std::size_t>(atoms)),
+                     0xbe9c4000ULL + static_cast<std::uint64_t>(i)});
+  }
+  suite.front().num_atoms = min_atoms;
+  suite.back().num_atoms = max_atoms;
+  return suite;
+}
+
+Molecule generate_suite_molecule(const SuiteEntry& entry) {
+  Molecule mol = generate_protein(entry.num_atoms, entry.seed);
+  mol.set_name(entry.name);
+  return mol;
+}
+
+}  // namespace octgb::molecule

@@ -1,0 +1,63 @@
+// generators.h -- synthetic molecular workloads.
+//
+// The paper evaluates on the ZDock Benchmark 2.0 proteins (400-16k atoms),
+// the Cucumber Mosaic Virus shell (509,640 atoms) and the Blue Tongue
+// Virus (6M atoms). Those inputs are not redistributable here, so every
+// experiment runs on deterministic synthetic equivalents that match the
+// *properties the algorithms are sensitive to*: atom count, protein-like
+// packing density (~0.09 atoms/A^3 including hydrogens), residue-scale
+// clustering, realistic vdW radius mix, near-zero net charge, and -- for
+// the viruses -- hollow-shell geometry (which controls octree depth and
+// the near/far interaction mix). See DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/molecule/molecule.h"
+
+namespace octgb::molecule {
+
+/// Tunables for the globular protein generator. Defaults give a compact
+/// protein-like blob.
+struct ProteinParams {
+  double atom_density = 0.09;      // atoms per cubic Angstrom
+  double atoms_per_residue = 8.0;  // cluster size
+  double residue_sigma = 1.6;      // Gaussian spread of atoms in a residue
+  double min_residue_sep = 4.2;    // Angstrom between residue centers
+};
+
+/// A compact globular pseudo-protein with `num_atoms` atoms.
+/// Deterministic in (num_atoms, seed).
+Molecule generate_protein(std::size_t num_atoms, std::uint64_t seed,
+                          const ProteinParams& params = {});
+
+/// A hollow spherical capsid shell (virus substitute) of `num_atoms`
+/// atoms and the given shell thickness. The mid-shell radius is derived
+/// from the protein density, so bigger atom counts make bigger viruses,
+/// as in nature. Deterministic in (num_atoms, seed).
+Molecule generate_capsid(std::size_t num_atoms, std::uint64_t seed,
+                         double thickness = 25.0);
+
+/// A drug-like small molecule (tens of atoms) for the docking example.
+Molecule generate_ligand(std::size_t num_atoms, std::uint64_t seed);
+
+/// One entry of the synthetic benchmark suite standing in for ZDock 2.0.
+struct SuiteEntry {
+  std::string name;       // "Z001".."Z084"
+  std::size_t num_atoms;  // 400..16301, log-spaced with jitter
+  std::uint64_t seed;
+};
+
+/// The deterministic 84-entry suite specification (small -> large).
+/// `count` can shrink the suite for quick runs; `max_atoms` rescales the
+/// top end (the paper's largest ZDock protein has 16,301 atoms).
+std::vector<SuiteEntry> zdock_suite_spec(int count = 84,
+                                         std::size_t min_atoms = 400,
+                                         std::size_t max_atoms = 16301);
+
+/// Materializes one suite molecule.
+Molecule generate_suite_molecule(const SuiteEntry& entry);
+
+}  // namespace octgb::molecule

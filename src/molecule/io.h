@@ -1,0 +1,34 @@
+// io.h -- molecule file formats.
+//
+// PQR: the PDB-like format carrying per-atom charge and radius (what GB
+// codes consume). XYZR: whitespace "x y z radius [charge]" rows, handy
+// for synthetic data interchange.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/molecule/molecule.h"
+
+namespace octgb::molecule {
+
+/// Writes whitespace-delimited PQR ATOM records:
+///   ATOM serial name resName resSeq x y z charge radius
+void write_pqr(std::ostream& os, const Molecule& mol);
+bool write_pqr_file(const std::string& path, const Molecule& mol);
+
+/// Parses PQR. Unrecognized lines are skipped; ATOM/HETATM records are
+/// parsed in the whitespace-delimited convention. Throws
+/// std::runtime_error on malformed ATOM records.
+Molecule read_pqr(std::istream& is, std::string name = "pqr");
+Molecule read_pqr_file(const std::string& path);
+
+/// Writes "x y z radius charge" rows, one atom per line, '#' comments.
+void write_xyzr(std::ostream& os, const Molecule& mol);
+bool write_xyzr_file(const std::string& path, const Molecule& mol);
+
+/// Parses XYZR rows (4 or 5 columns; charge defaults to 0).
+Molecule read_xyzr(std::istream& is, std::string name = "xyzr");
+Molecule read_xyzr_file(const std::string& path);
+
+}  // namespace octgb::molecule

@@ -1,0 +1,129 @@
+#include "src/molecule/molecule.h"
+
+#include <algorithm>
+
+namespace octgb::molecule {
+
+double vdw_radius(Element e) {
+  switch (e) {
+    case Element::H:
+      return 1.20;
+    case Element::C:
+      return 1.70;
+    case Element::N:
+      return 1.55;
+    case Element::O:
+      return 1.52;
+    case Element::S:
+      return 1.80;
+    case Element::P:
+      return 1.80;
+    case Element::Other:
+      return 1.70;
+  }
+  return 1.70;
+}
+
+char element_symbol(Element e) {
+  switch (e) {
+    case Element::H:
+      return 'H';
+    case Element::C:
+      return 'C';
+    case Element::N:
+      return 'N';
+    case Element::O:
+      return 'O';
+    case Element::S:
+      return 'S';
+    case Element::P:
+      return 'P';
+    case Element::Other:
+      return 'X';
+  }
+  return 'X';
+}
+
+Element element_from_symbol(char symbol) {
+  switch (symbol) {
+    case 'H':
+    case 'h':
+      return Element::H;
+    case 'C':
+    case 'c':
+      return Element::C;
+    case 'N':
+    case 'n':
+      return Element::N;
+    case 'O':
+    case 'o':
+      return Element::O;
+    case 'S':
+    case 's':
+      return Element::S;
+    case 'P':
+    case 'p':
+      return Element::P;
+    default:
+      return Element::Other;
+  }
+}
+
+void Molecule::reserve(std::size_t n) {
+  positions_.reserve(n);
+  radii_.reserve(n);
+  charges_.reserve(n);
+  elements_.reserve(n);
+}
+
+void Molecule::add_atom(const Atom& atom) {
+  positions_.push_back(atom.position);
+  radii_.push_back(atom.radius);
+  charges_.push_back(atom.charge);
+  elements_.push_back(atom.element);
+}
+
+double Molecule::net_charge() const {
+  double q = 0.0;
+  for (double c : charges_) q += c;
+  return q;
+}
+
+geom::Aabb Molecule::center_bounds() const {
+  geom::Aabb box;
+  for (const auto& p : positions_) box.extend(p);
+  return box;
+}
+
+double Molecule::max_radius() const {
+  double r = 0.0;
+  for (double x : radii_) r = std::max(r, x);
+  return r;
+}
+
+geom::Vec3 Molecule::centroid() const {
+  geom::Vec3 c;
+  if (positions_.empty()) return c;
+  for (const auto& p : positions_) c += p;
+  return c / static_cast<double>(positions_.size());
+}
+
+void Molecule::transform(const geom::Rigid& t) {
+  for (auto& p : positions_) p = t.apply(p);
+}
+
+void Molecule::shift_charges(double delta) {
+  for (auto& q : charges_) q += delta;
+}
+
+void Molecule::append(const Molecule& other) {
+  positions_.insert(positions_.end(), other.positions_.begin(),
+                    other.positions_.end());
+  radii_.insert(radii_.end(), other.radii_.begin(), other.radii_.end());
+  charges_.insert(charges_.end(), other.charges_.begin(),
+                  other.charges_.end());
+  elements_.insert(elements_.end(), other.elements_.begin(),
+                   other.elements_.end());
+}
+
+}  // namespace octgb::molecule

@@ -1,0 +1,95 @@
+// molecule.h -- atoms and molecules.
+//
+// A Molecule is stored structure-of-arrays (positions / radii / charges)
+// because the GB kernels stream over those arrays independently; `Atom` is
+// a convenience view for APIs that deal with one atom at a time.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/geom/aabb.h"
+#include "src/geom/transform.h"
+#include "src/geom/vec3.h"
+
+namespace octgb::molecule {
+
+/// Chemical elements we type atoms with. Enough for protein-like systems.
+enum class Element : std::uint8_t { H, C, N, O, S, P, Other };
+
+/// van der Waals radius in Angstroms (Bondi 1964 values).
+double vdw_radius(Element e);
+
+/// One-letter symbol for I/O.
+char element_symbol(Element e);
+Element element_from_symbol(char symbol);
+
+/// A single atom (value view).
+struct Atom {
+  geom::Vec3 position;
+  double radius = 0.0;  // Angstrom
+  double charge = 0.0;  // elementary charge units
+  Element element = Element::Other;
+};
+
+/// A rigid collection of atoms with per-atom radius and partial charge.
+class Molecule {
+ public:
+  Molecule() = default;
+  explicit Molecule(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::size_t size() const { return positions_.size(); }
+  bool empty() const { return positions_.empty(); }
+  void reserve(std::size_t n);
+
+  void add_atom(const Atom& atom);
+
+  Atom atom(std::size_t i) const {
+    return {positions_[i], radii_[i], charges_[i], elements_[i]};
+  }
+
+  std::span<const geom::Vec3> positions() const { return positions_; }
+  std::span<const double> radii() const { return radii_; }
+  std::span<const double> charges() const { return charges_; }
+  std::span<const Element> elements() const { return elements_; }
+
+  /// Sum of partial charges.
+  double net_charge() const;
+
+  /// Axis-aligned bounds of atom *centers* (pad by max radius for
+  /// surfaces).
+  geom::Aabb center_bounds() const;
+
+  /// Largest atom radius (0 for an empty molecule).
+  double max_radius() const;
+
+  /// Geometric center of atom centers.
+  geom::Vec3 centroid() const;
+
+  /// Applies a rigid transform in place (positions rotate+translate;
+  /// radii/charges unchanged). This is the docking-reuse hook from the
+  /// paper's Section IV-C Step 1.
+  void transform(const geom::Rigid& t);
+
+  /// Uniformly shifts all charges by `delta` (used by the generators to
+  /// zero the net charge).
+  void shift_charges(double delta);
+
+  /// Appends all atoms of `other` (used to assemble ligand+receptor
+  /// complexes in the docking example).
+  void append(const Molecule& other);
+
+ private:
+  std::string name_;
+  std::vector<geom::Vec3> positions_;
+  std::vector<double> radii_;
+  std::vector<double> charges_;
+  std::vector<Element> elements_;
+};
+
+}  // namespace octgb::molecule

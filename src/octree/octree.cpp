@@ -1,0 +1,146 @@
+#include "src/octree/octree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/geom/morton.h"
+
+namespace octgb::octree {
+
+struct Octree::BuildCtx {
+  std::span<const geom::Vec3> points;
+  const OctreeParams& params;
+  std::vector<std::uint32_t> scratch;  // permutation buffer for bucketing
+};
+
+Octree::Octree(std::span<const geom::Vec3> points,
+               const OctreeParams& params) {
+  if (points.empty()) return;
+
+  point_index_.resize(points.size());
+  std::iota(point_index_.begin(), point_index_.end(), 0u);
+
+  geom::Aabb bounds;
+  for (const auto& p : points) bounds.extend(p);
+  const geom::Aabb cube = bounds.bounding_cube();
+
+  // Morton pre-sort: gives approximate spatial locality for the bucketing
+  // passes and makes the final point order cache-friendly for traversal.
+  {
+    std::vector<std::uint64_t> codes(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      codes[i] = geom::morton_code(points[i], cube);
+    }
+    std::sort(point_index_.begin(), point_index_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return codes[a] < codes[b];
+              });
+  }
+
+  BuildCtx ctx{points, params, std::vector<std::uint32_t>(points.size())};
+  nodes_.reserve(points.size() / std::max<std::size_t>(params.leaf_capacity / 2, 1) + 16);
+  build_node(ctx, 0, static_cast<std::uint32_t>(points.size()), cube, 0,
+             Node::kInvalid);
+}
+
+std::uint32_t Octree::build_node(BuildCtx& ctx, std::uint32_t begin,
+                                 std::uint32_t end, const geom::Aabb& cube,
+                                 int depth, std::uint32_t parent) {
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& n = nodes_.back();
+    n.begin = begin;
+    n.end = end;
+    n.parent = parent;
+    n.depth = static_cast<std::uint8_t>(depth);
+
+    // Aggregates: centroid of the points and enclosing radius about it.
+    geom::Vec3 sum;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      sum += ctx.points[point_index_[i]];
+    }
+    n.center = sum / static_cast<double>(end - begin);
+    double r2 = 0.0;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      r2 = std::max(r2, geom::distance2(n.center, ctx.points[point_index_[i]]));
+    }
+    n.radius = std::sqrt(r2);
+  }
+  height_ = std::max(height_, depth);
+
+  const std::size_t count = end - begin;
+  if (count <= ctx.params.leaf_capacity || depth >= ctx.params.max_depth) {
+    leaves_.push_back(index);
+    return index;
+  }
+
+  // Bucket the range by octant of the cube (bit 0/1/2 = upper half in
+  // x/y/z). Explicit counting sort: robust regardless of Morton rounding.
+  const geom::Vec3 c = cube.center();
+  auto octant_of = [&](std::uint32_t sorted_i) {
+    const geom::Vec3& p = ctx.points[point_index_[sorted_i]];
+    return (p.x >= c.x ? 1 : 0) | (p.y >= c.y ? 2 : 0) | (p.z >= c.z ? 4 : 0);
+  };
+
+  std::uint32_t counts[8] = {};
+  for (std::uint32_t i = begin; i < end; ++i) ++counts[octant_of(i)];
+
+  std::uint32_t offsets[9] = {};
+  for (int o = 0; o < 8; ++o) offsets[o + 1] = offsets[o] + counts[o];
+
+  {
+    std::uint32_t cursor[8];
+    std::copy(offsets, offsets + 8, cursor);
+    for (std::uint32_t i = begin; i < end; ++i) {
+      ctx.scratch[begin + cursor[octant_of(i)]++] = point_index_[i];
+    }
+    std::copy(ctx.scratch.begin() + begin, ctx.scratch.begin() + end,
+              point_index_.begin() + begin);
+  }
+
+  nodes_[index].leaf = false;
+  for (int o = 0; o < 8; ++o) {
+    if (counts[o] == 0) continue;
+    const std::uint32_t child =
+        build_node(ctx, begin + offsets[o], begin + offsets[o + 1],
+                   cube.octant(o), depth + 1, index);
+    nodes_[index].children[o] = child;
+  }
+  return index;
+}
+
+void Octree::transform(const geom::Rigid& motion) {
+  for (Node& node : nodes_) {
+    node.center = motion.apply(node.center);
+  }
+}
+
+void Octree::refit(std::span<const geom::Vec3> points) {
+  if (points.size() != point_index_.size()) {
+    throw std::invalid_argument("Octree::refit: point count changed");
+  }
+  for (Node& node : nodes_) {
+    geom::Vec3 sum;
+    for (std::uint32_t i = node.begin; i < node.end; ++i) {
+      sum += points[point_index_[i]];
+    }
+    node.center = sum / static_cast<double>(node.count());
+    double r2 = 0.0;
+    for (std::uint32_t i = node.begin; i < node.end; ++i) {
+      r2 = std::max(r2,
+                    geom::distance2(node.center, points[point_index_[i]]));
+    }
+    node.radius = std::sqrt(r2);
+  }
+}
+
+std::size_t Octree::memory_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         point_index_.capacity() * sizeof(std::uint32_t) +
+         leaves_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace octgb::octree

@@ -1,0 +1,134 @@
+// octree.h -- pointer-free linear octree over 3D points.
+//
+// This is the data structure at the heart of the paper (Section II,
+// "Octrees vs. Nblists"): points are Morton-sorted once so that every
+// node of the tree owns a *contiguous range* [begin, end) of the point
+// array; the tree itself is an array of nodes in depth-first order with
+// child indices. Space is linear in the number of points and -- unlike a
+// nonbonded list -- independent of any cutoff/approximation parameter,
+// and traversals touch memory in Z-order, which is what makes the
+// structure cache-friendly.
+//
+// Each node stores the aggregates the GB approximation needs:
+//  * geometric center of the points under it and the radius of the
+//    smallest enclosing ball centered there (the paper's r_A / r_Q);
+//  * sum of area-weighted surface normals (ñ_Q, for APPROX-INTEGRALS far
+//    fields) when built over quadrature points;
+//  * per-node charge histograms over Born-radius bins (q_U[k], for
+//    APPROX-EPOL far fields) are attached later by `attach_charge_bins`
+//    in src/gb, since Born radii are not known at build time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/geom/aabb.h"
+#include "src/geom/transform.h"
+#include "src/geom/vec3.h"
+
+namespace octgb::octree {
+
+/// Build-time knobs.
+struct OctreeParams {
+  /// Maximum points in a leaf. The paper's grain: leaves are both the
+  /// exact-computation unit and the unit of static work division.
+  std::size_t leaf_capacity = 32;
+  /// Hard depth cap (Morton codes give 21 levels; duplicate points would
+  /// otherwise recurse forever).
+  int max_depth = 21;
+};
+
+/// One octree node. Children are indices into Octree::nodes (kInvalid if
+/// absent); points of the node are point_index[begin..end).
+struct Node {
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  std::uint32_t begin = 0;  // first point (in sorted order)
+  std::uint32_t end = 0;    // one past last point
+  std::uint32_t children[8] = {kInvalid, kInvalid, kInvalid, kInvalid,
+                               kInvalid, kInvalid, kInvalid, kInvalid};
+  std::uint32_t parent = kInvalid;
+  std::uint8_t depth = 0;
+  bool leaf = true;
+
+  geom::Vec3 center;    // geometric center (centroid) of points under node
+  double radius = 0.0;  // max distance from center to any point under node
+
+  std::size_t count() const { return end - begin; }
+};
+
+/// Immutable octree over a set of points. The constructor Morton-sorts a
+/// permutation of the input; original point order is preserved and
+/// addressed through `point_index`.
+class Octree {
+ public:
+  Octree() = default;
+
+  /// Builds over `points`. The points span must stay alive for the
+  /// octree's lifetime only if you use `point(i)`; all aggregates are
+  /// copied into the nodes.
+  Octree(std::span<const geom::Vec3> points, const OctreeParams& params = {});
+
+  bool empty() const { return nodes_.empty(); }
+  std::size_t num_points() const { return point_index_.size(); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_leaves() const { return leaves_.size(); }
+
+  const Node& node(std::size_t i) const { return nodes_[i]; }
+  const Node& root() const { return nodes_[0]; }
+  std::uint32_t root_index() const { return 0; }
+
+  /// Indices (into the tree's own node array) of all leaves, in
+  /// depth-first order == Morton order. This is the paper's unit of
+  /// static work division across MPI ranks.
+  std::span<const std::uint32_t> leaves() const { return leaves_; }
+
+  /// Maps sorted position -> original point id. Node n owns original
+  /// points point_index[n.begin..n.end).
+  std::span<const std::uint32_t> point_index() const { return point_index_; }
+
+  /// Maximum node depth in the built tree.
+  int height() const { return height_; }
+
+  /// Bytes used by the octree itself (nodes + permutation). Linear in the
+  /// number of points; used by the memory experiments.
+  std::size_t memory_bytes() const;
+
+  /// Applies a rigid motion to every node center (radii are invariant
+  /// under rigid motion). After this the nodes are no longer axis-
+  /// aligned octants of a cube -- but the GB traversals only consume the
+  /// bounding-sphere hierarchy (center, radius, point ranges), which
+  /// remains exactly valid. This is the paper's docking trick (Section
+  /// IV-C step 1): move/rotate the octree with the ligand pose instead
+  /// of rebuilding it. The caller must transform the underlying points
+  /// (molecule / surface) with the same motion.
+  void transform(const geom::Rigid& motion);
+
+  /// Refits node centers and radii to the *current* positions of the
+  /// same points (same order, same count), keeping the topology: point
+  /// ranges, children and leaf structure are untouched. This is the
+  /// flexible-molecule maintenance operation of the paper's companion
+  /// work [Chowdhury et al., "Space-efficient maintenance of nonbonded
+  /// lists for flexible molecules using dynamic octrees"]: after an MD
+  /// step perturbs atoms, an O(M log M)-topology rebuild is replaced by
+  /// an O(M log M)-arithmetic refit with no allocation and no resorting.
+  /// The bounding-sphere hierarchy stays exactly valid; large
+  /// deformations degrade it (radii inflate, pruning weakens) until a
+  /// rebuild pays off -- measured in bench/ablation_refit.
+  void refit(std::span<const geom::Vec3> points);
+
+ private:
+  struct BuildCtx;
+  std::uint32_t build_node(BuildCtx& ctx, std::uint32_t begin,
+                           std::uint32_t end, const geom::Aabb& cube,
+                           int depth, std::uint32_t parent);
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> point_index_;
+  std::vector<std::uint32_t> leaves_;
+  int height_ = 0;
+};
+
+}  // namespace octgb::octree

@@ -1,0 +1,46 @@
+#include "src/octree/range_query.h"
+
+namespace octgb::octree {
+
+std::vector<std::uint32_t> ball_query(const Octree& tree,
+                                      std::span<const geom::Vec3> points,
+                                      const geom::Vec3& center,
+                                      double radius) {
+  std::vector<std::uint32_t> out;
+  for_each_in_ball(tree, points, center, radius,
+                   [&](std::uint32_t id) { out.push_back(id); });
+  return out;
+}
+
+OctreeNblist build_octree_nblist(const Octree& tree,
+                                 std::span<const geom::Vec3> points,
+                                 double cutoff) {
+  OctreeNblist list;
+  const std::size_t n = points.size();
+  list.start.assign(n + 1, 0);
+  if (n == 0) return list;
+
+  // Counting pass, then fill: same CSR discipline as baselines::Nblist.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t count = 0;
+    for_each_in_ball(tree, points, points[i], cutoff,
+                     [&](std::uint32_t id) {
+                       if (id != i) ++count;
+                     });
+    list.start[i + 1] = list.start[i] + count;
+  }
+  list.neighbors.resize(list.start[n]);
+  std::vector<std::uint64_t> cursor(list.start.begin(),
+                                    list.start.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for_each_in_ball(tree, points, points[i], cutoff,
+                     [&](std::uint32_t id) {
+                       if (id != static_cast<std::uint32_t>(i)) {
+                         list.neighbors[cursor[i]++] = id;
+                       }
+                     });
+  }
+  return list;
+}
+
+}  // namespace octgb::octree

@@ -1,0 +1,136 @@
+// deque.h -- Chase-Lev work-stealing deque.
+//
+// The paper relies on cilk++'s randomized work-stealing scheduler
+// (Blumofe & Leiserson): each worker owns a deque, pushes and pops work at
+// the *bottom*, and thieves steal the *oldest* task from the *top* --
+// which, as Section V-A notes, tends to steal data that has already left
+// the victim's cache, keeping cache interference low. This is a faithful
+// implementation of the Chase-Lev (2005) dynamic circular work-stealing
+// deque with the Le et al. (2013) C11 memory-ordering corrections.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace octgb::parallel {
+
+/// Lock-free single-owner/multi-thief deque of pointers.
+/// Owner thread: push_bottom / pop_bottom. Any thread: steal_top.
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::int64_t initial_capacity = 64)
+      : buffer_(new RingBuffer(round_up_pow2(initial_capacity))) {}
+
+  ~ChaseLevDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (RingBuffer* old : retired_) delete old;
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only. Never fails; grows the buffer as needed.
+  void push_bottom(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    RingBuffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > buf->capacity - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Returns nullptr when empty.
+  T* pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    RingBuffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread. Returns nullptr when empty or when losing a race.
+  T* steal_top() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    RingBuffer* buf = buffer_.load(std::memory_order_consume);
+    T* item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race
+    }
+    return item;
+  }
+
+  /// Approximate size (only exact when quiescent).
+  std::int64_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  struct RingBuffer {
+    explicit RingBuffer(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), data(new std::atomic<T*>[cap]) {}
+    ~RingBuffer() { delete[] data; }
+
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::atomic<T*>* data;
+
+    T* get(std::int64_t i) const {
+      return data[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T* item) {
+      data[i & mask].store(item, std::memory_order_relaxed);
+    }
+  };
+
+  static std::int64_t round_up_pow2(std::int64_t v) {
+    std::int64_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  RingBuffer* grow(RingBuffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new RingBuffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    // The old buffer may still be read by in-flight thieves; retire it and
+    // free on destruction (the deque outlives all pool workers).
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<RingBuffer*> buffer_;
+  std::vector<RingBuffer*> retired_;
+};
+
+}  // namespace octgb::parallel

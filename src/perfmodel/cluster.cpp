@@ -1,0 +1,109 @@
+#include "src/perfmodel/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace octgb::perfmodel {
+
+namespace {
+
+double log2_ceil(int p) {
+  return p <= 1 ? 0.0 : std::ceil(std::log2(static_cast<double>(p)));
+}
+
+}  // namespace
+
+ModeledRun model_run(const ClusterSpec& spec, const Workload& workload,
+                     int ranks, int threads_per_rank) {
+  ModeledRun run;
+  ranks = std::max(1, ranks);
+  threads_per_rank = std::max(1, threads_per_rank);
+
+  const int ranks_per_node =
+      std::max(1, spec.cores_per_node / threads_per_rank);
+  run.nodes = (ranks + ranks_per_node - 1) / ranks_per_node;
+  const int resident_ranks = std::min(ranks, ranks_per_node);
+  const int cores = ranks * threads_per_rank;
+
+  // --- Memory pressure from replication (Section V-B). ---
+  run.memory_per_node =
+      static_cast<std::size_t>(resident_ranks) * workload.data_bytes_per_rank;
+  const auto l3_total = static_cast<double>(
+      spec.l3_per_socket * static_cast<std::size_t>(spec.sockets_per_node));
+  const double pressure_ratio =
+      static_cast<double>(run.memory_per_node) / std::max(1.0, l3_total);
+  run.cache_factor =
+      1.0 + spec.cache_pressure_coeff * std::log2(std::max(1.0, pressure_ratio));
+  if (run.memory_per_node > spec.ram_per_node) {
+    run.cache_factor *= spec.paging_penalty;
+  }
+
+  // --- Per-phase compute and communication. ---
+  const double imbalance =
+      1.0 + spec.static_imbalance *
+                (1.0 - 1.0 / static_cast<double>(ranks));
+  // Multi-threaded ranks pay the scheduler/affinity overhead that makes
+  // the hybrid slightly slower than pure MPI until communication costs
+  // dominate (the Figure 6 crossover).
+  double thread_overhead =
+      1.0 + spec.thread_sched_overhead *
+                static_cast<double>(threads_per_rank - 1);
+  const int cores_per_socket =
+      std::max(1, spec.cores_per_node / spec.sockets_per_node);
+  if (threads_per_rank > cores_per_socket) {
+    thread_overhead *= 1.0 + spec.numa_span_penalty;
+  }
+  for (const PhaseWork& phase : workload.phases) {
+    // Compute: perfectly divided across ranks (static), work-stolen
+    // within a rank (span term), degraded by cache pressure.
+    const double ideal = phase.serial_seconds / static_cast<double>(cores);
+    const double span = phase.serial_seconds * spec.span_fraction;
+    run.compute_seconds +=
+        (ideal * imbalance * thread_overhead + span) * run.cache_factor;
+
+    // Communication: hierarchical allreduce. Intra-node stage among the
+    // resident ranks, inter-node stage among the nodes, each charged
+    // the 2 (t_s + t_w B) log2(k) tree formula, plus the node-ingestion
+    // term: every resident rank pulls the payload through the node's
+    // memory system.
+    if (ranks > 1 && phase.allreduce_bytes > 0) {
+      const auto bytes = static_cast<double>(phase.allreduce_bytes);
+      const double intra =
+          2.0 * (spec.t_s_intra + spec.t_w_intra * bytes) *
+          log2_ceil(resident_ranks);
+      const double inter =
+          2.0 * (spec.t_s_inter + spec.t_w_inter * bytes) *
+          log2_ceil(run.nodes);
+      const double ingestion =
+          bytes * static_cast<double>(resident_ranks) /
+          spec.node_mem_bandwidth;
+      run.comm_seconds += intra + inter + ingestion;
+    }
+  }
+  return run;
+}
+
+std::vector<double> model_repetitions(const ClusterSpec& spec,
+                                      const Workload& workload, int ranks,
+                                      int threads_per_rank, int reps,
+                                      std::uint64_t seed) {
+  const ModeledRun base = model_run(spec, workload, ranks, threads_per_rank);
+  util::Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(std::max(0, reps)));
+  const double sigma =
+      spec.jitter_per_sqrt_rank * std::sqrt(static_cast<double>(ranks));
+  for (int k = 0; k < reps; ++k) {
+    // OS/system noise only ever *delays* a run: one-sided half-normal
+    // noise, larger for configurations with more ranks (the mechanism
+    // behind Figure 6's wider OCT_MPI band).
+    const double noise = std::abs(rng.normal()) * sigma;
+    out.push_back(base.total_seconds() * (1.0 + noise));
+  }
+  return out;
+}
+
+}  // namespace octgb::perfmodel

@@ -1,0 +1,90 @@
+#include "src/runtime/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace octgb::runtime {
+
+namespace {
+
+// Can the weights be split into <= parts consecutive segments, each of
+// weight <= cap? Greedy: extend the current segment while it fits.
+bool feasible(std::span<const double> weights, int parts, double cap) {
+  int used = 1;
+  double current = 0.0;
+  for (const double w : weights) {
+    if (w > cap) return false;
+    if (current + w > cap) {
+      if (++used > parts) return false;
+      current = w;
+    } else {
+      current += w;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+double bottleneck_cost(std::span<const double> weights, int parts) {
+  if (parts < 1) throw std::invalid_argument("bottleneck_cost: parts < 1");
+  double lo = 0.0, total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument("bottleneck_cost: negative weight");
+    }
+    lo = std::max(lo, w);
+    total += w;
+  }
+  double hi = total;
+  // Binary search on the bottleneck to ~1e-9 relative precision (the
+  // answer is a sum of a subset, but floating weights make the discrete
+  // search awkward; the tolerance is far below any scheduling noise).
+  for (int iter = 0; iter < 60 && hi - lo > 1e-9 * (1.0 + hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(weights, parts, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+std::vector<std::size_t> weighted_boundaries(std::span<const double> weights,
+                                             int parts) {
+  if (parts < 1) {
+    throw std::invalid_argument("weighted_boundaries: parts < 1");
+  }
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(parts) + 1, 0);
+  bounds.back() = weights.size();
+  if (weights.empty()) return bounds;
+
+  const double cap = bottleneck_cost(weights, parts);
+  // Greedy fill against the optimal cap, with a tiny slack for float
+  // round-off; remaining segments stay empty once items run out.
+  const double slack = cap * (1.0 + 1e-9) + 1e-12;
+  std::size_t i = 0;
+  for (int seg = 0; seg < parts; ++seg) {
+    bounds[static_cast<std::size_t>(seg)] = i;
+    double current = 0.0;
+    // Leave enough items so later... no: greedy against cap is optimal
+    // for the bottleneck; trailing segments may be empty.
+    while (i < weights.size() && current + weights[i] <= slack) {
+      current += weights[i];
+      ++i;
+    }
+    // Safety: always make progress when items remain (cap >= max w
+    // guarantees at least one item fits, but guard against pathological
+    // round-off).
+    if (i == bounds[static_cast<std::size_t>(seg)] && i < weights.size()) {
+      ++i;
+    }
+  }
+  bounds[static_cast<std::size_t>(parts)] = weights.size();
+  // If items remain after the last segment (cannot happen when cap is
+  // feasible; defensive), extend the final segment.
+  return bounds;
+}
+
+}  // namespace octgb::runtime

@@ -1,0 +1,29 @@
+// partition.h -- contiguous weighted partitioning.
+//
+// The paper divides leaves *by count* across ranks ("the i-th process
+// computes ... the i-th segment of leaf nodes"); leaves hold between 1
+// and leaf_capacity atoms, so equal-count segments carry unequal work --
+// the static imbalance the perfmodel charges. This solves the classic
+// contiguous-partition bottleneck problem exactly (binary search on the
+// bottleneck + greedy feasibility, O(n log(sum/min))) so segments can be
+// balanced by *cost* instead; WorkDivision::kNodeNodeWeighted uses it
+// with per-leaf atom counts as the cost proxy.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace octgb::runtime {
+
+/// Splits items [0, weights.size()) into `parts` consecutive segments
+/// minimizing the maximum segment weight. Returns `parts + 1` boundaries
+/// b with b[0] = 0, b[parts] = n; segment k is [b[k], b[k+1]) (possibly
+/// empty when parts > n). Weights must be non-negative.
+std::vector<std::size_t> weighted_boundaries(std::span<const double> weights,
+                                             int parts);
+
+/// The optimal bottleneck value achieved by weighted_boundaries.
+double bottleneck_cost(std::span<const double> weights, int parts);
+
+}  // namespace octgb::runtime

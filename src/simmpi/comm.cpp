@@ -1,0 +1,251 @@
+#include "src/simmpi/comm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <thread>
+
+namespace octgb::simmpi {
+
+namespace detail {
+
+World::World(int size_, CommCostModel cost_)
+    : size(size_),
+      cost(cost_),
+      stage_ptr(static_cast<std::size_t>(size_), nullptr),
+      stage_bytes(static_cast<std::size_t>(size_), 0),
+      mailboxes(static_cast<std::size_t>(size_)),
+      ledgers(static_cast<std::size_t>(size_)) {}
+
+void World::barrier_wait() {
+  std::unique_lock lock(barrier_mu);
+  const std::uint64_t my_epoch = barrier_epoch;
+  if (++barrier_waiting == size) {
+    barrier_waiting = 0;
+    ++barrier_epoch;
+    barrier_cv.notify_all();
+  } else {
+    barrier_cv.wait(lock, [&] { return barrier_epoch != my_epoch; });
+  }
+}
+
+double log2_ceil(int p) {
+  return p <= 1 ? 0.0 : std::ceil(std::log2(static_cast<double>(p)));
+}
+
+}  // namespace detail
+
+void Comm::barrier() {
+  world_.barrier_wait();
+  CommLedger& led = my_ledger();
+  ++led.collectives;
+  led.modeled_seconds += world_.cost.t_s * detail::log2_ceil(world_.size);
+}
+
+void Comm::send_bytes(const void* data, std::size_t bytes, int dest,
+                      int tag) {
+  if (dest < 0 || dest >= world_.size) {
+    throw std::runtime_error("simmpi: send to invalid rank");
+  }
+  detail::Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  auto& box = world_.mailboxes[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lock(box.mu);
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+  CommLedger& led = my_ledger();
+  ++led.p2p_messages;
+  led.p2p_bytes += bytes;
+  led.modeled_seconds +=
+      world_.cost.t_s + world_.cost.t_w * static_cast<double>(bytes);
+}
+
+void Comm::recv_bytes(void* out, std::size_t bytes, int src, int tag) {
+  auto& box = world_.mailboxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock lock(box.mu);
+  for (;;) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        if (it->payload.size() != bytes) {
+          throw std::runtime_error(
+              "simmpi: recv size mismatch (protocol bug)");
+        }
+        if (bytes > 0) std::memcpy(out, it->payload.data(), bytes);
+        box.messages.erase(it);
+        // Receiver side of the alpha-beta cost is already charged to the
+        // sender; charge only the matching overhead here (none).
+        return;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool Comm::try_recv_bytes(void* out, std::size_t bytes, int src,
+                          int tag) {
+  auto& box = world_.mailboxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard lock(box.mu);
+  for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+    if (it->src == src && it->tag == tag) {
+      if (it->payload.size() != bytes) {
+        throw std::runtime_error(
+            "simmpi: irecv size mismatch (protocol bug)");
+      }
+      if (bytes > 0) std::memcpy(out, it->payload.data(), bytes);
+      box.messages.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Comm::test(Request& req) {
+  if (req.comm_ == nullptr) return true;  // already complete / isend
+  if (try_recv_bytes(req.buffer, req.bytes, req.src, req.tag)) {
+    req.comm_ = nullptr;
+    return true;
+  }
+  return false;
+}
+
+void Comm::wait(Request& req) {
+  if (req.comm_ == nullptr) return;
+  recv_bytes(req.buffer, req.bytes, req.src, req.tag);
+  req.comm_ = nullptr;
+}
+
+int Comm::recv_any_bytes(void* out, std::size_t bytes, int tag) {
+  auto& box = world_.mailboxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock lock(box.mu);
+  for (;;) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->tag == tag) {
+        if (it->payload.size() != bytes) {
+          throw std::runtime_error(
+              "simmpi: recv_any size mismatch (protocol bug)");
+        }
+        if (bytes > 0) std::memcpy(out, it->payload.data(), bytes);
+        const int src = it->src;
+        box.messages.erase(it);
+        return src;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
+  auto& w = world_;
+  if (rank_ == root) w.stage_ptr[static_cast<std::size_t>(root)] = data;
+  w.barrier_wait();
+  if (rank_ != root && bytes > 0) {
+    std::memcpy(data, w.stage_ptr[static_cast<std::size_t>(root)], bytes);
+  }
+  w.barrier_wait();
+  CommLedger& led = my_ledger();
+  ++led.collectives;
+  led.collective_bytes += bytes;
+  led.modeled_seconds +=
+      (w.cost.t_s + w.cost.t_w * static_cast<double>(bytes)) *
+      detail::log2_ceil(w.size);
+}
+
+void Comm::all_reduce_sum_impl(
+    void* data, std::size_t count, std::size_t elem_size,
+    const std::function<void(void*, const void*, std::size_t)>& combine,
+    bool charge_allreduce) {
+  auto& w = world_;
+  const auto r = static_cast<std::size_t>(rank_);
+  const std::size_t bytes = count * elem_size;
+  // Publish everyone's input buffer.
+  w.stage_ptr[r] = data;
+  w.stage_bytes[r] = bytes;
+  w.barrier_wait();
+  // Each rank reduces all P inputs into a private accumulator. (Real MPI
+  // would use a recursive-halving tree; the *result* is identical and the
+  // ledger charges the tree formula, not this O(P) loop.)
+  std::vector<std::byte> acc(bytes);
+  if (bytes > 0) {
+    std::memcpy(acc.data(), w.stage_ptr[0], bytes);
+    for (int i = 1; i < w.size; ++i) {
+      combine(acc.data(), w.stage_ptr[static_cast<std::size_t>(i)], count);
+    }
+  }
+  w.barrier_wait();  // all ranks done reading the published buffers
+  if (bytes > 0) std::memcpy(data, acc.data(), bytes);
+  w.barrier_wait();
+  CommLedger& led = my_ledger();
+  ++led.collectives;
+  led.collective_bytes += bytes;
+  const double term =
+      (w.cost.t_s + w.cost.t_w * static_cast<double>(bytes)) *
+      detail::log2_ceil(w.size);
+  led.modeled_seconds += charge_allreduce ? 2.0 * term : term;
+}
+
+void Comm::scatter_bytes(const void* all, void* out,
+                         std::size_t chunk_bytes, int root) {
+  auto& w = world_;
+  if (rank_ == root) w.stage_ptr[static_cast<std::size_t>(root)] = all;
+  w.barrier_wait();
+  const auto* src = static_cast<const std::byte*>(
+      w.stage_ptr[static_cast<std::size_t>(root)]);
+  if (chunk_bytes > 0) {
+    std::memcpy(out, src + static_cast<std::size_t>(rank_) * chunk_bytes,
+                chunk_bytes);
+  }
+  w.barrier_wait();
+  CommLedger& led = my_ledger();
+  ++led.collectives;
+  led.collective_bytes += chunk_bytes;
+  // Scatter of n total bytes: t_s log P + t_w n (P-1)/P.
+  const double total =
+      static_cast<double>(chunk_bytes) * static_cast<double>(w.size);
+  led.modeled_seconds +=
+      w.cost.t_s * detail::log2_ceil(w.size) +
+      w.cost.t_w * total * (static_cast<double>(w.size - 1) /
+                            std::max(1, w.size));
+}
+
+double Comm::max_modeled_seconds() const {
+  double m = 0.0;
+  for (const auto& led : world_.ledgers) {
+    m = std::max(m, led.modeled_seconds);
+  }
+  return m;
+}
+
+std::vector<CommLedger> run(int num_ranks, CommCostModel cost,
+                            const std::function<void(Comm&)>& fn) {
+  if (num_ranks < 1) throw std::invalid_argument("simmpi: num_ranks < 1");
+  detail::World world(num_ranks, cost);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  for (int r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&world, &fn, r, &err_mu, &first_error] {
+      Comm comm(world, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        // A throwing rank would deadlock peers waiting in collectives;
+        // there is no clean recovery in MPI either (it aborts). We
+        // mirror that: record the error and let the barrier state be
+        // torn down when the process surfaces the exception.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return world.ledgers;
+}
+
+}  // namespace octgb::simmpi

@@ -1,0 +1,349 @@
+// comm.h -- a functional message-passing runtime ("simmpi").
+//
+// The paper's distributed algorithms (Figure 4) use MPI across compute
+// nodes. This container has no MPI installation and one physical core, so
+// we provide a semantically faithful substitute: P *ranks* run as P
+// threads inside one process, each operating only on its own data (the
+// paper's implementations replicate all data per process, so nothing is
+// lost by sharing an address space -- each rank owns separate copies, and
+// all inter-rank data flow goes through these explicit operations).
+//
+// Two things are produced per run:
+//  1. the *result* of the message-passing program, bit-identical to what a
+//     real MPI execution of the same SPMD code would produce; and
+//  2. a *communication ledger*: every operation logs its byte volume and a
+//     modeled alpha-beta (t_s / t_w) cost using the textbook formulas the
+//     paper itself cites (Grama et al., Table 4.1). The perfmodel layer
+//     turns the ledger into the modeled cluster times used by the
+//     scalability figures (see DESIGN.md "Measurement policy").
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace octgb::simmpi {
+
+/// alpha-beta interconnect parameters. Defaults approximate the paper's
+/// QDR InfiniBand (40 Gb/s, ~1.5 us latency); intra-node transfers are
+/// modeled separately by perfmodel.
+struct CommCostModel {
+  double t_s = 1.5e-6;   // per-message startup (seconds)
+  double t_w = 2.5e-10;  // per-byte transfer time (seconds): ~4 GB/s
+};
+
+/// Per-rank accumulated communication ledger.
+struct CommLedger {
+  std::size_t p2p_messages = 0;
+  std::size_t p2p_bytes = 0;
+  std::size_t collectives = 0;
+  std::size_t collective_bytes = 0;
+  double modeled_seconds = 0.0;  // alpha-beta cost of everything above
+};
+
+namespace detail {
+
+struct Message {
+  int src;
+  int tag;
+  std::vector<std::byte> payload;
+};
+
+/// State shared by all ranks of one world.
+struct World {
+  explicit World(int size, CommCostModel cost);
+
+  const int size;
+  const CommCostModel cost;
+
+  // Sense-reversing central barrier (std::barrier would also work; this
+  // keeps the dependency surface minimal and is plenty fast for <=256
+  // ranks on one machine).
+  std::mutex barrier_mu;
+  std::condition_variable barrier_cv;
+  int barrier_waiting = 0;
+  std::uint64_t barrier_epoch = 0;
+
+  // Collective staging: slot per rank, published pointer + element count.
+  std::vector<const void*> stage_ptr;
+  std::vector<std::size_t> stage_bytes;
+
+  // Point-to-point mailboxes, one per destination rank.
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+  std::vector<Mailbox> mailboxes;
+
+  std::vector<CommLedger> ledgers;  // one per rank
+
+  void barrier_wait();
+};
+
+double log2_ceil(int p);
+
+}  // namespace detail
+
+class Comm;
+
+/// Handle for a nonblocking operation (MPI_Request). In this runtime
+/// sends are buffered and therefore complete at once (MPI semantics:
+/// completion means the send buffer is reusable, which a buffered send
+/// guarantees); receives complete when a matching message is matched by
+/// test() or wait().
+class Request {
+ public:
+  Request() = default;
+
+ private:
+  friend class Comm;
+  Comm* comm_ = nullptr;  // null => already complete
+  void* buffer = nullptr;
+  std::size_t bytes = 0;
+  int src = -1;
+  int tag = 0;
+};
+
+/// Communicator handle given to each rank's function. All methods must be
+/// called collectively (same order on every rank) for the collective
+/// operations, exactly as in MPI.
+class Comm {
+ public:
+  Comm(detail::World& world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_.size; }
+
+  /// MPI_Barrier.
+  void barrier();
+
+  /// Blocking typed point-to-point send/recv with tag matching
+  /// (MPI_Send / MPI_Recv). T must be trivially copyable.
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(data.data(), data.size_bytes(), dest, tag);
+  }
+
+  /// Receives exactly `out.size()` elements from `src` with `tag`.
+  /// Throws std::runtime_error on size mismatch (a protocol bug).
+  template <typename T>
+  void recv(std::span<T> out, int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recv_bytes(out.data(), out.size_bytes(), src, tag);
+  }
+
+  /// MPI_Isend: buffered, so the request is returned already complete.
+  template <typename T>
+  Request isend(std::span<const T> data, int dest, int tag) {
+    send(data, dest, tag);
+    return Request{};
+  }
+
+  /// MPI_Irecv: posts a receive completed later by test()/wait(). The
+  /// buffer must stay alive until completion.
+  template <typename T>
+  Request irecv(std::span<T> out, int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Request req;
+    req.comm_ = this;
+    req.buffer = out.data();
+    req.bytes = out.size_bytes();
+    req.src = src;
+    req.tag = tag;
+    return req;
+  }
+
+  /// MPI_Test: true if the request is (now) complete. Non-blocking.
+  bool test(Request& req);
+
+  /// MPI_Wait: blocks until the request completes.
+  void wait(Request& req);
+
+  /// MPI_Waitall.
+  void wait_all(std::span<Request> reqs) {
+    for (Request& r : reqs) wait(r);
+  }
+
+  /// MPI_Recv with MPI_ANY_SOURCE: receives a matching-tag message from
+  /// whichever rank sent one first; returns the source rank.
+  template <typename T>
+  int recv_any(std::span<T> out, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return recv_any_bytes(out.data(), out.size_bytes(), tag);
+  }
+
+  /// MPI_Bcast: `data` significant on root, overwritten elsewhere.
+  template <typename T>
+  void bcast(std::span<T> data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bcast_bytes(data.data(), data.size_bytes(), root);
+  }
+
+  /// MPI_Allreduce(MPI_SUM): element-wise sum across ranks, result
+  /// replicated into `data` on every rank.
+  template <typename T>
+  void all_reduce_sum(std::span<T> data) {
+    static_assert(std::is_arithmetic_v<T>);
+    all_reduce_sum_impl(data.data(), data.size(), sizeof(T),
+                        [](void* acc, const void* in, std::size_t n) {
+                          auto* a = static_cast<T*>(acc);
+                          auto* b = static_cast<const T*>(in);
+                          for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
+                        });
+  }
+
+  /// MPI_Reduce(MPI_SUM) to `root`; `data` is overwritten on root only.
+  template <typename T>
+  void reduce_sum(std::span<T> data, int root) {
+    static_assert(std::is_arithmetic_v<T>);
+    // Implemented as allreduce with the result kept only on root; the
+    // ledger charges the cheaper reduce formula.
+    std::vector<T> tmp(data.begin(), data.end());
+    all_reduce_sum_impl(tmp.data(), tmp.size(), sizeof(T),
+                        [](void* acc, const void* in, std::size_t n) {
+                          auto* a = static_cast<T*>(acc);
+                          auto* b = static_cast<const T*>(in);
+                          for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
+                        },
+                        /*charge_allreduce=*/false);
+    if (rank_ == root) std::memcpy(data.data(), tmp.data(), data.size_bytes());
+  }
+
+  /// MPI_Allgatherv: concatenates every rank's `local` span (arbitrary
+  /// per-rank lengths) into `out` in rank order. Returns per-rank counts.
+  template <typename T>
+  std::vector<std::size_t> all_gather_v(std::span<const T> local,
+                                        std::vector<T>& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::size_t> counts(static_cast<std::size_t>(size()));
+    all_gather_v_impl(local.data(), local.size_bytes(), out, counts,
+                      sizeof(T));
+    return counts;
+  }
+
+  /// MPI_Scatter of equal chunks: root's `all` (size = size() * chunk)
+  /// is split into per-rank chunks; every rank receives its chunk into
+  /// `out` (out.size() == chunk). `all` is ignored on non-roots.
+  template <typename T>
+  void scatter(std::span<const T> all, std::span<T> out, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    scatter_bytes(all.data(), out.data(), out.size_bytes(), root);
+  }
+
+  /// MPI_Sendrecv: simultaneous exchange with `peer` (deadlock-free
+  /// regardless of ordering, unlike paired send/recv).
+  template <typename T>
+  void sendrecv(std::span<const T> send_data, std::span<T> recv_data,
+                int peer, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(send_data, peer, tag);
+    recv(recv_data, peer, tag);
+  }
+
+  /// MPI_Gather of a single element per rank to `root`. Returns the
+  /// gathered vector on root, empty elsewhere.
+  template <typename T>
+  std::vector<T> gather(const T& value, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> all;
+    std::vector<std::size_t> counts(static_cast<std::size_t>(size()));
+    all_gather_v_impl(&value, sizeof(T), all, counts, sizeof(T));
+    if (rank_ != root) all.clear();
+    return all;
+  }
+
+  /// This rank's accumulated ledger.
+  const CommLedger& ledger() const {
+    return world_.ledgers[static_cast<std::size_t>(rank_)];
+  }
+
+  /// Maximum modeled communication seconds over all ranks (call after the
+  /// parallel section, e.g. from rank 0 post-barrier).
+  double max_modeled_seconds() const;
+
+ private:
+  void send_bytes(const void* data, std::size_t bytes, int dest, int tag);
+  void scatter_bytes(const void* all, void* out, std::size_t chunk_bytes,
+                     int root);
+  void recv_bytes(void* out, std::size_t bytes, int src, int tag);
+  bool try_recv_bytes(void* out, std::size_t bytes, int src, int tag);
+  int recv_any_bytes(void* out, std::size_t bytes, int tag);
+  void bcast_bytes(void* data, std::size_t bytes, int root);
+  void all_reduce_sum_impl(
+      void* data, std::size_t count, std::size_t elem_size,
+      const std::function<void(void*, const void*, std::size_t)>& combine,
+      bool charge_allreduce = true);
+  template <typename T>
+  void all_gather_v_impl(const void* local, std::size_t local_bytes,
+                         std::vector<T>& out,
+                         std::vector<std::size_t>& counts,
+                         std::size_t elem_size);
+
+  CommLedger& my_ledger() {
+    return world_.ledgers[static_cast<std::size_t>(rank_)];
+  }
+
+  detail::World& world_;
+  const int rank_;
+};
+
+/// Runs `fn(comm)` on `num_ranks` rank-threads and joins them. Any
+/// exception thrown by a rank is rethrown (first one wins) after all
+/// ranks finish or abort. Returns the per-rank ledgers.
+std::vector<CommLedger> run(int num_ranks, CommCostModel cost,
+                            const std::function<void(Comm&)>& fn);
+
+inline std::vector<CommLedger> run(int num_ranks,
+                                   const std::function<void(Comm&)>& fn) {
+  return run(num_ranks, CommCostModel{}, fn);
+}
+
+// ---- template implementation needing World's definition ----
+
+template <typename T>
+void Comm::all_gather_v_impl(const void* local, std::size_t local_bytes,
+                             std::vector<T>& out,
+                             std::vector<std::size_t>& counts,
+                             std::size_t elem_size) {
+  auto& w = world_;
+  const auto r = static_cast<std::size_t>(rank_);
+  w.stage_ptr[r] = local;
+  w.stage_bytes[r] = local_bytes;
+  w.barrier_wait();
+  std::size_t total_bytes = 0;
+  for (int i = 0; i < w.size; ++i)
+    total_bytes += w.stage_bytes[static_cast<std::size_t>(i)];
+  out.resize(total_bytes / elem_size);
+  std::size_t offset = 0;
+  for (int i = 0; i < w.size; ++i) {
+    const auto bi = w.stage_bytes[static_cast<std::size_t>(i)];
+    if (bi > 0) {
+      std::memcpy(reinterpret_cast<std::byte*>(out.data()) + offset,
+                  w.stage_ptr[static_cast<std::size_t>(i)], bi);
+    }
+    counts[static_cast<std::size_t>(i)] = bi / elem_size;
+    offset += bi;
+  }
+  w.barrier_wait();
+  // Ledger: allgather of n total bytes ~ t_s log P + t_w n (P-1)/P.
+  CommLedger& led = my_ledger();
+  ++led.collectives;
+  led.collective_bytes += total_bytes;
+  led.modeled_seconds +=
+      w.cost.t_s * detail::log2_ceil(w.size) +
+      w.cost.t_w * static_cast<double>(total_bytes) *
+          (static_cast<double>(w.size - 1) / std::max(1, w.size));
+}
+
+}  // namespace octgb::simmpi

@@ -1,0 +1,52 @@
+// mesh.h -- triangle meshes produced by iso-surface extraction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/vec3.h"
+
+namespace octgb::surface {
+
+/// Indexed triangle mesh. Triangles are wound so that their geometric
+/// normal points *outward* from the molecule (extraction orients them
+/// with the density gradient).
+struct TriMesh {
+  std::vector<geom::Vec3> vertices;
+  std::vector<std::array<std::uint32_t, 3>> triangles;
+
+  std::size_t num_triangles() const { return triangles.size(); }
+
+  geom::Vec3 triangle_vertex(std::size_t t, int corner) const {
+    return vertices[triangles[t][static_cast<std::size_t>(corner)]];
+  }
+
+  /// Area of triangle t.
+  double triangle_area(std::size_t t) const {
+    const geom::Vec3 a = triangle_vertex(t, 0);
+    const geom::Vec3 b = triangle_vertex(t, 1);
+    const geom::Vec3 c = triangle_vertex(t, 2);
+    return 0.5 * (b - a).cross(c - a).norm();
+  }
+
+  /// Geometric (winding) normal of triangle t; zero for degenerate
+  /// triangles.
+  geom::Vec3 triangle_normal(std::size_t t) const {
+    const geom::Vec3 a = triangle_vertex(t, 0);
+    const geom::Vec3 b = triangle_vertex(t, 1);
+    const geom::Vec3 c = triangle_vertex(t, 2);
+    return (b - a).cross(c - a).normalized();
+  }
+
+  /// Total surface area.
+  double area() const {
+    double s = 0.0;
+    for (std::size_t t = 0; t < triangles.size(); ++t) {
+      s += triangle_area(t);
+    }
+    return s;
+  }
+};
+
+}  // namespace octgb::surface

@@ -1,0 +1,84 @@
+#include "src/surface/surface_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace octgb::surface {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x71507453;  // "StPq"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_raw(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void write_span(std::ostream& os, const std::vector<T>& xs) {
+  os.write(reinterpret_cast<const char*>(xs.data()),
+           static_cast<std::streamsize>(xs.size() * sizeof(T)));
+}
+
+template <typename T>
+T read_raw(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("load_surface: truncated header");
+  return value;
+}
+
+template <typename T>
+void read_into(std::istream& is, std::vector<T>& xs, std::size_t count) {
+  xs.resize(count);
+  is.read(reinterpret_cast<char*>(xs.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!is) throw std::runtime_error("load_surface: truncated payload");
+}
+
+}  // namespace
+
+bool save_surface(std::ostream& os, const QuadratureSurface& surf) {
+  write_raw(os, kMagic);
+  write_raw(os, kVersion);
+  write_raw(os, static_cast<std::uint64_t>(surf.size()));
+  write_span(os, surf.points);
+  write_span(os, surf.normals);
+  write_span(os, surf.weights);
+  return static_cast<bool>(os);
+}
+
+bool save_surface_file(const std::string& path,
+                       const QuadratureSurface& surf) {
+  std::ofstream f(path, std::ios::binary);
+  return f && save_surface(f, surf);
+}
+
+QuadratureSurface load_surface(std::istream& is) {
+  if (read_raw<std::uint32_t>(is) != kMagic) {
+    throw std::runtime_error("load_surface: bad magic");
+  }
+  const auto version = read_raw<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("load_surface: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto count = static_cast<std::size_t>(read_raw<std::uint64_t>(is));
+  QuadratureSurface surf;
+  read_into(is, surf.points, count);
+  read_into(is, surf.normals, count);
+  read_into(is, surf.weights, count);
+  return surf;
+}
+
+QuadratureSurface load_surface_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_surface_file: cannot open " + path);
+  return load_surface(f);
+}
+
+}  // namespace octgb::surface

@@ -1,0 +1,33 @@
+// surface_io.h -- binary caching of quadrature surfaces.
+//
+// Surface construction (marching tetrahedra + quadrature, or burial-
+// tested sphere sampling) is the most expensive pose-invariant step of a
+// docking campaign and is identical across runs for a fixed molecule and
+// parameters. This provides a versioned little-endian binary format so a
+// campaign can build once and reload:
+//
+//   [magic u32][version u32][count u64]
+//   [points  3*count f64][normals 3*count f64][weights count f64]
+//
+// The format is intentionally dumb (raw doubles, no compression): load
+// is one read + three memcpys, and round-trips are bit-exact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/surface/quadrature.h"
+
+namespace octgb::surface {
+
+/// Writes the surface. Returns false on I/O failure.
+bool save_surface(std::ostream& os, const QuadratureSurface& surf);
+bool save_surface_file(const std::string& path,
+                       const QuadratureSurface& surf);
+
+/// Reads a surface written by save_surface. Throws std::runtime_error on
+/// bad magic, unsupported version, or truncation.
+QuadratureSurface load_surface(std::istream& is);
+QuadratureSurface load_surface_file(const std::string& path);
+
+}  // namespace octgb::surface

@@ -1,0 +1,43 @@
+#include "src/util/env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace octgb::util {
+
+namespace {
+const char* raw(const char* name) { return std::getenv(name); }
+}  // namespace
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = raw(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = raw(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = raw(name);
+  return v ? std::string(v) : fallback;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = raw(name);
+  if (!v) return fallback;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s == "1" || s == "true" || s == "on" || s == "yes";
+}
+
+}  // namespace octgb::util

@@ -1,0 +1,27 @@
+// env.h -- environment-variable configuration for the benchmark harness.
+//
+// Every experiment binary runs with sensible laptop-scale defaults and can
+// be scaled to paper-scale inputs via REPRO_* environment variables
+// (documented in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace octgb::util {
+
+/// Returns the value of environment variable `name` parsed as int64,
+/// or `fallback` when unset/unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Returns the value parsed as double, or `fallback`.
+double env_double(const char* name, double fallback);
+
+/// Returns the raw string value, or `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// True when the variable is set to something truthy ("1", "true", "on",
+/// "yes", case-insensitive).
+bool env_flag(const char* name, bool fallback = false);
+
+}  // namespace octgb::util

@@ -1,0 +1,65 @@
+#include "src/util/hostinfo.h"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace octgb::util {
+
+namespace {
+
+std::string read_first_line(const char* path) {
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  return line;
+}
+
+// Parses "Key:   value kB" style lines from /proc status files.
+std::size_t proc_kb_field(const char* path, const std::string& key) {
+  std::ifstream f(path);
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind(key, 0) == 0) {
+      std::istringstream ss(line.substr(key.size()));
+      std::size_t kb = 0;
+      ss >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+HostInfo query_host() {
+  HostInfo info;
+  info.logical_cores = static_cast<int>(std::thread::hardware_concurrency());
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        info.cpu_model = line.substr(colon + 2);
+      }
+      break;
+    }
+  }
+
+  info.total_ram = proc_kb_field("/proc/meminfo", "MemTotal:");
+  info.os = read_first_line("/proc/sys/kernel/ostype") + " " +
+            read_first_line("/proc/sys/kernel/osrelease");
+  return info;
+}
+
+std::size_t current_rss_bytes() {
+  return proc_kb_field("/proc/self/status", "VmRSS:");
+}
+
+std::size_t peak_rss_bytes() {
+  return proc_kb_field("/proc/self/status", "VmHWM:");
+}
+
+}  // namespace octgb::util

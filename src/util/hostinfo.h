@@ -1,0 +1,29 @@
+// hostinfo.h -- queries about the machine we are actually running on.
+//
+// Used by bench/table1_environment (the paper's Table I) to print the real
+// host alongside the modeled Lonestar4 cluster, and by the Figure 6 memory
+// section to measure resident set size of replicated vs shared data.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace octgb::util {
+
+struct HostInfo {
+  std::string cpu_model;     // from /proc/cpuinfo "model name"
+  int logical_cores = 0;     // std::thread::hardware_concurrency
+  std::size_t total_ram = 0; // bytes, from /proc/meminfo MemTotal
+  std::string os;            // from /proc/sys/kernel/{ostype,osrelease}
+};
+
+/// Best-effort host interrogation; missing fields are left defaulted.
+HostInfo query_host();
+
+/// Current process resident set size in bytes (VmRSS), 0 if unavailable.
+std::size_t current_rss_bytes();
+
+/// Peak resident set size in bytes (VmHWM), 0 if unavailable.
+std::size_t peak_rss_bytes();
+
+}  // namespace octgb::util

@@ -1,0 +1,65 @@
+#include "src/util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "src/util/env.h"
+
+namespace octgb::util {
+
+namespace {
+
+std::atomic<int> g_threshold{-1};  // -1 = not yet parsed
+
+LogLevel parse_env() {
+  const std::string v = env_string("OCTGB_LOG", "warn");
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off" || v == "none") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  int t = g_threshold.load(std::memory_order_acquire);
+  if (t < 0) {
+    t = static_cast<int>(parse_env());
+    g_threshold.store(t, std::memory_order_release);
+  }
+  return static_cast<LogLevel>(t);
+}
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_release);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < log_threshold()) return;
+  // One mutex keeps concurrent rank threads from interleaving lines.
+  static std::mutex mu;
+  std::lock_guard lock(mu);
+  std::fprintf(stderr, "[octgb %s] %s\n", level_name(level),
+               message.c_str());
+}
+
+}  // namespace octgb::util

@@ -1,0 +1,68 @@
+// log.h -- minimal leveled logging for the library.
+//
+// Controlled by the OCTGB_LOG environment variable: "debug", "info",
+// "warn" (default), "error", or "off". Messages go to stderr so they
+// never pollute the benchmark tables on stdout. The hot kernels never
+// log; logging sites live at phase boundaries (drivers, surface builds),
+// where a syscall is noise.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace octgb::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// The active threshold (parsed once from OCTGB_LOG).
+LogLevel log_threshold();
+
+/// Overrides the threshold for this process (tests use this).
+void set_log_threshold(LogLevel level);
+
+/// Writes "[level] message\n" to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience: log_info("built ", n, " nodes").
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_threshold() > LogLevel::kDebug) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_message(LogLevel::kDebug, os.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_threshold() > LogLevel::kInfo) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_message(LogLevel::kInfo, os.str());
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_threshold() > LogLevel::kWarn) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_message(LogLevel::kWarn, os.str());
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_threshold() > LogLevel::kError) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_message(LogLevel::kError, os.str());
+}
+
+}  // namespace octgb::util

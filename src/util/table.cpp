@@ -1,0 +1,132 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace octgb::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  if (rows_.empty()) row();
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::setprecision(precision) << value;
+  return cell(ss.str());
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+const std::string& Table::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_.size() || c >= rows_[r].size())
+    throw std::out_of_range("Table::at");
+  return rows_[r][c];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c])) << v << " | ";
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "-|";
+  os << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& r : rows_) write_row(r);
+}
+
+bool Table::write_csv_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_csv(f);
+  return static_cast<bool>(f);
+}
+
+std::string format_seconds(double s) {
+  std::ostringstream ss;
+  ss << std::setprecision(3);
+  if (s < 1e-3) {
+    ss << s * 1e6 << "us";
+  } else if (s < 1.0) {
+    ss << s * 1e3 << "ms";
+  } else if (s < 120.0) {
+    ss << s << "s";
+  } else {
+    ss << s / 60.0 << "min";
+  }
+  return ss.str();
+}
+
+std::string format_bytes(std::size_t bytes) {
+  std::ostringstream ss;
+  ss << std::setprecision(3);
+  const double b = static_cast<double>(bytes);
+  if (b < 1024.0) {
+    ss << bytes << "B";
+  } else if (b < 1024.0 * 1024.0) {
+    ss << b / 1024.0 << "KB";
+  } else if (b < 1024.0 * 1024.0 * 1024.0) {
+    ss << b / (1024.0 * 1024.0) << "MB";
+  } else {
+    ss << b / (1024.0 * 1024.0 * 1024.0) << "GB";
+  }
+  return ss.str();
+}
+
+}  // namespace octgb::util

@@ -1,0 +1,50 @@
+// table.h -- fixed-width console tables and CSV output for the benchmark
+// harness. Every figure/table binary prints a human-readable table (the
+// "paper row" format) and can mirror it to CSV for plotting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace octgb::util {
+
+/// A simple column-oriented table. Cells are stored as strings; numeric
+/// helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent `cell` calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(std::int64_t value);
+  Table& cell(std::size_t value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+  const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Renders an aligned ASCII table.
+  void print(std::ostream& os) const;
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+  /// Convenience: writes CSV to `path`, creating/truncating the file.
+  bool write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds adaptively: "123us", "45.2ms", "3.21s", "2.1min".
+std::string format_seconds(double s);
+
+/// Formats byte counts adaptively: "512B", "1.5KB", "2.3GB".
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace octgb::util

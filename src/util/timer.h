@@ -1,0 +1,26 @@
+// timer.h -- wall-clock timing for the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace octgb::util {
+
+/// Monotonic wall-clock stopwatch. Construction starts it.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace octgb::util

@@ -1,0 +1,396 @@
+// Tests for the baseline substrate: nblist, descreening models, and the
+// five mini-packages (energies sane, parallel semantics correct, OOM
+// refusals fire where calibrated).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/baselines/gbmodels.h"
+#include "src/baselines/nblist.h"
+#include "src/baselines/packages.h"
+#include "src/gb/calculator.h"
+#include "src/molecule/generators.h"
+
+namespace octgb::baselines {
+namespace {
+
+TEST(NblistTest, FindsExactlyThePairsWithinCutoff) {
+  const auto mol = molecule::generate_protein(500, 201);
+  const double cutoff = 6.0;
+  const Nblist nblist(mol, cutoff);
+  ASSERT_EQ(nblist.num_atoms(), mol.size());
+  // Brute-force cross-check on a sample of atoms.
+  const auto positions = mol.positions();
+  for (std::size_t i = 0; i < mol.size(); i += 37) {
+    std::set<std::uint32_t> expected;
+    for (std::size_t j = 0; j < mol.size(); ++j) {
+      if (j != i &&
+          geom::distance(positions[i], positions[j]) <= cutoff) {
+        expected.insert(static_cast<std::uint32_t>(j));
+      }
+    }
+    const auto got = nblist.neighbors_of(i);
+    std::set<std::uint32_t> actual(got.begin(), got.end());
+    EXPECT_EQ(actual, expected) << "atom " << i;
+  }
+}
+
+TEST(NblistTest, SymmetricPairs) {
+  const auto mol = molecule::generate_protein(300, 203);
+  const Nblist nblist(mol, 8.0);
+  for (std::size_t i = 0; i < mol.size(); i += 11) {
+    for (const auto j : nblist.neighbors_of(i)) {
+      const auto back = nblist.neighbors_of(j);
+      EXPECT_NE(std::find(back.begin(), back.end(),
+                          static_cast<std::uint32_t>(i)),
+                back.end())
+          << i << "<->" << j;
+    }
+  }
+}
+
+TEST(NblistTest, SizeGrowsCubicallyWithCutoff) {
+  // The paper's core argument against nblists: memory ~ cutoff^3.
+  const auto mol = molecule::generate_protein(4000, 207);
+  const Nblist small(mol, 5.0);
+  const Nblist large(mol, 10.0);
+  const double ratio = static_cast<double>(large.num_pairs()) /
+                       static_cast<double>(small.num_pairs());
+  // Boundary effects soften the full 8x, but it must be far
+  // superlinear.
+  EXPECT_GT(ratio, 3.5);
+  EXPECT_GT(large.memory_bytes(), small.memory_bytes());
+}
+
+TEST(NblistTest, BudgetRefusal) {
+  const auto mol = molecule::generate_protein(2000, 209);
+  EXPECT_THROW(Nblist(mol, 12.0, /*memory_budget=*/1024),
+               OutOfMemoryBudget);
+  // Unlimited budget builds fine.
+  EXPECT_NO_THROW(Nblist(mol, 12.0, 0));
+}
+
+TEST(NblistTest, PredictBytesMatchesRealityWithinFactor) {
+  const auto mol = molecule::generate_protein(3000, 211);
+  const Nblist nblist(mol, 8.0);
+  const geom::Aabb box = mol.center_bounds();
+  const double density =
+      static_cast<double>(mol.size()) /
+      (box.size().x * box.size().y * box.size().z);
+  const std::size_t predicted = Nblist::predict_bytes(3000, density, 8.0);
+  const std::size_t actual =
+      nblist.num_pairs() * sizeof(std::uint32_t);
+  EXPECT_GT(predicted, actual / 4);
+  EXPECT_LT(predicted, actual * 4);
+}
+
+TEST(DescreenIntegralTest, MatchesNumericIntegration) {
+  // Radial shell quadrature of the same geometry, fine steps.
+  auto numeric = [](double d, double s, double rho) {
+    const double lo = std::max(rho, 1e-6);
+    const double hi = d + s;
+    const int steps = 400000;
+    const double h = (hi - lo) / steps;
+    double sum = 0.0;
+    for (int k = 0; k < steps; ++k) {
+      const double r = lo + (k + 0.5) * h;
+      double g;
+      if (r <= s - d) {
+        g = 1.0;
+      } else if (r >= std::abs(d - s) && r <= d + s) {
+        g = (s * s - (d - r) * (d - r)) / (4.0 * d * r);
+      } else {
+        g = 0.0;
+      }
+      sum += g / (r * r) * h;
+    }
+    return sum;
+  };
+  struct Case {
+    double d, s, rho;
+  };
+  for (const auto& c : {Case{3.0, 1.5, 1.4},   // separated
+                        Case{2.0, 1.5, 1.4},   // overlapping band
+                        Case{1.0, 2.0, 0.8},   // center inside ball
+                        Case{5.0, 1.0, 1.7}}) {
+    EXPECT_NEAR(descreen_integral_r4(c.d, c.s, c.rho),
+                numeric(c.d, c.s, c.rho),
+                1e-4 * (1.0 + numeric(c.d, c.s, c.rho)))
+        << "d=" << c.d << " s=" << c.s << " rho=" << c.rho;
+  }
+}
+
+TEST(DescreenIntegralTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(descreen_integral_r4(10.0, 1.0, 12.0), 0.0);  // rho>U
+  EXPECT_DOUBLE_EQ(descreen_integral_r4(3.0, 0.0, 1.0), 0.0);    // no ball
+  // Far-field limit: I ~ s^3 / (3 d^4) (volume / (4pi d^4) * 4pi/3...).
+  const double d = 50.0, s = 1.5;
+  EXPECT_NEAR(descreen_integral_r4(d, s, 1.0),
+              s * s * s / (3.0 * d * d * d * d), 1e-9);
+}
+
+TEST(HctTest, IsolatedAtomKeepsIntrinsicRadius) {
+  molecule::Molecule mol("lone");
+  mol.add_atom({{0, 0, 0}, 1.7, 0.0, molecule::Element::C});
+  const Nblist nblist(mol, 10.0);
+  const auto radii = born_radii_hct(mol, nblist);
+  EXPECT_NEAR(radii[0], 1.7 - 0.09, 1e-12);  // rho = r - offset
+}
+
+TEST(HctTest, SurfaceAtomsGetSmallerRadiiThanBuried) {
+  // Cutoff-truncated HCT cannot see burial beyond the cutoff (its
+  // radii saturate mid-molecule -- the known deficiency that motivates
+  // hierarchical methods), but within the cutoff the gradient must be
+  // physical: atoms near the surface descreen less and keep smaller
+  // Born radii than atoms a few Angstroms deep.
+  const auto mol = molecule::generate_protein(1500, 213);
+  const Nblist nblist(mol, 10.0);
+  const auto radii = born_radii_hct(mol, nblist);
+  const geom::Vec3 c = mol.centroid();
+  double max_r = 0.0;
+  for (const auto& p : mol.positions()) {
+    max_r = std::max(max_r, geom::distance(p, c));
+  }
+  double shallow = 0.0, deep = 0.0;
+  int ns = 0, nd = 0;
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    const double depth = max_r - geom::distance(mol.atom(i).position, c);
+    if (depth < 2.0) {
+      shallow += radii[i];
+      ++ns;
+    } else if (depth > 6.0 && depth < 12.0) {
+      deep += radii[i];
+      ++nd;
+    }
+  }
+  ASSERT_GT(ns, 10);
+  ASSERT_GT(nd, 10);
+  EXPECT_GT(deep / nd, 1.2 * shallow / ns);
+}
+
+TEST(ObcTest, RadiiFiniteAndAboveHct) {
+  // The tanh rescaling keeps deeply buried radii finite and generally
+  // enlarges them vs raw HCT for buried atoms.
+  const auto mol = molecule::generate_protein(1200, 215);
+  const Nblist nblist(mol, 10.0);
+  const auto hct = born_radii_hct(mol, nblist);
+  const auto obc = born_radii_obc(mol, nblist);
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    EXPECT_GT(obc[i], 0.2);
+    EXPECT_LT(obc[i], 1000.1);
+  }
+  // On average OBC radii exceed the clamped HCT ones is not guaranteed;
+  // assert they are correlated instead.
+  double cov = 0.0;
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    cov += (hct[i] - 2.0) * (obc[i] - 2.0);
+  }
+  EXPECT_GT(cov, 0.0);
+}
+
+TEST(DescreenIntegralR6Test, MatchesNumericIntegration) {
+  auto numeric = [](double d, double s, double rho) {
+    const double lo = std::max(rho, 1e-6);
+    const double hi = d + s;
+    const int steps = 400000;
+    const double h = (hi - lo) / steps;
+    double sum = 0.0;
+    for (int k = 0; k < steps; ++k) {
+      const double r = lo + (k + 0.5) * h;
+      double g;
+      if (r <= s - d) {
+        g = 1.0;
+      } else if (r >= std::abs(d - s) && r <= d + s) {
+        g = (s * s - (d - r) * (d - r)) / (4.0 * d * r);
+      } else {
+        g = 0.0;
+      }
+      sum += 3.0 * g / (r * r * r * r) * h;
+    }
+    return sum;
+  };
+  struct Case {
+    double d, s, rho;
+  };
+  for (const auto& c : {Case{3.0, 1.5, 1.4}, Case{2.0, 1.5, 1.4},
+                        Case{1.0, 2.0, 0.8}, Case{5.0, 1.0, 1.7}}) {
+    EXPECT_NEAR(descreen_integral_r6(c.d, c.s, c.rho),
+                numeric(c.d, c.s, c.rho),
+                1e-4 * (1.0 + numeric(c.d, c.s, c.rho)))
+        << "d=" << c.d << " s=" << c.s << " rho=" << c.rho;
+  }
+  EXPECT_DOUBLE_EQ(descreen_integral_r6(10.0, 1.0, 12.0), 0.0);
+}
+
+TEST(AnalyticR6Test, IsolatedAtomKeepsInflatedRadius) {
+  molecule::Molecule mol("lone");
+  mol.add_atom({{0, 0, 0}, 2.0, 0.0, molecule::Element::Other});
+  const auto radii = born_radii_analytic_r6(mol, /*probe=*/0.6);
+  EXPECT_NEAR(radii[0], 2.6, 1e-12);
+}
+
+TEST(AnalyticR6Test, BuriedProbeSeesHostSphere) {
+  // Probe fully inside the host ball (analytic R = host radius; no
+  // grid error at all in the analytic method).
+  molecule::Molecule mol("host");
+  mol.add_atom({{0, 0, 0}, 6.0, 0.0, molecule::Element::Other});
+  mol.add_atom({{0.5, 0, 0}, 1.0, 0.0, molecule::Element::H});
+  const auto radii = born_radii_analytic_r6(mol, /*probe=*/0.0);
+  EXPECT_NEAR(radii[1], 6.0, 0.25);
+}
+
+TEST(AnalyticR6Test, AgreesWithVolumeGridWhenBallsAreDisjoint) {
+  // For non-overlapping balls the pairwise sum is exact; the grid must
+  // converge to it. (For dense overlapping molecules the pairwise sum
+  // over-descreens -- the documented caveat.)
+  molecule::Molecule mol("sparse");
+  mol.add_atom({{0, 0, 0}, 1.5, 0.0, molecule::Element::C});
+  mol.add_atom({{5, 0, 0}, 1.6, 0.0, molecule::Element::O});
+  mol.add_atom({{0, 6, 0}, 1.4, 0.0, molecule::Element::N});
+  mol.add_atom({{0, 0, 7}, 1.7, 0.0, molecule::Element::S});
+  const auto analytic = born_radii_analytic_r6(mol, 0.0);
+  const auto grid = born_radii_volume_r6(mol, 0.3, 0, 0.0);
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    EXPECT_NEAR(analytic[i], grid[i], 0.08 * grid[i]) << i;
+  }
+}
+
+TEST(AnalyticR6Test, OverDescreensOnDenseOverlap) {
+  // The documented failure mode: in a packed protein the pairwise sum
+  // yields systematically larger radii than the union-volume grid.
+  const auto mol = molecule::generate_protein(300, 303);
+  const auto analytic = born_radii_analytic_r6(mol, 0.6);
+  const auto grid = born_radii_volume_r6(mol, 0.5, 0, 0.6);
+  double a = 0.0, g = 0.0;
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    a += analytic[i];
+    g += grid[i];
+  }
+  EXPECT_GT(a, g);
+}
+
+TEST(VolumeR6Test, SingleSphereRadius) {
+  // An isolated atom's Born radius is its dielectric-boundary radius:
+  // vdW + probe inflation.
+  molecule::Molecule mol("lone");
+  mol.add_atom({{0, 0, 0}, 2.0, 0.0, molecule::Element::Other});
+  const auto radii =
+      born_radii_volume_r6(mol, 0.4, /*memory_budget=*/0, /*probe=*/0.6);
+  EXPECT_NEAR(radii[0], 2.6, 0.15);
+  // With no probe, exactly the vdW sphere.
+  const auto bare =
+      born_radii_volume_r6(mol, 0.4, /*memory_budget=*/0, /*probe=*/0.0);
+  EXPECT_NEAR(bare[0], 2.0, 0.15);
+}
+
+TEST(VolumeR6Test, BuriedProbeSeesHostSphere) {
+  // Probe atom near the center of a big host ball: analytic R = host
+  // dielectric radius (vdW + probe), to within grid resolution.
+  molecule::Molecule mol("host");
+  mol.add_atom({{0, 0, 0}, 6.0, 0.0, molecule::Element::Other});
+  mol.add_atom({{0.5, 0, 0}, 1.0, 0.0, molecule::Element::H});
+  const auto radii =
+      born_radii_volume_r6(mol, 0.4, /*memory_budget=*/0, /*probe=*/0.0);
+  EXPECT_NEAR(radii[1], 6.0, 0.6);
+}
+
+TEST(VolumeR6Test, GridBudgetRefusal) {
+  const auto mol = molecule::generate_protein(2000, 219);
+  EXPECT_THROW(born_radii_volume_r6(mol, 0.5, /*budget=*/100),
+               OutOfMemoryBudget);
+}
+
+TEST(PackagesTest, TableTwoMetadata) {
+  const auto packages = all_packages();
+  ASSERT_EQ(packages.size(), 5u);
+  EXPECT_EQ(packages[0].info().name, "gromacslike");
+  EXPECT_EQ(packages[0].info().gb_model, "HCT");
+  EXPECT_EQ(packages[1].info().name, "namdlike");
+  EXPECT_EQ(packages[1].info().gb_model, "OBC");
+  EXPECT_EQ(packages[2].info().name, "amberlike");
+  EXPECT_EQ(packages[3].info().name, "tinkerlike");
+  EXPECT_EQ(packages[3].info().parallelism, "Shared (OpenMP)");
+  EXPECT_EQ(packages[4].info().name, "gbr6like");
+  EXPECT_EQ(packages[4].info().parallelism, "Serial");
+}
+
+TEST(PackagesTest, AllProduceNegativeEnergiesOnProtein) {
+  const auto mol = molecule::generate_protein(800, 223);
+  PackageConfig config;
+  config.ranks = 2;
+  config.threads = 2;
+  for (const auto& pkg : all_packages()) {
+    const PackageResult res = pkg.run(mol, config);
+    ASSERT_FALSE(res.out_of_memory) << pkg.info().name << ": "
+                                    << res.failure;
+    EXPECT_LT(res.energy, 0.0) << pkg.info().name;
+    EXPECT_GT(res.seconds, 0.0) << pkg.info().name;
+    EXPECT_EQ(res.born_radii.size(), mol.size()) << pkg.info().name;
+  }
+}
+
+TEST(PackagesTest, EnergiesInTheNaiveBallpark) {
+  // Figure 9: amber/gromacs/namd/gbr6 track the naive energy; tinker
+  // sits near 70% of it.
+  const auto mol = molecule::generate_protein(600, 227);
+  const gb::GBResult naive = gb::compute_gb_energy_naive(mol);
+  PackageConfig config;
+  config.ranks = 2;
+  config.threads = 2;
+  for (const auto& pkg : all_packages()) {
+    const PackageResult res = pkg.run(mol, config);
+    ASSERT_FALSE(res.out_of_memory);
+    const double ratio = res.energy / naive.energy;
+    if (pkg.info().name == "tinkerlike") {
+      EXPECT_GT(ratio, 0.5) << pkg.info().name;
+      EXPECT_LT(ratio, 0.9) << pkg.info().name;
+    } else {
+      EXPECT_GT(ratio, 0.6) << pkg.info().name << " e=" << res.energy
+                            << " naive=" << naive.energy;
+      EXPECT_LT(ratio, 1.5) << pkg.info().name;
+    }
+  }
+}
+
+TEST(PackagesTest, RankCountDoesNotChangeAmberEnergy) {
+  const auto mol = molecule::generate_protein(500, 229);
+  const Package amber = make_amberlike();
+  PackageConfig c1, c4;
+  c1.ranks = 1;
+  c4.ranks = 4;
+  const double e1 = amber.run(mol, c1).energy;
+  const double e4 = amber.run(mol, c4).energy;
+  EXPECT_NEAR(e1, e4, 1e-9 * std::abs(e1));
+}
+
+TEST(PackagesTest, TinkerAndGbr6RefuseLargeMolecules) {
+  // Thresholds calibrated to the paper: Tinker dies beyond ~12k atoms,
+  // GBr6 beyond ~13k, on a 24 GB budget. Use a fabricated huge atom
+  // count with a tiny budget to keep the test fast.
+  molecule::Molecule big = molecule::generate_protein(2000, 231);
+  PackageConfig config;
+  config.ranks = 1;
+  config.threads = 1;
+  config.memory_budget = 100 * 1024;  // 100 KB: force refusal
+  const PackageResult tinker = make_tinkerlike().run(big, config);
+  EXPECT_TRUE(tinker.out_of_memory);
+  EXPECT_NE(tinker.failure.find("pair cache"), std::string::npos);
+  const PackageResult gbr6 = make_gbr6like().run(big, config);
+  EXPECT_TRUE(gbr6.out_of_memory);
+}
+
+TEST(PackagesTest, CalibratedThresholdsMatchThePaper) {
+  // With the default 24 GB budget: 12k atoms fit Tinker's 176 B/pair
+  // cache, 12.3k do not; 13k fit GBr6's 144 B/pair cache, 13.5k do not
+  // -- matching the paper's ">12k" / ">13k" refusal points. Pure
+  // arithmetic check against the guard.
+  const double gib = 1024.0 * 1024.0 * 1024.0;
+  EXPECT_LT(12000.0 * 12000.0 * 176, 24.0 * gib);
+  EXPECT_GT(12300.0 * 12300.0 * 176, 24.0 * gib);
+  EXPECT_LT(13000.0 * 13000.0 * 144, 24.0 * gib);
+  EXPECT_GT(13500.0 * 13500.0 * 144, 24.0 * gib);
+}
+
+}  // namespace
+}  // namespace octgb::baselines

@@ -1,0 +1,138 @@
+// Tests for geom::CellList (previously covered only transitively) and
+// a few cross-cutting gaps: calculator timing fields, PoseScorer under
+// a scheduler pool, ledger accounting of the newer collectives, and
+// perfmodel packing edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/docking/pose_scorer.h"
+#include "src/geom/celllist.h"
+#include "src/gb/calculator.h"
+#include "src/molecule/generators.h"
+#include "src/perfmodel/cluster.h"
+#include "src/simmpi/comm.h"
+#include "src/util/rng.h"
+
+namespace octgb {
+namespace {
+
+TEST(CellListTest, FindsExactlyThePointsInRange) {
+  util::Xoshiro256 rng(31);
+  std::vector<geom::Vec3> pts;
+  for (int i = 0; i < 3000; ++i) {
+    pts.push_back({rng.uniform(-20, 20), rng.uniform(-20, 20),
+                   rng.uniform(-20, 20)});
+  }
+  const geom::CellList cells(pts, 4.0);
+  for (int trial = 0; trial < 15; ++trial) {
+    const geom::Vec3 q{rng.uniform(-22, 22), rng.uniform(-22, 22),
+                       rng.uniform(-22, 22)};
+    const double radius = rng.uniform(0.5, 15.0);  // > cell size too
+    std::set<std::uint32_t> got;
+    cells.for_each_within(q, radius, [&](std::uint32_t id,
+                                         const geom::Vec3&) {
+      // No duplicates allowed.
+      EXPECT_TRUE(got.insert(id).second);
+    });
+    std::set<std::uint32_t> expected;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (geom::distance(pts[i], q) <= radius) {
+        expected.insert(static_cast<std::uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(CellListTest, EmptyAndSinglePoint) {
+  const geom::CellList empty(std::vector<geom::Vec3>{}, 2.0);
+  int calls = 0;
+  empty.for_each_within({0, 0, 0}, 10.0,
+                        [&](std::uint32_t, const geom::Vec3&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  const std::vector<geom::Vec3> one{{1, 2, 3}};
+  const geom::CellList single(one, 2.0);
+  single.for_each_within({1, 2, 3}, 0.0,
+                         [&](std::uint32_t id, const geom::Vec3& p) {
+                           ++calls;
+                           EXPECT_EQ(id, 0u);
+                           EXPECT_EQ(p, geom::Vec3(1, 2, 3));
+                         });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CellListTest, QueryOutsideBoundsIsSafe) {
+  const std::vector<geom::Vec3> pts{{0, 0, 0}, {1, 1, 1}};
+  const geom::CellList cells(pts, 1.0);
+  int calls = 0;
+  cells.for_each_within({1000, 1000, 1000}, 5.0,
+                        [&](std::uint32_t, const geom::Vec3&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Huge radius from far away still finds everything.
+  cells.for_each_within({1000, 1000, 1000}, 2000.0,
+                        [&](std::uint32_t, const geom::Vec3&) { ++calls; });
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(CalculatorTest, TimingFieldsAreConsistent) {
+  const auto mol = molecule::generate_protein(600, 191);
+  const gb::GBResult r = gb::compute_gb_energy(mol);
+  EXPECT_GT(r.t_surface, 0.0);
+  EXPECT_GT(r.t_tree_build, 0.0);
+  EXPECT_GT(r.t_born, 0.0);
+  EXPECT_GT(r.t_epol, 0.0);
+  EXPECT_NEAR(r.total_seconds(),
+              r.t_surface + r.t_tree_build + r.t_born + r.t_epol, 1e-12);
+}
+
+TEST(PoseScorerTest, WorksUnderSchedulerPool) {
+  const auto receptor = molecule::generate_protein(500, 193);
+  const auto ligand = molecule::generate_ligand(30, 195);
+  const docking::PoseScorer serial(receptor, ligand);
+  parallel::WorkStealingPool pool(3);
+  const docking::PoseScorer parallel_scorer(receptor, ligand, {}, &pool);
+  const geom::Rigid pose = geom::Rigid::translate({30, 5, -2});
+  const double a = serial.score(pose).complex_energy;
+  const double b = parallel_scorer.score(pose).complex_energy;
+  EXPECT_NEAR(b, a, 1e-9 * std::abs(a));
+}
+
+TEST(SimMpiLedgerTest, ScatterAndSendrecvAreAccounted) {
+  const auto ledgers = simmpi::run(2, [](simmpi::Comm& comm) {
+    std::vector<double> all(4, 1.0);
+    std::vector<double> mine(2);
+    comm.scatter(std::span<const double>(all), std::span<double>(mine), 0);
+    std::vector<double> theirs(2);
+    comm.sendrecv(std::span<const double>(mine),
+                  std::span<double>(theirs), 1 - comm.rank(), 3);
+  });
+  // scatter = 1 collective; sendrecv = 1 p2p send each.
+  EXPECT_EQ(ledgers[0].collectives, 1u);
+  EXPECT_EQ(ledgers[0].p2p_messages, 1u);
+  EXPECT_EQ(ledgers[0].p2p_bytes, 16u);
+  EXPECT_GT(ledgers[0].modeled_seconds, 0.0);
+}
+
+TEST(PerfModelTest, OverwideRanksStillPack) {
+  // threads_per_rank > cores_per_node: one rank per node.
+  const perfmodel::ClusterSpec spec;  // 12 cores/node
+  perfmodel::Workload w;
+  w.phases.push_back({10.0, 1 << 20});
+  w.data_bytes_per_rank = 1 << 20;
+  const auto run = perfmodel::model_run(spec, w, 4, 24);
+  EXPECT_EQ(run.nodes, 4);
+  EXPECT_GT(run.compute_seconds, 0.0);
+}
+
+TEST(PerfModelTest, ZeroPhaseWorkloadIsFree) {
+  const perfmodel::ClusterSpec spec;
+  perfmodel::Workload w;  // no phases
+  const auto run = perfmodel::model_run(spec, w, 8, 1);
+  EXPECT_DOUBLE_EQ(run.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace octgb

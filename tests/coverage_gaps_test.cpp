@@ -1,0 +1,175 @@
+// Further coverage: stress and boundary cases that the per-module suites
+// leave open -- bin capping, runtime stress on the scheduler and the
+// message runtime, disjoint-component surfaces, octree build knobs, and
+// driver/facade consistency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "src/gb/calculator.h"
+#include "src/gb/epol.h"
+#include "src/gb/naive.h"
+#include "src/molecule/generators.h"
+#include "src/parallel/pool.h"
+#include "src/perfmodel/cluster.h"
+#include "src/runtime/drivers.h"
+#include "src/simmpi/comm.h"
+#include "src/surface/quadrature.h"
+#include "src/util/rng.h"
+
+namespace octgb {
+namespace {
+
+TEST(ChargeBinsCapTest, TinyEpsilonHitsTheCapAndStillConserves) {
+  const auto mol = molecule::generate_protein(400, 211);
+  const auto surf = surface::build_surface(mol);
+  const auto trees = gb::build_born_octrees(mol, surf);
+  const auto born = gb::born_radii_naive_r6(mol, surf);
+  // eps so small the uncapped bin count would be enormous.
+  const auto bins = gb::build_charge_bins(trees.atoms, mol.charges(),
+                                          born.radii, 1e-4,
+                                          /*max_bins=*/16);
+  EXPECT_EQ(bins.num_bins, 16);
+  double total = 0.0;
+  for (int k = 0; k < bins.num_bins; ++k) total += bins.at(0, k);
+  EXPECT_NEAR(total, mol.net_charge(), 1e-9);
+  // Widened effective bins must still cover R_max (no atom binned
+  // out of range): the last bin's lower edge <= R_max.
+  double r_max = 0.0;
+  for (const double r : born.radii) r_max = std::max(r_max, r);
+  const double last_edge =
+      bins.r_min * std::exp((bins.num_bins - 1) / bins.inv_log1p);
+  EXPECT_LE(last_edge, r_max * (1.0 + 1e-9));
+}
+
+TEST(PoolStressTest, RandomTaskGraphCompletes) {
+  parallel::WorkStealingPool pool(4);
+  std::atomic<int> executed{0};
+  util::Xoshiro256 rng(217);
+  // Random fan-out recursion: every spawn increments exactly once.
+  std::function<void(int)> grow = [&](int depth) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    if (depth >= 6) return;
+    parallel::TaskGroup tg(pool);
+    const int kids = 1 + static_cast<int>(rng.below(3));
+    for (int k = 0; k < kids; ++k) {
+      tg.spawn([&grow, depth] { grow(depth + 1); });
+    }
+    tg.wait();
+  };
+  int total_expected = 0;
+  pool.run([&] {
+    for (int root = 0; root < 20; ++root) {
+      const int before = executed.load();
+      grow(0);
+      // Every subtree ran to quiescence before the next root started.
+      EXPECT_GT(executed.load(), before);
+      total_expected = executed.load();
+    }
+  });
+  EXPECT_EQ(executed.load(), total_expected);
+  EXPECT_GE(executed.load(), 20);
+}
+
+TEST(SimMpiStressTest, ManyRanksManyMessages) {
+  // All-to-all p2p mesh: every rank sends one tagged message to every
+  // other rank and receives P-1.
+  constexpr int kP = 8;
+  simmpi::run(kP, [](simmpi::Comm& comm) {
+    for (int dst = 0; dst < comm.size(); ++dst) {
+      if (dst == comm.rank()) continue;
+      const int payload = comm.rank() * 100 + dst;
+      comm.send(std::span<const int>(&payload, 1), dst, 77);
+    }
+    int received = 0;
+    long long sum = 0;
+    while (received < comm.size() - 1) {
+      int value = 0;
+      comm.recv_any(std::span<int>(&value, 1), 77);
+      sum += value;
+      ++received;
+    }
+    // Sum of src*100 + my_rank over all src != me.
+    long long expected = 0;
+    for (int src = 0; src < kP; ++src) {
+      if (src != comm.rank()) expected += src * 100 + comm.rank();
+    }
+    EXPECT_EQ(sum, expected);
+  });
+}
+
+TEST(SurfaceComponentsTest, DisjointMoleculesGetAdditiveSurfaces) {
+  const auto a = molecule::generate_ligand(60, 221);
+  molecule::Molecule b = molecule::generate_ligand(60, 223);
+  b.transform(geom::Rigid::translate({80, 0, 0}));
+
+  const auto surf_a = surface::build_surface(a);
+  const auto surf_b = surface::build_surface(b);
+  molecule::Molecule both = a;
+  both.append(b);
+  const auto surf_both = surface::build_surface(both);
+  // Two far-apart components: areas add (the iso-surface has two
+  // disconnected shells; grids differ slightly, hence the tolerance).
+  EXPECT_NEAR(surf_both.total_area(),
+              surf_a.total_area() + surf_b.total_area(),
+              0.05 * (surf_a.total_area() + surf_b.total_area()));
+}
+
+TEST(OctreeKnobsTest, LeafCapacityOneAndMaxDepth) {
+  const auto mol = molecule::generate_ligand(100, 227);
+  octree::OctreeParams params;
+  params.leaf_capacity = 1;
+  const octree::Octree tree(mol.positions(), params);
+  // Distinct points, capacity 1: every leaf holds exactly one point
+  // (unless the depth cap merges coincident-ish points -- none here).
+  std::size_t singles = 0;
+  for (const auto leaf : tree.leaves()) {
+    if (tree.node(leaf).count() == 1) ++singles;
+  }
+  EXPECT_EQ(singles, tree.num_leaves());
+  EXPECT_EQ(tree.num_leaves(), mol.size());
+
+  params.max_depth = 2;
+  const octree::Octree shallow(mol.positions(), params);
+  EXPECT_LE(shallow.height(), 2);
+}
+
+TEST(DriverFacadeConsistencyTest, OctCilkOneThreadMatchesDualTreeFacade) {
+  const auto mol = molecule::generate_protein(600, 229);
+  gb::CalculatorParams params;
+  const runtime::DriverResult driver = runtime::run_oct_cilk(mol, 1, params);
+  const gb::GBResult facade =
+      gb::compute_gb_energy(mol, params, nullptr, gb::Traversal::kDualTree);
+  EXPECT_NEAR(driver.energy, facade.energy,
+              1e-9 * std::abs(facade.energy));
+}
+
+TEST(DriverFacadeConsistencyTest, OctMpiOneRankMatchesSingleTreeFacade) {
+  const auto mol = molecule::generate_protein(600, 231);
+  gb::CalculatorParams params;
+  const runtime::DriverResult driver = runtime::run_oct_mpi(mol, 1, params);
+  const gb::GBResult facade =
+      gb::compute_gb_energy(mol, params, nullptr,
+                            gb::Traversal::kSingleTree);
+  EXPECT_NEAR(driver.energy, facade.energy,
+              1e-9 * std::abs(facade.energy));
+}
+
+TEST(PerfModelSanityTest, SpeedupNeverExceedsCoreCount) {
+  const perfmodel::ClusterSpec spec;
+  perfmodel::Workload w;
+  w.phases.push_back({30.0, 1 << 20});
+  w.data_bytes_per_rank = 50 << 20;
+  const double t1 = perfmodel::model_run(spec, w, 1, 1).total_seconds();
+  for (const int nodes : {1, 2, 8, 32}) {
+    const int cores = nodes * 12;
+    const double tp =
+        perfmodel::model_run(spec, w, cores, 1).total_seconds();
+    EXPECT_LE(t1 / tp, static_cast<double>(cores) * 1.001)
+        << cores << " cores";
+  }
+}
+
+}  // namespace
+}  // namespace octgb

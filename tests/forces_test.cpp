@@ -1,0 +1,149 @@
+// Tests for the GB force evaluation: the decisive check is F = -grad E
+// against central finite differences of the *full* pipeline (HCT radii
+// recomputed at the displaced geometry).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/baselines/forces.h"
+#include "src/baselines/gbmodels.h"
+#include "src/baselines/nblist.h"
+#include "src/gb/naive.h"
+#include "src/molecule/generators.h"
+
+namespace octgb::baselines {
+namespace {
+
+// Full-pipeline energy at the molecule's current geometry.
+double pipeline_energy(const molecule::Molecule& mol, double cutoff) {
+  const Nblist nblist(mol, cutoff);
+  const auto radii = born_radii_hct(mol, nblist);
+  return gb_energy_and_forces_hct(mol, nblist, radii).energy;
+}
+
+TEST(DescreenDerivativeTest, MatchesFiniteDifferences) {
+  const double h = 1e-6;
+  struct Case {
+    double d, s, rho;
+  };
+  for (const auto& c : {Case{3.0, 1.5, 1.4}, Case{2.4, 1.5, 1.4},
+                        Case{1.2, 2.0, 0.8}, Case{5.0, 1.0, 1.7},
+                        Case{2.0, 1.1, 1.5}}) {
+    const double numeric = (descreen_integral_r4(c.d + h, c.s, c.rho) -
+                            descreen_integral_r4(c.d - h, c.s, c.rho)) /
+                           (2.0 * h);
+    EXPECT_NEAR(descreen_integral_r4_ddist(c.d, c.s, c.rho), numeric,
+                1e-5 * (1.0 + std::abs(numeric)))
+        << "d=" << c.d << " s=" << c.s << " rho=" << c.rho;
+  }
+}
+
+TEST(DescreenDerivativeTest, ZeroOutsideSupport) {
+  EXPECT_DOUBLE_EQ(descreen_integral_r4_ddist(10.0, 1.0, 12.0), 0.0);
+  EXPECT_DOUBLE_EQ(descreen_integral_r4_ddist(3.0, 0.0, 1.0), 0.0);
+}
+
+TEST(GBForcesTest, MatchFiniteDifferenceGradient) {
+  // Small cluster with no clamped radii; forces must equal -dE/dx of
+  // the full pipeline (radii recomputed per displacement).
+  const auto mol = molecule::generate_ligand(12, 5);
+  const double cutoff = 30.0;  // everything interacts
+  const Nblist nblist(mol, cutoff);
+  const auto radii = born_radii_hct(mol, nblist);
+  for (const double r : radii) {
+    ASSERT_LT(r, 29.0) << "test premise: no clamped radii";
+  }
+  const GBForceResult res =
+      gb_energy_and_forces_hct(mol, nblist, radii);
+
+  const double h = 1e-5;
+  for (std::size_t a = 0; a < mol.size(); a += 3) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto displaced = [&](double delta) {
+        molecule::Molecule copy = mol;
+        geom::Vec3 shift{};
+        shift[static_cast<std::size_t>(axis)] = delta;
+        // Rebuild with the one atom moved.
+        molecule::Molecule moved("moved");
+        for (std::size_t i = 0; i < copy.size(); ++i) {
+          auto atom = copy.atom(i);
+          if (i == a) atom.position += shift;
+          moved.add_atom(atom);
+        }
+        return pipeline_energy(moved, cutoff);
+      };
+      const double grad = (displaced(h) - displaced(-h)) / (2.0 * h);
+      const double force = res.forces[a][static_cast<std::size_t>(axis)];
+      EXPECT_NEAR(force, -grad, 1e-4 * (1.0 + std::abs(grad)))
+          << "atom " << a << " axis " << axis;
+    }
+  }
+}
+
+TEST(GBForcesTest, NetForceIsZero) {
+  // Translation invariance: internal forces sum to zero.
+  const auto mol = molecule::generate_protein(300, 11);
+  const Nblist nblist(mol, 12.0);
+  const auto radii = born_radii_hct(mol, nblist);
+  const GBForceResult res =
+      gb_energy_and_forces_hct(mol, nblist, radii);
+  geom::Vec3 net;
+  double scale = 0.0;
+  for (const auto& f : res.forces) {
+    net += f;
+    scale += f.norm();
+  }
+  EXPECT_LT(net.norm(), 1e-9 * (1.0 + scale));
+}
+
+TEST(GBForcesTest, EnergyMatchesEnergyOnlyPath) {
+  const auto mol = molecule::generate_protein(400, 13);
+  const Nblist nblist(mol, 12.0);
+  const auto radii = born_radii_hct(mol, nblist);
+  const GBForceResult res =
+      gb_energy_and_forces_hct(mol, nblist, radii);
+  // Independent energy evaluation from the same radii.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    sum += mol.charges()[i] * mol.charges()[i] / radii[i];
+    for (const auto j : nblist.neighbors_of(i)) {
+      sum += gb::gb_pair_term(
+          mol.charges()[i], mol.charges()[j],
+          geom::distance2(mol.positions()[i], mol.positions()[j]),
+          radii[i], radii[j]);
+    }
+  }
+  const gb::Physics phys;
+  EXPECT_NEAR(res.energy, -0.5 * phys.tau() * phys.coulomb_k * sum,
+              1e-9 * std::abs(res.energy));
+}
+
+TEST(GBForcesTest, SegmentsSumToWholeForces) {
+  const auto mol = molecule::generate_protein(500, 17);
+  const Nblist nblist(mol, 10.0);
+  const auto radii = born_radii_hct(mol, nblist);
+  const GBForceResult whole =
+      gb_energy_and_forces_hct(mol, nblist, radii);
+
+  std::vector<geom::Vec3> merged(mol.size());
+  double energy = 0.0;
+  const std::size_t step = mol.size() / 3 + 1;
+  for (std::size_t lo = 0; lo < mol.size(); lo += step) {
+    const GBForceResult part = gb_energy_and_forces_hct(
+        mol, nblist, radii, {}, {}, lo, std::min(lo + step, mol.size()));
+    energy += part.energy;
+    for (std::size_t i = 0; i < mol.size(); ++i) {
+      merged[i] += part.forces[i];
+    }
+  }
+  EXPECT_NEAR(energy, whole.energy, 1e-9 * std::abs(whole.energy));
+  for (std::size_t i = 0; i < mol.size(); i += 29) {
+    EXPECT_NEAR(merged[i].x, whole.forces[i].x,
+                1e-9 * (1.0 + std::abs(whole.forces[i].x)));
+    EXPECT_NEAR(merged[i].y, whole.forces[i].y,
+                1e-9 * (1.0 + std::abs(whole.forces[i].y)));
+  }
+}
+
+}  // namespace
+}  // namespace octgb::baselines

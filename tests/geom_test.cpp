@@ -1,0 +1,224 @@
+// Unit tests for src/geom: vectors, boxes, spheres, transforms, Morton.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/geom/aabb.h"
+#include "src/geom/morton.h"
+#include "src/geom/sphere.h"
+#include "src/geom/transform.h"
+#include "src/geom/vec3.h"
+#include "src/util/rng.h"
+
+namespace octgb::geom {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3Test, DotCrossNorm) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_EQ(Vec3(1, 0, 0).cross(Vec3(0, 1, 0)), Vec3(0, 0, 1));
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).norm2(), 25.0);
+}
+
+TEST(Vec3Test, NormalizedUnitLength) {
+  const Vec3 v{1, -2, 2.5};
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-14);
+}
+
+TEST(Vec3Test, NormalizedZeroVectorStaysZero) {
+  EXPECT_EQ(Vec3().normalized(), Vec3());
+}
+
+TEST(Vec3Test, CompoundOps) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+  v /= 3.0;
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+}
+
+TEST(AabbTest, DefaultIsEmpty) {
+  Aabb box;
+  EXPECT_TRUE(box.empty());
+  box.extend({0, 0, 0});
+  EXPECT_FALSE(box.empty());
+}
+
+TEST(AabbTest, ExtendAccumulates) {
+  Aabb box;
+  box.extend({1, 5, -2});
+  box.extend({-3, 2, 4});
+  EXPECT_EQ(box.lo, Vec3(-3, 2, -2));
+  EXPECT_EQ(box.hi, Vec3(1, 5, 4));
+  EXPECT_EQ(box.center(), Vec3(-1, 3.5, 1));
+  EXPECT_DOUBLE_EQ(box.max_extent(), 6.0);
+}
+
+TEST(AabbTest, ContainsAndPadding) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_TRUE(box.contains({0.5, 0.5, 0.5}));
+  EXPECT_TRUE(box.contains({0, 0, 0}));
+  EXPECT_FALSE(box.contains({1.01, 0.5, 0.5}));
+  EXPECT_TRUE(box.padded(0.1).contains({1.05, 0.5, 0.5}));
+}
+
+TEST(AabbTest, BoundingCubeIsCubeAndCovers) {
+  const Aabb box{{0, 0, 0}, {4, 2, 1}};
+  const Aabb cube = box.bounding_cube();
+  const Vec3 s = cube.size();
+  EXPECT_DOUBLE_EQ(s.x, 4.0);
+  EXPECT_DOUBLE_EQ(s.y, 4.0);
+  EXPECT_DOUBLE_EQ(s.z, 4.0);
+  EXPECT_TRUE(cube.contains(box.lo));
+  EXPECT_TRUE(cube.contains(box.hi));
+}
+
+TEST(AabbTest, OctantsPartitionTheCube) {
+  const Aabb cube{{0, 0, 0}, {2, 2, 2}};
+  // Every octant has half the extent, and each cube corner belongs to the
+  // octant whose bits match its coordinates.
+  for (int oct = 0; oct < 8; ++oct) {
+    const Aabb o = cube.octant(oct);
+    EXPECT_DOUBLE_EQ(o.max_extent(), 1.0);
+    const Vec3 corner{(oct & 1) ? 2.0 : 0.0, (oct & 2) ? 2.0 : 0.0,
+                      (oct & 4) ? 2.0 : 0.0};
+    EXPECT_TRUE(o.contains(corner)) << "octant " << oct;
+  }
+}
+
+TEST(SphereTest, EnclosingSphereAtCenter) {
+  const std::vector<Vec3> pts{{1, 0, 0}, {-2, 0, 0}, {0, 1.5, 0}};
+  const Sphere s = enclosing_sphere_at({0, 0, 0}, pts);
+  EXPECT_DOUBLE_EQ(s.radius, 2.0);
+  for (const auto& p : pts) EXPECT_TRUE(s.contains(p));
+}
+
+TEST(SphereTest, RitterCoversAllPoints) {
+  util::Xoshiro256 rng(42);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.uniform(-3, 7), rng.uniform(0, 2), rng.uniform(-9, 1)});
+  }
+  const Sphere s = ritter_sphere(pts);
+  for (const auto& p : pts) EXPECT_TRUE(s.contains(p, 1e-9));
+  // Ritter is within ~5% of optimal; at minimum it should not be more
+  // than 1.5x the half-diagonal of the bounding box.
+  Aabb box;
+  for (const auto& p : pts) box.extend(p);
+  EXPECT_LE(s.radius, 0.75 * box.size().norm() * 1.5);
+}
+
+TEST(SphereTest, RitterEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(ritter_sphere({}).radius, 0.0);
+  const std::vector<Vec3> one{{1, 2, 3}};
+  const Sphere s = ritter_sphere(one);
+  EXPECT_DOUBLE_EQ(s.radius, 0.0);
+  EXPECT_EQ(s.center, Vec3(1, 2, 3));
+}
+
+TEST(TransformTest, AxisAngleRotatesQuarterTurn) {
+  const Mat3 r = Mat3::axis_angle({0, 0, 1}, kPi / 2);
+  const Vec3 v = r.apply({1, 0, 0});
+  EXPECT_NEAR(v.x, 0.0, 1e-14);
+  EXPECT_NEAR(v.y, 1.0, 1e-14);
+  EXPECT_NEAR(v.z, 0.0, 1e-14);
+}
+
+TEST(TransformTest, RotationPreservesLengthsAndAngles) {
+  util::Xoshiro256 rng(7);
+  const Mat3 r = Mat3::euler_zyx(0.3, -1.1, 2.0);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 a{rng.normal(), rng.normal(), rng.normal()};
+    const Vec3 b{rng.normal(), rng.normal(), rng.normal()};
+    EXPECT_NEAR(r.apply(a).norm(), a.norm(), 1e-12);
+    EXPECT_NEAR(r.apply(a).dot(r.apply(b)), a.dot(b), 1e-10);
+  }
+}
+
+TEST(TransformTest, ComposeMatchesSequentialApplication) {
+  const Rigid a{Mat3::axis_angle({1, 2, 3}, 0.7), {1, -2, 0.5}};
+  const Rigid b{Mat3::axis_angle({-1, 0, 1}, -1.3), {0, 3, 3}};
+  const Vec3 p{0.2, -0.4, 0.9};
+  const Vec3 composed = (a * b).apply(p);
+  const Vec3 sequential = a.apply(b.apply(p));
+  EXPECT_NEAR(composed.x, sequential.x, 1e-12);
+  EXPECT_NEAR(composed.y, sequential.y, 1e-12);
+  EXPECT_NEAR(composed.z, sequential.z, 1e-12);
+}
+
+TEST(TransformTest, InverseRoundTrips) {
+  const Rigid t{Mat3::euler_zyx(1.0, 0.5, -0.25), {4, 5, 6}};
+  const Vec3 p{1, 2, 3};
+  const Vec3 q = t.inverse().apply(t.apply(p));
+  EXPECT_NEAR(q.x, p.x, 1e-12);
+  EXPECT_NEAR(q.y, p.y, 1e-12);
+  EXPECT_NEAR(q.z, p.z, 1e-12);
+}
+
+TEST(TransformTest, RotateAboutPivotFixesPivot) {
+  const Vec3 pivot{3, -1, 2};
+  const Rigid t = Rigid::rotate_about(pivot, Mat3::axis_angle({0, 1, 0}, 1.1));
+  const Vec3 q = t.apply(pivot);
+  EXPECT_NEAR(q.x, pivot.x, 1e-12);
+  EXPECT_NEAR(q.y, pivot.y, 1e-12);
+  EXPECT_NEAR(q.z, pivot.z, 1e-12);
+}
+
+TEST(MortonTest, SpreadCompactRoundTrip) {
+  for (std::uint32_t v : {0u, 1u, 7u, 12345u, (1u << 21) - 1}) {
+    EXPECT_EQ(morton_compact(morton_spread(v)), v);
+  }
+}
+
+TEST(MortonTest, EncodeDecodeRoundTrip) {
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.below(1u << 21));
+    const auto y = static_cast<std::uint32_t>(rng.below(1u << 21));
+    const auto z = static_cast<std::uint32_t>(rng.below(1u << 21));
+    std::uint32_t dx, dy, dz;
+    morton_decode(morton_encode(x, y, z), dx, dy, dz);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+    EXPECT_EQ(dz, z);
+  }
+}
+
+TEST(MortonTest, OrderRespectsOctantHierarchy) {
+  // All points in the low-x/low-y/low-z octant must sort before all
+  // points in the high octant.
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  const std::uint64_t low = morton_code({0.2, 0.2, 0.2}, box);
+  const std::uint64_t high = morton_code({0.8, 0.8, 0.8}, box);
+  const std::uint64_t mixed = morton_code({0.4, 0.4, 0.4}, box);
+  EXPECT_LT(low, mixed);
+  EXPECT_LT(mixed, high);
+}
+
+TEST(MortonTest, ClampsOutOfBoxPoints) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_EQ(morton_code({-5, -5, -5}, box), morton_code({0, 0, 0}, box));
+  EXPECT_EQ(morton_code({9, 9, 9}, box), morton_code({1, 1, 1}, box));
+}
+
+}  // namespace
+}  // namespace octgb::geom

@@ -1,0 +1,220 @@
+// Tests for src/molecule: Molecule container, PQR/XYZR round-trips, and
+// the synthetic workload generators (density, determinism, geometry).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "src/geom/sphere.h"
+#include "src/molecule/generators.h"
+#include "src/molecule/io.h"
+#include "src/molecule/molecule.h"
+
+namespace octgb::molecule {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(MoleculeTest, AddAndQueryAtoms) {
+  Molecule mol("m");
+  mol.add_atom({{1, 2, 3}, 1.5, -0.3, Element::O});
+  mol.add_atom({{-1, 0, 2}, 1.2, 0.3, Element::H});
+  ASSERT_EQ(mol.size(), 2u);
+  EXPECT_EQ(mol.atom(0).position, geom::Vec3(1, 2, 3));
+  EXPECT_DOUBLE_EQ(mol.atom(0).radius, 1.5);
+  EXPECT_DOUBLE_EQ(mol.atom(1).charge, 0.3);
+  EXPECT_EQ(mol.atom(1).element, Element::H);
+  EXPECT_NEAR(mol.net_charge(), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(mol.max_radius(), 1.5);
+  EXPECT_EQ(mol.centroid(), geom::Vec3(0, 1, 2.5));
+}
+
+TEST(MoleculeTest, BoundsAndTransform) {
+  Molecule mol;
+  mol.add_atom({{0, 0, 0}, 1, 0, Element::C});
+  mol.add_atom({{2, 4, 6}, 1, 0, Element::C});
+  const auto box = mol.center_bounds();
+  EXPECT_EQ(box.lo, geom::Vec3(0, 0, 0));
+  EXPECT_EQ(box.hi, geom::Vec3(2, 4, 6));
+
+  mol.transform(geom::Rigid::translate({1, 1, 1}));
+  EXPECT_EQ(mol.atom(0).position, geom::Vec3(1, 1, 1));
+  EXPECT_EQ(mol.atom(1).position, geom::Vec3(3, 5, 7));
+}
+
+TEST(MoleculeTest, TransformPreservesInternalDistances) {
+  Molecule mol = generate_ligand(30, 5);
+  const double d01 =
+      geom::distance(mol.atom(0).position, mol.atom(1).position);
+  mol.transform({geom::Mat3::euler_zyx(0.5, 1.0, -0.7), {10, -3, 2}});
+  EXPECT_NEAR(geom::distance(mol.atom(0).position, mol.atom(1).position),
+              d01, 1e-12);
+}
+
+TEST(MoleculeTest, AppendConcatenates) {
+  Molecule a = generate_ligand(10, 1);
+  const Molecule b = generate_ligand(20, 2);
+  const std::size_t na = a.size();
+  a.append(b);
+  EXPECT_EQ(a.size(), na + b.size());
+  EXPECT_EQ(a.atom(na).position, b.atom(0).position);
+}
+
+TEST(MoleculeIoTest, PqrRoundTrip) {
+  const Molecule mol = generate_protein(100, 77);
+  std::stringstream ss;
+  write_pqr(ss, mol);
+  const Molecule back = read_pqr(ss);
+  ASSERT_EQ(back.size(), mol.size());
+  for (std::size_t i = 0; i < mol.size(); i += 13) {
+    EXPECT_NEAR(back.atom(i).position.x, mol.atom(i).position.x, 1e-4);
+    EXPECT_NEAR(back.atom(i).charge, mol.atom(i).charge, 1e-4);
+    EXPECT_NEAR(back.atom(i).radius, mol.atom(i).radius, 1e-4);
+    EXPECT_EQ(back.atom(i).element, mol.atom(i).element);
+  }
+}
+
+TEST(MoleculeIoTest, PqrMalformedThrows) {
+  std::stringstream ss("ATOM 1 C GLY 1 notanumber 2 3 0.1 1.7\n");
+  EXPECT_THROW(read_pqr(ss), std::runtime_error);
+}
+
+TEST(MoleculeIoTest, PqrSkipsNonAtomRecords) {
+  std::stringstream ss(
+      "REMARK hello\nATOM 1 C GLY 1 1 2 3 0.5 1.7\nTER\nEND\n");
+  const Molecule mol = read_pqr(ss);
+  ASSERT_EQ(mol.size(), 1u);
+  EXPECT_DOUBLE_EQ(mol.atom(0).charge, 0.5);
+}
+
+TEST(MoleculeIoTest, XyzrRoundTripIsExact) {
+  const Molecule mol = generate_protein(64, 3);
+  std::stringstream ss;
+  write_xyzr(ss, mol);
+  const Molecule back = read_xyzr(ss);
+  ASSERT_EQ(back.size(), mol.size());
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.atom(i).position.x, mol.atom(i).position.x);
+    EXPECT_DOUBLE_EQ(back.atom(i).charge, mol.atom(i).charge);
+    EXPECT_DOUBLE_EQ(back.atom(i).radius, mol.atom(i).radius);
+  }
+}
+
+TEST(MoleculeIoTest, XyzrChargeOptional) {
+  std::stringstream ss("# comment\n1 2 3 1.5\n4 5 6 1.2 -0.25\n");
+  const Molecule mol = read_xyzr(ss);
+  ASSERT_EQ(mol.size(), 2u);
+  EXPECT_DOUBLE_EQ(mol.atom(0).charge, 0.0);
+  EXPECT_DOUBLE_EQ(mol.atom(1).charge, -0.25);
+}
+
+TEST(ElementTest, RadiiAreChemicallySensible) {
+  EXPECT_LT(vdw_radius(Element::H), vdw_radius(Element::C));
+  EXPECT_GT(vdw_radius(Element::S), vdw_radius(Element::O));
+  for (Element e : {Element::H, Element::C, Element::N, Element::O,
+                    Element::S, Element::P}) {
+    EXPECT_GT(vdw_radius(e), 1.0);
+    EXPECT_LT(vdw_radius(e), 2.2);
+    EXPECT_EQ(element_from_symbol(element_symbol(e)), e);
+  }
+}
+
+TEST(GeneratorTest, ProteinHasRequestedSize) {
+  for (std::size_t n : {1u, 7u, 400u, 2500u}) {
+    EXPECT_EQ(generate_protein(n, 9).size(), n);
+  }
+  EXPECT_TRUE(generate_protein(0, 9).empty());
+}
+
+TEST(GeneratorTest, ProteinIsDeterministic) {
+  const Molecule a = generate_protein(500, 123);
+  const Molecule b = generate_protein(500, 123);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.atom(i).position.x, b.atom(i).position.x);
+    EXPECT_DOUBLE_EQ(a.atom(i).charge, b.atom(i).charge);
+  }
+  const Molecule c = generate_protein(500, 124);
+  EXPECT_NE(a.atom(0).position.x, c.atom(0).position.x);
+}
+
+TEST(GeneratorTest, ProteinNetChargeIsZero) {
+  EXPECT_NEAR(generate_protein(1000, 5).net_charge(), 0.0, 1e-9);
+  EXPECT_NEAR(generate_capsid(1000, 5).net_charge(), 0.0, 1e-9);
+}
+
+TEST(GeneratorTest, ProteinDensityIsProteinLike) {
+  const std::size_t n = 4000;
+  const Molecule mol = generate_protein(n, 11);
+  const geom::Sphere s = geom::ritter_sphere(
+      std::vector<geom::Vec3>(mol.positions().begin(), mol.positions().end()));
+  const double volume = 4.0 / 3.0 * kPi * std::pow(s.radius, 3);
+  const double density = static_cast<double>(n) / volume;
+  // Target 0.09 atoms/A^3; the enclosing sphere overestimates volume
+  // (residue spread pushes the hull out), so allow a generous band.
+  EXPECT_GT(density, 0.03);
+  EXPECT_LT(density, 0.2);
+}
+
+TEST(GeneratorTest, CapsidIsHollowShell) {
+  const std::size_t n = 20000;
+  const double thickness = 25.0;
+  const Molecule mol = generate_capsid(n, 13, thickness);
+  ASSERT_EQ(mol.size(), n);
+  // All atoms should lie in a thin radial band around the mid radius,
+  // and essentially none near the center (hollow).
+  const geom::Vec3 c = mol.centroid();
+  double min_r = 1e300, max_r = 0.0;
+  for (const auto& p : mol.positions()) {
+    const double r = geom::distance(p, c);
+    min_r = std::min(min_r, r);
+    max_r = std::max(max_r, r);
+  }
+  EXPECT_GT(min_r, 10.0);  // hollow center
+  const double band = max_r - min_r;
+  EXPECT_LT(band, thickness + 20.0);  // thin shell (residue spread slack)
+  EXPECT_GT(max_r, 40.0);             // actually virus-sized
+}
+
+TEST(GeneratorTest, CapsidGrowsWithAtomCount) {
+  auto shell_radius = [](std::size_t n) {
+    const Molecule m = generate_capsid(n, 1);
+    const geom::Vec3 c = m.centroid();
+    double sum = 0.0;
+    for (const auto& p : m.positions()) sum += geom::distance(p, c);
+    return sum / static_cast<double>(m.size());
+  };
+  EXPECT_GT(shell_radius(20000), shell_radius(5000) * 1.5);
+}
+
+TEST(GeneratorTest, SuiteSpansPaperSizeRange) {
+  const auto suite = zdock_suite_spec();
+  ASSERT_EQ(suite.size(), 84u);
+  EXPECT_EQ(suite.front().num_atoms, 400u);
+  EXPECT_EQ(suite.back().num_atoms, 16301u);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_GE(suite[i].num_atoms, 350u);
+    EXPECT_LE(suite[i].num_atoms, 16301u);
+    EXPECT_EQ(suite[i].name.size(), 4u);
+  }
+  // Monotone-ish growth (jitter allows local inversions but the trend
+  // must hold across octaves).
+  EXPECT_LT(suite[10].num_atoms, suite[60].num_atoms);
+}
+
+TEST(GeneratorTest, SuiteMoleculeMatchesSpec) {
+  const auto suite = zdock_suite_spec(5);
+  const Molecule mol = generate_suite_molecule(suite[2]);
+  EXPECT_EQ(mol.size(), suite[2].num_atoms);
+  EXPECT_EQ(mol.name(), suite[2].name);
+}
+
+TEST(GeneratorTest, LigandIsSmallAndCompact) {
+  const Molecule lig = generate_ligand(40, 2);
+  EXPECT_EQ(lig.size(), 40u);
+  EXPECT_LT(lig.center_bounds().max_extent(), 40.0);
+}
+
+}  // namespace
+}  // namespace octgb::molecule

@@ -1,0 +1,188 @@
+// Tests for the linear octree: structural invariants, aggregates,
+// Morton-contiguity, and the properties the paper's algorithms rely on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/molecule/generators.h"
+#include "src/octree/octree.h"
+#include "src/util/rng.h"
+
+namespace octgb::octree {
+namespace {
+
+std::vector<geom::Vec3> random_points(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<geom::Vec3> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(-10, 10), rng.uniform(-5, 15),
+                   rng.uniform(0, 30)});
+  }
+  return pts;
+}
+
+// Recursively checks structural invariants; returns the set of sorted
+// positions covered by leaves beneath `idx`.
+void check_node(const Octree& tree, std::uint32_t idx,
+                std::vector<int>& coverage,
+                std::span<const geom::Vec3> pts) {
+  const Node& n = tree.node(idx);
+  EXPECT_LT(n.begin, n.end + 1u);
+  // Radius covers every point under the node.
+  for (std::uint32_t i = n.begin; i < n.end; ++i) {
+    const auto& p = pts[tree.point_index()[i]];
+    EXPECT_LE(geom::distance(n.center, p), n.radius + 1e-9);
+  }
+  if (n.leaf) {
+    for (std::uint32_t i = n.begin; i < n.end; ++i) ++coverage[i];
+    return;
+  }
+  // Children partition the parent's range.
+  std::uint32_t covered = 0;
+  for (auto c : n.children) {
+    if (c == Node::kInvalid) continue;
+    const Node& child = tree.node(c);
+    EXPECT_EQ(child.parent, idx);
+    EXPECT_EQ(child.depth, n.depth + 1);
+    EXPECT_GE(child.begin, n.begin);
+    EXPECT_LE(child.end, n.end);
+    covered += child.end - child.begin;
+    check_node(tree, c, coverage, pts);
+  }
+  EXPECT_EQ(covered, n.end - n.begin);
+}
+
+TEST(OctreeTest, EmptyTree) {
+  const Octree tree{std::span<const geom::Vec3>{}};
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.num_points(), 0u);
+  EXPECT_EQ(tree.num_leaves(), 0u);
+}
+
+TEST(OctreeTest, SinglePoint) {
+  const std::vector<geom::Vec3> pts{{1, 2, 3}};
+  const Octree tree{pts};
+  ASSERT_EQ(tree.num_nodes(), 1u);
+  EXPECT_TRUE(tree.root().leaf);
+  EXPECT_EQ(tree.root().center, geom::Vec3(1, 2, 3));
+  EXPECT_DOUBLE_EQ(tree.root().radius, 0.0);
+}
+
+TEST(OctreeTest, StructuralInvariantsRandomCloud) {
+  const auto pts = random_points(5000, 21);
+  OctreeParams params;
+  params.leaf_capacity = 16;
+  const Octree tree(pts, params);
+  EXPECT_EQ(tree.num_points(), pts.size());
+
+  std::vector<int> coverage(pts.size(), 0);
+  check_node(tree, tree.root_index(), coverage, pts);
+  // Every sorted position is covered by exactly one leaf.
+  for (std::size_t i = 0; i < coverage.size(); ++i) {
+    ASSERT_EQ(coverage[i], 1) << "sorted position " << i;
+  }
+}
+
+TEST(OctreeTest, PointIndexIsAPermutation) {
+  const auto pts = random_points(3000, 5);
+  const Octree tree(pts);
+  std::set<std::uint32_t> seen(tree.point_index().begin(),
+                               tree.point_index().end());
+  EXPECT_EQ(seen.size(), pts.size());
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), pts.size() - 1);
+}
+
+TEST(OctreeTest, LeavesRespectCapacity) {
+  const auto pts = random_points(10000, 8);
+  OctreeParams params;
+  params.leaf_capacity = 24;
+  const Octree tree(pts, params);
+  std::size_t total = 0;
+  for (auto leaf_idx : tree.leaves()) {
+    const Node& leaf = tree.node(leaf_idx);
+    EXPECT_TRUE(leaf.leaf);
+    EXPECT_LE(leaf.count(), params.leaf_capacity);
+    EXPECT_GT(leaf.count(), 0u);
+    total += leaf.count();
+  }
+  EXPECT_EQ(total, pts.size());
+}
+
+TEST(OctreeTest, LeavesAreContiguousAndOrdered) {
+  // Leaf ranges in DFS order must tile [0, n) without gaps -- this is
+  // what lets the drivers statically partition leaves across ranks while
+  // keeping each rank's atom accesses contiguous.
+  const auto pts = random_points(4000, 99);
+  const Octree tree(pts);
+  std::uint32_t cursor = 0;
+  for (auto leaf_idx : tree.leaves()) {
+    const Node& leaf = tree.node(leaf_idx);
+    EXPECT_EQ(leaf.begin, cursor);
+    cursor = leaf.end;
+  }
+  EXPECT_EQ(cursor, pts.size());
+}
+
+TEST(OctreeTest, DuplicatePointsTerminateViaDepthCap) {
+  std::vector<geom::Vec3> pts(100, geom::Vec3{1, 1, 1});
+  OctreeParams params;
+  params.leaf_capacity = 4;
+  const Octree tree(pts, params);
+  EXPECT_EQ(tree.num_points(), 100u);
+  EXPECT_LE(tree.height(), params.max_depth);
+  std::size_t total = 0;
+  for (auto leaf_idx : tree.leaves()) total += tree.node(leaf_idx).count();
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(OctreeTest, DepthGrowsLogarithmically) {
+  OctreeParams params;
+  params.leaf_capacity = 8;
+  const Octree small(random_points(500, 3), params);
+  const Octree large(random_points(50000, 3), params);
+  EXPECT_GT(large.height(), small.height());
+  // For uniform points, height ~ log8(n / leaf). 50k/8 ~ 6250 -> ~5-9.
+  EXPECT_LE(large.height(), 14);
+}
+
+TEST(OctreeTest, MemoryIsLinearInPoints) {
+  OctreeParams params;
+  const Octree t1(random_points(10000, 4), params);
+  const Octree t2(random_points(40000, 4), params);
+  // 4x points -> memory within ~8x (tree shape noise) but definitely not
+  // quadratic (16x).
+  EXPECT_LT(t2.memory_bytes(),
+            t1.memory_bytes() * 10);
+  EXPECT_GT(t2.memory_bytes(), t1.memory_bytes());
+}
+
+TEST(OctreeTest, WorksOnRealisticMolecule) {
+  const auto mol = molecule::generate_protein(8000, 17);
+  const Octree tree(mol.positions());
+  EXPECT_EQ(tree.num_points(), 8000u);
+  EXPECT_GT(tree.num_leaves(), 8000u / 64);
+  // Root sphere covers the whole molecule.
+  const Node& root = tree.root();
+  for (const auto& p : mol.positions()) {
+    EXPECT_LE(geom::distance(root.center, p), root.radius + 1e-9);
+  }
+}
+
+TEST(OctreeTest, HollowShellMakesDeeperTreesThanBlob) {
+  // Same atom count: the capsid spreads over a much larger cube, so the
+  // octree needs more depth to reach leaf capacity -- the geometric
+  // effect the virus workloads exercise.
+  const auto blob = molecule::generate_protein(20000, 7);
+  const auto shell = molecule::generate_capsid(20000, 7);
+  OctreeParams params;
+  params.leaf_capacity = 16;
+  const Octree tb(blob.positions(), params);
+  const Octree ts(shell.positions(), params);
+  EXPECT_GE(ts.height(), tb.height());
+}
+
+}  // namespace
+}  // namespace octgb::octree

@@ -1,0 +1,322 @@
+// Tests for the work-stealing scheduler: deque semantics, fork-join
+// correctness, parallel_for coverage, and stealing behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "src/parallel/deque.h"
+#include "src/parallel/pool.h"
+
+namespace octgb::parallel {
+namespace {
+
+TEST(ChaseLevDequeTest, LifoForOwner) {
+  ChaseLevDeque<int> dq;
+  int a = 1, b = 2, c = 3;
+  dq.push_bottom(&a);
+  dq.push_bottom(&b);
+  dq.push_bottom(&c);
+  EXPECT_EQ(dq.pop_bottom(), &c);
+  EXPECT_EQ(dq.pop_bottom(), &b);
+  EXPECT_EQ(dq.pop_bottom(), &a);
+  EXPECT_EQ(dq.pop_bottom(), nullptr);
+}
+
+TEST(ChaseLevDequeTest, FifoForThief) {
+  ChaseLevDeque<int> dq;
+  int a = 1, b = 2;
+  dq.push_bottom(&a);
+  dq.push_bottom(&b);
+  EXPECT_EQ(dq.steal_top(), &a);  // oldest first
+  EXPECT_EQ(dq.steal_top(), &b);
+  EXPECT_EQ(dq.steal_top(), nullptr);
+}
+
+TEST(ChaseLevDequeTest, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int> dq(2);
+  std::vector<int> xs(1000);
+  for (auto& x : xs) dq.push_bottom(&x);
+  EXPECT_EQ(dq.size_approx(), 1000);
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+    EXPECT_EQ(dq.pop_bottom(), &*it);
+  }
+}
+
+TEST(ChaseLevDequeTest, ConcurrentStealersReceiveEachItemOnce) {
+  ChaseLevDeque<int> dq;
+  constexpr int kItems = 20000;
+  std::vector<int> xs(kItems);
+  std::iota(xs.begin(), xs.end(), 0);
+
+  std::atomic<bool> start{false};
+  std::atomic<int> stolen_count{0};
+  std::vector<std::atomic<int>> seen(kItems);
+
+  auto thief = [&] {
+    while (!start.load()) std::this_thread::yield();
+    while (stolen_count.load() < kItems) {
+      if (int* p = dq.steal_top()) {
+        seen[static_cast<std::size_t>(*p)].fetch_add(1);
+        stolen_count.fetch_add(1);
+      }
+    }
+  };
+
+  std::thread t1(thief), t2(thief), t3(thief);
+  for (auto& x : xs) dq.push_bottom(&x);
+  start.store(true);
+  t1.join();
+  t2.join();
+  t3.join();
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ChaseLevDequeTest, OwnerPopsWhileThievesSteal) {
+  ChaseLevDeque<int> dq(4);
+  constexpr int kItems = 50000;
+  std::vector<int> xs(kItems);
+  std::vector<std::atomic<int>> seen(kItems);
+  std::iota(xs.begin(), xs.end(), 0);
+  std::atomic<bool> done{false};
+
+  auto thief = [&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (int* p = dq.steal_top()) {
+        seen[static_cast<std::size_t>(*p)].fetch_add(1);
+      }
+    }
+    while (int* p = dq.steal_top()) {
+      seen[static_cast<std::size_t>(*p)].fetch_add(1);
+    }
+  };
+  std::thread t1(thief), t2(thief);
+
+  // Owner interleaves pushes and pops.
+  for (int i = 0; i < kItems; ++i) {
+    dq.push_bottom(&xs[static_cast<std::size_t>(i)]);
+    if (i % 3 == 0) {
+      if (int* p = dq.pop_bottom()) {
+        seen[static_cast<std::size_t>(*p)].fetch_add(1);
+      }
+    }
+  }
+  while (int* p = dq.pop_bottom()) {
+    seen[static_cast<std::size_t>(*p)].fetch_add(1);
+  }
+  done.store(true, std::memory_order_release);
+  t1.join();
+  t2.join();
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(PoolTest, SerialElisionOutsidePool) {
+  WorkStealingPool pool(2);
+  // TaskGroup used outside pool.run executes inline.
+  std::atomic<int> count{0};
+  TaskGroup tg(pool);
+  tg.spawn([&] { count.fetch_add(1); });
+  tg.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(PoolTest, RunExecutesRoot) {
+  WorkStealingPool pool(1);
+  bool ran = false;
+  pool.run([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(PoolTest, NestedSpawnsAllExecute) {
+  WorkStealingPool pool(4);
+  std::atomic<int> count{0};
+  pool.run([&] {
+    TaskGroup outer(pool);
+    for (int i = 0; i < 10; ++i) {
+      outer.spawn([&] {
+        TaskGroup inner(pool);
+        for (int j = 0; j < 10; ++j) {
+          inner.spawn([&] { count.fetch_add(1); });
+        }
+        inner.wait();
+      });
+    }
+    outer.wait();
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(PoolTest, ParallelForCoversRangeExactlyOnce) {
+  WorkStealingPool pool(4);
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.run([&] {
+    parallel_for(pool, 0, kN, 128, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(PoolTest, ParallelForEmptyAndTinyRanges) {
+  WorkStealingPool pool(2);
+  int calls = 0;
+  pool.run([&] {
+    parallel_for(pool, 5, 5, 10,
+                 [&](std::size_t, std::size_t) { ++calls; });
+  });
+  EXPECT_EQ(calls, 0);
+  std::atomic<std::size_t> total{0};
+  pool.run([&] {
+    parallel_for(pool, 0, 3, 100, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(e - b);
+    });
+  });
+  EXPECT_EQ(total.load(), 3u);
+}
+
+TEST(PoolTest, ParallelForReductionMatchesSerial) {
+  WorkStealingPool pool(3);
+  constexpr std::size_t kN = 200000;
+  std::atomic<long long> sum{0};
+  pool.run([&] {
+    parallel_for(pool, 0, kN, 1000, [&](std::size_t b, std::size_t e) {
+      long long local = 0;
+      for (std::size_t i = b; i < e; ++i) {
+        local += static_cast<long long>(i);
+      }
+      sum.fetch_add(local);
+    });
+  });
+  EXPECT_EQ(sum.load(),
+            static_cast<long long>(kN) * (static_cast<long long>(kN) - 1) / 2);
+}
+
+TEST(PoolTest, ParallelInvokeRunsBoth) {
+  WorkStealingPool pool(2);
+  std::atomic<int> mask{0};
+  pool.run([&] {
+    parallel_invoke(
+        pool, [&] { mask.fetch_or(1); }, [&] { mask.fetch_or(2); });
+  });
+  EXPECT_EQ(mask.load(), 3);
+}
+
+TEST(PoolTest, StealsHappenWithManyWorkers) {
+  WorkStealingPool pool(4);
+  // Spawn chunky leaf tasks so helpers have time to steal even when the
+  // machine has a single physical core (helpers steal whenever the OS
+  // preempts worker 0 mid-run).
+  pool.run([&] {
+    parallel_for(pool, 0, 2000, 1, [&](std::size_t b, std::size_t e) {
+      volatile double sink = 0;
+      for (std::size_t i = b; i < e; ++i) {
+        for (int k = 0; k < 50000; ++k) sink = sink + 1.0;
+      }
+    });
+  });
+  const PoolStats s = pool.stats();
+  EXPECT_GT(s.tasks_executed, 100u);
+  EXPECT_GT(s.successful_steals, 0u);
+}
+
+TEST(PoolTest, SingleWorkerPoolStillCorrect) {
+  WorkStealingPool pool(1);
+  std::vector<int> hits(1000, 0);
+  pool.run([&] {
+    parallel_for(pool, 0, hits.size(), 16, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) ++hits[i];
+    });
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(PoolTest, ParallelReduceSumsExactly) {
+  WorkStealingPool pool(4);
+  constexpr std::size_t kN = 100000;
+  long long result = 0;
+  pool.run([&] {
+    result = parallel_reduce<long long>(
+        pool, 0, kN, 512,
+        [](std::size_t lo, std::size_t hi) {
+          long long s = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            s += static_cast<long long>(i);
+          }
+          return s;
+        },
+        [](long long a, long long b) { return a + b; });
+  });
+  EXPECT_EQ(result,
+            static_cast<long long>(kN) * (static_cast<long long>(kN) - 1) / 2);
+}
+
+TEST(PoolTest, ParallelReduceIsDeterministicForDoubles) {
+  // The combination tree depends only on (begin, end, grain), so
+  // floating-point sums are bit-identical run to run.
+  WorkStealingPool pool(4);
+  std::vector<double> xs(50000);
+  util::Xoshiro256 rng(3);
+  for (auto& x : xs) x = rng.uniform(-1, 1);
+  auto reduce_once = [&] {
+    double r = 0;
+    pool.run([&] {
+      r = parallel_reduce<double>(
+          pool, 0, xs.size(), 64,
+          [&](std::size_t lo, std::size_t hi) {
+            double s = 0;
+            for (std::size_t i = lo; i < hi; ++i) s += xs[i];
+            return s;
+          },
+          [](double a, double b) { return a + b; });
+    });
+    return r;
+  };
+  const double a = reduce_once();
+  const double b = reduce_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(PoolTest, ParallelReduceEmptyRange) {
+  WorkStealingPool pool(2);
+  int calls = 0;
+  pool.run([&] {
+    const int r = parallel_reduce<int>(
+        pool, 7, 7, 4,
+        [&](std::size_t, std::size_t) {
+          ++calls;
+          return 1;
+        },
+        [](int a, int b) { return a + b; });
+    EXPECT_EQ(r, 0);
+  });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(PoolTest, RecursiveFibMatchesSerial) {
+  WorkStealingPool pool(4);
+  // Fork-join Fibonacci, the canonical cilk test program.
+  std::function<long(long)> fib = [&](long n) -> long {
+    if (n < 2) return n;
+    long a = 0, b = 0;
+    TaskGroup tg(pool);
+    tg.spawn([&] { a = fib(n - 1); });
+    b = fib(n - 2);
+    tg.wait();
+    return a + b;
+  };
+  long result = 0;
+  pool.run([&] { result = fib(18); });
+  EXPECT_EQ(result, 2584);
+}
+
+}  // namespace
+}  // namespace octgb::parallel

@@ -1,0 +1,210 @@
+// Property-based sweeps: physical and structural invariants that must
+// hold for every molecule family, size, leaf capacity and epsilon --
+// the cross-cutting guarantees the individual unit tests cannot cover
+// one configuration at a time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <string>
+#include <tuple>
+
+#include "src/gb/calculator.h"
+#include "src/gb/naive.h"
+#include "src/molecule/generators.h"
+#include "src/octree/octree.h"
+#include "src/surface/quadrature.h"
+
+namespace octgb {
+namespace {
+
+enum class Family { kProtein, kCapsid, kLigand };
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kProtein:
+      return "protein";
+    case Family::kCapsid:
+      return "capsid";
+    case Family::kLigand:
+      return "ligand";
+  }
+  return "?";
+}
+
+molecule::Molecule make(Family f, std::size_t atoms, std::uint64_t seed) {
+  switch (f) {
+    case Family::kProtein:
+      return molecule::generate_protein(atoms, seed);
+    case Family::kCapsid:
+      return molecule::generate_capsid(atoms, seed);
+    case Family::kLigand:
+      return molecule::generate_ligand(atoms, seed);
+  }
+  return {};
+}
+
+// ---------- invariants across molecule families and sizes ----------
+
+using FamilySize = std::tuple<Family, std::size_t>;
+
+class MoleculeInvariants : public ::testing::TestWithParam<FamilySize> {};
+
+TEST_P(MoleculeInvariants, PipelineInvariantsHold) {
+  const auto [family, atoms] = GetParam();
+  const molecule::Molecule mol = make(family, atoms, 0xabcdef);
+  ASSERT_EQ(mol.size(), atoms);
+
+  // Generator invariants.
+  EXPECT_NEAR(mol.net_charge(), 0.0, 1e-9);
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    EXPECT_GT(mol.atom(i).radius, 1.0);
+    EXPECT_LT(mol.atom(i).radius, 2.2);
+    EXPECT_LT(std::abs(mol.atom(i).charge), 2.0);
+  }
+
+  // Surface invariants: positive weights, unit normals, sane area.
+  surface::SurfaceParams sp;
+  if (family == Family::kCapsid) {
+    sp.mesh_atom_limit = 0;  // shells use the O(N) path
+    sp.sphere_points = 8;
+  }
+  const auto surf = surface::build_surface(mol, sp);
+  ASSERT_GT(surf.size(), 0u);
+  double area = 0.0;
+  for (std::size_t q = 0; q < surf.size(); ++q) {
+    ASSERT_GT(surf.weights[q], 0.0);
+    ASSERT_NEAR(surf.normals[q].norm(), 1.0, 1e-9);
+    area += surf.weights[q];
+  }
+  EXPECT_GT(area, 4.0 * std::numbers::pi);  // at least one atom's worth
+
+  // GB invariants: R >= vdW radius, E_pol < 0, finite.
+  gb::CalculatorParams params;
+  params.surface = sp;
+  const gb::GBResult result = gb::compute_gb_energy(mol, params);
+  ASSERT_EQ(result.born_radii.size(), mol.size());
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    ASSERT_GE(result.born_radii[i], mol.atom(i).radius - 1e-12)
+        << family_name(family) << " atom " << i;
+    ASSERT_LT(result.born_radii[i], 1e4);
+  }
+  EXPECT_LT(result.energy, 0.0);
+  EXPECT_TRUE(std::isfinite(result.energy));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSizes, MoleculeInvariants,
+    ::testing::Values(FamilySize{Family::kProtein, 200},
+                      FamilySize{Family::kProtein, 1000},
+                      FamilySize{Family::kProtein, 4000},
+                      FamilySize{Family::kCapsid, 1000},
+                      FamilySize{Family::kCapsid, 5000},
+                      FamilySize{Family::kLigand, 25},
+                      FamilySize{Family::kLigand, 120}),
+    [](const auto& info) {
+      return std::string(family_name(std::get<0>(info.param))) +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------- Gauss divergence identity on whole-molecule surfaces ----------
+
+TEST(SurfaceGaussTest, EnclosedVolumeMatchesDivergenceTheorem) {
+  // (1/3) sum w_q p_q . n_q = enclosed volume. For a compact globule the
+  // Gaussian surface's volume must land near the union-ball volume
+  // inflated by the smooth blend.
+  const auto mol = molecule::generate_protein(1500, 0x600d);
+  const auto surf = surface::build_surface(mol);
+  const geom::Vec3 centroid = mol.centroid();
+  double volume = 0.0;
+  for (std::size_t q = 0; q < surf.size(); ++q) {
+    volume += surf.weights[q] *
+              (surf.points[q] - centroid).dot(surf.normals[q]);
+  }
+  volume /= 3.0;
+  // Reference scale: molecule ball volume from the atom density used by
+  // the generator (0.09 atoms/A^3).
+  const double expected = 1500.0 / 0.09;
+  EXPECT_GT(volume, 0.6 * expected);
+  EXPECT_LT(volume, 2.5 * expected);
+}
+
+// ---------- octree invariants across leaf capacities ----------
+
+class LeafCapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LeafCapacitySweep, EnergyIsLeafCapacityInvariantWithinClass) {
+  // Leaf capacity changes the exact/far partition, not the model: the
+  // energies across capacities must agree within the eps class, and
+  // every structural invariant must hold.
+  const std::size_t capacity = GetParam();
+  const auto mol = molecule::generate_protein(1200, 0x1eaf);
+  gb::CalculatorParams params;
+  params.octree.leaf_capacity = capacity;
+  const gb::GBResult result = gb::compute_gb_energy(mol, params);
+
+  gb::CalculatorParams reference;  // default capacity
+  const gb::GBResult ref = gb::compute_gb_energy(mol, reference);
+  // Smaller leaves approximate more aggressively (tighter near
+  // horizon): 4-atom leaves reach ~3% class error at eps 0.9.
+  EXPECT_LT(gb::relative_error(result.energy, ref.energy), 0.04)
+      << "leaf capacity " << capacity;
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LeafCapacitySweep,
+                         ::testing::Values(4, 8, 16, 64, 128));
+
+// ---------- epsilon sweep: error ordering and time-independence of
+// memory (the paper's headline tunability claim) ----------
+
+class EpsilonPairSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(EpsilonPairSweep, OctreeStaysWithinClassOfNaive) {
+  const auto [eps_born, eps_epol] = GetParam();
+  const auto mol = molecule::generate_protein(1000, 0xe95);
+  const auto surf = surface::build_surface(mol);
+  const auto trees = gb::build_born_octrees(mol, surf);
+  gb::ApproxParams params;
+  params.eps_born = eps_born;
+  params.eps_epol = eps_epol;
+  const auto born = gb::born_radii_octree(trees, mol, surf, params);
+  const double energy =
+      gb::epol_octree(trees.atoms, mol, born.radii, params).energy;
+
+  const auto naive_born = gb::born_radii_naive_r6(mol, surf);
+  const double naive = gb::epol_naive(mol, naive_born.radii).energy;
+  // Generous class bound: the paper tolerates a few percent at 0.9/0.9.
+  EXPECT_LT(gb::relative_error(energy, naive), 0.08)
+      << "eps " << eps_born << "/" << eps_epol;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EpsilonPairSweep,
+    ::testing::Values(std::pair{0.1, 0.1}, std::pair{0.1, 0.9},
+                      std::pair{0.9, 0.1}, std::pair{0.9, 0.9},
+                      std::pair{0.5, 0.5}, std::pair{2.0, 2.0}));
+
+// ---------- determinism across the public entry points ----------
+
+TEST(DeterminismTest, EndToEndRunsAreBitIdentical) {
+  const auto mol = molecule::generate_protein(700, 0xd37);
+  const gb::GBResult a = gb::compute_gb_energy(mol);
+  const gb::GBResult b = gb::compute_gb_energy(mol);
+  EXPECT_EQ(a.energy, b.energy);
+  ASSERT_EQ(a.born_radii.size(), b.born_radii.size());
+  for (std::size_t i = 0; i < a.born_radii.size(); ++i) {
+    ASSERT_EQ(a.born_radii[i], b.born_radii[i]);
+  }
+}
+
+TEST(DeterminismTest, GeneratorsAreStableAcrossCalls) {
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto suite = molecule::zdock_suite_spec(5);
+    EXPECT_EQ(suite[2].num_atoms,
+              molecule::zdock_suite_spec(5)[2].num_atoms);
+  }
+}
+
+}  // namespace
+}  // namespace octgb

@@ -1,0 +1,99 @@
+// Tests for octree neighbor finding (Section II: "octrees for finding
+// nonbonded atoms") and the r^4 kernel option on the calculator facade.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/baselines/nblist.h"
+#include "src/gb/calculator.h"
+#include "src/molecule/generators.h"
+#include "src/octree/range_query.h"
+
+namespace octgb {
+namespace {
+
+TEST(RangeQueryTest, BallQueryMatchesBruteForce) {
+  const auto mol = molecule::generate_protein(2000, 181);
+  const octree::Octree tree(mol.positions());
+  const auto points = mol.positions();
+  util::Xoshiro256 rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Vec3 center = points[rng.below(points.size())];
+    const double radius = rng.uniform(2.0, 12.0);
+    auto got = octree::ball_query(tree, points, center, radius);
+    std::set<std::uint32_t> expected;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (geom::distance(points[i], center) <= radius) {
+        expected.insert(static_cast<std::uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(std::set<std::uint32_t>(got.begin(), got.end()), expected)
+        << "trial " << trial;
+  }
+}
+
+TEST(RangeQueryTest, EmptyTreeAndZeroRadius) {
+  const octree::Octree empty{std::span<const geom::Vec3>{}};
+  EXPECT_TRUE(
+      octree::ball_query(empty, {}, {0, 0, 0}, 5.0).empty());
+
+  const auto mol = molecule::generate_ligand(30, 183);
+  const octree::Octree tree(mol.positions());
+  // Radius 0 at an exact atom position returns exactly that atom.
+  const auto hit = octree::ball_query(tree, mol.positions(),
+                                      mol.positions()[7], 0.0);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0], 7u);
+}
+
+TEST(RangeQueryTest, OctreeNblistMatchesCellListNblist) {
+  // The two neighbor-finding structures must produce identical pair
+  // sets (the paper's point is about their *space and update* profiles,
+  // not their answers).
+  const auto mol = molecule::generate_protein(1500, 185);
+  const double cutoff = 8.0;
+  const octree::Octree tree(mol.positions());
+  const auto oct = octree::build_octree_nblist(tree, mol.positions(),
+                                               cutoff);
+  const baselines::Nblist cells(mol, cutoff);
+  for (std::size_t i = 0; i < mol.size(); i += 13) {
+    const auto a = oct.neighbors_of(i);
+    const auto b = cells.neighbors_of(i);
+    EXPECT_EQ(std::set<std::uint32_t>(a.begin(), a.end()),
+              std::set<std::uint32_t>(b.begin(), b.end()))
+        << "atom " << i;
+  }
+}
+
+TEST(RangeQueryTest, OctreeSpaceIsCutoffIndependent) {
+  // The structure queried never changes with the cutoff -- only the
+  // query *output* does. (The cell list must be rebuilt per cutoff; the
+  // octree is built once.)
+  const auto mol = molecule::generate_protein(3000, 187);
+  const octree::Octree tree(mol.positions());
+  const std::size_t bytes = tree.memory_bytes();
+  const auto small = octree::build_octree_nblist(tree, mol.positions(), 4.0);
+  const auto large = octree::build_octree_nblist(tree, mol.positions(), 12.0);
+  EXPECT_EQ(tree.memory_bytes(), bytes);  // untouched by queries
+  EXPECT_GT(large.neighbors.size(), 5 * small.neighbors.size());
+}
+
+TEST(CalculatorKernelTest, R4FacadeMatchesNaiveR4) {
+  const auto mol = molecule::generate_protein(600, 189);
+  gb::CalculatorParams params;
+  params.kernel = gb::BornKernel::kSurfaceR4;
+  params.approx.eps_born = 0.2;
+  const gb::GBResult octree_run = gb::compute_gb_energy(mol, params);
+  const gb::GBResult naive_run = gb::compute_gb_energy_naive(mol, params);
+  EXPECT_LT(gb::relative_error(octree_run.energy, naive_run.energy), 0.02);
+  // And the kernels genuinely differ.
+  gb::CalculatorParams r6 = params;
+  r6.kernel = gb::BornKernel::kSurfaceR6;
+  const gb::GBResult r6_run = gb::compute_gb_energy(mol, r6);
+  EXPECT_GT(std::abs(r6_run.energy - octree_run.energy),
+            1e-6 * std::abs(r6_run.energy));
+}
+
+}  // namespace
+}  // namespace octgb

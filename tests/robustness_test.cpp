@@ -1,0 +1,159 @@
+// Robustness: degenerate inputs, pathological geometry, and malformed
+// files must produce defined behaviour (correct results, clean errors,
+// or documented clamps) -- never crashes, hangs or NaNs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/baselines/nblist.h"
+#include "src/gb/calculator.h"
+#include "src/molecule/generators.h"
+#include "src/molecule/io.h"
+#include "src/octree/octree.h"
+#include "src/surface/quadrature.h"
+
+namespace octgb {
+namespace {
+
+TEST(RobustnessTest, EmptyMoleculeFlowsThroughPipelines) {
+  molecule::Molecule empty("empty");
+  EXPECT_EQ(surface::build_surface(empty).size(), 0u);
+  const octree::Octree tree(empty.positions());
+  EXPECT_TRUE(tree.empty());
+  const baselines::Nblist nblist(empty, 10.0);
+  EXPECT_EQ(nblist.num_pairs(), 0u);
+  EXPECT_DOUBLE_EQ(empty.net_charge(), 0.0);
+}
+
+TEST(RobustnessTest, SingleAtomEndToEnd) {
+  molecule::Molecule mol("one");
+  mol.add_atom({{0, 0, 0}, 1.7, -1.0, molecule::Element::O});
+  const gb::GBResult result = gb::compute_gb_energy(mol);
+  EXPECT_TRUE(std::isfinite(result.energy));
+  EXPECT_LT(result.energy, 0.0);  // Born self-energy of an ion
+  EXPECT_GE(result.born_radii[0], 1.7);
+}
+
+TEST(RobustnessTest, CoincidentAtoms) {
+  // 50 atoms at the same point: octree terminates via depth cap, the
+  // energy stays finite (self terms + r=0 pairs where f_GB = sqrt(R_iR_j)).
+  molecule::Molecule mol("stack");
+  for (int i = 0; i < 50; ++i) {
+    mol.add_atom({{1, 2, 3}, 1.5, 0.1, molecule::Element::C});
+  }
+  const gb::GBResult result = gb::compute_gb_energy(mol);
+  EXPECT_TRUE(std::isfinite(result.energy));
+}
+
+TEST(RobustnessTest, CollinearAtoms) {
+  molecule::Molecule mol("wire");
+  for (int i = 0; i < 200; ++i) {
+    mol.add_atom({{1.2 * i, 0.0, 0.0}, 1.5,
+                  (i % 2 == 0) ? 0.2 : -0.2, molecule::Element::C});
+  }
+  const gb::GBResult result = gb::compute_gb_energy(mol);
+  EXPECT_TRUE(std::isfinite(result.energy));
+  for (const double r : result.born_radii) {
+    EXPECT_GE(r, 1.5 - 1e-12);
+    EXPECT_TRUE(std::isfinite(r));
+  }
+}
+
+TEST(RobustnessTest, PlanarSheet) {
+  molecule::Molecule mol("sheet");
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      mol.add_atom({{1.8 * i, 1.8 * j, 0.0}, 1.5,
+                    ((i + j) % 2 == 0) ? 0.15 : -0.15,
+                    molecule::Element::C});
+    }
+  }
+  const gb::GBResult result = gb::compute_gb_energy(mol);
+  EXPECT_TRUE(std::isfinite(result.energy));
+}
+
+TEST(RobustnessTest, HugeCoordinatesFarFromOrigin) {
+  // Absolute position must not matter (everything is relative).
+  const auto base = molecule::generate_protein(400, 171);
+  molecule::Molecule shifted = base;
+  shifted.transform(geom::Rigid::translate({1e6, -1e6, 5e5}));
+  const double e0 = gb::compute_gb_energy(base).energy;
+  const double e1 = gb::compute_gb_energy(shifted).energy;
+  EXPECT_NEAR(e1, e0, 1e-5 * std::abs(e0));
+}
+
+TEST(RobustnessTest, AllChargesZeroGivesZeroEnergy) {
+  molecule::Molecule mol("neutral");
+  for (int i = 0; i < 100; ++i) {
+    mol.add_atom({{1.5 * i, 0.3 * (i % 7), 0.1 * i}, 1.5, 0.0,
+                  molecule::Element::C});
+  }
+  EXPECT_DOUBLE_EQ(gb::compute_gb_energy(mol).energy, 0.0);
+}
+
+TEST(RobustnessTest, TwoIdenticalMoleculesDoubleTheSelfEnergyApprox) {
+  // Two copies far apart: energy ~ 2x one copy (no cross interaction).
+  const auto one = molecule::generate_protein(300, 173);
+  molecule::Molecule two = one;
+  molecule::Molecule copy = one;
+  copy.transform(geom::Rigid::translate({500, 0, 0}));
+  two.append(copy);
+  const double e1 = gb::compute_gb_energy(one).energy;
+  const double e2 = gb::compute_gb_energy(two).energy;
+  EXPECT_NEAR(e2, 2.0 * e1, 5e-3 * std::abs(2.0 * e1));
+}
+
+TEST(RobustnessTest, PqrReaderRejectsGarbageGracefully) {
+  for (const char* text : {
+           "ATOM one C GLY 1 1 2 3 0.1 1.7\n",       // bad serial
+           "ATOM 1 C GLY 1 1 2 three 0.1 1.7\n",     // bad coord
+           "ATOM 1 C GLY 1 1 2 3 charge 1.7\n",      // bad charge
+           "ATOM 1 C GLY 1 1 2 3 0.1\n",             // missing radius
+       }) {
+    std::stringstream ss(text);
+    EXPECT_THROW(molecule::read_pqr(ss), std::runtime_error) << text;
+  }
+  // Unknown records and blank lines are fine.
+  std::stringstream ok("\nFOO bar\n\nEND\n");
+  EXPECT_EQ(molecule::read_pqr(ok).size(), 0u);
+}
+
+TEST(RobustnessTest, XyzrReaderRejectsGarbageGracefully) {
+  std::stringstream bad("1 2 notanumber 1.5\n");
+  EXPECT_THROW(molecule::read_xyzr(bad), std::runtime_error);
+  std::stringstream comments("# only comments\n   \n#\n");
+  EXPECT_EQ(molecule::read_xyzr(comments).size(), 0u);
+}
+
+TEST(RobustnessTest, MissingFilesThrow) {
+  EXPECT_THROW(molecule::read_pqr_file("/nonexistent/x.pqr"),
+               std::runtime_error);
+  EXPECT_THROW(molecule::read_xyzr_file("/nonexistent/x.xyzr"),
+               std::runtime_error);
+}
+
+TEST(RobustnessTest, ExtremeEpsilonValuesStayFinite) {
+  const auto mol = molecule::generate_protein(300, 175);
+  for (const double eps : {1e-3, 10.0, 100.0}) {
+    gb::CalculatorParams params;
+    params.approx.eps_born = eps;
+    params.approx.eps_epol = eps;
+    const gb::GBResult result = gb::compute_gb_energy(mol, params);
+    EXPECT_TRUE(std::isfinite(result.energy)) << "eps=" << eps;
+    EXPECT_LT(result.energy, 0.0) << "eps=" << eps;
+  }
+}
+
+TEST(RobustnessTest, TinyAndHugeAtomRadii) {
+  molecule::Molecule mol("mixed");
+  mol.add_atom({{0, 0, 0}, 0.3, 0.5, molecule::Element::H});
+  mol.add_atom({{4, 0, 0}, 5.0, -0.5, molecule::Element::Other});
+  const gb::GBResult result = gb::compute_gb_energy(mol);
+  EXPECT_TRUE(std::isfinite(result.energy));
+  EXPECT_GE(result.born_radii[0], 0.3);
+  EXPECT_GE(result.born_radii[1], 5.0);
+}
+
+}  // namespace
+}  // namespace octgb

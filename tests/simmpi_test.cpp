@@ -1,0 +1,369 @@
+// Tests for the simmpi message-passing runtime: point-to-point semantics,
+// collectives, ledger accounting, and SPMD patterns used by the GB
+// drivers (Figure 4 steps 3, 5, 7).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "src/simmpi/comm.h"
+
+namespace octgb::simmpi {
+namespace {
+
+TEST(SimMpiTest, RunSpawnsAllRanks) {
+  std::atomic<int> mask{0};
+  run(4, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    mask.fetch_or(1 << comm.rank());
+  });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(SimMpiTest, SingleRankWorld) {
+  run(1, [](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    comm.barrier();
+    std::vector<double> x{1, 2, 3};
+    comm.all_reduce_sum(std::span<double>(x));
+    EXPECT_EQ(x, (std::vector<double>{1, 2, 3}));
+  });
+}
+
+TEST(SimMpiTest, InvalidWorldSizeThrows) {
+  EXPECT_THROW(run(0, [](Comm&) {}), std::invalid_argument);
+}
+
+TEST(SimMpiTest, PointToPointRoundTrip) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> payload{10, 20, 30};
+      comm.send(std::span<const int>(payload), 1, /*tag=*/7);
+      std::vector<int> reply(3);
+      comm.recv(std::span<int>(reply), 1, /*tag=*/8);
+      EXPECT_EQ(reply, (std::vector<int>{11, 21, 31}));
+    } else {
+      std::vector<int> buf(3);
+      comm.recv(std::span<int>(buf), 0, /*tag=*/7);
+      for (int& v : buf) ++v;
+      comm.send(std::span<const int>(buf), 0, /*tag=*/8);
+    }
+  });
+}
+
+TEST(SimMpiTest, TagMatchingSelectsCorrectMessage) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> a{1}, b{2};
+      comm.send(std::span<const int>(a), 1, /*tag=*/100);
+      comm.send(std::span<const int>(b), 1, /*tag=*/200);
+    } else {
+      // Receive in the opposite order of sending: tags must match.
+      std::vector<int> high(1), low(1);
+      comm.recv(std::span<int>(high), 0, /*tag=*/200);
+      comm.recv(std::span<int>(low), 0, /*tag=*/100);
+      EXPECT_EQ(high[0], 2);
+      EXPECT_EQ(low[0], 1);
+    }
+  });
+}
+
+TEST(SimMpiTest, BarrierSynchronizes) {
+  // Every rank increments before the barrier; after it all increments
+  // must be visible everywhere.
+  std::atomic<int> before{0};
+  run(6, [&](Comm& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(before.load(), 6);
+  });
+}
+
+TEST(SimMpiTest, BcastReplicatesRootData) {
+  run(5, [](Comm& comm) {
+    std::vector<double> data(4, 0.0);
+    if (comm.rank() == 2) data = {1.5, 2.5, 3.5, 4.5};
+    comm.bcast(std::span<double>(data), /*root=*/2);
+    EXPECT_EQ(data, (std::vector<double>{1.5, 2.5, 3.5, 4.5}));
+  });
+}
+
+TEST(SimMpiTest, AllReduceSumsElementwise) {
+  run(4, [](Comm& comm) {
+    // Rank r contributes r+1 in slot 0 and 10*(r+1) in slot 1.
+    std::vector<double> x{static_cast<double>(comm.rank() + 1),
+                          10.0 * (comm.rank() + 1)};
+    comm.all_reduce_sum(std::span<double>(x));
+    EXPECT_DOUBLE_EQ(x[0], 1 + 2 + 3 + 4);
+    EXPECT_DOUBLE_EQ(x[1], 10 + 20 + 30 + 40);
+  });
+}
+
+TEST(SimMpiTest, AllReduceMatchesThePaperStep3Pattern) {
+  // Figure 4 step 3: partial integral arrays merged with MPI_Allreduce.
+  // Each rank fills only its own segment; the merged array must be the
+  // full vector on every rank.
+  constexpr int kP = 4;
+  constexpr std::size_t kN = 1000;
+  run(kP, [&](Comm& comm) {
+    std::vector<double> integrals(kN, 0.0);
+    const std::size_t chunk = (kN + kP - 1) / kP;
+    const std::size_t lo = static_cast<std::size_t>(comm.rank()) * chunk;
+    const std::size_t hi = std::min(kN, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      integrals[i] = static_cast<double>(i);
+    }
+    comm.all_reduce_sum(std::span<double>(integrals));
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_DOUBLE_EQ(integrals[i], static_cast<double>(i));
+    }
+  });
+}
+
+TEST(SimMpiTest, ReduceSumOnlyOnRoot) {
+  run(3, [](Comm& comm) {
+    std::vector<double> x{1.0};
+    comm.reduce_sum(std::span<double>(x), /*root=*/0);
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(x[0], 3.0);
+    } else {
+      EXPECT_DOUBLE_EQ(x[0], 1.0);  // untouched on non-roots
+    }
+  });
+}
+
+TEST(SimMpiTest, AllGatherVConcatenatesInRankOrder) {
+  run(4, [](Comm& comm) {
+    // Rank r contributes r+1 values of value r.
+    std::vector<int> local(static_cast<std::size_t>(comm.rank() + 1),
+                           comm.rank());
+    std::vector<int> all;
+    const auto counts =
+        comm.all_gather_v(std::span<const int>(local), all);
+    EXPECT_EQ(all.size(), 1u + 2 + 3 + 4);
+    EXPECT_EQ(counts, (std::vector<std::size_t>{1, 2, 3, 4}));
+    std::size_t idx = 0;
+    for (int r = 0; r < 4; ++r) {
+      for (int k = 0; k <= r; ++k) EXPECT_EQ(all[idx++], r);
+    }
+  });
+}
+
+TEST(SimMpiTest, AllGatherVWithEmptyContribution) {
+  run(3, [](Comm& comm) {
+    std::vector<double> local;
+    if (comm.rank() == 1) local = {42.0};
+    std::vector<double> all;
+    const auto counts =
+        comm.all_gather_v(std::span<const double>(local), all);
+    EXPECT_EQ(all, (std::vector<double>{42.0}));
+    EXPECT_EQ(counts, (std::vector<std::size_t>{0, 1, 0}));
+  });
+}
+
+TEST(SimMpiTest, GatherCollectsOnRootOnly) {
+  run(4, [](Comm& comm) {
+    const double mine = 100.0 + comm.rank();
+    const std::vector<double> all = comm.gather(mine, /*root=*/3);
+    if (comm.rank() == 3) {
+      EXPECT_EQ(all, (std::vector<double>{100, 101, 102, 103}));
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(SimMpiTest, ScatterDistributesRootChunks) {
+  run(4, [](Comm& comm) {
+    std::vector<int> all;
+    if (comm.rank() == 1) {
+      for (int i = 0; i < 8; ++i) all.push_back(i * 10);
+    }
+    std::vector<int> mine(2);
+    comm.scatter(std::span<const int>(all), std::span<int>(mine),
+                 /*root=*/1);
+    EXPECT_EQ(mine[0], comm.rank() * 20);
+    EXPECT_EQ(mine[1], comm.rank() * 20 + 10);
+  });
+}
+
+TEST(SimMpiTest, SendrecvExchangesWithPeer) {
+  run(2, [](Comm& comm) {
+    const std::vector<double> mine{100.0 + comm.rank()};
+    std::vector<double> theirs(1);
+    comm.sendrecv(std::span<const double>(mine),
+                  std::span<double>(theirs), 1 - comm.rank(), 5);
+    EXPECT_DOUBLE_EQ(theirs[0], 100.0 + (1 - comm.rank()));
+  });
+}
+
+TEST(SimMpiTest, RecvAnyReturnsSourceAndDrainsAll) {
+  run(4, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::set<int> sources;
+      int total = 0;
+      for (int k = 0; k < 3; ++k) {
+        int value = 0;
+        const int src = comm.recv_any(std::span<int>(&value, 1), 9);
+        sources.insert(src);
+        total += value;
+      }
+      EXPECT_EQ(sources, (std::set<int>{1, 2, 3}));
+      EXPECT_EQ(total, 1 + 2 + 3);
+    } else {
+      const int value = comm.rank();
+      comm.send(std::span<const int>(&value, 1), 0, 9);
+    }
+  });
+}
+
+TEST(SimMpiTest, MasterWorkerSelfScheduling) {
+  // The protocol behind WorkDivision::kDynamicChunks: rank 0 serves
+  // item indices; every item must be processed exactly once.
+  constexpr int kItems = 57;
+  std::array<std::atomic<int>, kItems> seen{};
+  run(4, [&](Comm& comm) {
+    constexpr int kReq = 1, kWork = 2;
+    if (comm.rank() == 0) {
+      int next = 0, retired = 0;
+      while (retired < comm.size() - 1) {
+        int ignored = 0;
+        const int src = comm.recv_any(std::span<int>(&ignored, 1), kReq);
+        const int item = next < kItems ? next++ : -1;
+        if (item < 0) ++retired;
+        comm.send(std::span<const int>(&item, 1), src, kWork);
+      }
+    } else {
+      for (;;) {
+        const int req = 0;
+        comm.send(std::span<const int>(&req, 1), 0, kReq);
+        int item = 0;
+        comm.recv(std::span<int>(&item, 1), 0, kWork);
+        if (item < 0) break;
+        seen[static_cast<std::size_t>(item)].fetch_add(1);
+      }
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(SimMpiTest, NonblockingExchangeCompletes) {
+  // The classic deadlock-free exchange: post irecv, then send, then
+  // wait -- both ranks simultaneously.
+  run(2, [](Comm& comm) {
+    std::vector<double> inbox(3);
+    Request rx = comm.irecv(std::span<double>(inbox), 1 - comm.rank(), 4);
+    const std::vector<double> mine{comm.rank() + 0.25,
+                                   comm.rank() + 0.5,
+                                   comm.rank() + 0.75};
+    Request tx = comm.isend(std::span<const double>(mine),
+                            1 - comm.rank(), 4);
+    EXPECT_TRUE(comm.test(tx));  // buffered sends complete at once
+    comm.wait(rx);
+    EXPECT_DOUBLE_EQ(inbox[0], (1 - comm.rank()) + 0.25);
+    EXPECT_DOUBLE_EQ(inbox[2], (1 - comm.rank()) + 0.75);
+  });
+}
+
+TEST(SimMpiTest, TestIsNonBlockingBeforeArrival) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> inbox(1);
+      Request rx = comm.irecv(std::span<int>(inbox), 1, 6);
+      // Nothing sent yet: test must return false without blocking.
+      EXPECT_FALSE(comm.test(rx));
+      comm.barrier();  // rank 1 sends before this returns on both sides
+      comm.wait(rx);
+      EXPECT_EQ(inbox[0], 99);
+    } else {
+      const int v = 99;
+      comm.send(std::span<const int>(&v, 1), 0, 6);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(SimMpiTest, WaitAllDrainsManyRequests) {
+  run(4, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> inbox(3);
+      std::vector<Request> reqs;
+      for (int src = 1; src < 4; ++src) {
+        reqs.push_back(comm.irecv(
+            std::span<int>(&inbox[static_cast<std::size_t>(src - 1)], 1),
+            src, 8));
+      }
+      comm.wait_all(std::span<Request>(reqs));
+      EXPECT_EQ(inbox, (std::vector<int>{10, 20, 30}));
+    } else {
+      const int v = comm.rank() * 10;
+      comm.send(std::span<const int>(&v, 1), 0, 8);
+    }
+  });
+}
+
+TEST(SimMpiTest, LedgerCountsOperationsAndBytes) {
+  const auto ledgers = run(2, [](Comm& comm) {
+    std::vector<double> x(100, 1.0);
+    comm.all_reduce_sum(std::span<double>(x));
+    if (comm.rank() == 0) {
+      comm.send(std::span<const double>(x), 1, 0);
+    } else {
+      std::vector<double> buf(100);
+      comm.recv(std::span<double>(buf), 0, 0);
+    }
+    comm.barrier();
+  });
+  ASSERT_EQ(ledgers.size(), 2u);
+  // Both ranks did 1 allreduce (800 bytes) + 1 barrier.
+  EXPECT_EQ(ledgers[0].collectives, 2u);
+  EXPECT_EQ(ledgers[0].collective_bytes, 800u);
+  // Only rank 0 sent point-to-point.
+  EXPECT_EQ(ledgers[0].p2p_messages, 1u);
+  EXPECT_EQ(ledgers[0].p2p_bytes, 800u);
+  EXPECT_EQ(ledgers[1].p2p_messages, 0u);
+  EXPECT_GT(ledgers[0].modeled_seconds, 0.0);
+}
+
+TEST(SimMpiTest, ModeledCostGrowsWithMessageSize) {
+  auto cost_of = [](std::size_t n) {
+    const auto ledgers = run(2, [n](Comm& comm) {
+      std::vector<double> x(n, 1.0);
+      comm.all_reduce_sum(std::span<double>(x));
+    });
+    return ledgers[0].modeled_seconds;
+  };
+  EXPECT_LT(cost_of(10), cost_of(100000));
+}
+
+TEST(SimMpiTest, ExceptionInRankPropagates) {
+  // All ranks throw before any collective, so no rank blocks.
+  EXPECT_THROW(run(3,
+                   [](Comm&) {
+                     throw std::runtime_error("rank failure");
+                   }),
+               std::runtime_error);
+}
+
+TEST(SimMpiTest, SpmdEnergyAccumulationPattern) {
+  // Figure 4 step 7: each rank computes a partial energy; the master
+  // accumulates via reduce. Verify against the serial sum.
+  constexpr int kP = 8;
+  run(kP, [](Comm& comm) {
+    std::vector<double> partial{1.0 / (1.0 + comm.rank())};
+    comm.reduce_sum(std::span<double>(partial), 0);
+    if (comm.rank() == 0) {
+      double expected = 0.0;
+      for (int r = 0; r < kP; ++r) expected += 1.0 / (1.0 + r);
+      EXPECT_NEAR(partial[0], expected, 1e-12);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace octgb::simmpi

@@ -1,0 +1,224 @@
+// Unit tests for src/util: RNG, stats, tables, env config, fast math,
+// host info.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/util/env.h"
+#include "src/util/fastmath.h"
+#include "src/util/hostinfo.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace octgb::util {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Xoshiro256 rng(6);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  // Every residue of a small modulus should be hit.
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.below(5)] = true;
+  for (bool hit : seen) EXPECT_TRUE(hit);
+}
+
+TEST(RngTest, NormalMomentsMatchStandardGaussian) {
+  Xoshiro256 rng(8);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(StatsTest, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(TableTest, RendersAlignedAndCsv) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 3);
+  t.row().cell("b,eta").cell(std::int64_t{42});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 0), "alpha");
+  EXPECT_EQ(t.at(1, 1), "42");
+
+  std::ostringstream table_out;
+  t.print(table_out);
+  EXPECT_NE(table_out.str().find("alpha"), std::string::npos);
+  EXPECT_NE(table_out.str().find("name"), std::string::npos);
+
+  std::ostringstream csv;
+  t.write_csv(csv);
+  EXPECT_NE(csv.str().find("\"b,eta\""), std::string::npos);
+}
+
+TEST(TableTest, AtOutOfRangeThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.at(0, 0), std::out_of_range);
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(format_seconds(0.5), "500ms");
+  EXPECT_EQ(format_seconds(2.0), "2s");
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(1536), "1.5KB");
+}
+
+TEST(EnvTest, ParsesAndFallsBack) {
+  ::setenv("OCTGB_TEST_INT", "123", 1);
+  ::setenv("OCTGB_TEST_DOUBLE", "1.5", 1);
+  ::setenv("OCTGB_TEST_FLAG", "on", 1);
+  ::setenv("OCTGB_TEST_JUNK", "notanumber", 1);
+  EXPECT_EQ(env_int("OCTGB_TEST_INT", -1), 123);
+  EXPECT_EQ(env_int("OCTGB_TEST_MISSING", -1), -1);
+  EXPECT_EQ(env_int("OCTGB_TEST_JUNK", -7), -7);
+  EXPECT_DOUBLE_EQ(env_double("OCTGB_TEST_DOUBLE", 0.0), 1.5);
+  EXPECT_TRUE(env_flag("OCTGB_TEST_FLAG"));
+  EXPECT_FALSE(env_flag("OCTGB_TEST_MISSING"));
+  EXPECT_EQ(env_string("OCTGB_TEST_JUNK", ""), "notanumber");
+  ::unsetenv("OCTGB_TEST_INT");
+  ::unsetenv("OCTGB_TEST_DOUBLE");
+  ::unsetenv("OCTGB_TEST_FLAG");
+  ::unsetenv("OCTGB_TEST_JUNK");
+}
+
+TEST(FastMathTest, RsqrtAccuracy) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = std::exp(rng.uniform(-20.0, 20.0));
+    const double approx = fast_rsqrt(x);
+    const double exact = 1.0 / std::sqrt(x);
+    EXPECT_NEAR(approx / exact, 1.0, 2.5e-3) << "x=" << x;
+  }
+}
+
+TEST(FastMathTest, SqrtAccuracyAndZero) {
+  EXPECT_DOUBLE_EQ(fast_sqrt(0.0), 0.0);
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = std::exp(rng.uniform(-20.0, 20.0));
+    EXPECT_NEAR(fast_sqrt(x) / std::sqrt(x), 1.0, 2.5e-3);
+  }
+}
+
+TEST(FastMathTest, ExpAccuracyOnGbRange) {
+  // The GB kernel evaluates exp(-r^2 / (4 R_i R_j)) with argument in
+  // (-inf, 0]; accuracy matters most near 0.
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-30.0, 0.0);
+    EXPECT_NEAR(fast_exp(x), std::exp(x), 3e-4 * std::exp(x) + 1e-300)
+        << "x=" << x;
+  }
+  EXPECT_DOUBLE_EQ(fast_exp(-1000.0), 0.0);
+  EXPECT_NEAR(fast_exp(0.0), 1.0, 1e-12);
+}
+
+TEST(FastMathTest, InvCbrtAccuracy) {
+  Xoshiro256 rng(14);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = std::exp(rng.uniform(-20.0, 20.0));
+    const double exact = 1.0 / std::cbrt(x);
+    EXPECT_NEAR(fast_invcbrt(x) / exact, 1.0, 1e-4) << "x=" << x;
+  }
+}
+
+TEST(FastMathTest, PoliciesAgreeWithEachOther) {
+  for (double x : {0.5, 1.0, 2.0, 100.0}) {
+    EXPECT_NEAR(ApproxMath::rsqrt(x), ExactMath::rsqrt(x),
+                2.5e-3 * ExactMath::rsqrt(x));
+    EXPECT_NEAR(ApproxMath::invcbrt(x), ExactMath::invcbrt(x),
+                1e-4 * ExactMath::invcbrt(x));
+  }
+  EXPECT_NEAR(ApproxMath::exp(-3.0), ExactMath::exp(-3.0), 1e-4);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  EXPECT_GE(t.seconds(), 0.0);
+  t.restart();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(HostInfoTest, QueriesSomething) {
+  const HostInfo info = query_host();
+  EXPECT_GT(info.logical_cores, 0);
+  EXPECT_GT(info.total_ram, 0u);
+  EXPECT_FALSE(info.os.empty());
+}
+
+TEST(HostInfoTest, RssIsPositiveAndPeakAtLeastCurrent) {
+  const std::size_t rss = current_rss_bytes();
+  const std::size_t peak = peak_rss_bytes();
+  EXPECT_GT(rss, 0u);
+  EXPECT_GE(peak, rss / 2);  // peak can lag slightly across reads
+}
+
+}  // namespace
+}  // namespace octgb::util
