@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fast_math.dir/ablation_fast_math.cpp.o"
+  "CMakeFiles/ablation_fast_math.dir/ablation_fast_math.cpp.o.d"
+  "ablation_fast_math"
+  "ablation_fast_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fast_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

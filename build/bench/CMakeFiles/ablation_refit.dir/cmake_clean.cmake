@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_refit.dir/ablation_refit.cpp.o"
+  "CMakeFiles/ablation_refit.dir/ablation_refit.cpp.o.d"
+  "ablation_refit"
+  "ablation_refit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_refit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cmv_table.dir/fig11_cmv_table.cpp.o"
+  "CMakeFiles/fig11_cmv_table.dir/fig11_cmv_table.cpp.o.d"
+  "fig11_cmv_table"
+  "fig11_cmv_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cmv_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

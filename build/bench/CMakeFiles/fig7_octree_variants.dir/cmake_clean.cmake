@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_octree_variants.dir/fig7_octree_variants.cpp.o"
+  "CMakeFiles/fig7_octree_variants.dir/fig7_octree_variants.cpp.o.d"
+  "fig7_octree_variants"
+  "fig7_octree_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_octree_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_packages.dir/table2_packages.cpp.o"
+  "CMakeFiles/table2_packages.dir/table2_packages.cpp.o.d"
+  "table2_packages"
+  "table2_packages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_packages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epsilon_tuning.dir/epsilon_tuning.cpp.o"
+  "CMakeFiles/epsilon_tuning.dir/epsilon_tuning.cpp.o.d"
+  "epsilon_tuning"
+  "epsilon_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epsilon_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octgb_tool.dir/octgb_tool.cpp.o"
+  "CMakeFiles/octgb_tool.dir/octgb_tool.cpp.o.d"
+  "octgb_tool"
+  "octgb_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octgb_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqr_pipeline.dir/pqr_pipeline.cpp.o"
+  "CMakeFiles/pqr_pipeline.dir/pqr_pipeline.cpp.o.d"
+  "pqr_pipeline"
+  "pqr_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqr_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

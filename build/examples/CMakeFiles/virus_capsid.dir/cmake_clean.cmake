@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virus_capsid.dir/virus_capsid.cpp.o"
+  "CMakeFiles/virus_capsid.dir/virus_capsid.cpp.o.d"
+  "virus_capsid"
+  "virus_capsid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virus_capsid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/forces.cpp" "src/CMakeFiles/octgb.dir/baselines/forces.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/baselines/forces.cpp.o.d"
+  "/root/repo/src/baselines/gbmodels.cpp" "src/CMakeFiles/octgb.dir/baselines/gbmodels.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/baselines/gbmodels.cpp.o.d"
+  "/root/repo/src/baselines/nblist.cpp" "src/CMakeFiles/octgb.dir/baselines/nblist.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/baselines/nblist.cpp.o.d"
+  "/root/repo/src/baselines/packages.cpp" "src/CMakeFiles/octgb.dir/baselines/packages.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/baselines/packages.cpp.o.d"
+  "/root/repo/src/docking/pose_scorer.cpp" "src/CMakeFiles/octgb.dir/docking/pose_scorer.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/docking/pose_scorer.cpp.o.d"
+  "/root/repo/src/gb/born.cpp" "src/CMakeFiles/octgb.dir/gb/born.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/gb/born.cpp.o.d"
+  "/root/repo/src/gb/calculator.cpp" "src/CMakeFiles/octgb.dir/gb/calculator.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/gb/calculator.cpp.o.d"
+  "/root/repo/src/gb/diagnostics.cpp" "src/CMakeFiles/octgb.dir/gb/diagnostics.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/gb/diagnostics.cpp.o.d"
+  "/root/repo/src/gb/epol.cpp" "src/CMakeFiles/octgb.dir/gb/epol.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/gb/epol.cpp.o.d"
+  "/root/repo/src/gb/naive.cpp" "src/CMakeFiles/octgb.dir/gb/naive.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/gb/naive.cpp.o.d"
+  "/root/repo/src/geom/sphere.cpp" "src/CMakeFiles/octgb.dir/geom/sphere.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/geom/sphere.cpp.o.d"
+  "/root/repo/src/geom/transform.cpp" "src/CMakeFiles/octgb.dir/geom/transform.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/geom/transform.cpp.o.d"
+  "/root/repo/src/geom/vec3.cpp" "src/CMakeFiles/octgb.dir/geom/vec3.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/geom/vec3.cpp.o.d"
+  "/root/repo/src/molecule/generators.cpp" "src/CMakeFiles/octgb.dir/molecule/generators.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/molecule/generators.cpp.o.d"
+  "/root/repo/src/molecule/io.cpp" "src/CMakeFiles/octgb.dir/molecule/io.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/molecule/io.cpp.o.d"
+  "/root/repo/src/molecule/molecule.cpp" "src/CMakeFiles/octgb.dir/molecule/molecule.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/molecule/molecule.cpp.o.d"
+  "/root/repo/src/octree/octree.cpp" "src/CMakeFiles/octgb.dir/octree/octree.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/octree/octree.cpp.o.d"
+  "/root/repo/src/octree/range_query.cpp" "src/CMakeFiles/octgb.dir/octree/range_query.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/octree/range_query.cpp.o.d"
+  "/root/repo/src/parallel/pool.cpp" "src/CMakeFiles/octgb.dir/parallel/pool.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/parallel/pool.cpp.o.d"
+  "/root/repo/src/perfmodel/cluster.cpp" "src/CMakeFiles/octgb.dir/perfmodel/cluster.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/perfmodel/cluster.cpp.o.d"
+  "/root/repo/src/runtime/drivers.cpp" "src/CMakeFiles/octgb.dir/runtime/drivers.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/runtime/drivers.cpp.o.d"
+  "/root/repo/src/runtime/partition.cpp" "src/CMakeFiles/octgb.dir/runtime/partition.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/runtime/partition.cpp.o.d"
+  "/root/repo/src/simmpi/comm.cpp" "src/CMakeFiles/octgb.dir/simmpi/comm.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/simmpi/comm.cpp.o.d"
+  "/root/repo/src/surface/density.cpp" "src/CMakeFiles/octgb.dir/surface/density.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/surface/density.cpp.o.d"
+  "/root/repo/src/surface/marching.cpp" "src/CMakeFiles/octgb.dir/surface/marching.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/surface/marching.cpp.o.d"
+  "/root/repo/src/surface/quadrature.cpp" "src/CMakeFiles/octgb.dir/surface/quadrature.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/surface/quadrature.cpp.o.d"
+  "/root/repo/src/surface/surface_io.cpp" "src/CMakeFiles/octgb.dir/surface/surface_io.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/surface/surface_io.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "src/CMakeFiles/octgb.dir/util/env.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/util/env.cpp.o.d"
+  "/root/repo/src/util/hostinfo.cpp" "src/CMakeFiles/octgb.dir/util/hostinfo.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/util/hostinfo.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/octgb.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/octgb.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/octgb.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

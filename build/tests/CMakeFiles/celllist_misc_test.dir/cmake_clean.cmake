@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celllist_misc_test.dir/celllist_misc_test.cpp.o"
+  "CMakeFiles/celllist_misc_test.dir/celllist_misc_test.cpp.o.d"
+  "celllist_misc_test"
+  "celllist_misc_test.pdb"
+  "celllist_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celllist_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docking_test.dir/docking_test.cpp.o"
+  "CMakeFiles/docking_test.dir/docking_test.cpp.o.d"
+  "docking_test"
+  "docking_test.pdb"
+  "docking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

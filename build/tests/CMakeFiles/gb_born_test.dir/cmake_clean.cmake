@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_born_test.dir/gb_born_test.cpp.o"
+  "CMakeFiles/gb_born_test.dir/gb_born_test.cpp.o.d"
+  "gb_born_test"
+  "gb_born_test.pdb"
+  "gb_born_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_born_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_epol_test.dir/gb_epol_test.cpp.o"
+  "CMakeFiles/gb_epol_test.dir/gb_epol_test.cpp.o.d"
+  "gb_epol_test"
+  "gb_epol_test.pdb"
+  "gb_epol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_epol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

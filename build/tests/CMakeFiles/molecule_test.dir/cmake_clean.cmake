@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_test.dir/molecule_test.cpp.o"
+  "CMakeFiles/molecule_test.dir/molecule_test.cpp.o.d"
+  "molecule_test"
+  "molecule_test.pdb"
+  "molecule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

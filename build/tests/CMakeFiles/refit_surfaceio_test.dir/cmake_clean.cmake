@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refit_surfaceio_test.dir/refit_surfaceio_test.cpp.o"
+  "CMakeFiles/refit_surfaceio_test.dir/refit_surfaceio_test.cpp.o.d"
+  "refit_surfaceio_test"
+  "refit_surfaceio_test.pdb"
+  "refit_surfaceio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refit_surfaceio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

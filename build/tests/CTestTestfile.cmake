@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/celllist_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_gaps_test[1]_include.cmake")
+include("/root/repo/build/tests/docking_test[1]_include.cmake")
+include("/root/repo/build/tests/forces_test[1]_include.cmake")
+include("/root/repo/build/tests/gb_born_test[1]_include.cmake")
+include("/root/repo/build/tests/gb_epol_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/molecule_test[1]_include.cmake")
+include("/root/repo/build/tests/octree_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_diagnostics_test[1]_include.cmake")
+include("/root/repo/build/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/range_query_test[1]_include.cmake")
+include("/root/repo/build/tests/refit_surfaceio_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_test[1]_include.cmake")
+include("/root/repo/build/tests/surface_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
