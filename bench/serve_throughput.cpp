@@ -1,0 +1,190 @@
+// serve_throughput -- requests/sec through the serving layer, cold vs
+// cached vs refit.
+//
+// Three phases over the same molecule size and service configuration:
+//
+//   cold    every request is a distinct molecule: full pipeline
+//           (surface + octrees + kernels) per request;
+//   cached  every request is a byte-identical repeat of one molecule:
+//           exact content-hash hits, no kernels run;
+//   refit   every request is an MD-step-scale perturbation of one
+//           molecule: the cache's surface and octree topology are
+//           reused, bounds refit, kernels rerun.
+//
+// Acceptance targets (ISSUE 1): cached >= 10x cold, refit >= 1.5x cold.
+//
+//   REPRO_SERVE_ATOMS    molecule size (default 2000)
+//   REPRO_SERVE_REQS     requests per phase (default 12)
+//   REPRO_SERVE_THREADS  service compute threads (default 4)
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/serve/service.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+using namespace octgb;
+
+namespace {
+
+molecule::Molecule jittered(const molecule::Molecule& mol, double sigma,
+                            std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  molecule::Molecule out(mol.name());
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    molecule::Atom atom = mol.atom(i);
+    atom.position += {sigma * rng.normal(), sigma * rng.normal(),
+                      sigma * rng.normal()};
+    out.add_atom(atom);
+  }
+  return out;
+}
+
+serve::Request make_request(std::uint64_t id, molecule::Molecule mol) {
+  serve::Request req;
+  req.id = id;
+  req.mol = std::move(mol);
+  return req;
+}
+
+struct PhaseResult {
+  double seconds = 0.0;
+  double requests_per_second = 0.0;
+};
+
+/// Submits `mols` as one stream and waits for all responses.
+/// `warmup` is served (and cached) before the clock starts.
+PhaseResult run_phase(serve::PolarizationService& svc,
+                      const molecule::Molecule* warmup,
+                      std::vector<molecule::Molecule> mols) {
+  if (warmup) {
+    svc.serve_now(make_request(0, *warmup));
+  }
+  util::WallTimer wall;
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(mols.size());
+  for (std::size_t i = 0; i < mols.size(); ++i) {
+    futures.push_back(svc.submit(make_request(i + 1, std::move(mols[i]))));
+  }
+  for (auto& f : futures) {
+    const serve::Response resp = f.get();
+    if (resp.status != serve::Status::kOk) {
+      std::printf("unexpected status %d for request %llu\n",
+                  static_cast<int>(resp.status),
+                  static_cast<unsigned long long>(resp.id));
+    }
+  }
+  PhaseResult result;
+  result.seconds = wall.seconds();
+  result.requests_per_second =
+      static_cast<double>(futures.size()) / result.seconds;
+  return result;
+}
+
+serve::ServiceConfig service_config(int threads) {
+  serve::ServiceConfig cfg;
+  cfg.num_threads = threads;
+  cfg.max_batch = 8;
+  cfg.batch_linger = std::chrono::microseconds(200);
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("serve_throughput",
+                "serving layer: structure caching + incremental refit "
+                "amortization (Cornerstone-style reuse across a request "
+                "stream)");
+
+  const auto atoms =
+      static_cast<std::size_t>(util::env_int("REPRO_SERVE_ATOMS", 2000));
+  const auto reqs =
+      static_cast<std::size_t>(util::env_int("REPRO_SERVE_REQS", 12));
+  const int threads =
+      static_cast<int>(util::env_int("REPRO_SERVE_THREADS", 4));
+  std::printf("%zu-atom molecules, %zu requests per phase, %d threads\n\n",
+              atoms, reqs, threads);
+
+  const molecule::Molecule base = molecule::generate_protein(atoms, 0xbeef);
+
+  // Phase 1: cold -- distinct molecules, nothing reusable.
+  std::vector<molecule::Molecule> cold_mols;
+  for (std::size_t i = 0; i < reqs; ++i) {
+    cold_mols.push_back(molecule::generate_protein(atoms, 0xc01d + i));
+  }
+  serve::PolarizationService cold_svc(service_config(threads));
+  const PhaseResult cold = run_phase(cold_svc, nullptr, std::move(cold_mols));
+
+  // Phase 2: cached -- byte-identical repeats of one warmed-up molecule.
+  std::vector<molecule::Molecule> hit_mols(reqs, base);
+  serve::PolarizationService hit_svc(service_config(threads));
+  const PhaseResult cached = run_phase(hit_svc, &base, std::move(hit_mols));
+
+  // Phase 3: refit -- MD-step perturbations (sigma 0.05 A / coordinate)
+  // of the warmed-up molecule.
+  std::vector<molecule::Molecule> refit_mols;
+  for (std::size_t i = 0; i < reqs; ++i) {
+    refit_mols.push_back(jittered(base, 0.05, 0x0f17 + i));
+  }
+  serve::PolarizationService refit_svc(service_config(threads));
+  const PhaseResult refit =
+      run_phase(refit_svc, &base, std::move(refit_mols));
+
+  util::Table table({"phase", "requests", "wall s", "req/s",
+                     "speedup vs cold", "path counts"});
+  auto path_summary = [](const serve::PolarizationService& svc) {
+    const serve::ServiceStats s = svc.stats();
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%llu cold / %llu refit / %llu hit",
+                  static_cast<unsigned long long>(s.cold_builds),
+                  static_cast<unsigned long long>(s.refits),
+                  static_cast<unsigned long long>(s.cache_hits));
+    return std::string(buf);
+  };
+  table.row()
+      .cell("cold")
+      .cell(reqs)
+      .cell(cold.seconds, 3)
+      .cell(cold.requests_per_second, 2)
+      .cell(1.0, 2)
+      .cell(path_summary(cold_svc));
+  table.row()
+      .cell("cached")
+      .cell(reqs)
+      .cell(cached.seconds, 3)
+      .cell(cached.requests_per_second, 2)
+      .cell(cached.requests_per_second / cold.requests_per_second, 2)
+      .cell(path_summary(hit_svc));
+  table.row()
+      .cell("refit")
+      .cell(reqs)
+      .cell(refit.seconds, 3)
+      .cell(refit.requests_per_second, 2)
+      .cell(refit.requests_per_second / cold.requests_per_second, 2)
+      .cell(path_summary(refit_svc));
+  bench::emit(table, "serve_throughput");
+
+  // Equality spot-check: the serve path replays the one-shot driver
+  // bit for bit on an identical input.
+  const serve::Response served = hit_svc.serve_now(make_request(999, base));
+  const gb::GBResult driver = gb::compute_gb_energy(base);
+  const bool bit_identical = served.energy == driver.energy;
+
+  const double hit_speedup =
+      cached.requests_per_second / cold.requests_per_second;
+  const double refit_speedup =
+      refit.requests_per_second / cold.requests_per_second;
+  std::printf("\ncached-hit speedup %.1fx (target >= 10x): %s\n",
+              hit_speedup, hit_speedup >= 10.0 ? "PASS" : "FAIL");
+  std::printf("refit speedup %.2fx (target >= 1.5x): %s\n", refit_speedup,
+              refit_speedup >= 1.5 ? "PASS" : "FAIL");
+  std::printf("serve energy == one-shot driver energy (bit-for-bit): %s\n",
+              bit_identical ? "PASS" : "FAIL");
+  return (hit_speedup >= 10.0 && refit_speedup >= 1.5 && bit_identical)
+             ? 0
+             : 1;
+}

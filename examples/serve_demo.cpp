@@ -1,0 +1,180 @@
+// serve_demo -- the serving layer on a synthetic docking-style stream.
+//
+// Models the request mix of a docking scan service: a client walks a
+// ligand through candidate poses against one receptor, re-scoring
+// conformations that are byte-identical repeats (pose rescans), small
+// perturbations of a recent conformation (pose refinement / MD steps),
+// or genuinely new structures (new compounds). Some requests carry
+// deadlines tighter than the queue can honor and are shed.
+//
+//   REPRO_SERVE_ATOMS    receptor size (default 2000)
+//   REPRO_SERVE_THREADS  service compute threads (default 4)
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <vector>
+
+#include "src/molecule/generators.h"
+#include "src/serve/service.h"
+#include "src/util/env.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+using namespace octgb;
+
+namespace {
+
+molecule::Molecule jittered(const molecule::Molecule& mol, double sigma,
+                            util::Xoshiro256& rng) {
+  molecule::Molecule out(mol.name());
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    molecule::Atom atom = mol.atom(i);
+    atom.position += {sigma * rng.normal(), sigma * rng.normal(),
+                      sigma * rng.normal()};
+    out.add_atom(atom);
+  }
+  return out;
+}
+
+const char* path_name(serve::Path p) {
+  switch (p) {
+    case serve::Path::kCacheHit:
+      return "cache-hit";
+    case serve::Path::kRefit:
+      return "refit";
+    case serve::Path::kColdBuild:
+      return "cold-build";
+    case serve::Path::kNone:
+      return "-";
+  }
+  return "?";
+}
+
+const char* status_name(serve::Status s) {
+  switch (s) {
+    case serve::Status::kOk:
+      return "ok";
+    case serve::Status::kShed:
+      return "shed";
+    case serve::Status::kRejected:
+      return "rejected";
+    case serve::Status::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const auto atoms =
+      static_cast<std::size_t>(util::env_int("REPRO_SERVE_ATOMS", 2000));
+  const int threads =
+      static_cast<int>(util::env_int("REPRO_SERVE_THREADS", 4));
+
+  std::printf("serve_demo: docking-style request stream against a %zu-atom\n"
+              "receptor conformation, %d compute threads\n\n",
+              atoms, threads);
+
+  const molecule::Molecule receptor =
+      molecule::generate_protein(atoms, 0x5e12);
+  util::Xoshiro256 rng(0xd0c4);
+
+  serve::ServiceConfig cfg;
+  cfg.num_threads = threads;
+  cfg.max_batch = 8;
+  cfg.batch_linger = std::chrono::microseconds(500);
+  serve::PolarizationService svc(cfg);
+
+  // The stream: 1 cold scoring of the receptor conformation, then a
+  // mix of exact re-scores, refined (perturbed) conformations, new
+  // compounds, and periodic requests with already-hopeless deadlines.
+  struct Labeled {
+    const char* kind;
+    std::future<serve::Response> future;
+  };
+  std::vector<Labeled> stream;
+  std::uint64_t next_id = 0;
+  auto push = [&](const char* kind, molecule::Molecule mol,
+                  bool hopeless_deadline = false) {
+    serve::Request req;
+    req.id = next_id++;
+    req.mol = std::move(mol);
+    if (hopeless_deadline) {
+      req.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+    }
+    stream.push_back({kind, svc.submit(std::move(req))});
+  };
+
+  util::WallTimer wall;
+  push("new compound", receptor);
+  svc.drain();  // let the receptor's structures land in the cache
+
+  molecule::Molecule conformation = receptor;
+  for (int round = 0; round < 6; ++round) {
+    // Pose refinement: drift the conformation and re-score it.
+    conformation = jittered(conformation, 0.04, rng);
+    push("refined pose", conformation);
+    // Exact re-score of the unperturbed receptor (always a hit).
+    push("exact re-score", receptor);
+    // Every other round, a brand-new compound shows up...
+    if (round % 2 == 0) {
+      push("new compound",
+           molecule::generate_protein(atoms / 2, 0x900d + round));
+    }
+    // ...and every third round an impatient client whose deadline
+    // already passed.
+    if (round % 3 == 0) {
+      push("tight deadline", receptor, /*hopeless_deadline=*/true);
+    }
+  }
+
+  util::Table table({"req", "kind", "status", "path", "queue ms",
+                     "compute ms", "E_pol (kcal/mol)"});
+  for (auto& entry : stream) {
+    const serve::Response r = entry.future.get();
+    table.row()
+        .cell(static_cast<std::int64_t>(r.id))
+        .cell(entry.kind)
+        .cell(status_name(r.status))
+        .cell(path_name(r.path))
+        .cell(1e3 * r.t_queue, 3)
+        .cell(1e3 * (r.t_total - r.t_queue), 3);
+    if (r.status == serve::Status::kOk) {
+      table.cell(r.energy, 2);
+    } else {
+      table.cell("-");
+    }
+  }
+  const double total_s = wall.seconds();
+  table.print(std::cout);
+
+  const serve::ServiceStats stats = svc.stats();
+  const serve::CacheStats cs = svc.cache_stats();
+  std::printf("\n%zu requests in %.3f s (%.1f req/s)\n", stream.size(),
+              total_s, static_cast<double>(stats.completed) / total_s);
+  std::printf("paths: %llu cold, %llu refit, %llu cache hits "
+              "(%llu coalesced in-batch); %llu shed\n",
+              static_cast<unsigned long long>(stats.cold_builds),
+              static_cast<unsigned long long>(stats.refits),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.shed));
+  std::printf("stage seconds: build %.3f, refit %.4f, kernels %.3f, "
+              "queue %.3f\n",
+              stats.build_seconds, stats.refit_seconds,
+              stats.kernel_seconds, stats.queue_seconds);
+  std::printf("cache: %zu entries, %s resident, %llu refit hits, "
+              "%llu drift fallbacks\n",
+              svc.cache_size(),
+              util::format_bytes(svc.cache_memory_bytes()).c_str(),
+              static_cast<unsigned long long>(cs.refit_hits),
+              static_cast<unsigned long long>(cs.refit_fallbacks));
+  std::printf("batches: %llu (max size %llu)\n",
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.max_batch_size));
+  return 0;
+}

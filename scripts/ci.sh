@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# ci.sh -- the checks a PR must pass.
+#
+#   1. tier-1: Release build + full ctest suite (ROADMAP.md's verify).
+#   2. sanitizer: ASan+UBSan build (OCTGB_SANITIZE=ON) of the fast
+#      tests, run directly (the full suite under ASan is slow; the fast
+#      set covers every module boundary the serving layer touches).
+#
+# Usage: scripts/ci.sh [--tier1-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "==> tier-1: Release build + ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+  echo "==> tier-1 OK (sanitizer pass skipped)"
+  exit 0
+fi
+
+FAST_TESTS=(geom_test molecule_test octree_test util_test parallel_test
+  serve_test range_query_test celllist_misc_test)
+
+echo "==> sanitizer: ASan+UBSan build of fast tests"
+cmake -B build-asan -S . -DOCTGB_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "$JOBS" --target "${FAST_TESTS[@]}"
+for t in "${FAST_TESTS[@]}"; do
+  echo "--> $t"
+  "build-asan/tests/$t" --gtest_brief=1
+done
+
+echo "==> CI OK"

@@ -1,0 +1,88 @@
+#include "src/serve/content_hash.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace octgb::serve {
+
+void Fnv1a::add_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state_ ^= p[i];
+    state_ *= 0x00000100000001b3ull;
+  }
+}
+
+void Fnv1a::add_double(double d) {
+  // Canonicalize the two zero encodings; any NaN in an input is a bug
+  // upstream, but hash it stably anyway.
+  if (d == 0.0) d = 0.0;
+  add_u64(std::bit_cast<std::uint64_t>(d));
+}
+
+void Fnv1a::add_vec3(const geom::Vec3& v) {
+  add_double(v.x);
+  add_double(v.y);
+  add_double(v.z);
+}
+
+void hash_params(Fnv1a& h, const gb::CalculatorParams& params) {
+  h.add_double(params.approx.eps_born);
+  h.add_double(params.approx.eps_epol);
+  h.add_u64(params.approx.approx_math ? 1 : 0);
+  h.add_u64(params.approx.strict_born_criterion ? 1 : 0);
+  h.add_double(params.surface.spacing);
+  h.add_u64(static_cast<std::uint64_t>(params.surface.quadrature_degree));
+  h.add_double(params.surface.blobbiness);
+  h.add_u64(static_cast<std::uint64_t>(params.surface.sphere_points));
+  h.add_double(params.surface.sphere_probe);
+  h.add_u64(params.surface.mesh_atom_limit);
+  h.add_u64(params.octree.leaf_capacity);
+  h.add_u64(static_cast<std::uint64_t>(params.octree.max_depth));
+  h.add_double(params.physics.eps_solvent);
+  h.add_double(params.physics.coulomb_k);
+  h.add_u64(static_cast<std::uint64_t>(params.kernel));
+}
+
+namespace {
+
+void hash_structure(Fnv1a& h, const molecule::Molecule& mol,
+                    const gb::CalculatorParams& params) {
+  h.add_u64(mol.size());
+  for (double r : mol.radii()) h.add_double(r);
+  for (double q : mol.charges()) h.add_double(q);
+  hash_params(h, params);
+}
+
+}  // namespace
+
+std::uint64_t content_key(const molecule::Molecule& mol,
+                          const gb::CalculatorParams& params) {
+  Fnv1a h;
+  hash_structure(h, mol, params);
+  for (const auto& p : mol.positions()) h.add_vec3(p);
+  return h.value();
+}
+
+std::uint64_t structure_key(const molecule::Molecule& mol,
+                            const gb::CalculatorParams& params) {
+  Fnv1a h;
+  hash_structure(h, mol, params);
+  return h.value();
+}
+
+double rms_displacement(std::span<const geom::Vec3> a,
+                        std::span<const geom::Vec3> b) {
+  if (a.size() != b.size() || a.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const geom::Vec3 d{a[i].x - b[i].x, a[i].y - b[i].y, a[i].z - b[i].z};
+    sum += d.x * d.x + d.y * d.y + d.z * d.z;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+}  // namespace octgb::serve

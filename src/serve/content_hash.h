@@ -1,0 +1,60 @@
+// content_hash.h -- canonical content keys for the structure cache.
+//
+// Two hashes are derived from a request:
+//
+//  * content_key: positions + radii + charges + every calculator
+//    parameter. Two requests with equal keys describe byte-identical
+//    inputs, so a cache entry under this key can be replayed verbatim.
+//  * structure_key: the same hash *without* positions. Requests that
+//    share a structure_key are conformations of the same molecule under
+//    the same parameters -- the refit candidates: their cached octree
+//    topology and quadrature surface can be reused after a bound refit,
+//    provided the positional drift is small.
+//
+// Hashing is FNV-1a over the exact IEEE-754 bit patterns (no rounding,
+// no tolerance): the cache promises bit-identical replay, so the key
+// must distinguish inputs that differ in the last ulp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/gb/calculator.h"
+#include "src/geom/vec3.h"
+#include "src/molecule/molecule.h"
+
+namespace octgb::serve {
+
+/// Incremental 64-bit FNV-1a.
+class Fnv1a {
+ public:
+  void add_bytes(const void* data, std::size_t n);
+  void add_u64(std::uint64_t v) { add_bytes(&v, sizeof v); }
+  void add_double(double d);
+  void add_vec3(const geom::Vec3& v);
+
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
+/// Folds every field of `params` into `h`. Keep in sync with
+/// CalculatorParams -- a new knob that is not hashed would alias cache
+/// entries across different configurations.
+void hash_params(Fnv1a& h, const gb::CalculatorParams& params);
+
+/// Full key: molecule content (positions, radii, charges) + params.
+std::uint64_t content_key(const molecule::Molecule& mol,
+                          const gb::CalculatorParams& params);
+
+/// Position-independent key: atom count, radii, charges + params.
+std::uint64_t structure_key(const molecule::Molecule& mol,
+                            const gb::CalculatorParams& params);
+
+/// Root-mean-square displacement between two equal-length position
+/// sets (Angstrom) -- the drift metric deciding refit vs rebuild.
+double rms_displacement(std::span<const geom::Vec3> a,
+                        std::span<const geom::Vec3> b);
+
+}  // namespace octgb::serve

@@ -1,0 +1,121 @@
+// request.h -- the request/response model of the serving layer.
+//
+// A Request is one energy evaluation: a molecule, the GB calculator
+// parameters, an optional deadline and an accuracy tier. The service
+// (src/serve/service.h) coalesces queued requests into batches, serves
+// repeats out of the structure cache, refits near-identical
+// conformations, and sheds requests whose deadline expired while they
+// waited. The Response reports which of those paths the request took
+// plus per-stage timings, so a traffic generator can attribute latency
+// to queueing vs building vs kernels.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "src/gb/calculator.h"
+#include "src/molecule/molecule.h"
+
+namespace octgb::serve {
+
+/// Accuracy tier requested by the client. The tier is resolved into
+/// concrete CalculatorParams *before* hashing, so two requests that
+/// resolve to the same parameters share cache entries.
+enum class Tier {
+  /// Use the request's params untouched. Energies are bit-identical to
+  /// a one-shot gb::compute_gb_energy run with the same params.
+  kExact,
+  /// The paper's headline configuration: eps 0.9 / 0.9, exact math.
+  kStandard,
+  /// Throughput over accuracy: loose eps, approximate math, and a
+  /// coarser quadrature surface (~2x faster, energies within a few
+  /// percent of kExact).
+  kFast,
+};
+
+/// One energy-evaluation request.
+struct Request {
+  /// Client-chosen id, echoed in the Response (the service never
+  /// interprets it).
+  std::uint64_t id = 0;
+  molecule::Molecule mol;
+  gb::CalculatorParams params;
+  Tier tier = Tier::kExact;
+  /// Shed (never computed) if still queued past this point. The default
+  /// (epoch) means "no deadline".
+  std::chrono::steady_clock::time_point deadline{};
+  /// Copy the per-atom Born radii into the response (they are always
+  /// cached internally; this only controls the response payload).
+  bool want_born_radii = false;
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+};
+
+/// `params` with the tier overrides applied -- what the service
+/// actually computes (and hashes) for this request.
+inline gb::CalculatorParams resolved_params(const Request& req) {
+  gb::CalculatorParams p = req.params;
+  switch (req.tier) {
+    case Tier::kExact:
+      break;
+    case Tier::kStandard:
+      p.approx.eps_born = 0.9;
+      p.approx.eps_epol = 0.9;
+      p.approx.approx_math = false;
+      break;
+    case Tier::kFast:
+      p.approx.eps_born = 1.4;
+      p.approx.eps_epol = 1.4;
+      p.approx.approx_math = true;
+      // Halve the q-point budget but stay in the same surface family
+      // (the sphere-sampled pipeline disagrees with the mesh pipeline
+      // by tens of percent at small sizes; a coarser mesh stays within
+      // a few percent).
+      p.surface.spacing = 2.0;
+      p.surface.quadrature_degree = 1;
+      break;
+  }
+  return p;
+}
+
+/// Terminal state of a request.
+enum class Status {
+  kOk,        // energy computed (or served from cache)
+  kShed,      // deadline expired while queued; never computed
+  kRejected,  // admission control: the queue was full at submit time
+  kFailed,    // the pipeline threw (bad molecule / params)
+};
+
+/// Which execution path a served request took.
+enum class Path {
+  kNone,       // not computed (shed / rejected / failed before dispatch)
+  kCacheHit,   // exact content-hash hit: O(lookup), no kernels run
+  kRefit,      // reused a cached structure's topology + surface,
+               // recomputed bounds and kernels
+  kColdBuild,  // full pipeline: surface + octrees + kernels
+};
+
+/// Result of one request.
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::kOk;
+  Path path = Path::kNone;
+
+  double energy = 0.0;             // kcal/mol
+  std::vector<double> born_radii;  // filled iff want_born_radii
+  std::size_t num_qpoints = 0;
+  /// Content hash of (atoms, resolved params) -- the cache key.
+  std::uint64_t content_key = 0;
+
+  // Per-stage wall-clock seconds.
+  double t_queue = 0.0;   // submit -> dispatch
+  double t_build = 0.0;   // surface + octree construction (cold path)
+  double t_refit = 0.0;   // topology copy + bound refit (refit path)
+  double t_kernel = 0.0;  // Born radii + E_pol
+  double t_total = 0.0;   // submit -> response ready
+};
+
+}  // namespace octgb::serve

@@ -1,0 +1,339 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/serve/content_hash.h"
+#include "src/util/timer.h"
+
+namespace octgb::serve {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+PolarizationService::PolarizationService(const ServiceConfig& config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      pool_(std::max(1, config.num_threads)) {
+  config_.num_threads = std::max(1, config.num_threads);
+  config_.max_batch = std::max<std::size_t>(1, config.max_batch);
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+PolarizationService::~PolarizationService() { stop(); }
+
+std::future<Response> PolarizationService::submit(Request req) {
+  std::promise<Response> promise;
+  std::future<Response> fut = promise.get_future();
+  const Clock::time_point now = Clock::now();
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.submitted;
+    if (stopping_ || queue_.size() >= config_.queue_capacity) {
+      ++stats_.rejected;
+      promise.set_value(make_terminal(req, Status::kRejected, 0.0));
+      return fut;
+    }
+    queue_.push_back(Pending{std::move(req), std::move(promise), now});
+  }
+  queue_cv_.notify_one();
+  return fut;
+}
+
+Response PolarizationService::serve_now(Request req) {
+  return submit(std::move(req)).get();
+}
+
+void PolarizationService::drain() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void PolarizationService::stop() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ServiceStats PolarizationService::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+CacheStats PolarizationService::cache_stats() const { return cache_.stats(); }
+
+std::size_t PolarizationService::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+void PolarizationService::dispatch_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // drained
+      continue;
+    }
+    // Linger briefly so bursts coalesce into one batch instead of N
+    // batches of one.
+    if (config_.batch_linger.count() > 0 &&
+        queue_.size() < config_.max_batch && !stopping_) {
+      queue_cv_.wait_for(lock, config_.batch_linger, [this] {
+        return stopping_ || queue_.size() >= config_.max_batch;
+      });
+    }
+    std::vector<Pending> batch;
+    const std::size_t n = std::min(queue_.size(), config_.max_batch);
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    in_flight_ += n;
+    lock.unlock();
+
+    process_batch(std::move(batch));
+
+    lock.lock();
+    in_flight_ -= n;
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void PolarizationService::process_batch(std::vector<Pending>&& batch) {
+  const Clock::time_point start = Clock::now();
+
+  struct Item {
+    Pending pending;
+    double queue_wait = 0.0;
+    std::uint64_t key = 0;
+    bool follower = false;  // identical to an earlier item in the batch
+    Response resp;
+    bool done = false;
+  };
+  std::vector<Item> items;
+  items.reserve(batch.size());
+  for (auto& p : batch) {
+    Item item;
+    item.queue_wait = seconds_between(p.enqueued, start);
+    item.pending = std::move(p);
+    items.push_back(std::move(item));
+  }
+
+  std::uint64_t num_shed = 0;
+  std::vector<std::size_t> leaders;
+  std::vector<std::size_t> followers;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Item& item = items[i];
+    const Request& req = item.pending.req;
+    if (req.has_deadline() && req.deadline < start) {
+      item.resp = make_terminal(req, Status::kShed, item.queue_wait);
+      item.done = true;
+      ++num_shed;
+      continue;
+    }
+    item.key = content_key(req.mol, resolved_params(req));
+    for (std::size_t j : leaders) {
+      if (items[j].key == item.key) {
+        item.follower = true;
+        break;
+      }
+    }
+    // With the cache disabled there is no entry for followers to hit,
+    // so every request computes for itself.
+    if (item.follower && config_.cache_capacity > 0) {
+      followers.push_back(i);
+    } else {
+      leaders.push_back(i);
+    }
+  }
+
+  // Phase 1: distinct inputs. Throughput mode parallelizes across
+  // requests (each pipeline serial inside one task -> bit-reproducible
+  // per request); latency mode runs them in turn with the kernels
+  // forking on the pool.
+  auto run_one = [this](Item& item, parallel::WorkStealingPool* pool) {
+    try {
+      item.resp = compute_one(item.pending.req, item.queue_wait, pool);
+    } catch (...) {
+      item.resp =
+          make_terminal(item.pending.req, Status::kFailed, item.queue_wait);
+    }
+    item.done = true;
+  };
+  if (!leaders.empty()) {
+    if (config_.intra_request_parallelism) {
+      pool_.run([&] {
+        for (std::size_t i : leaders) run_one(items[i], &pool_);
+      });
+    } else {
+      pool_.run([&] {
+        parallel::parallel_for(pool_, 0, leaders.size(), 1,
+                               [&](std::size_t lo, std::size_t hi) {
+                                 for (std::size_t k = lo; k < hi; ++k) {
+                                   run_one(items[leaders[k]], nullptr);
+                                 }
+                               });
+      });
+    }
+  }
+
+  // Phase 2: coalesced repeats replay the entries phase 1 just
+  // inserted -- an exact cache hit, radii included.
+  for (std::size_t i : followers) run_one(items[i], nullptr);
+
+  std::uint64_t num_coalesced = 0;
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.batches;
+    stats_.max_batch_size = std::max<std::uint64_t>(stats_.max_batch_size,
+                                                    items.size());
+    stats_.shed += num_shed;
+    for (std::size_t i : followers) {
+      if (items[i].resp.path == Path::kCacheHit) ++num_coalesced;
+    }
+    stats_.coalesced += num_coalesced;
+    for (const Item& item : items) {
+      const Response& r = item.resp;
+      switch (r.status) {
+        case Status::kOk:
+          ++stats_.completed;
+          break;
+        case Status::kFailed:
+          ++stats_.failed;
+          break;
+        default:
+          continue;  // shed: no stage times to account
+      }
+      switch (r.path) {
+        case Path::kCacheHit:
+          ++stats_.cache_hits;
+          break;
+        case Path::kRefit:
+          ++stats_.refits;
+          break;
+        case Path::kColdBuild:
+          ++stats_.cold_builds;
+          break;
+        case Path::kNone:
+          break;
+      }
+      stats_.queue_seconds += r.t_queue;
+      stats_.build_seconds += r.t_build;
+      stats_.refit_seconds += r.t_refit;
+      stats_.kernel_seconds += r.t_kernel;
+    }
+  }
+
+  for (Item& item : items) {
+    item.pending.promise.set_value(std::move(item.resp));
+  }
+}
+
+Response PolarizationService::compute_one(const Request& req,
+                                          double queue_wait,
+                                          parallel::WorkStealingPool* pool) {
+  Response resp;
+  resp.id = req.id;
+  resp.t_queue = queue_wait;
+  util::WallTimer total;
+
+  const gb::CalculatorParams params = resolved_params(req);
+  resp.content_key = content_key(req.mol, params);
+
+  if (config_.cache_capacity > 0) {
+    if (auto hit = cache_.find_exact(resp.content_key)) {
+      resp.path = Path::kCacheHit;
+      resp.energy = hit->energy;
+      resp.num_qpoints = hit->num_qpoints;
+      if (req.want_born_radii) resp.born_radii = hit->born_radii;
+      resp.t_total = queue_wait + total.seconds();
+      return resp;
+    }
+  }
+
+  const std::uint64_t skey = structure_key(req.mol, params);
+  std::shared_ptr<const CacheEntry> base;
+  if (config_.enable_refit && config_.cache_capacity > 0) {
+    base = cache_.find_refit(skey, req.mol.positions(), config_.refit_max_rms);
+  }
+
+  auto entry = std::make_shared<CacheEntry>();
+  entry->key = resp.content_key;
+  entry->skey = skey;
+  entry->positions.assign(req.mol.positions().begin(),
+                          req.mol.positions().end());
+
+  util::WallTimer stage;
+  if (base) {
+    // Incremental refit: keep the base entry's surface and octree
+    // topology (point order, children, leaves, charge-bin layout of
+    // the q-normals); recompute only node centers/radii for the moved
+    // atoms. The base entry itself is immutable -- the copy is an
+    // O(M + Q) memcpy, orders of magnitude below a rebuild's
+    // surface generation + Morton sort.
+    resp.path = Path::kRefit;
+    entry->surf = base->surf;
+    entry->trees = base->trees;
+    entry->trees.atoms.refit(req.mol.positions());
+    resp.t_refit = stage.seconds();
+  } else {
+    // Cold build: exactly the compute_gb_energy pipeline (same calls,
+    // same order), so a kExact request's energy is bit-identical to
+    // the one-shot driver.
+    resp.path = Path::kColdBuild;
+    entry->surf = std::make_shared<const surface::QuadratureSurface>(
+        surface::build_surface(req.mol, params.surface));
+    entry->trees = gb::build_born_octrees(req.mol, *entry->surf,
+                                          params.octree);
+    resp.t_build = stage.seconds();
+  }
+
+  stage.restart();
+  gb::BornRadiiResult born =
+      params.kernel == gb::BornKernel::kSurfaceR4
+          ? gb::born_radii_octree_r4(entry->trees, req.mol, *entry->surf,
+                                     params.approx, pool)
+          : gb::born_radii_octree(entry->trees, req.mol, *entry->surf,
+                                  params.approx, pool);
+  const gb::EpolResult epol =
+      gb::epol_octree(entry->trees.atoms, req.mol, born.radii,
+                      params.approx, params.physics, pool);
+  resp.t_kernel = stage.seconds();
+
+  entry->born_radii = std::move(born.radii);
+  entry->energy = epol.energy;
+  entry->num_qpoints = entry->surf->size();
+
+  resp.energy = entry->energy;
+  resp.num_qpoints = entry->num_qpoints;
+  if (req.want_born_radii) resp.born_radii = entry->born_radii;
+
+  if (config_.cache_capacity > 0) cache_.insert(std::move(entry));
+  resp.t_total = queue_wait + total.seconds();
+  return resp;
+}
+
+Response PolarizationService::make_terminal(const Request& req, Status status,
+                                            double queue_wait) const {
+  Response resp;
+  resp.id = req.id;
+  resp.status = status;
+  resp.path = Path::kNone;
+  resp.t_queue = queue_wait;
+  resp.t_total = queue_wait;
+  return resp;
+}
+
+}  // namespace octgb::serve

@@ -1,0 +1,168 @@
+// service.h -- the in-process polarization-energy service.
+//
+// PolarizationService turns the one-shot calculator into a request
+// server: clients submit() Requests and get a std::future<Response>;
+// a dispatcher thread coalesces the bounded queue into batches and
+// runs them on a WorkStealingPool. Per batch the service
+//
+//  1. sheds requests whose deadline expired while they queued
+//     (admission control already rejected submits on a full queue);
+//  2. groups byte-identical requests so each distinct input is
+//     computed once and fanned out to every requester;
+//  3. serves exact repeats from the structure cache (O(lookup)),
+//     routes near-identical conformations through the incremental
+//     refit path, and cold-builds the rest;
+//  4. records per-stage times into ServiceStats.
+//
+// Parallelism is across requests by default: each request's pipeline
+// runs serially inside one pool task, so a request's energy is
+// bit-identical to a serial gb::compute_gb_energy call no matter how
+// it was batched (the Born accumulation uses atomic adds, so
+// *intra*-request parallelism is not bit-reproducible run to run --
+// see src/gb/born.h). Set ServiceConfig::intra_request_parallelism for
+// latency-critical single-stream workloads with large molecules.
+//
+// This is the seam later scaling work plugs into: sharding replicates
+// the service per NUMA domain behind a hash router, async backends
+// replace the compute lambda, and remote serving wraps submit() in a
+// transport. The request/response model is deliberately transport-
+// free.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/parallel/pool.h"
+#include "src/serve/request.h"
+#include "src/serve/structure_cache.h"
+
+namespace octgb::serve {
+
+/// All service knobs.
+struct ServiceConfig {
+  /// Workers in the compute pool (>= 1; the dispatcher acts as worker 0
+  /// while a batch runs).
+  int num_threads = 4;
+  /// Bounded queue: submits beyond this are rejected immediately.
+  std::size_t queue_capacity = 256;
+  /// Max requests coalesced into one batch.
+  std::size_t max_batch = 16;
+  /// How long the dispatcher lingers for more requests once the queue
+  /// is non-empty but below max_batch. Zero dispatches immediately.
+  std::chrono::microseconds batch_linger{200};
+  /// Structure-cache capacity in entries (0 disables caching).
+  std::size_t cache_capacity = 64;
+  /// Max RMS positional drift (Angstrom) for the refit path; beyond it
+  /// a same-structure request falls back to a full rebuild. At MD-step
+  /// drifts (<= ~0.1 A RMS) refit tracks a rebuild to ~1e-3 relative;
+  /// past ~0.5 A the retained surface and inflated bounds drift out of
+  /// the approximation class.
+  double refit_max_rms = 0.5;
+  /// Disable to force every non-identical request down the cold path.
+  bool enable_refit = true;
+  /// Run each request's own kernels on the pool (latency mode) instead
+  /// of parallelizing across requests (throughput mode, the default --
+  /// and the mode whose energies are bit-reproducible).
+  bool intra_request_parallelism = false;
+};
+
+/// Monotonic service counters + per-stage time sums, exported like
+/// parallel::PoolStats. Cache-level counters live in CacheStats.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;   // queue full at submit
+  std::uint64_t shed = 0;       // deadline expired while queued
+  std::uint64_t completed = 0;  // responses with status kOk
+  std::uint64_t failed = 0;
+
+  std::uint64_t cache_hits = 0;
+  std::uint64_t refits = 0;
+  std::uint64_t cold_builds = 0;
+  /// Requests answered by another identical request in the same batch.
+  std::uint64_t coalesced = 0;
+
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch_size = 0;
+
+  // Wall-clock sums (seconds) over completed requests.
+  double queue_seconds = 0.0;
+  double build_seconds = 0.0;
+  double refit_seconds = 0.0;
+  double kernel_seconds = 0.0;
+};
+
+/// In-process batched GB-energy server. Construction starts the
+/// dispatcher; destruction drains the queue and joins.
+class PolarizationService {
+ public:
+  explicit PolarizationService(const ServiceConfig& config = {});
+  ~PolarizationService();
+
+  PolarizationService(const PolarizationService&) = delete;
+  PolarizationService& operator=(const PolarizationService&) = delete;
+
+  /// Enqueues a request. On a full queue the returned future is
+  /// already resolved with Status::kRejected.
+  std::future<Response> submit(Request req);
+
+  /// Convenience: submit + wait. Shares the queue, batcher and cache
+  /// with concurrent submitters.
+  Response serve_now(Request req);
+
+  /// Blocks until every request submitted so far has a response.
+  void drain();
+
+  /// Drains, then stops the dispatcher. Idempotent; called by the
+  /// destructor. Submits after stop() are rejected.
+  void stop();
+
+  ServiceStats stats() const;
+  CacheStats cache_stats() const;
+  /// Scheduler counters of the underlying pool.
+  parallel::PoolStats pool_stats() const { return pool_.stats(); }
+  std::size_t cache_size() const { return cache_.size(); }
+  /// Approximate bytes retained by cached structures.
+  std::size_t cache_memory_bytes() const { return cache_.memory_bytes(); }
+  std::size_t queue_depth() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    Request req;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatch_loop();
+  void process_batch(std::vector<Pending>&& batch);
+  /// Runs one request end to end (cache lookup, refit or cold build,
+  /// kernels). `pool` is non-null only in intra-request mode.
+  Response compute_one(const Request& req, double queue_wait,
+                       parallel::WorkStealingPool* pool);
+  Response make_terminal(const Request& req, Status status,
+                         double queue_wait) const;
+
+  ServiceConfig config_;
+  StructureCache cache_;
+  parallel::WorkStealingPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // dispatcher wakeups
+  std::condition_variable idle_cv_;   // drain() wakeups
+  std::deque<Pending> queue_;
+  std::size_t in_flight_ = 0;  // dequeued, response not yet set
+  bool stopping_ = false;
+  ServiceStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace octgb::serve

@@ -1,0 +1,118 @@
+#include "src/serve/structure_cache.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/serve/content_hash.h"
+
+namespace octgb::serve {
+
+std::size_t CacheEntry::memory_bytes() const {
+  std::size_t bytes = sizeof(CacheEntry);
+  bytes += positions.capacity() * sizeof(geom::Vec3);
+  if (surf) {
+    bytes += surf->points.capacity() * sizeof(geom::Vec3);
+    bytes += surf->normals.capacity() * sizeof(geom::Vec3);
+    bytes += surf->weights.capacity() * sizeof(double);
+  }
+  bytes += trees.atoms.memory_bytes() + trees.qpoints.memory_bytes();
+  bytes += trees.q_weighted_normal.capacity() * sizeof(geom::Vec3);
+  bytes += born_radii.capacity() * sizeof(double);
+  return bytes;
+}
+
+std::shared_ptr<const CacheEntry> StructureCache::find_exact(
+    std::uint64_t key) {
+  std::lock_guard lock(mu_);
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+  ++stats_.exact_hits;
+  return *it->second;
+}
+
+std::shared_ptr<const CacheEntry> StructureCache::find_refit(
+    std::uint64_t skey, std::span<const geom::Vec3> positions,
+    double max_rms, double* out_rms) {
+  std::lock_guard lock(mu_);
+  std::shared_ptr<const CacheEntry> best;
+  double best_rms = std::numeric_limits<double>::infinity();
+  bool any_candidate = false;
+  const auto [begin, end] = by_skey_.equal_range(skey);
+  for (auto it = begin; it != end; ++it) {
+    const auto entry_it = by_key_.find(it->second);
+    if (entry_it == by_key_.end()) continue;
+    const auto& entry = *entry_it->second;
+    any_candidate = true;
+    const double rms = rms_displacement(entry->positions, positions);
+    if (rms < best_rms) {
+      best_rms = rms;
+      best = entry;
+    }
+  }
+  if (best && best_rms <= max_rms) {
+    lru_.splice(lru_.begin(), lru_,
+                by_key_.find(best->key)->second);  // bump to MRU
+    ++stats_.refit_hits;
+    if (out_rms) *out_rms = best_rms;
+    return best;
+  }
+  if (any_candidate) ++stats_.refit_fallbacks;
+  return nullptr;
+}
+
+void StructureCache::insert(std::shared_ptr<const CacheEntry> entry) {
+  if (!entry || capacity_ == 0) return;
+  std::lock_guard lock(mu_);
+  unlink_locked(entry->key);  // replace an existing key in place
+  lru_.push_front(std::move(entry));
+  by_key_[lru_.front()->key] = lru_.begin();
+  by_skey_.emplace(lru_.front()->skey, lru_.front()->key);
+  ++stats_.insertions;
+  evict_locked();
+}
+
+void StructureCache::evict_locked() {
+  while (lru_.size() > capacity_) {
+    const std::uint64_t victim = lru_.back()->key;
+    unlink_locked(victim);
+    ++stats_.evictions;
+  }
+}
+
+void StructureCache::unlink_locked(std::uint64_t key) {
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end()) return;
+  const std::uint64_t skey = (*it->second)->skey;
+  const auto [begin, end] = by_skey_.equal_range(skey);
+  for (auto sit = begin; sit != end; ++sit) {
+    if (sit->second == key) {
+      by_skey_.erase(sit);
+      break;
+    }
+  }
+  lru_.erase(it->second);
+  by_key_.erase(it);
+}
+
+std::size_t StructureCache::size() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+std::size_t StructureCache::memory_bytes() const {
+  std::lock_guard lock(mu_);
+  std::size_t bytes = 0;
+  for (const auto& entry : lru_) bytes += entry->memory_bytes();
+  return bytes;
+}
+
+CacheStats StructureCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace octgb::serve

@@ -1,0 +1,115 @@
+// structure_cache.h -- LRU cache of built GB structures.
+//
+// One entry retains everything the pipeline builds for a molecule: the
+// quadrature surface, both octrees with their node aggregates, the Born
+// radii, and the final energy, keyed by the content hash of
+// (atoms, resolved params). The cache serves two lookups:
+//
+//  * find_exact: byte-identical repeat -> replay the stored energy,
+//    no kernel runs at all;
+//  * find_refit: same structure_key (same atoms/charges/params,
+//    different positions) within an RMS-drift threshold -> the caller
+//    reuses the entry's surface and octree *topology* and only refits
+//    bounds and reruns the kernels, skipping surface generation and
+//    tree construction (46-72% of a cold run; see DESIGN.md "Serving
+//    layer"). Beyond the threshold the frozen topology's inflated
+//    bounds would erode the far-field pruning the approximation relies
+//    on, so the lookup reports a fallback and the caller rebuilds.
+//
+// Entries are handed out as shared_ptr<const CacheEntry>: eviction
+// never invalidates an in-flight computation, and batch workers on the
+// pool can share one entry concurrently (everything inside is
+// immutable after insert). All methods are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/gb/born.h"
+#include "src/geom/vec3.h"
+#include "src/surface/quadrature.h"
+
+namespace octgb::serve {
+
+/// Everything built for one (molecule, params) input. Immutable once
+/// inserted.
+struct CacheEntry {
+  std::uint64_t key = 0;            // content_key (positions included)
+  std::uint64_t skey = 0;           // structure_key (positions excluded)
+  std::vector<geom::Vec3> positions;  // snapshot, for the drift metric
+  /// Shared with refit descendants: a refit entry keeps the parent's
+  /// surface (positions barely moved; regenerating it is the cost the
+  /// refit path exists to avoid).
+  std::shared_ptr<const surface::QuadratureSurface> surf;
+  gb::BornOctrees trees;
+  std::vector<double> born_radii;
+  double energy = 0.0;
+  std::size_t num_qpoints = 0;
+
+  /// Approximate resident bytes (surface + trees + radii + snapshot).
+  std::size_t memory_bytes() const;
+};
+
+/// Monotonic counters, exported like parallel::PoolStats.
+struct CacheStats {
+  std::uint64_t exact_hits = 0;
+  std::uint64_t refit_hits = 0;
+  /// A same-structure entry existed but its drift exceeded the
+  /// threshold: the caller fell back to a full rebuild.
+  std::uint64_t refit_fallbacks = 0;
+  std::uint64_t misses = 0;  // find_exact lookups that found nothing
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Thread-safe LRU over CacheEntry, capacity counted in entries.
+class StructureCache {
+ public:
+  explicit StructureCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Exact-content lookup. Bumps the entry to most-recently-used.
+  std::shared_ptr<const CacheEntry> find_exact(std::uint64_t key);
+
+  /// Best refit candidate: an entry with the given structure_key whose
+  /// snapshot is within `max_rms` Angstrom RMS of `positions`. Among
+  /// several candidates the one with the smallest drift wins (the most
+  /// recently refit snapshot tracks a drifting stream). Writes the
+  /// winning drift into *out_rms when non-null. Returns nullptr on no
+  /// candidate; counts a fallback if candidates existed but all
+  /// exceeded the threshold.
+  std::shared_ptr<const CacheEntry> find_refit(
+      std::uint64_t skey, std::span<const geom::Vec3> positions,
+      double max_rms, double* out_rms = nullptr);
+
+  /// Inserts (or refreshes) an entry, evicting least-recently-used
+  /// entries past capacity. Inserting an existing key replaces the old
+  /// entry (outstanding shared_ptrs stay valid).
+  void insert(std::shared_ptr<const CacheEntry> entry);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Sum of memory_bytes over resident entries.
+  std::size_t memory_bytes() const;
+  CacheStats stats() const;
+
+ private:
+  using LruList = std::list<std::shared_ptr<const CacheEntry>>;
+
+  void evict_locked();
+  void unlink_locked(std::uint64_t key);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  LruList lru_;  // front == most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> by_key_;
+  /// structure_key -> content keys of resident entries with it.
+  std::unordered_multimap<std::uint64_t, std::uint64_t> by_skey_;
+  CacheStats stats_;
+};
+
+}  // namespace octgb::serve

@@ -1,0 +1,431 @@
+// Tests for the serving layer: content hashing, the LRU structure
+// cache (hit / miss / eviction / refit-candidate selection), and the
+// batched PolarizationService (bit-exact replay, refit tolerance,
+// deadline shedding, admission control, coalescing).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "src/gb/calculator.h"
+#include "src/molecule/generators.h"
+#include "src/serve/content_hash.h"
+#include "src/serve/service.h"
+#include "src/serve/structure_cache.h"
+#include "src/util/rng.h"
+
+namespace octgb {
+namespace {
+
+using namespace std::chrono_literals;
+
+serve::Request make_request(std::uint64_t id, molecule::Molecule mol,
+                            serve::Tier tier = serve::Tier::kExact,
+                            bool want_radii = false) {
+  serve::Request req;
+  req.id = id;
+  req.mol = std::move(mol);
+  req.tier = tier;
+  req.want_born_radii = want_radii;
+  return req;
+}
+
+molecule::Molecule jittered(const molecule::Molecule& mol, double sigma,
+                            std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  molecule::Molecule out(mol.name() + "-jittered");
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    molecule::Atom atom = mol.atom(i);
+    atom.position += {sigma * rng.normal(), sigma * rng.normal(),
+                      sigma * rng.normal()};
+    out.add_atom(atom);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- hashing
+
+TEST(ContentHashTest, DeterministicAndSensitive) {
+  const auto mol = molecule::generate_ligand(40, 1);
+  const gb::CalculatorParams params;
+  const auto key = serve::content_key(mol, params);
+  EXPECT_EQ(key, serve::content_key(mol, params));
+
+  auto moved = jittered(mol, 1e-9, 2);  // one ulp-ish nudge
+  EXPECT_NE(key, serve::content_key(moved, params));
+
+  gb::CalculatorParams other = params;
+  other.approx.eps_epol = 0.3;
+  EXPECT_NE(key, serve::content_key(mol, other));
+  other = params;
+  other.approx.approx_math = true;
+  EXPECT_NE(key, serve::content_key(mol, other));
+}
+
+TEST(ContentHashTest, StructureKeyIgnoresPositionsOnly) {
+  const auto mol = molecule::generate_ligand(40, 3);
+  const gb::CalculatorParams params;
+  const auto moved = jittered(mol, 2.0, 4);
+  EXPECT_EQ(serve::structure_key(mol, params),
+            serve::structure_key(moved, params));
+  EXPECT_NE(serve::content_key(mol, params),
+            serve::content_key(moved, params));
+
+  // Charges are structure, not conformation.
+  molecule::Molecule recharged = mol;
+  recharged.shift_charges(0.01);
+  EXPECT_NE(serve::structure_key(mol, params),
+            serve::structure_key(recharged, params));
+}
+
+TEST(ContentHashTest, RmsDisplacement) {
+  std::vector<geom::Vec3> a{{0, 0, 0}, {1, 0, 0}};
+  std::vector<geom::Vec3> b{{0, 0, 2}, {1, 0, 2}};
+  EXPECT_DOUBLE_EQ(serve::rms_displacement(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(serve::rms_displacement(a, a), 0.0);
+  std::vector<geom::Vec3> mismatched{{0, 0, 0}};
+  EXPECT_TRUE(std::isinf(serve::rms_displacement(a, mismatched)));
+}
+
+// ------------------------------------------------------------------ cache
+
+std::shared_ptr<serve::CacheEntry> dummy_entry(std::uint64_t key,
+                                               std::uint64_t skey,
+                                               geom::Vec3 pos) {
+  auto e = std::make_shared<serve::CacheEntry>();
+  e->key = key;
+  e->skey = skey;
+  e->positions = {pos};
+  e->energy = static_cast<double>(key);
+  return e;
+}
+
+TEST(StructureCacheTest, HitMissAndLruEviction) {
+  serve::StructureCache cache(2);
+  EXPECT_EQ(cache.find_exact(1), nullptr);  // miss on empty
+  cache.insert(dummy_entry(1, 100, {0, 0, 0}));
+  cache.insert(dummy_entry(2, 200, {0, 0, 0}));
+  ASSERT_NE(cache.find_exact(1), nullptr);  // bumps 1 to MRU
+  cache.insert(dummy_entry(3, 300, {0, 0, 0}));  // evicts 2 (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.find_exact(1), nullptr);
+  EXPECT_EQ(cache.find_exact(2), nullptr);
+  EXPECT_NE(cache.find_exact(3), nullptr);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.exact_hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(StructureCacheTest, InsertReplacesExistingKey) {
+  serve::StructureCache cache(4);
+  cache.insert(dummy_entry(7, 70, {0, 0, 0}));
+  auto replacement = dummy_entry(7, 70, {1, 1, 1});
+  replacement->energy = -42.0;
+  cache.insert(replacement);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.find_exact(7)->energy, -42.0);
+}
+
+TEST(StructureCacheTest, RefitPicksSmallestDriftWithinThreshold) {
+  serve::StructureCache cache(4);
+  cache.insert(dummy_entry(1, 500, {0, 0, 0}));
+  cache.insert(dummy_entry(2, 500, {0, 0, 0.3}));
+  cache.insert(dummy_entry(3, 999, {0, 0, 0.1}));  // other structure
+
+  const std::vector<geom::Vec3> probe{{0, 0, 0.25}};
+  double rms = -1.0;
+  auto best = cache.find_refit(500, probe, 0.5, &rms);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->key, 2u);  // 0.05 away beats 0.25 away
+  EXPECT_NEAR(rms, 0.05, 1e-12);
+
+  // Candidates exist but drift exceeds the threshold -> fallback.
+  const std::vector<geom::Vec3> far{{0, 0, 9.0}};
+  EXPECT_EQ(cache.find_refit(500, far, 0.5), nullptr);
+  // No entry with that structure at all -> plain miss, not a fallback.
+  EXPECT_EQ(cache.find_refit(12345, probe, 0.5), nullptr);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.refit_hits, 1u);
+  EXPECT_EQ(stats.refit_fallbacks, 1u);
+}
+
+TEST(StructureCacheTest, ZeroCapacityNeverStores) {
+  serve::StructureCache cache(0);
+  cache.insert(dummy_entry(1, 10, {0, 0, 0}));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find_exact(1), nullptr);
+}
+
+// ---------------------------------------------------------------- service
+
+serve::ServiceConfig test_config() {
+  serve::ServiceConfig cfg;
+  cfg.num_threads = 2;
+  cfg.batch_linger = std::chrono::microseconds(0);
+  return cfg;
+}
+
+TEST(ServeTest, ExactRepeatIsCacheHitAndBitIdenticalToDriver) {
+  const auto mol = molecule::generate_protein(400, 21);
+  serve::PolarizationService svc(test_config());
+
+  const auto cold = svc.serve_now(make_request(1, mol));
+  ASSERT_EQ(cold.status, serve::Status::kOk);
+  EXPECT_EQ(cold.path, serve::Path::kColdBuild);
+
+  const auto hit = svc.serve_now(make_request(2, mol));
+  ASSERT_EQ(hit.status, serve::Status::kOk);
+  EXPECT_EQ(hit.path, serve::Path::kCacheHit);
+  EXPECT_EQ(hit.energy, cold.energy);  // bit-for-bit replay
+  EXPECT_EQ(hit.num_qpoints, cold.num_qpoints);
+
+  // The serve path is the one-shot driver, bit for bit.
+  const gb::GBResult driver = gb::compute_gb_energy(mol);
+  EXPECT_EQ(cold.energy, driver.energy);
+  EXPECT_EQ(cold.num_qpoints, driver.num_qpoints);
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.cold_builds, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(ServeTest, BornRadiiReturnedFromColdAndCachedPaths) {
+  const auto mol = molecule::generate_ligand(60, 23);
+  serve::PolarizationService svc(test_config());
+  const auto cold =
+      svc.serve_now(make_request(1, mol, serve::Tier::kExact, true));
+  const auto hit =
+      svc.serve_now(make_request(2, mol, serve::Tier::kExact, true));
+  ASSERT_EQ(cold.born_radii.size(), mol.size());
+  ASSERT_EQ(hit.path, serve::Path::kCacheHit);
+  EXPECT_EQ(hit.born_radii, cold.born_radii);
+
+  const gb::GBResult driver = gb::compute_gb_energy(mol);
+  EXPECT_EQ(cold.born_radii, driver.born_radii);
+}
+
+TEST(ServeTest, BatchResultsBitIdenticalToSequentialRuns) {
+  // A burst of distinct molecules batched together must produce, per
+  // request, exactly the serial one-shot result (inter-request
+  // parallelism keeps each pipeline serial inside one task).
+  serve::ServiceConfig cfg = test_config();
+  cfg.num_threads = 4;
+  cfg.max_batch = 8;
+  cfg.batch_linger = std::chrono::milliseconds(20);
+  serve::PolarizationService svc(cfg);
+
+  std::vector<molecule::Molecule> mols;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    mols.push_back(molecule::generate_ligand(40 + 5 * s, 100 + s));
+  }
+  std::vector<std::future<serve::Response>> futures;
+  for (std::size_t i = 0; i < mols.size(); ++i) {
+    futures.push_back(svc.submit(make_request(i, mols[i])));
+  }
+  for (std::size_t i = 0; i < mols.size(); ++i) {
+    const auto resp = futures[i].get();
+    ASSERT_EQ(resp.status, serve::Status::kOk);
+    EXPECT_EQ(resp.id, i);
+    const gb::GBResult driver = gb::compute_gb_energy(mols[i]);
+    EXPECT_EQ(resp.energy, driver.energy) << "molecule " << i;
+  }
+}
+
+TEST(ServeTest, RefitMatchesRebuildWithinTolerance) {
+  const auto mol = molecule::generate_protein(400, 25);
+  const auto moved = jittered(mol, 0.05, 26);  // MD-step scale drift
+
+  serve::PolarizationService svc(test_config());
+  svc.serve_now(make_request(1, mol));  // seed the cache
+  const auto refit = svc.serve_now(make_request(2, moved));
+  ASSERT_EQ(refit.status, serve::Status::kOk);
+  ASSERT_EQ(refit.path, serve::Path::kRefit);
+
+  const gb::GBResult rebuild = gb::compute_gb_energy(moved);
+  EXPECT_LT(gb::relative_error(refit.energy, rebuild.energy), 1e-2);
+
+  // An unperturbed repeat of the refit conformation replays it exactly.
+  const auto repeat = svc.serve_now(make_request(3, moved));
+  EXPECT_EQ(repeat.path, serve::Path::kCacheHit);
+  EXPECT_EQ(repeat.energy, refit.energy);
+}
+
+TEST(ServeTest, LargeDriftFallsBackToRebuild) {
+  const auto mol = molecule::generate_protein(300, 27);
+  serve::ServiceConfig cfg = test_config();
+  cfg.refit_max_rms = 0.2;
+  serve::PolarizationService svc(cfg);
+  svc.serve_now(make_request(1, mol));
+  const auto resp = svc.serve_now(make_request(2, jittered(mol, 2.0, 28)));
+  ASSERT_EQ(resp.status, serve::Status::kOk);
+  EXPECT_EQ(resp.path, serve::Path::kColdBuild);
+  EXPECT_GE(svc.cache_stats().refit_fallbacks, 1u);
+  EXPECT_EQ(svc.stats().refits, 0u);
+}
+
+TEST(ServeTest, RefitDisabledForcesColdBuilds) {
+  const auto mol = molecule::generate_protein(300, 29);
+  serve::ServiceConfig cfg = test_config();
+  cfg.enable_refit = false;
+  serve::PolarizationService svc(cfg);
+  svc.serve_now(make_request(1, mol));
+  const auto resp = svc.serve_now(make_request(2, jittered(mol, 0.05, 30)));
+  EXPECT_EQ(resp.path, serve::Path::kColdBuild);
+}
+
+TEST(ServeTest, ExpiredDeadlineIsShedUncomputed) {
+  const auto mol = molecule::generate_protein(300, 31);
+  serve::PolarizationService svc(test_config());
+
+  serve::Request expired = make_request(1, mol);
+  expired.deadline = std::chrono::steady_clock::now() - 1s;
+  const auto shed = svc.serve_now(std::move(expired));
+  EXPECT_EQ(shed.status, serve::Status::kShed);
+  EXPECT_EQ(shed.path, serve::Path::kNone);
+  EXPECT_EQ(shed.energy, 0.0);
+
+  serve::Request alive = make_request(2, mol);
+  alive.deadline = std::chrono::steady_clock::now() + 1h;
+  const auto ok = svc.serve_now(std::move(alive));
+  EXPECT_EQ(ok.status, serve::Status::kOk);
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  // Shed requests never ran the pipeline.
+  EXPECT_EQ(stats.cold_builds, 1u);
+}
+
+TEST(ServeTest, FullQueueRejectsAtSubmit) {
+  const auto mol = molecule::generate_protein(600, 33);
+  serve::ServiceConfig cfg = test_config();
+  cfg.queue_capacity = 1;
+  cfg.max_batch = 1;
+  serve::PolarizationService svc(cfg);
+
+  // Flood faster than 600-atom pipelines can drain a capacity-1 queue.
+  std::vector<std::future<serve::Response>> futures;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    futures.push_back(svc.submit(make_request(i, mol)));
+  }
+  std::uint64_t ok = 0, rejected = 0;
+  for (auto& f : futures) {
+    const auto resp = f.get();
+    resp.status == serve::Status::kOk ? ++ok : ++rejected;
+    if (resp.status == serve::Status::kRejected) {
+      EXPECT_EQ(resp.path, serve::Path::kNone);
+    }
+  }
+  EXPECT_GE(ok, 1u);
+  EXPECT_GE(rejected, 1u);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, ok);
+}
+
+TEST(ServeTest, IdenticalRequestsInOneBurstComputeOnce) {
+  const auto mol = molecule::generate_protein(400, 35);
+  serve::ServiceConfig cfg = test_config();
+  cfg.max_batch = 16;
+  cfg.batch_linger = std::chrono::milliseconds(20);
+  serve::PolarizationService svc(cfg);
+
+  std::vector<std::future<serve::Response>> futures;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    futures.push_back(svc.submit(make_request(i, mol)));
+  }
+  std::vector<serve::Response> responses;
+  for (auto& f : futures) responses.push_back(f.get());
+  for (const auto& r : responses) {
+    ASSERT_EQ(r.status, serve::Status::kOk);
+    EXPECT_EQ(r.energy, responses.front().energy);
+  }
+  // However the burst splits into batches, the pipeline ran exactly
+  // once: followers coalesce in-batch, later batches hit the cache.
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.cold_builds, 1u);
+  // Every response is either the one cold build or a replay (in-batch
+  // coalesced followers are counted in cache_hits as well).
+  EXPECT_EQ(stats.cache_hits + stats.cold_builds, 6u);
+  EXPECT_LE(stats.coalesced, stats.cache_hits);
+}
+
+TEST(ServeTest, CacheDisabledRecomputesRepeats) {
+  const auto mol = molecule::generate_protein(300, 37);
+  serve::ServiceConfig cfg = test_config();
+  cfg.cache_capacity = 0;
+  serve::PolarizationService svc(cfg);
+  const auto a = svc.serve_now(make_request(1, mol));
+  const auto b = svc.serve_now(make_request(2, mol));
+  EXPECT_EQ(a.path, serve::Path::kColdBuild);
+  EXPECT_EQ(b.path, serve::Path::kColdBuild);
+  EXPECT_EQ(a.energy, b.energy);  // same serial pipeline either way
+  EXPECT_EQ(svc.cache_size(), 0u);
+}
+
+TEST(ServeTest, TiersResolveToDistinctCacheEntries) {
+  const auto mol = molecule::generate_protein(300, 39);
+  serve::PolarizationService svc(test_config());
+  const auto exact =
+      svc.serve_now(make_request(1, mol, serve::Tier::kExact));
+  const auto fast =
+      svc.serve_now(make_request(2, mol, serve::Tier::kFast));
+  ASSERT_EQ(exact.status, serve::Status::kOk);
+  ASSERT_EQ(fast.status, serve::Status::kOk);
+  EXPECT_EQ(fast.path, serve::Path::kColdBuild);  // not a hit: new key
+  EXPECT_NE(exact.content_key, fast.content_key);
+  // Same physics, coarser surface + approximation: within a few
+  // percent, different bits.
+  EXPECT_LT(gb::relative_error(fast.energy, exact.energy), 0.1);
+  EXPECT_EQ(svc.cache_size(), 2u);
+}
+
+TEST(ServeTest, EmptyMoleculeFailsGracefully) {
+  serve::PolarizationService svc(test_config());
+  const auto resp = svc.serve_now(make_request(1, molecule::Molecule{}));
+  // Either a clean failure or a zero-energy success is acceptable; the
+  // service must not crash, hang, or reject.
+  EXPECT_NE(resp.status, serve::Status::kRejected);
+  EXPECT_EQ(svc.stats().submitted, 1u);
+}
+
+TEST(ServeTest, DrainWaitsForAllOutstandingWork) {
+  const auto mol = molecule::generate_protein(400, 41);
+  serve::ServiceConfig cfg = test_config();
+  cfg.max_batch = 2;
+  serve::PolarizationService svc(cfg);
+  std::vector<std::future<serve::Response>> futures;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    futures.push_back(svc.submit(make_request(i, jittered(mol, 0.01, i))));
+  }
+  svc.drain();
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
+    EXPECT_EQ(f.get().status, serve::Status::kOk);
+  }
+  EXPECT_EQ(svc.queue_depth(), 0u);
+}
+
+TEST(ServeTest, StatsAccumulateStageTimes) {
+  const auto mol = molecule::generate_protein(300, 43);
+  serve::PolarizationService svc(test_config());
+  svc.serve_now(make_request(1, mol));
+  svc.serve_now(make_request(2, jittered(mol, 0.05, 44)));
+  svc.serve_now(make_request(3, mol));
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_GT(stats.build_seconds, 0.0);
+  EXPECT_GT(stats.refit_seconds, 0.0);
+  EXPECT_GT(stats.kernel_seconds, stats.refit_seconds);
+  EXPECT_GE(stats.queue_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace octgb
