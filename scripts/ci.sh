@@ -5,33 +5,84 @@
 #   2. sanitizer: ASan+UBSan build (OCTGB_SANITIZE=ON) of the fast
 #      tests, run directly (the full suite under ASan is slow; the fast
 #      set covers every module boundary the serving layer touches).
+#   3. lint: scripts/lint.sh -- clang-tidy (when installed) plus the
+#      custom project rules (naked-new, mutex-unguarded, float-eq,
+#      unseeded-rng). See DESIGN.md "Static analysis & race detection".
+#   4. tsan: ThreadSanitizer build (OCTGB_TSAN=ON) of the concurrent
+#      core's tests, run with halt_on_error so any report fails CI.
 #
-# Usage: scripts/ci.sh [--tier1-only]
+# Usage: scripts/ci.sh [--tier1-only | --lint-only | --tsan-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-JOBS=$(nproc 2>/dev/null || echo 4)
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+MODE="${1:-}"
 
-echo "==> tier-1: Release build + ctest"
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+run_tier1() {
+  echo "==> tier-1: Release build + ctest"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+}
 
-if [[ "${1:-}" == "--tier1-only" ]]; then
-  echo "==> tier-1 OK (sanitizer pass skipped)"
-  exit 0
-fi
+run_asan() {
+  local FAST_TESTS=(geom_test molecule_test octree_test util_test
+    parallel_test serve_test range_query_test celllist_misc_test)
+  echo "==> sanitizer: ASan+UBSan build of fast tests"
+  cmake -B build-asan -S . -DOCTGB_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-asan -j "$JOBS" --target "${FAST_TESTS[@]}"
+  local t
+  for t in "${FAST_TESTS[@]}"; do
+    echo "--> $t"
+    "build-asan/tests/$t" --gtest_brief=1
+  done
+}
 
-FAST_TESTS=(geom_test molecule_test octree_test util_test parallel_test
-  serve_test range_query_test celllist_misc_test)
+run_lint() {
+  echo "==> lint: scripts/lint.sh"
+  scripts/lint.sh
+}
 
-echo "==> sanitizer: ASan+UBSan build of fast tests"
-cmake -B build-asan -S . -DOCTGB_SANITIZE=ON \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-asan -j "$JOBS" --target "${FAST_TESTS[@]}"
-for t in "${FAST_TESTS[@]}"; do
-  echo "--> $t"
-  "build-asan/tests/$t" --gtest_brief=1
-done
+run_tsan() {
+  # The suites that exercise shared mutable state: the work-stealing
+  # pool, the serving layer, the race stress battery, and the simmpi
+  # rank threads. The numeric kernels are data-parallel over disjoint
+  # ranges and add nothing but wall time here.
+  local TSAN_TESTS=(parallel_test serve_test race_stress_test simmpi_test)
+  echo "==> tsan: ThreadSanitizer build of concurrency tests"
+  cmake -B build-tsan -S . -DOCTGB_TSAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
+  local t
+  for t in "${TSAN_TESTS[@]}"; do
+    echo "--> $t (TSAN_OPTIONS=halt_on_error=1)"
+    TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t" --gtest_brief=1
+  done
+}
 
-echo "==> CI OK"
+case "$MODE" in
+  --tier1-only)
+    run_tier1
+    echo "==> tier-1 OK (remaining stages skipped)"
+    ;;
+  --lint-only)
+    run_lint
+    echo "==> lint OK"
+    ;;
+  --tsan-only)
+    run_tsan
+    echo "==> tsan OK"
+    ;;
+  "")
+    run_tier1
+    run_asan
+    run_lint
+    run_tsan
+    echo "==> CI OK"
+    ;;
+  *)
+    echo "usage: scripts/ci.sh [--tier1-only | --lint-only | --tsan-only]" >&2
+    exit 2
+    ;;
+esac

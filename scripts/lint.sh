@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# lint.sh -- the project lint gate (stage 3 of scripts/ci.sh).
+#
+# Two layers:
+#   1. clang-tidy over src/ with the repo's .clang-tidy config
+#      (bugprone-*, concurrency-*, performance-*, curated modernize
+#      subset). Skipped gracefully when clang-tidy is not installed --
+#      this container bakes only the GCC toolchain.
+#   2. Custom project rules (always run; portable awk + grep):
+#        naked-new        no `new`/`delete` expressions in src/
+#        mutex-unguarded  every Mutex/std::mutex member must appear in
+#                         an OCTGB_GUARDED_BY / _REQUIRES / _EXCLUDES /
+#                         _ACQUIRE annotation in the same file
+#        float-eq         no ==/!= against floating-point literals
+#        unseeded-rng     no rand()/random_device/mt19937 (all
+#                         randomness is util::Xoshiro256, seeded)
+#      Intentional exceptions carry `lint:allow(<rule>)` plus a
+#      justification comment on the offending line.
+#
+# Usage:
+#   scripts/lint.sh              lint src/ (exit 1 on any violation)
+#   scripts/lint.sh --selftest   prove each rule fires on a seeded
+#                                violation and stays quiet on clean code
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+AWK_RULES="scripts/lint_rules.awk"
+fail=0
+
+# ---------------------------------------------------------------- helpers
+
+# Line-based rules (naked-new, float-eq, unseeded-rng) over the given
+# files; prints diagnostics, returns nonzero if any fired.
+run_line_rules() {
+  local out
+  out=$(awk -f "$AWK_RULES" "$@")
+  if [[ -n "$out" ]]; then
+    printf '%s\n' "$out"
+    return 1
+  fi
+}
+
+# mutex-unguarded: every non-static Mutex/std::mutex declaration needs
+# a partner OCTGB_* annotation naming it somewhere in the same file.
+# (Function-local `static Mutex` guards are exempt: their entire
+# discipline is visible in the enclosing scope.)
+run_mutex_rule() {
+  local f decl lineno name ok=0
+  for f in "$@"; do
+    while IFS= read -r decl; do
+      [[ -z "$decl" ]] && continue
+      lineno="${decl%%:*}"
+      name=$(printf '%s\n' "${decl#*:}" |
+        sed -E 's/^[[:space:]]*(mutable[[:space:]]+)?((std|util)::)?[Mm]utex[[:space:]]+([A-Za-z_][A-Za-z0-9_]*).*/\4/')
+      # Marker on the declaration line or the line directly above it.
+      if printf '%s\n' "${decl#*:}" | grep -q 'lint:allow(mutex-unguarded)'; then
+        continue
+      fi
+      if [[ "$lineno" -gt 1 ]] &&
+          sed -n "$((lineno - 1))p" "$f" | grep -q 'lint:allow(mutex-unguarded)'; then
+        continue
+      fi
+      if ! grep -Eq "OCTGB_[A-Z_]+\([^)]*\\b${name}\\b" "$f"; then
+        echo "$f:$lineno:mutex-unguarded: '$name' has no OCTGB_GUARDED_BY/_REQUIRES/_EXCLUDES partner annotation"
+        ok=1
+      fi
+    done < <(grep -nE '^[[:space:]]*(mutable[[:space:]]+)?((std|util)::)?[Mm]utex[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*;' "$f" |
+             grep -v 'static' || true)
+  done
+  return "$ok"
+}
+
+# Full custom-rule scan of a directory tree.
+scan_tree() {
+  local root="$1" rc=0 f
+  local files=()
+  while IFS= read -r f; do files+=("$f"); done \
+    < <(find "$root" -name '*.h' -o -name '*.cpp' | sort)
+  [[ ${#files[@]} -eq 0 ]] && return 0
+  run_line_rules "${files[@]}" || rc=1
+  run_mutex_rule "${files[@]}" || rc=1
+  return "$rc"
+}
+
+# --------------------------------------------------------------- selftest
+
+selftest() {
+  local dir rc=0
+  dir=$(mktemp -d)
+  trap 'rm -rf "$dir"' RETURN
+
+  # One seeded violation per rule: the scan must FAIL on each.
+  cat > "$dir/naked_new.cpp" <<'EOF'
+int* leak() { return new int(3); }
+void free_it(int* p) { delete p; }
+EOF
+  cat > "$dir/mutex_unguarded.h" <<'EOF'
+#include <mutex>
+class Queue {
+  std::mutex mu_;
+  int depth_ = 0;
+};
+EOF
+  cat > "$dir/float_eq.cpp" <<'EOF'
+bool converged(double residual) { return residual == 0.0; }
+EOF
+  cat > "$dir/unseeded_rng.cpp" <<'EOF'
+#include <cstdlib>
+int roll() { return rand() % 6; }
+EOF
+
+  local f rule
+  for f in naked_new.cpp mutex_unguarded.h float_eq.cpp unseeded_rng.cpp; do
+    rule="${f%.*}"
+    rule="${rule//_/-}"
+    # mutex_unguarded.h -> mutex-unguarded etc.
+    local tmp="$dir/case"
+    rm -rf "$tmp" && mkdir "$tmp" && cp "$dir/$f" "$tmp/"
+    if scan_tree "$tmp" >/dev/null 2>&1; then
+      echo "selftest FAIL: seeded $rule violation in $f was not caught"
+      rc=1
+    else
+      echo "selftest ok: $rule fires on $f"
+    fi
+  done
+
+  # Clean + allow-marked code: the scan must PASS.
+  local clean="$dir/clean"
+  mkdir "$clean"
+  cat > "$clean/clean.cpp" <<'EOF'
+// Mentions of new, delete, rand() and 1.0 == in comments are fine.
+#include <memory>
+#include "thread_annotations_stub.h"
+const char* kMsg = "new delete rand() == 1.0";  // strings are fine too
+int* sanctioned() { return new int(7); }  // lint:allow(naked-new) test
+bool exact(double d) { return d == 0.0; }  // lint:allow(float-eq) test
+EOF
+  if scan_tree "$clean" >/dev/null 2>&1; then
+    echo "selftest ok: clean + allow-marked code passes"
+  else
+    echo "selftest FAIL: clean code flagged"
+    scan_tree "$clean" || true
+    rc=1
+  fi
+  return "$rc"
+}
+
+# ------------------------------------------------------------------- main
+
+if [[ "${1:-}" == "--selftest" ]]; then
+  if selftest; then
+    echo "lint selftest OK"
+    exit 0
+  fi
+  exit 1
+fi
+
+echo "==> lint: custom project rules over src/"
+if ! scan_tree src; then
+  fail=1
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==> lint: clang-tidy (.clang-tidy config)"
+  # Compile commands for the tidy run come from the tier-1 build tree.
+  if [[ ! -f build/compile_commands.json ]]; then
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  if ! find src -name '*.cpp' | sort |
+      xargs clang-tidy -p build --quiet; then
+    fail=1
+  fi
+else
+  echo "==> lint: clang-tidy not installed; skipping (custom rules still enforced)"
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"

@@ -1,0 +1,67 @@
+# lint_rules.awk -- line-based project rules for scripts/lint.sh.
+#
+# Emits one "<file>:<line>:<rule>: <source>" diagnostic per violation;
+# the caller counts them. Rules (see DESIGN.md "Static analysis & race
+# detection"):
+#
+#   naked-new     no `new` / `delete` expressions in library code; use
+#                 make_unique/make_shared/containers. The lock-free
+#                 deque and the task handoff are the sanctioned
+#                 exceptions, marked `lint:allow(naked-new)`.
+#   float-eq      no ==/!= against floating-point literals; exact
+#                 comparisons that are genuinely intended (e.g. -0.0
+#                 canonicalization, empty-charge-bin skips) carry
+#                 `lint:allow(float-eq)` plus a justification.
+#   unseeded-rng  no rand()/srand()/random_device/mt19937 -- all
+#                 randomness goes through util::Xoshiro256 with an
+#                 explicit seed so every run is reproducible.
+#
+# A violation is suppressed by `lint:allow(<rule>)` on the same source
+# line or on the line directly above it (the NOLINT/NOLINTNEXTLINE
+# idiom), by convention inside a comment with a one-line justification.
+# Comments and string/char literals are stripped before matching, so
+# prose mentioning `new` or `rand()` does not trip the rules.
+
+function allowed(rule) {
+  return index(raw, "lint:allow(" rule ")") > 0 ||
+         index(prev_raw, "lint:allow(" rule ")") > 0
+}
+
+FNR == 1 { in_block = 0; prev_raw = "" }
+
+{
+  raw = $0
+  line = $0
+
+  # Strip string and char literals first (a quote inside a comment is
+  # rare; a comment-marker inside a string is not).
+  gsub(/"([^"\\]|\\.)*"/, "\"\"", line)
+  gsub(/'([^'\\]|\\.)'/, "' '", line)
+
+  # Multi-line block comments.
+  if (in_block) {
+    if (line ~ /\*\//) { sub(/^.*\*\//, "", line); in_block = 0 }
+    else next
+  }
+  while (line ~ /\/\*.*\*\//) sub(/\/\*[^*]*([^*\/][^*]*)*\*\//, " ", line)
+  if (line ~ /\/\*/) { sub(/\/\*.*$/, "", line); in_block = 1 }
+
+  # Line comments last, so lint:allow markers (which live in comments)
+  # were still visible in `raw`.
+  sub(/\/\/.*/, "", line)
+
+  if (!allowed("naked-new") &&
+      line ~ /(^|[^[:alnum:]_])(new[[:space:]]+[[:alnum:]_(:]|new[[:space:]]*\(|delete[[:space:]]+[[:alnum:]_*(]|delete[[:space:]]*\[\])/)
+    print FILENAME ":" FNR ":naked-new: " raw
+
+  if (!allowed("float-eq") &&
+      (line ~ /[=!]=[[:space:]]*-?[0-9]+\.[0-9]*([eE][-+]?[0-9]+)?f?([^[:alnum:]]|$)/ ||
+       line ~ /(^|[^[:alnum:]_])[0-9]+\.[0-9]*([eE][-+]?[0-9]+)?f?[[:space:]]*[=!]=/))
+    print FILENAME ":" FNR ":float-eq: " raw
+
+  if (!allowed("unseeded-rng") &&
+      line ~ /(^|[^[:alnum:]_])(rand|srand|rand_r|drand48)[[:space:]]*\(|std::random_device|std::mt19937|default_random_engine/)
+    print FILENAME ":" FNR ":unseeded-rng: " raw
+
+  prev_raw = raw
+}

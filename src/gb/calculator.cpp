@@ -80,7 +80,7 @@ GBResult compute_gb_energy_naive(const molecule::Molecule& mol,
 
 double relative_error(double value, double reference) {
   const double denom = std::abs(reference);
-  if (denom == 0.0) return std::abs(value) == 0.0 ? 0.0 : 1.0;
+  if (denom == 0.0) return std::abs(value) == 0.0 ? 0.0 : 1.0;  // lint:allow(float-eq) exact zero-reference guard
   return std::abs(value - reference) / denom;
 }
 

@@ -54,10 +54,10 @@ double far_block(const ChargeBins& bins, std::uint32_t u_idx,
   const int m = bins.num_bins;
   for (int i = 0; i < m; ++i) {
     const double qu = bins.at(u_idx, i);
-    if (qu == 0.0) continue;
+    if (qu == 0.0) continue;  // lint:allow(float-eq) empty charge bin, stored exact
     for (int j = 0; j < m; ++j) {
       const double qv = bins.at(v_idx, j);
-      if (qv == 0.0) continue;
+      if (qv == 0.0) continue;  // lint:allow(float-eq) empty charge bin, stored exact
       const double rr = bins.bin_radius[static_cast<std::size_t>(i)] *
                         bins.bin_radius[static_cast<std::size_t>(j)];
       const double f2 = d2 + rr * Math::exp(-d2 / (4.0 * rr));

@@ -7,12 +7,52 @@
 // the victim's cache, keeping cache interference low. This is a faithful
 // implementation of the Chase-Lev (2005) dynamic circular work-stealing
 // deque with the Le et al. (2013) C11 memory-ordering corrections.
+//
+// MEMORY-ORDER AUDIT (the invariants each ordering must establish; see
+// the per-site comments in the code for the matching half of each pair):
+//
+//  I1 (publish task): the owner's write of the task pointer into the
+//     buffer must happen-before any thief's read of that slot. Carried
+//     by: release ordering on the owner's bottom_ store in push_bottom,
+//     paired with the thief's acquire load of bottom_ in steal_top.
+//
+//  I2 (owner StoreLoad in pop_bottom): the owner's speculative
+//     bottom_ = b-1 store must be globally visible *before* the owner
+//     reads top_, or the owner and a thief could both take the last
+//     task. A release/acquire pair cannot order a store before a later
+//     load on the same thread; this needs sequential consistency
+//     (fence or seq_cst accesses).
+//
+//  I3 (thief top-then-bottom read): a thief must read top_ before
+//     bottom_ (so `t >= b` conservatively reports empty) and its top_
+//     read must synchronize with other thieves' CAS increments:
+//     acquire on top_, with a seq_cst barrier between the two loads to
+//     join the I2 total order.
+//
+//  I4 (claim race on top_): pop_bottom's last-element CAS and
+//     steal_top's CAS both hit top_ with seq_cst success ordering --
+//     exactly one claimant wins, in an order consistent with I2/I3.
+//
+//  I5 (buffer swap in grow): the owner publishes the bigger buffer
+//     with a release store of buffer_; thieves load it with acquire
+//     before indexing. Stale thieves reading the retired buffer are
+//     safe: grow() copies the live [top, bottom) range, the claim CAS
+//     (I4) still decides ownership, and retired buffers are freed only
+//     by the destructor.
+//
+// TSan builds: ThreadSanitizer does not model standalone
+// std::atomic_thread_fence, so the fence-based I2/I3 sites would be
+// reported as races. Under OCTGB_TSAN_ACTIVE those sites use the
+// equivalent (x86: identical, ARM: slightly stronger) seq_cst
+// *accesses* formulation, which TSan understands precisely.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
+
+#include "src/util/sanitizers.h"
 
 namespace octgb::parallel {
 
@@ -22,11 +62,13 @@ template <typename T>
 class ChaseLevDeque {
  public:
   explicit ChaseLevDeque(std::int64_t initial_capacity = 64)
+      // Lock-free ring buffers are raw-owned: the live one via the
+      // buffer_ atomic, retired ones via retired_. lint:allow(naked-new)
       : buffer_(new RingBuffer(round_up_pow2(initial_capacity))) {}
 
   ~ChaseLevDeque() {
-    delete buffer_.load(std::memory_order_relaxed);
-    for (RingBuffer* old : retired_) delete old;
+    delete buffer_.load(std::memory_order_relaxed);  // lint:allow(naked-new)
+    for (RingBuffer* old : retired_) delete old;     // lint:allow(naked-new)
   }
 
   ChaseLevDeque(const ChaseLevDeque&) = delete;
@@ -35,23 +77,36 @@ class ChaseLevDeque {
   /// Owner only. Never fails; grows the buffer as needed.
   void push_bottom(T* item) {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    // acquire: pairs with the seq_cst CAS on top_ (I4) so the owner
+    // sees how far thieves have advanced before computing occupancy.
     const std::int64_t t = top_.load(std::memory_order_acquire);
     RingBuffer* buf = buffer_.load(std::memory_order_relaxed);
     if (b - t > buf->capacity - 1) {
       buf = grow(buf, t, b);
     }
     buf->put(b, item);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    // I1: release on bottom_ publishes the slot write above to any
+    // thief that acquires bottom_ in steal_top.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner only. Returns nullptr when empty.
   T* pop_bottom() {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     RingBuffer* buf = buffer_.load(std::memory_order_relaxed);
+#if OCTGB_TSAN_ACTIVE
+    // I2, fence-free: seq_cst store then seq_cst load gives the
+    // required StoreLoad ordering in a form TSan models.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+#else
+    // I2: the fence orders the speculative bottom_ store before the
+    // top_ read in the single total order shared with steal_top's
+    // barrier; without it both sides can claim the last task.
     bottom_.store(b, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
+#endif
     if (t > b) {
       // Deque was empty; restore.
       bottom_.store(b + 1, std::memory_order_relaxed);
@@ -59,7 +114,8 @@ class ChaseLevDeque {
     }
     T* item = buf->get(b);
     if (t == b) {
-      // Last element: race against thieves via CAS on top.
+      // I4: last element -- race thieves via CAS on top_. seq_cst on
+      // success keeps the claim in the same total order as I2/I3.
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         item = nullptr;  // a thief won
@@ -71,12 +127,26 @@ class ChaseLevDeque {
 
   /// Any thread. Returns nullptr when empty or when losing a race.
   T* steal_top() {
+#if OCTGB_TSAN_ACTIVE
+    // I3, fence-free twin: both loads seq_cst (see pop_bottom).
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+#else
+    // I3: acquire top_ (sync with other thieves' I4 CAS), then a
+    // seq_cst barrier so this load sequence joins I2's total order,
+    // then acquire bottom_ (I1: makes the owner's slot write visible).
     std::int64_t t = top_.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
+#endif
     if (t >= b) return nullptr;
-    RingBuffer* buf = buffer_.load(std::memory_order_consume);
+    // I5: acquire pairs with grow()'s release store of buffer_.
+    RingBuffer* buf = buffer_.load(std::memory_order_acquire);
     T* item = buf->get(t);
+    // I4: claim slot t. On success this read-modify-write makes the
+    // steal visible to the owner's occupancy check (push_bottom) and
+    // to competing thieves; on failure we retried nothing -- the
+    // caller's random-victim loop simply moves on.
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return nullptr;  // lost the race
@@ -96,13 +166,22 @@ class ChaseLevDeque {
  private:
   struct RingBuffer {
     explicit RingBuffer(std::int64_t cap)
-        : capacity(cap), mask(cap - 1), data(new std::atomic<T*>[cap]) {}
-    ~RingBuffer() { delete[] data; }
+        : capacity(cap),
+          mask(cap - 1),
+          // Raw array so the slots can be std::atomic<T*> without a
+          // default-constructible wrapper. lint:allow(naked-new)
+          data(new std::atomic<T*>[cap]) {}
+    ~RingBuffer() { delete[] data; }  // lint:allow(naked-new)
 
     const std::int64_t capacity;
     const std::int64_t mask;
     std::atomic<T*>* data;
 
+    // Slot accesses are relaxed: inter-thread visibility of the
+    // pointed-to task is carried by I1 (bottom_) and I4 (top_), never
+    // by the slot itself. The slots are atomic only so concurrent
+    // get/put on the same index during a grow/steal overlap is not a
+    // data race in the language sense.
     T* get(std::int64_t i) const {
       return data[i & mask].load(std::memory_order_relaxed);
     }
@@ -118,8 +197,10 @@ class ChaseLevDeque {
   }
 
   RingBuffer* grow(RingBuffer* old, std::int64_t t, std::int64_t b) {
+    // lint:allow(naked-new) see buffer_ ownership note in the ctor.
     auto* bigger = new RingBuffer(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    // I5: release publishes the copied slots with the new pointer.
     buffer_.store(bigger, std::memory_order_release);
     // The old buffer may still be read by in-flight thieves; retire it and
     // free on destruction (the deque outlives all pool workers).
@@ -130,7 +211,7 @@ class ChaseLevDeque {
   alignas(64) std::atomic<std::int64_t> top_{0};
   alignas(64) std::atomic<std::int64_t> bottom_{0};
   alignas(64) std::atomic<RingBuffer*> buffer_;
-  std::vector<RingBuffer*> retired_;
+  std::vector<RingBuffer*> retired_;  // owner-only (grow/dtor)
 };
 
 }  // namespace octgb::parallel

@@ -38,6 +38,8 @@ void TaskGroup::spawn(std::function<void()> fn) {
     return;
   }
   pending_.fetch_add(1, std::memory_order_relaxed);
+  // Ownership transfers through the lock-free deque as a raw pointer;
+  // execute() is the single deleter. lint:allow(naked-new)
   auto* task = new detail::Task{std::move(fn), &pending_};
   pool_.push_task(task);
 }
@@ -76,10 +78,23 @@ WorkStealingPool::~WorkStealingPool() {
 }
 
 void WorkStealingPool::run(std::function<void()> root) {
+  if (tls_binding.pool == this) {
+    // Nested run() from a thread already bound to this pool (a kernel
+    // invoked inside an outer run): already inside the serialized
+    // region, just execute on the current worker slot.
+    root();
+    return;
+  }
+  // External driver: become worker 0. Serialize against other external
+  // drivers -- the Chase-Lev deque has exactly one owner end, so two
+  // concurrent worker-0 bindings would race push_bottom/pop_bottom.
+  util::MutexLock lock(run_mu_);
+  run_owner_ = std::this_thread::get_id();
   const TlsBinding saved = tls_binding;
   tls_binding = {this, 0};
   root();
   tls_binding = saved;
+  run_owner_ = std::thread::id{};
 }
 
 int WorkStealingPool::current_worker_index() const {
@@ -146,10 +161,13 @@ bool WorkStealingPool::try_run_one(int index) {
 
 void WorkStealingPool::execute(detail::Task* task, int index) {
   task->fn();
+  // acq_rel: the release half publishes fn's writes to whoever observes
+  // the counter hit zero in TaskGroup::wait (which loads with acquire);
+  // the acquire half orders this decrement after the task body.
   task->pending->fetch_sub(1, std::memory_order_acq_rel);
   deques_[static_cast<std::size_t>(index)]->executed.fetch_add(
       1, std::memory_order_relaxed);
-  delete task;
+  delete task;  // lint:allow(naked-new) sole deleter, see spawn()
 }
 
 void WorkStealingPool::push_task(detail::Task* task) {

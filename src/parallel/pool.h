@@ -18,6 +18,7 @@
 
 #include "src/parallel/deque.h"
 #include "src/util/rng.h"
+#include "src/util/thread_annotations.h"
 
 namespace octgb::parallel {
 
@@ -79,7 +80,13 @@ class WorkStealingPool {
 
   /// Executes `root` on this pool (caller acts as worker 0) and returns
   /// when `root` and all tasks transitively spawned from it finish.
-  void run(std::function<void()> root);
+  ///
+  /// Safe to call from any thread, including concurrently: external
+  /// callers are serialized on run_mu_ (worker 0's deque has a single
+  /// owner end; two unserialized callers would race its bottom index).
+  /// A call from a thread already bound to this pool (a kernel nesting
+  /// run() inside an outer run()) executes inline without re-locking.
+  void run(std::function<void()> root) OCTGB_EXCLUDES(run_mu_);
 
   /// Index of the pool worker the calling thread is, or -1.
   int current_worker_index() const;
@@ -110,7 +117,12 @@ class WorkStealingPool {
   std::vector<std::unique_ptr<WorkerState>> deques_;
   std::vector<std::thread> helpers_;
   std::atomic<bool> shutdown_{false};
-  std::atomic<std::size_t> active_{0};  // outstanding tasks in current run
+  /// Held by the external (non-worker) thread driving a run(): it is
+  /// the owner of worker 0's deque for the duration of the call.
+  util::Mutex run_mu_;
+  /// The externally bound driver's id while a run() is in progress
+  /// (diagnostics; worker 0's deque ownership follows this thread).
+  std::thread::id run_owner_ OCTGB_GUARDED_BY(run_mu_);
 };
 
 /// Recursive binary-split parallel for over [begin, end). `grain` bounds

@@ -434,10 +434,10 @@ double approx_epol_atom_division(const octree::Octree& tree,
       if (d2 > s * s && d2 > 0.0) {
         for (int i = 0; i < bins.num_bins; ++i) {
           const double qu = bins.at(u_idx, i);
-          if (qu == 0.0) continue;
+          if (qu == 0.0) continue;  // lint:allow(float-eq) empty charge bin, stored exact
           for (int j = 0; j < bins.num_bins; ++j) {
             const double qvb = vrow[static_cast<std::size_t>(j)];
-            if (qvb == 0.0) continue;
+            if (qvb == 0.0) continue;  // lint:allow(float-eq) empty charge bin, stored exact
             const double rr =
                 bins.bin_radius[static_cast<std::size_t>(i)] *
                 bins.bin_radius[static_cast<std::size_t>(j)];

@@ -17,7 +17,7 @@ void Fnv1a::add_bytes(const void* data, std::size_t n) {
 void Fnv1a::add_double(double d) {
   // Canonicalize the two zero encodings; any NaN in an input is a bug
   // upstream, but hash it stably anyway.
-  if (d == 0.0) d = 0.0;
+  if (d == 0.0) d = 0.0;  // lint:allow(float-eq) exact -0.0 canonicalization
   add_u64(std::bit_cast<std::uint64_t>(d));
 }
 

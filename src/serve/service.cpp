@@ -34,7 +34,7 @@ std::future<Response> PolarizationService::submit(Request req) {
   std::future<Response> fut = promise.get_future();
   const Clock::time_point now = Clock::now();
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     ++stats_.submitted;
     if (stopping_ || queue_.size() >= config_.queue_capacity) {
       ++stats_.rejected;
@@ -52,13 +52,13 @@ Response PolarizationService::serve_now(Request req) {
 }
 
 void PolarizationService::drain() {
-  std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  util::UniqueLock lock(mu_);
+  while (!(queue_.empty() && in_flight_ == 0)) idle_cv_.wait(lock);
 }
 
 void PolarizationService::stop() {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -66,21 +66,21 @@ void PolarizationService::stop() {
 }
 
 ServiceStats PolarizationService::stats() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
 CacheStats PolarizationService::cache_stats() const { return cache_.stats(); }
 
 std::size_t PolarizationService::queue_depth() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return queue_.size();
 }
 
 void PolarizationService::dispatch_loop() {
-  std::unique_lock lock(mu_);
+  util::UniqueLock lock(mu_);
   for (;;) {
-    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    while (!stopping_ && queue_.empty()) queue_cv_.wait(lock);
     if (queue_.empty()) {
       if (stopping_) return;  // drained
       continue;
@@ -89,9 +89,14 @@ void PolarizationService::dispatch_loop() {
     // batches of one.
     if (config_.batch_linger.count() > 0 &&
         queue_.size() < config_.max_batch && !stopping_) {
-      queue_cv_.wait_for(lock, config_.batch_linger, [this] {
-        return stopping_ || queue_.size() >= config_.max_batch;
-      });
+      const Clock::time_point linger_until =
+          Clock::now() + config_.batch_linger;
+      while (!stopping_ && queue_.size() < config_.max_batch) {
+        if (queue_cv_.wait_until(lock, linger_until) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
     }
     std::vector<Pending> batch;
     const std::size_t n = std::min(queue_.size(), config_.max_batch);
@@ -195,7 +200,7 @@ void PolarizationService::process_batch(std::vector<Pending>&& batch) {
 
   std::uint64_t num_coalesced = 0;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     ++stats_.batches;
     stats_.max_batch_size = std::max<std::uint64_t>(stats_.max_batch_size,
                                                     items.size());

@@ -30,18 +30,17 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/parallel/pool.h"
 #include "src/serve/request.h"
 #include "src/serve/structure_cache.h"
+#include "src/util/thread_annotations.h"
 
 namespace octgb::serve {
 
@@ -110,27 +109,27 @@ class PolarizationService {
 
   /// Enqueues a request. On a full queue the returned future is
   /// already resolved with Status::kRejected.
-  std::future<Response> submit(Request req);
+  std::future<Response> submit(Request req) OCTGB_EXCLUDES(mu_);
 
   /// Convenience: submit + wait. Shares the queue, batcher and cache
   /// with concurrent submitters.
   Response serve_now(Request req);
 
   /// Blocks until every request submitted so far has a response.
-  void drain();
+  void drain() OCTGB_EXCLUDES(mu_);
 
   /// Drains, then stops the dispatcher. Idempotent; called by the
   /// destructor. Submits after stop() are rejected.
-  void stop();
+  void stop() OCTGB_EXCLUDES(mu_);
 
-  ServiceStats stats() const;
+  ServiceStats stats() const OCTGB_EXCLUDES(mu_);
   CacheStats cache_stats() const;
   /// Scheduler counters of the underlying pool.
   parallel::PoolStats pool_stats() const { return pool_.stats(); }
   std::size_t cache_size() const { return cache_.size(); }
   /// Approximate bytes retained by cached structures.
   std::size_t cache_memory_bytes() const { return cache_.memory_bytes(); }
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const OCTGB_EXCLUDES(mu_);
 
   const ServiceConfig& config() const { return config_; }
 
@@ -141,8 +140,8 @@ class PolarizationService {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void dispatch_loop();
-  void process_batch(std::vector<Pending>&& batch);
+  void dispatch_loop() OCTGB_EXCLUDES(mu_);
+  void process_batch(std::vector<Pending>&& batch) OCTGB_EXCLUDES(mu_);
   /// Runs one request end to end (cache lookup, refit or cold build,
   /// kernels). `pool` is non-null only in intra-request mode.
   Response compute_one(const Request& req, double queue_wait,
@@ -154,13 +153,14 @@ class PolarizationService {
   StructureCache cache_;
   parallel::WorkStealingPool pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;  // dispatcher wakeups
-  std::condition_variable idle_cv_;   // drain() wakeups
-  std::deque<Pending> queue_;
-  std::size_t in_flight_ = 0;  // dequeued, response not yet set
-  bool stopping_ = false;
-  ServiceStats stats_;
+  mutable util::Mutex mu_;
+  util::CondVar queue_cv_;  // dispatcher wakeups
+  util::CondVar idle_cv_;   // drain() wakeups
+  std::deque<Pending> queue_ OCTGB_GUARDED_BY(mu_);
+  /// Dequeued, response not yet set.
+  std::size_t in_flight_ OCTGB_GUARDED_BY(mu_) = 0;
+  bool stopping_ OCTGB_GUARDED_BY(mu_) = false;
+  ServiceStats stats_ OCTGB_GUARDED_BY(mu_);
 
   std::thread dispatcher_;
 };

@@ -23,7 +23,7 @@ std::size_t CacheEntry::memory_bytes() const {
 
 std::shared_ptr<const CacheEntry> StructureCache::find_exact(
     std::uint64_t key) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = by_key_.find(key);
   if (it == by_key_.end()) {
     ++stats_.misses;
@@ -37,7 +37,7 @@ std::shared_ptr<const CacheEntry> StructureCache::find_exact(
 std::shared_ptr<const CacheEntry> StructureCache::find_refit(
     std::uint64_t skey, std::span<const geom::Vec3> positions,
     double max_rms, double* out_rms) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::shared_ptr<const CacheEntry> best;
   double best_rms = std::numeric_limits<double>::infinity();
   bool any_candidate = false;
@@ -66,7 +66,7 @@ std::shared_ptr<const CacheEntry> StructureCache::find_refit(
 
 void StructureCache::insert(std::shared_ptr<const CacheEntry> entry) {
   if (!entry || capacity_ == 0) return;
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   unlink_locked(entry->key);  // replace an existing key in place
   lru_.push_front(std::move(entry));
   by_key_[lru_.front()->key] = lru_.begin();
@@ -99,19 +99,19 @@ void StructureCache::unlink_locked(std::uint64_t key) {
 }
 
 std::size_t StructureCache::size() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return lru_.size();
 }
 
 std::size_t StructureCache::memory_bytes() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::size_t bytes = 0;
   for (const auto& entry : lru_) bytes += entry->memory_bytes();
   return bytes;
 }
 
 CacheStats StructureCache::stats() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 

@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +32,7 @@
 #include "src/gb/born.h"
 #include "src/geom/vec3.h"
 #include "src/surface/quadrature.h"
+#include "src/util/thread_annotations.h"
 
 namespace octgb::serve {
 
@@ -73,7 +73,8 @@ class StructureCache {
   explicit StructureCache(std::size_t capacity) : capacity_(capacity) {}
 
   /// Exact-content lookup. Bumps the entry to most-recently-used.
-  std::shared_ptr<const CacheEntry> find_exact(std::uint64_t key);
+  std::shared_ptr<const CacheEntry> find_exact(std::uint64_t key)
+      OCTGB_EXCLUDES(mu_);
 
   /// Best refit candidate: an entry with the given structure_key whose
   /// snapshot is within `max_rms` Angstrom RMS of `positions`. Among
@@ -84,32 +85,34 @@ class StructureCache {
   /// exceeded the threshold.
   std::shared_ptr<const CacheEntry> find_refit(
       std::uint64_t skey, std::span<const geom::Vec3> positions,
-      double max_rms, double* out_rms = nullptr);
+      double max_rms, double* out_rms = nullptr) OCTGB_EXCLUDES(mu_);
 
   /// Inserts (or refreshes) an entry, evicting least-recently-used
   /// entries past capacity. Inserting an existing key replaces the old
   /// entry (outstanding shared_ptrs stay valid).
-  void insert(std::shared_ptr<const CacheEntry> entry);
+  void insert(std::shared_ptr<const CacheEntry> entry) OCTGB_EXCLUDES(mu_);
 
-  std::size_t size() const;
+  std::size_t size() const OCTGB_EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
   /// Sum of memory_bytes over resident entries.
-  std::size_t memory_bytes() const;
-  CacheStats stats() const;
+  std::size_t memory_bytes() const OCTGB_EXCLUDES(mu_);
+  CacheStats stats() const OCTGB_EXCLUDES(mu_);
 
  private:
   using LruList = std::list<std::shared_ptr<const CacheEntry>>;
 
-  void evict_locked();
-  void unlink_locked(std::uint64_t key);
+  void evict_locked() OCTGB_REQUIRES(mu_);
+  void unlink_locked(std::uint64_t key) OCTGB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  LruList lru_;  // front == most recently used
-  std::unordered_map<std::uint64_t, LruList::iterator> by_key_;
+  mutable util::Mutex mu_;
+  const std::size_t capacity_;  // immutable after construction
+  LruList lru_ OCTGB_GUARDED_BY(mu_);  // front == most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> by_key_
+      OCTGB_GUARDED_BY(mu_);
   /// structure_key -> content keys of resident entries with it.
-  std::unordered_multimap<std::uint64_t, std::uint64_t> by_skey_;
-  CacheStats stats_;
+  std::unordered_multimap<std::uint64_t, std::uint64_t> by_skey_
+      OCTGB_GUARDED_BY(mu_);
+  CacheStats stats_ OCTGB_GUARDED_BY(mu_);
 };
 
 }  // namespace octgb::serve

@@ -18,14 +18,17 @@ World::World(int size_, CommCostModel cost_)
       ledgers(static_cast<std::size_t>(size_)) {}
 
 void World::barrier_wait() {
-  std::unique_lock lock(barrier_mu);
+  util::UniqueLock lock(barrier_mu);
   const std::uint64_t my_epoch = barrier_epoch;
   if (++barrier_waiting == size) {
     barrier_waiting = 0;
     ++barrier_epoch;
     barrier_cv.notify_all();
   } else {
-    barrier_cv.wait(lock, [&] { return barrier_epoch != my_epoch; });
+    // Manual wait loop (not the predicate overload): the predicate
+    // lambda reads barrier_epoch, which Clang's thread-safety analysis
+    // cannot see is evaluated under the re-acquired lock.
+    while (barrier_epoch == my_epoch) barrier_cv.wait(lock);
   }
 }
 
@@ -54,7 +57,7 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dest,
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
   auto& box = world_.mailboxes[static_cast<std::size_t>(dest)];
   {
-    std::lock_guard lock(box.mu);
+    util::MutexLock lock(box.mu);
     box.messages.push_back(std::move(msg));
   }
   box.cv.notify_all();
@@ -67,7 +70,7 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dest,
 
 void Comm::recv_bytes(void* out, std::size_t bytes, int src, int tag) {
   auto& box = world_.mailboxes[static_cast<std::size_t>(rank_)];
-  std::unique_lock lock(box.mu);
+  util::UniqueLock lock(box.mu);
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       if (it->src == src && it->tag == tag) {
@@ -89,7 +92,7 @@ void Comm::recv_bytes(void* out, std::size_t bytes, int src, int tag) {
 bool Comm::try_recv_bytes(void* out, std::size_t bytes, int src,
                           int tag) {
   auto& box = world_.mailboxes[static_cast<std::size_t>(rank_)];
-  std::lock_guard lock(box.mu);
+  util::MutexLock lock(box.mu);
   for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
     if (it->src == src && it->tag == tag) {
       if (it->payload.size() != bytes) {
@@ -121,7 +124,7 @@ void Comm::wait(Request& req) {
 
 int Comm::recv_any_bytes(void* out, std::size_t bytes, int tag) {
   auto& box = world_.mailboxes[static_cast<std::size_t>(rank_)];
-  std::unique_lock lock(box.mu);
+  util::UniqueLock lock(box.mu);
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       if (it->tag == tag) {
@@ -226,7 +229,8 @@ std::vector<CommLedger> run(int num_ranks, CommCostModel cost,
   detail::World world(num_ranks, cost);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_ranks));
-  std::mutex err_mu;
+  // lint:allow(mutex-unguarded) function-local (guards first_error; GUARDED_BY needs a member/global)
+  util::Mutex err_mu;
   std::exception_ptr first_error;
   for (int r = 0; r < num_ranks; ++r) {
     threads.emplace_back([&world, &fn, r, &err_mu, &first_error] {
@@ -234,7 +238,7 @@ std::vector<CommLedger> run(int num_ranks, CommCostModel cost,
       try {
         fn(comm);
       } catch (...) {
-        std::lock_guard lock(err_mu);
+        util::MutexLock lock(err_mu);
         if (!first_error) first_error = std::current_exception();
         // A throwing rank would deadlock peers waiting in collectives;
         // there is no clean recovery in MPI either (it aborts). We

@@ -19,17 +19,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <type_traits>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace octgb::simmpi {
 
@@ -68,26 +68,29 @@ struct World {
   // Sense-reversing central barrier (std::barrier would also work; this
   // keeps the dependency surface minimal and is plenty fast for <=256
   // ranks on one machine).
-  std::mutex barrier_mu;
-  std::condition_variable barrier_cv;
-  int barrier_waiting = 0;
-  std::uint64_t barrier_epoch = 0;
+  util::Mutex barrier_mu;
+  util::CondVar barrier_cv;
+  int barrier_waiting OCTGB_GUARDED_BY(barrier_mu) = 0;
+  std::uint64_t barrier_epoch OCTGB_GUARDED_BY(barrier_mu) = 0;
 
   // Collective staging: slot per rank, published pointer + element count.
+  // Not mutex-guarded: each rank writes only its own slot, and all
+  // cross-rank reads are separated from those writes by barrier_wait()
+  // (the barrier's mutex provides the happens-before edge).
   std::vector<const void*> stage_ptr;
   std::vector<std::size_t> stage_bytes;
 
   // Point-to-point mailboxes, one per destination rank.
   struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Message> messages;
+    util::Mutex mu;
+    util::CondVar cv;
+    std::deque<Message> messages OCTGB_GUARDED_BY(mu);
   };
   std::vector<Mailbox> mailboxes;
 
   std::vector<CommLedger> ledgers;  // one per rank
 
-  void barrier_wait();
+  void barrier_wait() OCTGB_EXCLUDES(barrier_mu);
 };
 
 double log2_ceil(int p);

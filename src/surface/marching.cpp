@@ -81,7 +81,7 @@ TriMesh marching_tetrahedra(const GaussianDensityField& field,
     if (it != edge_vertex.end()) return it->second;
     const double denom = fb - fa;
     const double t =
-        denom == 0.0 ? 0.5
+        denom == 0.0 ? 0.5  // lint:allow(float-eq) exact degenerate-edge guard
                      : std::clamp((params.iso - fa) / denom, 0.0, 1.0);
     const auto index = static_cast<std::uint32_t>(mesh.vertices.size());
     mesh.vertices.push_back(pa + (pb - pa) * t);

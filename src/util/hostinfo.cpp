@@ -4,6 +4,8 @@
 #include <sstream>
 #include <thread>
 
+#include "src/util/thread_annotations.h"
+
 namespace octgb::util {
 
 namespace {
@@ -52,6 +54,23 @@ HostInfo query_host() {
   info.os = read_first_line("/proc/sys/kernel/ostype") + " " +
             read_first_line("/proc/sys/kernel/osrelease");
   return info;
+}
+
+namespace {
+Mutex g_host_mu;
+HostInfo g_host OCTGB_GUARDED_BY(g_host_mu);
+bool g_host_ready OCTGB_GUARDED_BY(g_host_mu) = false;
+}  // namespace
+
+const HostInfo& query_host_cached() {
+  MutexLock lock(g_host_mu);
+  if (!g_host_ready) {
+    g_host = query_host();
+    g_host_ready = true;
+  }
+  // Safe to hand out a reference: g_host is written exactly once and
+  // never mutated after g_host_ready flips.
+  return g_host;
 }
 
 std::size_t current_rss_bytes() {

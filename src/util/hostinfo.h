@@ -20,6 +20,12 @@ struct HostInfo {
 /// Best-effort host interrogation; missing fields are left defaulted.
 HostInfo query_host();
 
+/// query_host() memoized behind a mutex: the host does not change
+/// mid-process, and stats-reporting paths may ask from many threads at
+/// once. The first caller pays the /proc reads; everyone gets the same
+/// snapshot. Thread-safe.
+const HostInfo& query_host_cached();
+
 /// Current process resident set size in bytes (VmRSS), 0 if unavailable.
 std::size_t current_rss_bytes();
 

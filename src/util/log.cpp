@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
 #include "src/util/env.h"
+#include "src/util/thread_annotations.h"
 
 namespace octgb::util {
 
@@ -56,8 +56,8 @@ void set_log_threshold(LogLevel level) {
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_threshold()) return;
   // One mutex keeps concurrent rank threads from interleaving lines.
-  static std::mutex mu;
-  std::lock_guard lock(mu);
+  static Mutex mu;
+  MutexLock lock(mu);
   std::fprintf(stderr, "[octgb %s] %s\n", level_name(level),
                message.c_str());
 }

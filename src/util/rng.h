@@ -79,7 +79,7 @@ class Xoshiro256 {
       u = uniform(-1.0, 1.0);
       v = uniform(-1.0, 1.0);
       s = u * u + v * v;
-    } while (s >= 1.0 || s == 0.0);
+    } while (s >= 1.0 || s <= 0.0);
     const double factor = std::sqrt(-2.0 * std::log(s) / s);
     spare_ = v * factor;
     has_spare_ = true;

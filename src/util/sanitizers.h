@@ -1,0 +1,31 @@
+// sanitizers.h -- compile-time detection of the sanitizer this TU is
+// built under, so code can adapt (e.g. the Chase-Lev deque swaps its
+// standalone fences for seq_cst accesses under TSan, and stress tests
+// scale their iteration counts down).
+//
+// OCTGB_TSAN_ACTIVE / OCTGB_ASAN_ACTIVE are always defined, to 0 or 1.
+// GCC defines __SANITIZE_THREAD__/__SANITIZE_ADDRESS__; Clang exposes
+// the same information through __has_feature.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define OCTGB_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define OCTGB_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef OCTGB_TSAN_ACTIVE
+#define OCTGB_TSAN_ACTIVE 0
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define OCTGB_ASAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define OCTGB_ASAN_ACTIVE 1
+#endif
+#endif
+#ifndef OCTGB_ASAN_ACTIVE
+#define OCTGB_ASAN_ACTIVE 0
+#endif

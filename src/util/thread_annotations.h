@@ -1,0 +1,176 @@
+// thread_annotations.h -- portable Clang thread-safety annotations plus
+// the annotated lock primitives the analysis needs to see locks at all.
+//
+// Clang's -Wthread-safety analysis proves a locking discipline at compile
+// time: every member marked OCTGB_GUARDED_BY(mu) may only be touched while
+// `mu` is held, every function marked OCTGB_REQUIRES(mu) may only be called
+// with `mu` held, and so on. Under GCC (or Clang without the analysis) the
+// macros expand to nothing, so annotated code builds everywhere.
+//
+// libstdc++'s std::mutex and std::lock_guard carry no capability
+// attributes, which makes them invisible to the analysis -- a lock_guard
+// scope would not discharge a GUARDED_BY obligation. util::Mutex,
+// util::MutexLock, util::UniqueLock and util::CondVar below are thin,
+// zero-overhead annotated wrappers; all mutex-protected state in src/
+// uses them (scripts/lint.sh enforces the GUARDED_BY pairing).
+//
+// Build with -DOCTGB_THREAD_SAFETY=ON (Clang only) to turn the analysis
+// on as errors; see the toplevel CMakeLists.txt.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define OCTGB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define OCTGB_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a data member readable/writable only while the given
+/// capability (mutex) is held.
+#define OCTGB_GUARDED_BY(x) OCTGB_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like OCTGB_GUARDED_BY, but guards the data *pointed to*, not the
+/// pointer itself.
+#define OCTGB_PT_GUARDED_BY(x) OCTGB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the capability.
+#define OCTGB_REQUIRES(...) \
+  OCTGB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define OCTGB_ACQUIRE(...) \
+  OCTGB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability (must be held on entry).
+#define OCTGB_RELEASE(...) \
+  OCTGB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define OCTGB_TRY_ACQUIRE(ret, ...) \
+  OCTGB_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The caller must NOT hold the capability (the function acquires it
+/// itself; calling with it held would self-deadlock).
+#define OCTGB_EXCLUDES(...) \
+  OCTGB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Marks a type as a capability ("mutex" in diagnostics).
+#define OCTGB_CAPABILITY(x) OCTGB_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define OCTGB_SCOPED_CAPABILITY OCTGB_THREAD_ANNOTATION(scoped_lockable)
+
+/// Asserts (without acquiring) that the capability is held.
+#define OCTGB_ASSERT_CAPABILITY(x) \
+  OCTGB_THREAD_ANNOTATION(assert_capability(x))
+
+/// Returns the capability guarding the returned reference.
+#define OCTGB_RETURN_CAPABILITY(x) OCTGB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the discipline cannot be expressed.
+#define OCTGB_NO_THREAD_SAFETY_ANALYSIS \
+  OCTGB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace octgb::util {
+
+/// std::mutex with capability attributes. Same size, same codegen.
+class OCTGB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() OCTGB_ACQUIRE() { mu_.lock(); }
+  void unlock() OCTGB_RELEASE() { mu_.unlock(); }
+  bool try_lock() OCTGB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// For the rare interop case (never needed for CondVar, which takes
+  /// UniqueLock directly).
+  std::mutex& native() { return mu_; }
+
+ private:
+  // The wrapped primitive itself; the enclosing class IS the
+  // annotation (OCTGB_CAPABILITY above). lint:allow(mutex-unguarded)
+  std::mutex mu_;
+};
+
+/// std::lock_guard equivalent the analysis understands.
+class OCTGB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) OCTGB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() OCTGB_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Relockable scoped lock (std::unique_lock equivalent) for
+/// condition-variable waits and hand-over-hand sections. Satisfies
+/// BasicLockable so CondVar can unlock/relock it during a wait.
+class OCTGB_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) OCTGB_ACQUIRE(mu) : mu_(mu), owned_(true) {
+    mu_.lock();
+  }
+  ~UniqueLock() OCTGB_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() OCTGB_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+  void unlock() OCTGB_RELEASE() {
+    owned_ = false;
+    mu_.unlock();
+  }
+  bool owns_lock() const { return owned_; }
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+/// Condition variable over util::Mutex via UniqueLock. Waits must use
+/// the manual `while (!cond) cv.wait(lock);` form -- a predicate lambda
+/// would run outside the annotated scope and defeat the analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, blocks, and reacquires before
+  /// returning; the analysis treats the capability as held throughout.
+  void wait(UniqueLock& lock) { cv_.wait(lock); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock, deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock, dur);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace octgb::util

@@ -1,0 +1,338 @@
+// race_stress_test.cpp -- concurrency stress over the concurrent core:
+// the Chase-Lev deque, the work-stealing pool (concurrent external
+// run() drivers + spawn/steal/drain), the StructureCache (parallel
+// insert/lookup/evict/refit), and PolarizationService admission and
+// shedding under multi-threaded submit load.
+//
+// The assertions here are *linearizability-style invariants* (every
+// task claimed exactly once, terminal statuses partition submissions,
+// LRU size never exceeds capacity) rather than exact interleavings --
+// the point is to give ThreadSanitizer real traffic. Run it under
+// -DOCTGB_TSAN=ON (scripts/ci.sh stage 4); it also runs in tier-1,
+// where the iteration counts are higher because there is no ~10x
+// sanitizer slowdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/molecule/generators.h"
+#include "src/parallel/deque.h"
+#include "src/parallel/pool.h"
+#include "src/serve/service.h"
+#include "src/serve/structure_cache.h"
+#include "src/util/hostinfo.h"
+#include "src/util/log.h"
+#include "src/util/rng.h"
+#include "src/util/sanitizers.h"
+
+namespace octgb {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Sanitizer builds run the same code at ~5-15x dilation; keep their
+// wall time in budget without thinning the interleavings to nothing.
+constexpr bool kSanitized = OCTGB_TSAN_ACTIVE || OCTGB_ASAN_ACTIVE;
+constexpr int scaled(int full, int sanitized) {
+  return kSanitized ? sanitized : full;
+}
+
+// ------------------------------------------------------------------ deque
+
+TEST(DequeStressTest, EveryItemClaimedExactlyOnce) {
+  const int kItems = scaled(100000, 20000);
+  const int kThieves = 3;
+  std::vector<int> items(static_cast<std::size_t>(kItems));
+  std::vector<std::atomic<int>> claims(static_cast<std::size_t>(kItems));
+  parallel::ChaseLevDeque<int> dq(8);  // small: force grow() under fire
+  std::atomic<bool> stop{false};
+  std::atomic<int> claimed{0};
+
+  auto claim = [&](int* p) {
+    const auto idx = static_cast<std::size_t>(p - items.data());
+    claims[idx].fetch_add(1, std::memory_order_relaxed);
+    claimed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (int* p = dq.steal_top()) claim(p);
+      }
+      while (int* p = dq.steal_top()) claim(p);
+    });
+  }
+
+  // Owner: interleave pushes with occasional pops, then drain.
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < kItems; ++i) {
+    dq.push_bottom(&items[static_cast<std::size_t>(i)]);
+    if (rng.below(3) == 0) {
+      if (int* p = dq.pop_bottom()) claim(p);
+    }
+  }
+  while (int* p = dq.pop_bottom()) claim(p);
+
+  // Everything left was in thief hands; give them a bounded window.
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (claimed.load(std::memory_order_acquire) < kItems &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  ASSERT_EQ(claimed.load(), kItems) << "lost or duplicated items";
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(claims[static_cast<std::size_t>(i)].load(), 1)
+        << "item " << i << " claimed " << claims[static_cast<std::size_t>(i)]
+        << " times";
+  }
+}
+
+// ------------------------------------------------------------------- pool
+
+TEST(PoolStressTest, ConcurrentExternalRunsAreSerializedAndCorrect) {
+  // Multiple external threads drive run() on one shared pool. Worker
+  // 0's deque has a single owner end, so these must serialize on
+  // run_mu_; each run's parallel_for still spawns/steals internally.
+  parallel::WorkStealingPool pool(3);
+  const int kDrivers = 4;
+  const int kRounds = scaled(40, 10);
+  const std::size_t kRange = 2048;
+
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        pool.run([&] {
+          parallel::parallel_for(pool, 0, kRange, 64,
+                                 [&](std::size_t lo, std::size_t hi) {
+                                   total.fetch_add(hi - lo,
+                                                   std::memory_order_relaxed);
+                                 });
+        });
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+
+  EXPECT_EQ(total.load(),
+            static_cast<std::uint64_t>(kDrivers) * kRounds * kRange);
+}
+
+TEST(PoolStressTest, RecursiveSpawnStealDrain) {
+  parallel::WorkStealingPool pool(4);
+  const std::size_t kN = scaled(200000, 50000);
+  std::uint64_t sum = 0;
+  pool.run([&] {
+    sum = parallel::parallel_reduce<std::uint64_t>(
+        pool, 0, kN, 128,
+        [](std::size_t lo, std::size_t hi) {
+          std::uint64_t s = 0;
+          for (std::size_t i = lo; i < hi; ++i) s += i;
+          return s;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  });
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+  const auto stats = pool.stats();
+  EXPECT_GT(stats.tasks_executed, 0u);
+}
+
+// ------------------------------------------------------------------ cache
+
+std::shared_ptr<serve::CacheEntry> stress_entry(std::uint64_t key,
+                                                std::uint64_t skey,
+                                                geom::Vec3 pos) {
+  auto e = std::make_shared<serve::CacheEntry>();
+  e->key = key;
+  e->skey = skey;
+  e->positions = {pos};
+  e->energy = static_cast<double>(key);
+  return e;
+}
+
+TEST(CacheStressTest, ParallelInsertLookupEvictRefit) {
+  serve::StructureCache cache(8);
+  const int kThreads = 6;
+  const int kIters = scaled(2000, 400);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 99);
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(t) * kIters + static_cast<std::uint64_t>(i) + 1;
+        const std::uint64_t skey = key % 4;  // force skey collisions
+        const geom::Vec3 pos{rng.uniform(), rng.uniform(), rng.uniform()};
+        cache.insert(stress_entry(key, skey, pos));
+
+        // Lookups race inserts and the evictions they trigger.
+        const std::uint64_t probe_key = 1 + rng.below(key);
+        if (auto hit = cache.find_exact(probe_key)) {
+          // An entry handed out stays internally consistent even if
+          // it is evicted the next instant.
+          ASSERT_EQ(hit->key, probe_key);
+          ASSERT_EQ(hit->energy, static_cast<double>(probe_key));
+        }
+        double rms = -1.0;
+        if (auto ref = cache.find_refit(skey, std::span(&pos, 1), 0.75,
+                                        &rms)) {
+          ASSERT_EQ(ref->skey, skey);
+          ASSERT_GE(rms, 0.0);
+        }
+        if (i % 64 == 0) {
+          ASSERT_LE(cache.size(), cache.capacity());
+          (void)cache.memory_bytes();
+          (void)cache.stats();
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.insertions,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  // Every insert beyond capacity must have evicted exactly one entry.
+  EXPECT_EQ(stats.evictions, stats.insertions - cache.size());
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+// ---------------------------------------------------------------- service
+
+TEST(ServiceStressTest, AdmissionSheddingAndCachingUnderConcurrentSubmit) {
+  serve::ServiceConfig cfg;
+  cfg.num_threads = 2;
+  cfg.queue_capacity = 8;   // small: admission control under pressure
+  cfg.max_batch = 4;
+  cfg.cache_capacity = 4;   // small: concurrent eviction + refit
+  cfg.batch_linger = std::chrono::microseconds(0);
+  serve::PolarizationService svc(cfg);
+
+  // A few tiny base conformations; jittered repeats exercise the refit
+  // path, exact repeats the cache, expired deadlines the shedder.
+  std::vector<molecule::Molecule> mols;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    mols.push_back(molecule::generate_ligand(12, 900 + s));
+  }
+
+  const int kThreads = 4;
+  const int kPerThread = scaled(30, 10);
+  std::atomic<std::uint64_t> ok{0}, shed{0}, rejected{0}, failed{0};
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1234);
+      std::vector<std::future<serve::Response>> futures;
+      for (int i = 0; i < kPerThread; ++i) {
+        serve::Request req;
+        req.id = static_cast<std::uint64_t>(t * kPerThread + i);
+        molecule::Molecule mol = mols[rng.below(mols.size())];
+        if (rng.below(2) == 0) {
+          // Nudge one atom: same structure key, new content key.
+          molecule::Atom atom = mol.atom(0);
+          atom.position.x += 0.01 * rng.uniform();
+          molecule::Molecule moved(mol.name() + "-m");
+          moved.add_atom(atom);
+          for (std::size_t a = 1; a < mol.size(); ++a) {
+            moved.add_atom(mol.atom(a));
+          }
+          mol = std::move(moved);
+        }
+        req.mol = std::move(mol);
+        if (i % 5 == 4) {
+          req.deadline = std::chrono::steady_clock::now() - 1s;  // expired
+        }
+        futures.push_back(svc.submit(std::move(req)));
+      }
+      for (auto& f : futures) {
+        switch (f.get().status) {
+          case serve::Status::kOk:
+            ok.fetch_add(1);
+            break;
+          case serve::Status::kShed:
+            shed.fetch_add(1);
+            break;
+          case serve::Status::kRejected:
+            rejected.fetch_add(1);
+            break;
+          case serve::Status::kFailed:
+            failed.fetch_add(1);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  svc.drain();
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  // Terminal statuses partition the submissions: nothing lost, nothing
+  // double-resolved.
+  EXPECT_EQ(ok.load() + shed.load() + rejected.load() + failed.load(),
+            total);
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_GE(ok.load(), 1u);
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, total);
+  EXPECT_EQ(stats.completed, ok.load());
+  EXPECT_EQ(stats.rejected, rejected.load());
+  EXPECT_EQ(stats.shed, shed.load());
+  EXPECT_EQ(stats.completed,
+            stats.cache_hits + stats.refits + stats.cold_builds);
+  EXPECT_LE(svc.cache_size(), cfg.cache_capacity);
+  EXPECT_EQ(svc.queue_depth(), 0u);
+}
+
+// ------------------------------------------------------------------- util
+
+TEST(UtilStressTest, HostInfoMemoizationIsThreadSafe) {
+  const util::HostInfo* first = nullptr;
+  std::vector<std::thread> threads;
+  std::vector<const util::HostInfo*> seen(8, nullptr);
+  for (std::size_t t = 0; t < seen.size(); ++t) {
+    threads.emplace_back(
+        [&, t] { seen[t] = &util::query_host_cached(); });
+  }
+  for (auto& t : threads) t.join();
+  first = seen[0];
+  for (const auto* p : seen) {
+    EXPECT_EQ(p, first);  // one snapshot, built once
+    EXPECT_EQ(p->logical_cores, first->logical_cores);
+  }
+}
+
+TEST(UtilStressTest, ConcurrentLoggingDoesNotRace) {
+  const util::LogLevel saved = util::log_threshold();
+  util::set_log_threshold(util::LogLevel::kOff);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) {
+        // Filtered by threshold (no stderr spam) but still exercises
+        // the threshold atomic against the set_log_threshold below.
+        util::log_debug("stress ", t, ":", i);
+        if (i == 25) util::set_log_threshold(util::LogLevel::kOff);
+      }
+      // One real line per thread through the serializing mutex.
+      util::log_message(util::LogLevel::kOff, "race-stress thread done");
+    });
+  }
+  for (auto& t : threads) t.join();
+  util::set_log_threshold(saved);
+}
+
+}  // namespace
+}  // namespace octgb

@@ -275,15 +275,16 @@ TEST(SimMpiTest, TestIsNonBlockingBeforeArrival) {
     if (comm.rank() == 0) {
       std::vector<int> inbox(1);
       Request rx = comm.irecv(std::span<int>(inbox), 1, 6);
-      // Nothing sent yet: test must return false without blocking.
+      // Rank 1 is held in the barrier until we arrive, so nothing can
+      // have been sent yet: test must return false without blocking.
       EXPECT_FALSE(comm.test(rx));
-      comm.barrier();  // rank 1 sends before this returns on both sides
+      comm.barrier();
       comm.wait(rx);
       EXPECT_EQ(inbox[0], 99);
     } else {
+      comm.barrier();  // released only after rank 0's negative test
       const int v = 99;
       comm.send(std::span<const int>(&v, 1), 0, 6);
-      comm.barrier();
     }
   });
 }
