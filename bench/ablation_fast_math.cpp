@@ -15,6 +15,7 @@ int main() {
 
   const auto suite = molecule::zdock_suite_spec(
       std::min(bench::suite_count(), 8), 1000, bench::max_suite_atoms());
+  bench::json().set_atoms(bench::max_suite_atoms());
 
   util::Table table({"molecule", "atoms", "exact time", "approx time",
                      "speedup", "exact err %", "approx err %"});

@@ -27,6 +27,7 @@ int main() {
   // ---- 1. Dynamic chunk scheduling ----
   {
     const auto mol = molecule::generate_protein(6000, 91);
+    bench::json().set_atoms(mol.size());
     gb::CalculatorParams params = bench::bench_params();
     util::Table table({"P", "static E", "dynamic E", "identical",
                        "static time", "dynamic time"});

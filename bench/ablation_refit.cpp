@@ -22,6 +22,7 @@ int main() {
 
   const std::size_t atoms =
       static_cast<std::size_t>(util::env_int("REPRO_REFIT_ATOMS", 20000));
+  bench::json().set_atoms(atoms);
   const molecule::Molecule mol = molecule::generate_protein(atoms, 0xa70b);
   std::vector<geom::Vec3> positions(mol.positions().begin(),
                                     mol.positions().end());

@@ -22,6 +22,7 @@ int main() {
   // (compact sub-1000-atom globules have no far pairs; see tests).
   const std::size_t atoms =
       static_cast<std::size_t>(util::env_int("REPRO_ABLATION_ATOMS", 12000));
+  bench::json().set_atoms(atoms);
   const molecule::Molecule mol = molecule::generate_capsid(atoms, 81);
   const gb::CalculatorParams params = bench::bench_params();
 

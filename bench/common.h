@@ -15,16 +15,22 @@
 //   REPRO_REPS          repetitions for min/max bands (default 20 = paper)
 //   REPRO_CSV_DIR       if set, each experiment also writes its table as
 //                       CSV into this directory
+//   REPRO_JSON_DIR      directory for the BENCH_<name>.json run records
+//                       (default: current directory)
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/gb/calculator.h"
 #include "src/molecule/generators.h"
 #include "src/util/env.h"
 #include "src/util/table.h"
+#include "src/util/timer.h"
 
 namespace octgb::bench {
 
@@ -65,9 +71,107 @@ inline gb::CalculatorParams bench_params() {
   return params;
 }
 
+/// Machine-readable run record. Every bench binary writes one
+/// BENCH_<name>.json file (into $REPRO_JSON_DIR, default the current
+/// directory) so the perf trajectory can be tracked across PRs without
+/// scraping console tables. The record always carries the four core
+/// fields -- atoms, threads, wall_ms, checksum -- plus any experiment-
+/// specific extras added with field().
+///
+/// The singleton is armed by banner() (which names the record and
+/// starts the wall clock), fed by emit() (every emitted table is
+/// folded into the checksum), and flushed once at process exit -- so a
+/// binary that only calls banner()/emit() still produces a valid
+/// record; set_atoms()/set_threads()/field() refine it.
+class BenchJson {
+ public:
+  static BenchJson& instance() {
+    static BenchJson json;
+    return json;
+  }
+
+  void begin(std::string name) {
+    name_ = std::move(name);
+    timer_.restart();
+  }
+
+  void set_atoms(std::size_t atoms) { atoms_ = atoms; }
+  void set_threads(int threads) { threads_ = threads; }
+
+  /// Folds a value into the FNV-1a checksum. Doubles are hashed by
+  /// their shortest round-trip decimal form, so the checksum is stable
+  /// across runs iff the computed numbers are.
+  void checksum(const std::string& s) {
+    for (const unsigned char c : s) {
+      hash_ ^= c;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void checksum(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    checksum(std::string(buf));
+  }
+  void checksum(const util::Table& t) {
+    for (std::size_t r = 0; r < t.num_rows(); ++r) {
+      for (std::size_t c = 0; c < t.num_cols(); ++c) checksum(t.at(r, c));
+    }
+  }
+
+  /// Adds an experiment-specific numeric field (e.g. a speedup).
+  void field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"%s\": %.6g", key.c_str(), value);
+    extras_.emplace_back(buf);
+  }
+
+  /// Writes BENCH_<name>.json. Idempotent; called automatically at
+  /// exit once banner() has named the record.
+  void write() {
+    if (name_.empty() || written_) return;
+    written_ = true;
+    const std::string dir = util::env_string("REPRO_JSON_DIR", ".");
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::printf("[json] FAILED to write %s\n", path.c_str());
+      return;
+    }
+    char hash[20];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(hash_));
+    os << "{\n"
+       << "  \"name\": \"" << name_ << "\",\n"
+       << "  \"atoms\": " << atoms_ << ",\n"
+       << "  \"threads\": " << threads_ << ",\n";
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", timer_.seconds() * 1e3);
+    os << "  \"wall_ms\": " << wall << ",\n";
+    for (const std::string& extra : extras_) os << "  " << extra << ",\n";
+    os << "  \"checksum\": \"" << hash << "\"\n}\n";
+    std::printf("[json] wrote %s\n", path.c_str());
+  }
+
+  ~BenchJson() { write(); }
+
+ private:
+  BenchJson() = default;
+  std::string name_;
+  std::size_t atoms_ = 0;
+  int threads_ = 1;
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  std::vector<std::string> extras_;
+  util::WallTimer timer_;
+  bool written_ = false;
+};
+
+/// The process-wide run record (see BenchJson).
+inline BenchJson& json() { return BenchJson::instance(); }
+
 /// Prints the table and mirrors it to $REPRO_CSV_DIR/<name>.csv when set.
 inline void emit(const util::Table& table, const std::string& name) {
   table.print(std::cout);
+  json().checksum(table);
   const std::string dir = util::env_string("REPRO_CSV_DIR", "");
   if (!dir.empty()) {
     const std::string path = dir + "/" + name + ".csv";
@@ -79,8 +183,10 @@ inline void emit(const util::Table& table, const std::string& name) {
   }
 }
 
-/// Header line naming the experiment and its paper counterpart.
+/// Header line naming the experiment and its paper counterpart. Also
+/// arms the BENCH_<experiment>.json run record.
 inline void banner(const char* experiment, const char* paper_ref) {
+  json().begin(experiment);
   std::printf("==============================================================\n");
   std::printf("%s\n  reproduces: %s\n", experiment, paper_ref);
   std::printf("==============================================================\n");

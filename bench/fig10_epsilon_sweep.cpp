@@ -21,6 +21,7 @@ int main() {
   base.approx.approx_math = false;  // Figure 10 runs with it OFF
   const auto suite = molecule::zdock_suite_spec(
       bench::suite_count(), 400, bench::max_suite_atoms());
+  bench::json().set_atoms(bench::max_suite_atoms());
   const double eps_values[] = {0.1, 0.3, 0.5, 0.7, 0.9};
 
   // Per-molecule preprocessing and the naive reference are shared by the

@@ -24,6 +24,7 @@ int main() {
                 "Figure 11 (CMV shell: 12 vs 144 cores, speedup vs Amber)");
 
   const std::size_t atoms = bench::cmv_atoms();
+  bench::json().set_atoms(atoms);
   std::printf("CMV substitute: hollow capsid, %zu atoms (paper: 509,640; "
               "scale with REPRO_CMV_ATOMS)\n",
               atoms);

@@ -17,6 +17,7 @@ int main() {
                 "Figure 5 (speedup vs cores, BTV, w.r.t. one 12-core node)");
 
   const std::size_t atoms = bench::btv_atoms();
+  bench::json().set_atoms(atoms);
   std::printf("BTV substitute: hollow capsid, %zu atoms (paper: 6M; scale "
               "with REPRO_BTV_ATOMS)\n",
               atoms);

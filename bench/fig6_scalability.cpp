@@ -19,6 +19,7 @@ int main() {
                 "Figure 6 (runtime vs cores, min/max of 20 runs, BTV)");
 
   const std::size_t atoms = bench::btv_atoms();
+  bench::json().set_atoms(atoms);
   const molecule::Molecule btv = molecule::generate_capsid(atoms, 61);
   std::printf("BTV substitute: %zu atoms; measuring serial phase work...\n",
               atoms);

@@ -28,6 +28,8 @@ int main() {
   const auto suite =
       molecule::zdock_suite_spec(bench::suite_count(), 400,
                                  bench::max_suite_atoms());
+  bench::json().set_atoms(bench::max_suite_atoms());
+  bench::json().set_threads(12);
   const auto spec = perfmodel::ClusterSpec::lonestar4();
 
   struct Row {

@@ -30,6 +30,8 @@ int main() {
   baselines::PackageConfig pkg_config;
   pkg_config.ranks = 12;
   pkg_config.threads = 12;
+  bench::json().set_atoms(bench::max_suite_atoms());
+  bench::json().set_threads(pkg_config.threads);
 
   util::Table times({"molecule", "atoms", "gromacs", "namd", "amber",
                      "tinker", "gbr6", "OCT_MPI", "OCT_HYB", "naive"});

@@ -23,6 +23,8 @@ int main() {
   baselines::PackageConfig pkg_config;
   pkg_config.ranks = 4;  // energies are rank-count invariant; keep cheap
   pkg_config.threads = 4;
+  bench::json().set_atoms(bench::max_suite_atoms());
+  bench::json().set_threads(pkg_config.threads);
 
   util::Table table({"molecule", "atoms", "naive", "OCT_CILK", "OCT_MPI",
                      "OCT_HYB", "gromacs", "namd", "amber", "tinker",

@@ -6,9 +6,12 @@
 
 #include <vector>
 
+#include "bench/common.h"
 #include "src/baselines/gbmodels.h"
 #include "src/gb/born.h"
 #include "src/gb/epol.h"
+#include "src/gb/interaction_lists.h"
+#include "src/gb/kernels_batch.h"
 #include "src/gb/naive.h"
 #include "src/geom/morton.h"
 #include "src/molecule/generators.h"
@@ -155,6 +158,77 @@ void BM_EpolOctree(benchmark::State& state) {
 }
 BENCHMARK(BM_EpolOctree)->Arg(2000)->Arg(8000);
 
+// Two-phase engine counterparts of BM_BornOctree/BM_EpolOctree: the
+// interaction plan is prebuilt (refit-path steady state), so these
+// time the batched kernels alone. Compare against the fused pair above
+// for the kernel-throughput gain; plan construction itself is timed by
+// BM_PlanBuild.
+void BM_PlanBuild(benchmark::State& state) {
+  const auto mol = molecule::generate_protein(
+      static_cast<std::size_t>(state.range(0)), 7);
+  surface::SurfaceParams sp;
+  sp.mesh_atom_limit = 0;
+  sp.sphere_points = 8;
+  const auto surf = surface::build_surface(mol, sp);
+  const auto trees = gb::build_born_octrees(mol, surf);
+  gb::ApproxParams params;
+  for (auto _ : state) {
+    auto plan = gb::build_interaction_plan(trees, params);
+    benchmark::DoNotOptimize(plan.num_items());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PlanBuild)->Arg(2000)->Arg(8000);
+
+void BM_BornBatched(benchmark::State& state) {
+  const auto mol = molecule::generate_protein(
+      static_cast<std::size_t>(state.range(0)), 7);
+  surface::SurfaceParams sp;
+  sp.mesh_atom_limit = 0;
+  sp.sphere_points = 8;
+  const auto surf = surface::build_surface(mol, sp);
+  const auto trees = gb::build_born_octrees(mol, surf);
+  gb::ApproxParams params;
+  const auto plan = gb::build_interaction_plan(trees, params);
+  const auto mode = state.range(1) != 0 ? gb::SimdMode::kAuto
+                                        : gb::SimdMode::kForceScalar;
+  for (auto _ : state) {
+    auto res = gb::born_radii_batched(trees, mol, surf, plan, params,
+                                      nullptr, mode);
+    benchmark::DoNotOptimize(res.radii[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BornBatched)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({8000, 1});
+
+void BM_EpolBatched(benchmark::State& state) {
+  const auto mol = molecule::generate_protein(
+      static_cast<std::size_t>(state.range(0)), 8);
+  surface::SurfaceParams sp;
+  sp.mesh_atom_limit = 0;
+  sp.sphere_points = 8;
+  const auto surf = surface::build_surface(mol, sp);
+  const auto trees = gb::build_born_octrees(mol, surf);
+  gb::ApproxParams params;
+  const auto plan = gb::build_interaction_plan(trees, params);
+  const auto born = gb::born_radii_octree(trees, mol, surf, params);
+  const auto mode = state.range(1) != 0 ? gb::SimdMode::kAuto
+                                        : gb::SimdMode::kForceScalar;
+  for (auto _ : state) {
+    auto res = gb::epol_batched(trees.atoms, mol, born.radii, plan, params,
+                                {}, nullptr, mode);
+    benchmark::DoNotOptimize(res.energy);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EpolBatched)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({8000, 1});
+
 void BM_OctreeRefit(benchmark::State& state) {
   const auto mol = molecule::generate_protein(
       static_cast<std::size_t>(state.range(0)), 9);
@@ -254,4 +328,33 @@ BENCHMARK(BM_SimMpiAllreduce)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run also produces the
+// BENCH_micro_kernels.json record: the checksum folds in a small
+// batched-engine energy, making silent numeric drift in the hot
+// kernels visible across PRs.
+int main(int argc, char** argv) {
+  octgb::bench::json().begin("micro_kernels");
+  octgb::bench::json().set_threads(1);
+  {
+    const auto mol = octgb::molecule::generate_protein(500, 7);
+    octgb::bench::json().set_atoms(mol.size());
+    octgb::surface::SurfaceParams sp;
+    sp.mesh_atom_limit = 0;
+    sp.sphere_points = 8;
+    const auto surf = octgb::surface::build_surface(mol, sp);
+    const auto trees = octgb::gb::build_born_octrees(mol, surf);
+    octgb::gb::ApproxParams params;
+    const auto plan = octgb::gb::build_interaction_plan(trees, params);
+    const auto born =
+        octgb::gb::born_radii_batched(trees, mol, surf, plan, params);
+    const auto epol = octgb::gb::epol_batched(trees.atoms, mol, born.radii,
+                                              plan, params);
+    octgb::bench::json().checksum(born.radii[0]);
+    octgb::bench::json().checksum(epol.energy);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -106,6 +106,8 @@ int main() {
       static_cast<std::size_t>(util::env_int("REPRO_SERVE_REQS", 12));
   const int threads =
       static_cast<int>(util::env_int("REPRO_SERVE_THREADS", 4));
+  bench::json().set_atoms(atoms);
+  bench::json().set_threads(threads);
   std::printf("%zu-atom molecules, %zu requests per phase, %d threads\n\n",
               atoms, reqs, threads);
 

@@ -5,13 +5,19 @@
 #   2. sanitizer: ASan+UBSan build (OCTGB_SANITIZE=ON) of the fast
 #      tests, run directly (the full suite under ASan is slow; the fast
 #      set covers every module boundary the serving layer touches).
-#   3. lint: scripts/lint.sh -- clang-tidy (when installed) plus the
+#   3. simd: batched-kernel equivalence under both SIMD configurations
+#      -- the default build (the AVX2 TU gets -mavx2 -mfma on x86_64)
+#      and an OCTGB_SIMD=OFF build where the scalar fallback must pass
+#      the same bit-exactness/tolerance suite (kernels_batch_test).
+#   4. lint: scripts/lint.sh -- clang-tidy (when installed) plus the
 #      custom project rules (naked-new, mutex-unguarded, float-eq,
-#      unseeded-rng). See DESIGN.md "Static analysis & race detection".
-#   4. tsan: ThreadSanitizer build (OCTGB_TSAN=ON) of the concurrent
+#      unseeded-rng, fastmath). See DESIGN.md "Static analysis & race
+#      detection".
+#   5. tsan: ThreadSanitizer build (OCTGB_TSAN=ON) of the concurrent
 #      core's tests, run with halt_on_error so any report fails CI.
 #
-# Usage: scripts/ci.sh [--tier1-only | --lint-only | --tsan-only]
+# Usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only |
+#                       --tsan-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +43,23 @@ run_asan() {
     echo "--> $t"
     "build-asan/tests/$t" --gtest_brief=1
   done
+}
+
+run_simd() {
+  echo "==> simd: kernel equivalence, AVX2 and no-SIMD builds"
+  # Default build: src/CMakeLists.txt compiles the AVX2 TU with
+  # -mavx2 -mfma on x86_64 and dispatches at runtime.
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j "$JOBS" --target kernels_batch_test
+  echo "--> kernels_batch_test (SIMD build)"
+  build/tests/kernels_batch_test --gtest_brief=1
+  # OCTGB_SIMD=OFF strips the AVX2 TU entirely; the scalar fallback
+  # must pass the identical equivalence suite.
+  cmake -B build-nosimd -S . -DOCTGB_SIMD=OFF \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-nosimd -j "$JOBS" --target kernels_batch_test
+  echo "--> kernels_batch_test (no-SIMD build)"
+  build-nosimd/tests/kernels_batch_test --gtest_brief=1
 }
 
 run_lint() {
@@ -66,6 +89,10 @@ case "$MODE" in
     run_tier1
     echo "==> tier-1 OK (remaining stages skipped)"
     ;;
+  --simd-only)
+    run_simd
+    echo "==> simd OK"
+    ;;
   --lint-only)
     run_lint
     echo "==> lint OK"
@@ -77,12 +104,13 @@ case "$MODE" in
   "")
     run_tier1
     run_asan
+    run_simd
     run_lint
     run_tsan
     echo "==> CI OK"
     ;;
   *)
-    echo "usage: scripts/ci.sh [--tier1-only | --lint-only | --tsan-only]" >&2
+    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --tsan-only]" >&2
     exit 2
     ;;
 esac

@@ -14,6 +14,10 @@
 #        float-eq         no ==/!= against floating-point literals
 #        unseeded-rng     no rand()/random_device/mt19937 (all
 #                         randomness is util::Xoshiro256, seeded)
+#        fastmath         (src/gb/ only) no raw std::exp( or
+#                         / std::sqrt in kernel code; per-pair math
+#                         goes through the ExactMath/ApproxMath
+#                         policies (util/fastmath.h)
 #      Intentional exceptions carry `lint:allow(<rule>)` plus a
 #      justification comment on the offending line.
 #
@@ -108,6 +112,32 @@ EOF
 #include <cstdlib>
 int roll() { return rand() % 6; }
 EOF
+
+  # fastmath is scoped to src/gb/, so its seeded violation must live
+  # under a src/gb/ subtree of the case dir.
+  local gbtmp="$dir/gbcase"
+  mkdir -p "$gbtmp/src/gb"
+  cat > "$gbtmp/src/gb/fastmath.cpp" <<'EOF'
+#include <cmath>
+double pair(double q, double f2) { return q / std::sqrt(f2); }
+double decay(double x) { return std::exp(-x); }
+EOF
+  if scan_tree "$gbtmp" >/dev/null 2>&1; then
+    echo "selftest FAIL: seeded fastmath violation in src/gb/ was not caught"
+    rc=1
+  else
+    echo "selftest ok: fastmath fires on src/gb/fastmath.cpp"
+  fi
+  # The same code outside src/gb/ must NOT trip the rule.
+  local othertmp="$dir/othercase"
+  mkdir -p "$othertmp"
+  cp "$gbtmp/src/gb/fastmath.cpp" "$othertmp/elsewhere.cpp"
+  if scan_tree "$othertmp" >/dev/null 2>&1; then
+    echo "selftest ok: fastmath stays quiet outside src/gb/"
+  else
+    echo "selftest FAIL: fastmath fired outside src/gb/"
+    rc=1
+  fi
 
   local f rule
   for f in naked_new.cpp mutex_unguarded.h float_eq.cpp unseeded_rng.cpp; do

@@ -15,6 +15,12 @@
 #   unseeded-rng  no rand()/srand()/random_device/mt19937 -- all
 #                 randomness goes through util::Xoshiro256 with an
 #                 explicit seed so every run is reproducible.
+#   fastmath      (src/gb/ only) no raw `std::exp(` or `/ std::sqrt`
+#                 in the GB kernels: per-pair math must go through the
+#                 util::ExactMath / util::ApproxMath policies so the
+#                 approx_math switch stays honest. One-time setup code,
+#                 the naive reference, and the vector lane spill carry
+#                 `lint:allow(fastmath)` with a justification.
 #
 # A violation is suppressed by `lint:allow(<rule>)` on the same source
 # line or on the line directly above it (the NOLINT/NOLINTNEXTLINE
@@ -62,6 +68,11 @@ FNR == 1 { in_block = 0; prev_raw = "" }
   if (!allowed("unseeded-rng") &&
       line ~ /(^|[^[:alnum:]_])(rand|srand|rand_r|drand48)[[:space:]]*\(|std::random_device|std::mt19937|default_random_engine/)
     print FILENAME ":" FNR ":unseeded-rng: " raw
+
+  if (FILENAME ~ /(^|\/)src\/gb\// && !allowed("fastmath") &&
+      (line ~ /(^|[^[:alnum:]_])std::exp[[:space:]]*\(/ ||
+       line ~ /\/[[:space:]]*std::sqrt[[:space:]]*\(/))
+    print FILENAME ":" FNR ":fastmath: " raw
 
   prev_raw = raw
 }

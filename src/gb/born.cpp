@@ -1,10 +1,10 @@
 #include "src/gb/born.h"
 
-#include <atomic>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
 
+#include "src/gb/kernel_primitives.h"
 #include "src/util/fastmath.h"
 
 namespace octgb::gb {
@@ -13,12 +13,9 @@ namespace {
 
 constexpr double kFourPi = 4.0 * std::numbers::pi;
 
-// Squared far-field threshold factor: far iff d^2 > (r_A+r_Q)^2 * this.
-// Default: (d_max/d_min) <= 1+eps, i.e. factor (2+eps)/eps = 1 + 2/eps
-// (the same geometric test as the E_pol phase; see ApproxParams).
-// Strict: the literal sixth-root reading, factor (k+1)/(k-1) with
-// k = (1+eps)^(1/6).
-double far_factor2(const ApproxParams& params) {
+}  // namespace
+
+double born_far_factor2(const ApproxParams& params) {
   const double eps = params.eps_born;
   if (eps <= 0.0) {
     throw std::invalid_argument("ApproxParams: eps must be > 0");
@@ -33,21 +30,15 @@ double far_factor2(const ApproxParams& params) {
   return f * f;
 }
 
-void atomic_add(double& target, double value) {
-  std::atomic_ref<double>(target).fetch_add(value,
-                                            std::memory_order_relaxed);
-}
+namespace {
 
-// Inverse kernel denominator: 1/d^Power given d^2, for the r^6 (Eq. 4)
-// and r^4 (Eq. 3, Coulomb-field) Born integrals.
-template <int Power>
-double inv_pow(double d2) {
-  static_assert(Power == 4 || Power == 6);
-  if constexpr (Power == 4) {
-    return 1.0 / (d2 * d2);
-  } else {
-    return 1.0 / (d2 * d2 * d2);
-  }
+// Squared far-field threshold factor: far iff d^2 > (r_A+r_Q)^2 * this.
+// Default: (d_max/d_min) <= 1+eps, i.e. factor (2+eps)/eps = 1 + 2/eps
+// (the same geometric test as the E_pol phase; see ApproxParams).
+// Strict: the literal sixth-root reading, factor (k+1)/(k-1) with
+// k = (1+eps)^(1/6). Shared with the plan builder as born_far_factor2.
+double far_factor2(const ApproxParams& params) {
+  return born_far_factor2(params);
 }
 
 // Exact kernel contributions of q-leaf Q to every atom of atom-leaf A.
@@ -57,7 +48,7 @@ void exact_leaf_pair(const octree::Octree& atoms_tree,
                      const octree::Octree& q_tree,
                      const surface::QuadratureSurface& surf,
                      const octree::Node& a_node, const octree::Node& q_node,
-                     BornWorkspace& ws) {
+                     BornWorkspace& ws, bool atomic = true) {
   const auto a_index = atoms_tree.point_index();
   const auto q_index = q_tree.point_index();
   const auto positions = mol.positions();
@@ -67,11 +58,10 @@ void exact_leaf_pair(const octree::Octree& atoms_tree,
     double acc = 0.0;
     for (std::uint32_t qi = q_node.begin; qi < q_node.end; ++qi) {
       const std::uint32_t q = q_index[qi];
-      const geom::Vec3 d = surf.points[q] - x;
-      const double r2 = d.norm2();
-      acc += surf.weights[q] * d.dot(surf.normals[q]) * inv_pow<Power>(r2);
+      acc += born_term<Power>(surf.points[q], surf.normals[q],
+                              surf.weights[q], x);
     }
-    atomic_add(ws.atom_s[a], acc);
+    kernel_add(ws.atom_s[a], acc, atomic);
   }
 }
 
@@ -79,10 +69,11 @@ void exact_leaf_pair(const octree::Octree& atoms_tree,
 template <int Power>
 void far_deposit(const geom::Vec3& q_weighted_normal,
                  const octree::Node& a_node, const octree::Node& q_node,
-                 double d2, std::uint32_t a_idx, BornWorkspace& ws) {
+                 double d2, std::uint32_t a_idx, BornWorkspace& ws,
+                 bool atomic = true) {
   const geom::Vec3 diff = q_node.center - a_node.center;
-  atomic_add(ws.node_s[a_idx],
-             q_weighted_normal.dot(diff) * inv_pow<Power>(d2));
+  kernel_add(ws.node_s[a_idx],
+             q_weighted_normal.dot(diff) * inv_pow<Power>(d2), atomic);
 }
 
 // Single-tree APPROX-INTEGRALS (Figure 2): Q is a fixed q-point leaf;
@@ -169,6 +160,28 @@ void push_integrals_recurse(const BornOctrees& trees,
 }
 
 }  // namespace
+
+void born_exact_leaf_pair(const BornOctrees& trees,
+                          const molecule::Molecule& mol,
+                          const surface::QuadratureSurface& surf,
+                          std::uint32_t a_leaf, std::uint32_t q_leaf,
+                          BornWorkspace& ws, bool atomic) {
+  exact_leaf_pair<6>(trees.atoms, mol, trees.qpoints, surf,
+                     trees.atoms.node(a_leaf), trees.qpoints.node(q_leaf),
+                     ws, atomic);
+}
+
+void born_far_deposit(const BornOctrees& trees, std::uint32_t a_node,
+                      std::uint32_t q_leaf, BornWorkspace& ws,
+                      bool atomic) {
+  const octree::Node& a = trees.atoms.node(a_node);
+  const octree::Node& q = trees.qpoints.node(q_leaf);
+  // Recomputes the same distance expression the traversal classified
+  // with, so the deposited value is identical to the fused path's.
+  const double d2 = geom::distance2(a.center, q.center);
+  far_deposit<6>(trees.q_weighted_normal[q_leaf], a, q, d2, a_node, ws,
+                 atomic);
+}
 
 BornOctrees build_born_octrees(const molecule::Molecule& mol,
                                const surface::QuadratureSurface& surf,

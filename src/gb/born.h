@@ -50,6 +50,12 @@ BornOctrees build_born_octrees(const molecule::Molecule& mol,
                                const surface::QuadratureSurface& surf,
                                const octree::OctreeParams& params = {});
 
+/// Squared Born far-field factor: (A, Q) is far iff
+/// d^2 > (r_A + r_Q)^2 * born_far_factor2(params). Exported so the
+/// interaction-plan builder applies the identical criterion the fused
+/// traversal uses. Throws std::invalid_argument for eps <= 0.
+double born_far_factor2(const ApproxParams& params);
+
 /// Mutable accumulators for one Born-radius computation. node_s is
 /// indexed by T_A node id, atom_s by *original* atom id. Accumulation
 /// uses atomic adds, so concurrent workers / leaf tasks may share one
@@ -68,6 +74,24 @@ struct BornWorkspace {
       : node_s(atoms_tree.num_nodes(), 0.0),
         atom_s(atoms_tree.num_points(), 0.0) {}
 };
+
+/// Exact r^6 block of one (T_A leaf, T_Q leaf) pair: accumulates every
+/// q-point of `q_leaf` against every atom of `a_leaf` into ws.atom_s.
+/// This is the identical code path the fused traversal runs for a near
+/// pair; the batched plan executor's scalar engine replays plans through
+/// it so the two engines agree bit-for-bit.
+void born_exact_leaf_pair(const BornOctrees& trees,
+                          const molecule::Molecule& mol,
+                          const surface::QuadratureSurface& surf,
+                          std::uint32_t a_leaf, std::uint32_t q_leaf,
+                          BornWorkspace& ws, bool atomic = true);
+
+/// Far-field monopole deposit of T_Q leaf `q_leaf` into the accumulator
+/// of T_A node `a_node` (ws.node_s[a_node]). Shared with the batched
+/// executor like born_exact_leaf_pair.
+void born_far_deposit(const BornOctrees& trees, std::uint32_t a_node,
+                      std::uint32_t q_leaf, BornWorkspace& ws,
+                      bool atomic = true);
 
 /// APPROX-INTEGRALS for the q-point leaves [qleaf_begin, qleaf_end) of
 /// T_Q (indices into trees.qpoints.leaves()). If `pool` is non-null the

@@ -50,14 +50,17 @@ struct GBResult {
   double energy = 0.0;             // kcal/mol
   std::size_t num_qpoints = 0;
 
-  // Per-phase wall-clock seconds.
+  // Per-phase wall-clock seconds. t_plan is the interaction-list
+  // traversal of the two-phase engine; zero on the fused paths (r^4,
+  // dual-tree, or OCTGB_FUSED_TRAVERSAL set).
   double t_surface = 0.0;
   double t_tree_build = 0.0;
+  double t_plan = 0.0;
   double t_born = 0.0;
   double t_epol = 0.0;
 
   double total_seconds() const {
-    return t_surface + t_tree_build + t_born + t_epol;
+    return t_surface + t_tree_build + t_plan + t_born + t_epol;
   }
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/gb/kernel_primitives.h"
 #include "src/util/fastmath.h"
 
 namespace octgb::gb {
@@ -18,6 +19,27 @@ int bin_of(double born, const ChargeBins& bins) {
   return std::clamp(k, 0, bins.num_bins - 1);
 }
 
+// Off-diagonal STILL kernel of leaf V's atom (pv, qv, rv) against the
+// sorted atom positions [ui_begin, ui_end) of leaf U. Branch-free: the
+// caller has already excluded the u == v diagonal by construction.
+template <typename Math>
+double exact_row(const octree::Octree& tree, const molecule::Molecule& mol,
+                 std::span<const double> born_radii, std::uint32_t ui_begin,
+                 std::uint32_t ui_end, const geom::Vec3& pv, double qv,
+                 double rv) {
+  const auto index = tree.point_index();
+  const auto positions = mol.positions();
+  const auto charges = mol.charges();
+  double sum = 0.0;
+  for (std::uint32_t ui = ui_begin; ui < ui_end; ++ui) {
+    const std::uint32_t u = index[ui];
+    const double r2 = geom::distance2(positions[u], pv);
+    const double rr = born_radii[u] * rv;
+    sum += fgb_term<Math>(charges[u], qv, r2, rr);
+  }
+  return sum;
+}
+
 template <typename Math>
 double exact_block(const octree::Octree& tree,
                    const molecule::Molecule& mol,
@@ -26,22 +48,28 @@ double exact_block(const octree::Octree& tree,
   const auto index = tree.point_index();
   const auto positions = mol.positions();
   const auto charges = mol.charges();
+  // Distinct leaves own disjoint sorted ranges, so u == v can only occur
+  // in the diagonal block where both nodes are the same leaf.
+  const bool diagonal =
+      u_node.begin == v_node.begin && u_node.end == v_node.end;
   double sum = 0.0;
   for (std::uint32_t vi = v_node.begin; vi < v_node.end; ++vi) {
     const std::uint32_t v = index[vi];
     const geom::Vec3 pv = positions[v];
     const double qv = charges[v];
     const double rv = born_radii[v];
-    for (std::uint32_t ui = u_node.begin; ui < u_node.end; ++ui) {
-      const std::uint32_t u = index[ui];
-      if (u == v) {
-        sum += qv * qv / rv;  // self term, f_GB(i,i) = R_i
-        continue;
-      }
-      const double r2 = geom::distance2(positions[u], pv);
-      const double rr = born_radii[u] * rv;
-      const double f2 = r2 + rr * Math::exp(-r2 / (4.0 * rr));
-      sum += charges[u] * qv * Math::rsqrt(f2);
+    if (diagonal) {
+      // Split around the self term so the pair loops stay branch-free
+      // while preserving the reference summation order (u < v pairs,
+      // then the diagonal, then u > v pairs).
+      sum += exact_row<Math>(tree, mol, born_radii, u_node.begin, vi, pv,
+                             qv, rv);
+      sum += fgb_self_term(qv, rv);  // f_GB(i,i) = R_i
+      sum += exact_row<Math>(tree, mol, born_radii, vi + 1, u_node.end, pv,
+                             qv, rv);
+    } else {
+      sum += exact_row<Math>(tree, mol, born_radii, u_node.begin,
+                             u_node.end, pv, qv, rv);
     }
   }
   return sum;
@@ -50,31 +78,41 @@ double exact_block(const octree::Octree& tree,
 template <typename Math>
 double far_block(const ChargeBins& bins, std::uint32_t u_idx,
                  std::uint32_t v_idx, double d2) {
+  // Only non-empty bin combinations contribute; iterating the CSR lists
+  // (ascending, like the dense scan they replace) skips the mostly-empty
+  // histogram rows without perturbing the summation order.
   double sum = 0.0;
-  const int m = bins.num_bins;
-  for (int i = 0; i < m; ++i) {
+  const std::uint32_t u_lo = bins.nz_offset[u_idx];
+  const std::uint32_t u_hi = bins.nz_offset[u_idx + 1];
+  const std::uint32_t v_lo = bins.nz_offset[v_idx];
+  const std::uint32_t v_hi = bins.nz_offset[v_idx + 1];
+  for (std::uint32_t ki = u_lo; ki < u_hi; ++ki) {
+    const int i = bins.nz_bin[ki];
     const double qu = bins.at(u_idx, i);
-    if (qu == 0.0) continue;  // lint:allow(float-eq) empty charge bin, stored exact
-    for (int j = 0; j < m; ++j) {
+    const double ru = bins.bin_radius[static_cast<std::size_t>(i)];
+    for (std::uint32_t kj = v_lo; kj < v_hi; ++kj) {
+      const int j = bins.nz_bin[kj];
       const double qv = bins.at(v_idx, j);
-      if (qv == 0.0) continue;  // lint:allow(float-eq) empty charge bin, stored exact
-      const double rr = bins.bin_radius[static_cast<std::size_t>(i)] *
-                        bins.bin_radius[static_cast<std::size_t>(j)];
-      const double f2 = d2 + rr * Math::exp(-d2 / (4.0 * rr));
-      sum += qu * qv * Math::rsqrt(f2);
+      const double rr = ru * bins.bin_radius[static_cast<std::size_t>(j)];
+      sum += fgb_term<Math>(qu, qv, d2, rr);
     }
   }
   return sum;
 }
 
 // Kernel sum of one leaf V against the subtree rooted at U (iterative).
+// Near (exact) and far (binned) contributions accumulate separately and
+// combine once per leaf: the batched plan executor replays the same
+// pairs through per-class passes, and this split makes the two engines'
+// reduction orders identical.
 template <typename Math>
 double epol_one_leaf(const octree::Octree& tree,
                      const molecule::Molecule& mol, const ChargeBins& bins,
                      std::span<const double> born_radii, std::uint32_t vleaf,
                      double far_mult) {
   const octree::Node& v_node = tree.node(vleaf);
-  double sum = 0.0;
+  double sum_near = 0.0;
+  double sum_far = 0.0;
   std::uint32_t stack[256];
   int top = 0;
   stack[top++] = tree.root_index();
@@ -82,20 +120,20 @@ double epol_one_leaf(const octree::Octree& tree,
     const std::uint32_t u_idx = stack[--top];
     const octree::Node& u_node = tree.node(u_idx);
     if (u_node.leaf) {
-      sum += exact_block<Math>(tree, mol, born_radii, u_node, v_node);
+      sum_near += exact_block<Math>(tree, mol, born_radii, u_node, v_node);
       continue;
     }
     const double s = (u_node.radius + v_node.radius) * far_mult;
     const double d2 = geom::distance2(u_node.center, v_node.center);
     if (d2 > s * s && d2 > 0.0) {
-      sum += far_block<Math>(bins, u_idx, vleaf, d2);
+      sum_far += far_block<Math>(bins, u_idx, vleaf, d2);
       continue;
     }
     for (const auto child : u_node.children) {
       if (child != octree::Node::kInvalid) stack[top++] = child;
     }
   }
-  return sum;
+  return sum_near + sum_far;
 }
 
 template <typename Math>
@@ -160,7 +198,8 @@ ChargeBins build_charge_bins(const octree::Octree& tree,
   for (int k = 0; k < bins.num_bins; ++k) {
     // Geometric bin midpoint: R_min (1+eps_eff)^(k + 1/2).
     bins.bin_radius[static_cast<std::size_t>(k)] =
-        r_min * std::exp(eff_log1p * (k + 0.5));
+        r_min *
+        std::exp(eff_log1p * (k + 0.5));  // lint:allow(fastmath) bin setup, not a kernel
   }
 
   bins.q.assign(tree.num_nodes() * static_cast<std::size_t>(bins.num_bins),
@@ -184,7 +223,40 @@ ChargeBins build_charge_bins(const octree::Octree& tree,
       }
     }
   }
+
+  // CSR lists of non-empty bins per node, so the far-field kernel skips
+  // the empty combinations instead of re-discovering them every call.
+  bins.nz_offset.assign(tree.num_nodes() + 1, 0);
+  bins.nz_bin.reserve(tree.num_nodes() * 2);
+  for (std::size_t n = 0; n < tree.num_nodes(); ++n) {
+    const double* row = &bins.q[n * static_cast<std::size_t>(bins.num_bins)];
+    for (int k = 0; k < bins.num_bins; ++k) {
+      if (row[k] != 0.0) {  // lint:allow(float-eq) empty charge bin, stored exact
+        bins.nz_bin.push_back(static_cast<std::uint16_t>(k));
+      }
+    }
+    bins.nz_offset[n + 1] = static_cast<std::uint32_t>(bins.nz_bin.size());
+  }
   return bins;
+}
+
+double epol_exact_block(const octree::Octree& tree,
+                        const molecule::Molecule& mol,
+                        std::span<const double> born_radii,
+                        std::uint32_t u_leaf, std::uint32_t v_leaf,
+                        bool approx_math) {
+  const octree::Node& u = tree.node(u_leaf);
+  const octree::Node& v = tree.node(v_leaf);
+  return approx_math
+             ? exact_block<util::ApproxMath>(tree, mol, born_radii, u, v)
+             : exact_block<util::ExactMath>(tree, mol, born_radii, u, v);
+}
+
+double epol_far_block(const ChargeBins& bins, std::uint32_t u_node,
+                      std::uint32_t v_node, double d2, bool approx_math) {
+  return approx_math
+             ? far_block<util::ApproxMath>(bins, u_node, v_node, d2)
+             : far_block<util::ExactMath>(bins, u_node, v_node, d2);
 }
 
 double approx_epol(const octree::Octree& tree,

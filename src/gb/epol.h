@@ -36,6 +36,14 @@ struct ChargeBins {
   std::vector<double> q;   // [node * num_bins + k]
   std::vector<double> bin_radius;  // representative radius per bin
 
+  /// CSR lists of the *non-empty* bin indices of each node, ascending.
+  /// Node n's non-empty bins are nz_bin[nz_offset[n] .. nz_offset[n+1]).
+  /// Most rows are nearly empty (a node holds atoms from a handful of
+  /// radius bins), so the far-field kernel iterates these lists instead
+  /// of scanning all num_bins^2 (i, j) combinations.
+  std::vector<std::uint32_t> nz_offset;  // [num_nodes + 1]
+  std::vector<std::uint16_t> nz_bin;
+
   double at(std::size_t node, int k) const {
     return q[node * static_cast<std::size_t>(num_bins) +
              static_cast<std::size_t>(k)];
@@ -50,6 +58,25 @@ ChargeBins build_charge_bins(const octree::Octree& tree,
                              std::span<const double> charges,
                              std::span<const double> born_radii,
                              double eps, int max_bins = 256);
+
+/// Exact STILL-kernel block of leaf V against leaf U (all ordered pairs,
+/// including the u == v self terms when the two leaves coincide). This
+/// is the identical code path the fused traversal runs for a near pair;
+/// the batched plan executor's scalar engine replays plans through it so
+/// the two engines agree bit-for-bit.
+double epol_exact_block(const octree::Octree& tree,
+                        const molecule::Molecule& mol,
+                        std::span<const double> born_radii,
+                        std::uint32_t u_leaf, std::uint32_t v_leaf,
+                        bool approx_math);
+
+/// Bin-vs-bin far-field kernel of one (U, V) node pair at center
+/// distance^2 d2: sum over non-empty bin combinations of
+/// q_U[i] q_V[j] / f_GB(R_i, R_j). This is the exact function the fused
+/// traversal evaluates inline; the batched plan executor calls it for
+/// its scalar far path so the two engines agree bit-for-bit.
+double epol_far_block(const ChargeBins& bins, std::uint32_t u_node,
+                      std::uint32_t v_node, double d2, bool approx_math);
 
 /// Raw kernel sum (no -tau/2 k prefactor) of the leaves
 /// [leaf_begin, leaf_end) of `tree.leaves()` against the whole tree.

@@ -1,0 +1,89 @@
+// interaction_lists.h -- phase 1 of the two-phase GB execution engine.
+//
+// The fused traversals in born.cpp / epol.cpp interleave tree walking
+// with kernel evaluation: every leaf/leaf or node/node interaction is
+// computed the moment the Greengard-Rokhlin criterion classifies it.
+// That keeps the working set small but leaves the hot loops scalar and
+// gather-bound -- the branchy traversal control flow sits between every
+// kernel invocation.
+//
+// This module splits the work: a cheap traversal-only pass walks the
+// same trees with the same criteria, but instead of evaluating it emits
+// compact work items into an InteractionPlan:
+//
+//  * Born near pairs  (T_A leaf,  T_Q leaf)  -> exact r^6 blocks,
+//  * Born far pairs   (T_A node,  T_Q leaf)  -> monopole deposits,
+//  * E_pol near pairs (T_A leaf u, T_A leaf v) -> exact f_GB blocks,
+//  * E_pol far pairs  (T_A node u, T_A leaf v) -> bin-vs-bin blocks.
+//
+// Phase 2 (src/gb/kernels_batch.h) replays the lists over SoA scratch
+// arrays with SIMD-batched kernels. Items are recorded in exactly the
+// fused traversal's visit order, so a serial scalar replay reproduces
+// the fused results bit-for-bit; chunk offsets computed from a per-item
+// cost model make the lists schedulable on the work-stealing pool
+// without cutting into pathologically unbalanced pieces.
+//
+// The plan depends only on the tree geometry and the epsilons -- not on
+// charges or Born radii -- so the serving layer caches it next to the
+// octrees and refit requests skip the traversal entirely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/gb/born.h"
+#include "src/gb/types.h"
+#include "src/octree/octree.h"
+#include "src/parallel/pool.h"
+
+namespace octgb::gb {
+
+/// One work item: an (target, source) node pair. The meaning of the two
+/// ids depends on the list the pair lives in (see InteractionPlan).
+struct NodePair {
+  std::uint32_t target = 0;
+  std::uint32_t source = 0;
+};
+
+/// The traversal's output: four flat lists of work items plus
+/// cost-balanced chunk offsets for scheduling. Lists are ordered
+/// exactly as the fused traversal visits the pairs (source-leaf major,
+/// stack order within a leaf), which is what makes a serial replay
+/// bit-identical.
+struct InteractionPlan {
+  /// target = T_A *leaf* node id, source = T_Q leaf node id.
+  std::vector<NodePair> born_near;
+  /// target = T_A node id (monopole deposit slot), source = T_Q leaf id.
+  std::vector<NodePair> born_far;
+  /// target = ordinal of leaf v in tree.leaves(), source = T_A leaf u id.
+  std::vector<NodePair> epol_near;
+  /// target = ordinal of leaf v in tree.leaves(), source = T_A node u id.
+  std::vector<NodePair> epol_far;
+
+  /// Chunk offsets into each list: chunk c is [chunks[c], chunks[c+1]).
+  /// Chunks have roughly equal estimated cost, not equal item count --
+  /// a near pair costs |A| * |Q| kernel evaluations, a far deposit one.
+  std::vector<std::uint32_t> born_near_chunks;
+  std::vector<std::uint32_t> born_far_chunks;
+  std::vector<std::uint32_t> epol_near_chunks;
+  std::vector<std::uint32_t> epol_far_chunks;
+
+  std::size_t num_items() const {
+    return born_near.size() + born_far.size() + epol_near.size() +
+           epol_far.size();
+  }
+  /// Resident bytes of the four lists and their chunk tables.
+  std::size_t memory_bytes() const;
+};
+
+/// Traversal-only pass over T_Q-vs-T_A (Born phase, Figure 2 criterion)
+/// and T_A-vs-T_A (E_pol phase, Figure 3 criterion). With a pool the
+/// per-leaf traversals run as parallel tasks into per-range vectors
+/// that are merged in leaf order, so the plan is deterministic either
+/// way. Throws std::invalid_argument for non-positive epsilons.
+InteractionPlan build_interaction_plan(
+    const BornOctrees& trees, const ApproxParams& params,
+    parallel::WorkStealingPool* pool = nullptr);
+
+}  // namespace octgb::gb

@@ -1,0 +1,439 @@
+#include "src/gb/kernels_batch.h"
+
+#include <functional>
+
+#include "src/gb/kernel_primitives.h"
+#include "src/gb/kernels_batch_simd.h"
+#include "src/util/env.h"
+#include "src/util/fastmath.h"
+
+namespace octgb::gb {
+
+namespace {
+
+bool cpu_has_avx2_fma() {
+#if defined(OCTGB_SIMD_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+// Runs the chunks of one plan list: serially in chunk order without a
+// pool (deterministic, the bit-exact configuration), as parallel tasks
+// of one chunk each with a pool. `body(b, e)` processes items [b, e).
+void run_chunks(parallel::WorkStealingPool* pool,
+                const std::vector<std::uint32_t>& chunks,
+                const std::function<void(std::uint32_t, std::uint32_t)>&
+                    body) {
+  if (chunks.size() < 2) return;
+  const std::size_t n = chunks.size() - 1;
+  if (pool == nullptr) {
+    for (std::size_t c = 0; c < n; ++c) body(chunks[c], chunks[c + 1]);
+    return;
+  }
+  pool->run([&] {
+    parallel::parallel_for(*pool, 0, n, 1,
+                           [&](std::size_t lo, std::size_t hi) {
+                             for (std::size_t c = lo; c < hi; ++c) {
+                               body(chunks[c], chunks[c + 1]);
+                             }
+                           });
+  });
+}
+
+#ifdef OCTGB_SIMD_AVX2
+// Flat node-center / q-weighted-normal arrays for the SIMD far row:
+// indexed by node id so plan items can be gathered without touching
+// the (much wider) octree::Node records.
+struct NodeCenterSoA {
+  std::vector<double> acx, acy, acz;       // atom-node centers
+  std::vector<double> qcx, qcy, qcz;       // q-node centers
+  std::vector<double> qwx, qwy, qwz;       // q-node weighted normals
+};
+
+NodeCenterSoA build_node_center_soa(const BornOctrees& trees) {
+  NodeCenterSoA soa;
+  const std::size_t na = trees.atoms.num_nodes();
+  soa.acx.resize(na);
+  soa.acy.resize(na);
+  soa.acz.resize(na);
+  for (std::size_t n = 0; n < na; ++n) {
+    const geom::Vec3& c = trees.atoms.node(static_cast<std::uint32_t>(n))
+                              .center;
+    soa.acx[n] = c.x;
+    soa.acy[n] = c.y;
+    soa.acz[n] = c.z;
+  }
+  const std::size_t nq = trees.qpoints.num_nodes();
+  soa.qcx.resize(nq);
+  soa.qcy.resize(nq);
+  soa.qcz.resize(nq);
+  soa.qwx.resize(nq);
+  soa.qwy.resize(nq);
+  soa.qwz.resize(nq);
+  for (std::size_t n = 0; n < nq; ++n) {
+    const geom::Vec3& c = trees.qpoints.node(static_cast<std::uint32_t>(n))
+                              .center;
+    soa.qcx[n] = c.x;
+    soa.qcy[n] = c.y;
+    soa.qcz[n] = c.z;
+    const geom::Vec3& w = trees.q_weighted_normal[n];
+    soa.qwx[n] = w.x;
+    soa.qwy[n] = w.y;
+    soa.qwz[n] = w.z;
+  }
+  return soa;
+}
+#endif  // OCTGB_SIMD_AVX2
+
+template <typename Math>
+double epol_row_scalar(const EpolSoA& soa, std::uint32_t ub,
+                       std::uint32_t ue, double px, double py, double pz,
+                       double qv, double rv) {
+  double sum = 0.0;
+  for (std::uint32_t ui = ub; ui < ue; ++ui) {
+    const geom::Vec3 d{soa.x[ui] - px, soa.y[ui] - py, soa.z[ui] - pz};
+    sum += fgb_term<Math>(soa.q[ui], qv, d.norm2(), soa.born[ui] * rv);
+  }
+  return sum;
+}
+
+}  // namespace
+
+bool simd_compiled() {
+#ifdef OCTGB_SIMD_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_available() {
+  static const bool ok = cpu_has_avx2_fma();
+  return ok;
+}
+
+bool simd_enabled() {
+  return simd_available() && !util::env_flag("OCTGB_NO_SIMD");
+}
+
+bool use_batched_engine() {
+  return !util::env_flag("OCTGB_FUSED_TRAVERSAL");
+}
+
+BornSoA build_born_soa(const BornOctrees& trees,
+                       const molecule::Molecule& mol,
+                       const surface::QuadratureSurface& surf) {
+  BornSoA soa;
+  const auto a_index = trees.atoms.point_index();
+  const auto positions = mol.positions();
+  soa.ax.resize(a_index.size());
+  soa.ay.resize(a_index.size());
+  soa.az.resize(a_index.size());
+  for (std::size_t i = 0; i < a_index.size(); ++i) {
+    const geom::Vec3& p = positions[a_index[i]];
+    soa.ax[i] = p.x;
+    soa.ay[i] = p.y;
+    soa.az[i] = p.z;
+  }
+  const auto q_index = trees.qpoints.point_index();
+  soa.qx.resize(q_index.size());
+  soa.qy.resize(q_index.size());
+  soa.qz.resize(q_index.size());
+  soa.qnx.resize(q_index.size());
+  soa.qny.resize(q_index.size());
+  soa.qnz.resize(q_index.size());
+  soa.qw.resize(q_index.size());
+  for (std::size_t i = 0; i < q_index.size(); ++i) {
+    const std::uint32_t q = q_index[i];
+    soa.qx[i] = surf.points[q].x;
+    soa.qy[i] = surf.points[q].y;
+    soa.qz[i] = surf.points[q].z;
+    soa.qnx[i] = surf.normals[q].x;
+    soa.qny[i] = surf.normals[q].y;
+    soa.qnz[i] = surf.normals[q].z;
+    soa.qw[i] = surf.weights[q];
+  }
+  return soa;
+}
+
+EpolSoA build_epol_soa(const octree::Octree& tree,
+                       const molecule::Molecule& mol,
+                       std::span<const double> born_radii) {
+  EpolSoA soa;
+  const auto index = tree.point_index();
+  const auto positions = mol.positions();
+  const auto charges = mol.charges();
+  soa.x.resize(index.size());
+  soa.y.resize(index.size());
+  soa.z.resize(index.size());
+  soa.q.resize(index.size());
+  soa.born.resize(index.size());
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    const std::uint32_t a = index[i];
+    soa.x[i] = positions[a].x;
+    soa.y[i] = positions[a].y;
+    soa.z[i] = positions[a].z;
+    soa.q[i] = charges[a];
+    soa.born[i] = born_radii[a];
+  }
+  return soa;
+}
+
+double born_row(const BornSoA& soa, std::uint32_t qb, std::uint32_t qe,
+                double x, double y, double z, bool use_simd) {
+#ifdef OCTGB_SIMD_AVX2
+  if (use_simd) {
+    return simd::born_row_avx2(soa.qx.data(), soa.qy.data(),
+                               soa.qz.data(), soa.qnx.data(),
+                               soa.qny.data(), soa.qnz.data(),
+                               soa.qw.data(), qb, qe, x, y, z);
+  }
+#else
+  (void)use_simd;
+#endif
+  double sum = 0.0;
+  for (std::uint32_t qi = qb; qi < qe; ++qi) {
+    sum += born_term<6>({soa.qx[qi], soa.qy[qi], soa.qz[qi]},
+                        {soa.qnx[qi], soa.qny[qi], soa.qnz[qi]},
+                        soa.qw[qi], {x, y, z});
+  }
+  return sum;
+}
+
+double epol_row(const EpolSoA& soa, std::uint32_t ub, std::uint32_t ue,
+                double px, double py, double pz, double qv, double rv,
+                bool approx_math, bool use_simd) {
+#ifdef OCTGB_SIMD_AVX2
+  if (use_simd) {
+    return simd::epol_row_avx2(soa.x.data(), soa.y.data(), soa.z.data(),
+                               soa.q.data(), soa.born.data(), ub, ue, px,
+                               py, pz, qv, rv, approx_math);
+  }
+#else
+  (void)use_simd;
+#endif
+  return approx_math ? epol_row_scalar<util::ApproxMath>(soa, ub, ue, px,
+                                                         py, pz, qv, rv)
+                     : epol_row_scalar<util::ExactMath>(soa, ub, ue, px,
+                                                        py, pz, qv, rv);
+}
+
+double epol_far_bins(const ChargeBins& bins, std::uint32_t u_node,
+                     std::uint32_t v_node, double d2, bool approx_math,
+                     bool use_simd) {
+#ifdef OCTGB_SIMD_AVX2
+  // Pack v's non-empty bins once, then stream them 4-wide per u bin.
+  // Bin counts are capped at build_charge_bins' max_bins (default 256);
+  // pathological caller-supplied caps fall back to the scalar kernel.
+  constexpr std::uint32_t kMaxPack = 256;
+  const std::uint32_t v_lo = bins.nz_offset[v_node];
+  const std::uint32_t v_hi = bins.nz_offset[v_node + 1];
+  const std::uint32_t nv = v_hi - v_lo;
+  if (use_simd && nv <= kMaxPack) {
+    double qv_packed[kMaxPack];
+    double rv_packed[kMaxPack];
+    for (std::uint32_t k = 0; k < nv; ++k) {
+      const int j = bins.nz_bin[v_lo + k];
+      qv_packed[k] = bins.at(v_node, j);
+      rv_packed[k] = bins.bin_radius[static_cast<std::size_t>(j)];
+    }
+    double sum = 0.0;
+    const std::uint32_t u_lo = bins.nz_offset[u_node];
+    const std::uint32_t u_hi = bins.nz_offset[u_node + 1];
+    for (std::uint32_t ki = u_lo; ki < u_hi; ++ki) {
+      const int i = bins.nz_bin[ki];
+      sum += simd::epol_far_row_avx2(
+          qv_packed, rv_packed, nv, bins.at(u_node, i),
+          bins.bin_radius[static_cast<std::size_t>(i)], d2, approx_math);
+    }
+    return sum;
+  }
+#else
+  (void)use_simd;
+#endif
+  return epol_far_block(bins, u_node, v_node, d2, approx_math);
+}
+
+BornRadiiResult born_radii_batched(const BornOctrees& trees,
+                                   const molecule::Molecule& mol,
+                                   const surface::QuadratureSurface& surf,
+                                   const InteractionPlan& plan,
+                                   const ApproxParams& params,
+                                   parallel::WorkStealingPool* pool,
+                                   SimdMode mode) {
+  BornWorkspace ws(trees);
+  const bool use_simd = mode == SimdMode::kAuto && simd_enabled();
+  // Serial execution owns every accumulator slot outright, so deposits
+  // can skip the lock prefix -- on million-item far lists the CAS loop
+  // is the dominant serial cost, not the arithmetic.
+  const bool atomic = pool != nullptr;
+  if (use_simd) {
+    const BornSoA soa = build_born_soa(trees, mol, surf);
+    const auto a_index = trees.atoms.point_index();
+    run_chunks(pool, plan.born_near_chunks,
+               [&](std::uint32_t b, std::uint32_t e) {
+                 for (std::uint32_t i = b; i < e; ++i) {
+                   const NodePair p = plan.born_near[i];
+                   const octree::Node& a_node = trees.atoms.node(p.target);
+                   const octree::Node& q_node =
+                       trees.qpoints.node(p.source);
+                   for (std::uint32_t ai = a_node.begin; ai < a_node.end;
+                        ++ai) {
+                     const double acc =
+                         born_row(soa, q_node.begin, q_node.end,
+                                  soa.ax[ai], soa.ay[ai], soa.az[ai],
+                                  /*use_simd=*/true);
+                     kernel_add(ws.atom_s[a_index[ai]], acc, atomic);
+                   }
+                 }
+               });
+  } else {
+    run_chunks(pool, plan.born_near_chunks,
+               [&](std::uint32_t b, std::uint32_t e) {
+                 for (std::uint32_t i = b; i < e; ++i) {
+                   const NodePair p = plan.born_near[i];
+                   born_exact_leaf_pair(trees, mol, surf, p.target,
+                                        p.source, ws, atomic);
+                 }
+               });
+  }
+#ifdef OCTGB_SIMD_AVX2
+  if (use_simd) {
+    // The far list is the bulk of the plan (one monopole deposit per
+    // item), so it is worth a dedicated 4-item-per-pass kernel. The
+    // traversal emits born_far grouped by source q-leaf, so the list is
+    // runs of hundreds of items with a constant source: hoist the six
+    // q-side loads out of each run and vectorize only the target
+    // gathers. The deposit is pure sub/mul/add/div, which the AVX2 row
+    // reproduces lane-exactly -- SIMD far deposits are bit-identical to
+    // the fused engine's, not just within tolerance (born_far_run_avx2).
+    const NodeCenterSoA far = build_node_center_soa(trees);
+    static_assert(sizeof(NodePair) == 2 * sizeof(std::uint32_t));
+    run_chunks(pool, plan.born_far_chunks,
+               [&](std::uint32_t b, std::uint32_t e) {
+                 std::uint32_t i = b;
+                 while (i < e) {
+                   const std::uint32_t src = plan.born_far[i].source;
+                   std::uint32_t j = i + 1;
+                   while (j < e && plan.born_far[j].source == src) ++j;
+                   const auto* pairs =
+                       reinterpret_cast<const std::uint32_t*>(
+                           plan.born_far.data() + i);
+                   const std::uint32_t done = simd::born_far_run_avx2(
+                       pairs, j - i, far.acx.data(), far.acy.data(),
+                       far.acz.data(), far.qcx[src], far.qcy[src],
+                       far.qcz[src], far.qwx[src], far.qwy[src],
+                       far.qwz[src], ws.node_s.data(), atomic);
+                   for (std::uint32_t k = i + done; k < j; ++k) {
+                     born_far_deposit(trees, plan.born_far[k].target, src,
+                                      ws, atomic);
+                   }
+                   i = j;
+                 }
+               });
+  } else
+#endif
+  {
+    run_chunks(pool, plan.born_far_chunks,
+               [&](std::uint32_t b, std::uint32_t e) {
+                 for (std::uint32_t i = b; i < e; ++i) {
+                   const NodePair p = plan.born_far[i];
+                   born_far_deposit(trees, p.target, p.source, ws, atomic);
+                 }
+               });
+  }
+  BornRadiiResult out;
+  out.radii.assign(mol.size(), 0.0);
+  push_integrals_to_atoms(trees, mol, ws, 0, mol.size(), params,
+                          out.radii, pool);
+  return out;
+}
+
+EpolResult epol_batched(const octree::Octree& tree,
+                        const molecule::Molecule& mol,
+                        std::span<const double> born_radii,
+                        const InteractionPlan& plan,
+                        const ApproxParams& params, const Physics& physics,
+                        parallel::WorkStealingPool* pool, SimdMode mode) {
+  EpolResult out;
+  if (tree.empty()) return out;
+  const ChargeBins bins =
+      build_charge_bins(tree, mol.charges(), born_radii, params.eps_epol);
+  const auto leaves = tree.leaves();
+  // One near and one far accumulator per leaf V -- the same
+  // two-accumulator split epol_one_leaf keeps, so the final leaf-order
+  // reduction reproduces the fused engine's summation order exactly.
+  std::vector<double> near_acc(leaves.size(), 0.0);
+  std::vector<double> far_acc(leaves.size(), 0.0);
+  const bool use_simd = mode == SimdMode::kAuto && simd_enabled();
+  const bool atomic = pool != nullptr;
+
+#ifdef OCTGB_SIMD_AVX2
+  if (use_simd) {
+    // The whole U x V block crosses the TU boundary in one call; the
+    // per-v-atom row loop (including the diagonal self-term split)
+    // lives in the AVX2 TU so millions of leaf-sized rows don't pay a
+    // call + broadcast setup each.
+    const EpolSoA soa = build_epol_soa(tree, mol, born_radii);
+    run_chunks(
+        pool, plan.epol_near_chunks,
+        [&](std::uint32_t b, std::uint32_t e) {
+          for (std::uint32_t i = b; i < e; ++i) {
+            const NodePair p = plan.epol_near[i];
+            const octree::Node& u_node = tree.node(p.source);
+            const octree::Node& v_node = tree.node(leaves[p.target]);
+            const bool diagonal = u_node.begin == v_node.begin &&
+                                  u_node.end == v_node.end;
+            const double acc = simd::epol_near_block_avx2(
+                soa.x.data(), soa.y.data(), soa.z.data(), soa.q.data(),
+                soa.born.data(), u_node.begin, u_node.end, v_node.begin,
+                v_node.end, diagonal, params.approx_math);
+            kernel_add(near_acc[p.target], acc, atomic);
+          }
+        });
+  } else
+#endif
+  {
+    run_chunks(pool, plan.epol_near_chunks,
+               [&](std::uint32_t b, std::uint32_t e) {
+                 for (std::uint32_t i = b; i < e; ++i) {
+                   const NodePair p = plan.epol_near[i];
+                   kernel_add(
+                       near_acc[p.target],
+                       epol_exact_block(tree, mol, born_radii, p.source,
+                                        leaves[p.target],
+                                        params.approx_math),
+                       atomic);
+                 }
+               });
+  }
+
+  run_chunks(pool, plan.epol_far_chunks,
+             [&](std::uint32_t b, std::uint32_t e) {
+               for (std::uint32_t i = b; i < e; ++i) {
+                 const NodePair p = plan.epol_far[i];
+                 const octree::Node& u_node = tree.node(p.source);
+                 const octree::Node& v_node = tree.node(leaves[p.target]);
+                 // Same distance expression the traversal classified
+                 // with, so the kernel value matches the fused path's.
+                 const double d2 =
+                     geom::distance2(u_node.center, v_node.center);
+                 kernel_add(
+                     far_acc[p.target],
+                     epol_far_bins(bins, p.source, leaves[p.target], d2,
+                                   params.approx_math, use_simd),
+                     atomic);
+               }
+             });
+
+  double sum = 0.0;
+  for (std::size_t v = 0; v < leaves.size(); ++v) {
+    sum += near_acc[v] + far_acc[v];
+  }
+  out.energy = -0.5 * physics.tau() * physics.coulomb_k * sum;
+  return out;
+}
+
+}  // namespace octgb::gb

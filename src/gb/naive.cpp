@@ -107,8 +107,11 @@ EpolResult epol_naive(const molecule::Molecule& mol,
 double gb_pair_term(double q1, double q2, double dist2, double born1,
                     double born2) {
   const double rr = born1 * born2;
-  const double f2 = dist2 + rr * std::exp(-dist2 / (4.0 * rr));
-  return q1 * q2 / std::sqrt(f2);
+  // The reference implementation is deliberately plain libm -- it is
+  // what the Math-policy kernels are validated against.
+  const double f2 =
+      dist2 + rr * std::exp(-dist2 / (4.0 * rr));  // lint:allow(fastmath) reference
+  return q1 * q2 / std::sqrt(f2);  // lint:allow(fastmath) reference
 }
 
 }  // namespace octgb::gb

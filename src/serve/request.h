@@ -109,6 +109,9 @@ struct Response {
   std::size_t num_qpoints = 0;
   /// Content hash of (atoms, resolved params) -- the cache key.
   std::uint64_t content_key = 0;
+  /// True when the refit path reused the base entry's interaction plan
+  /// (two-phase engine only): the kernels ran with zero traversal work.
+  bool plan_reused = false;
 
   // Per-stage wall-clock seconds.
   double t_queue = 0.0;   // submit -> dispatch

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/gb/kernels_batch.h"
 #include "src/serve/content_hash.h"
 #include "src/util/timer.h"
 
@@ -227,6 +228,7 @@ void PolarizationService::process_batch(std::vector<Pending>&& batch) {
           break;
         case Path::kRefit:
           ++stats_.refits;
+          if (r.plan_reused) ++stats_.plan_reuses;
           break;
         case Path::kColdBuild:
           ++stats_.cold_builds;
@@ -306,15 +308,38 @@ Response PolarizationService::compute_one(const Request& req,
   }
 
   stage.restart();
-  gb::BornRadiiResult born =
-      params.kernel == gb::BornKernel::kSurfaceR4
-          ? gb::born_radii_octree_r4(entry->trees, req.mol, *entry->surf,
-                                     params.approx, pool)
-          : gb::born_radii_octree(entry->trees, req.mol, *entry->surf,
-                                  params.approx, pool);
-  const gb::EpolResult epol =
-      gb::epol_octree(entry->trees.atoms, req.mol, born.radii,
-                      params.approx, params.physics, pool);
+  gb::BornRadiiResult born;
+  gb::EpolResult epol;
+  const bool batched = params.kernel == gb::BornKernel::kSurfaceR6 &&
+                       gb::use_batched_engine();
+  if (batched) {
+    // Two-phase engine, mirroring compute_gb_energy's batched path so
+    // kExact energies stay bit-identical to the one-shot driver. The
+    // plan depends only on tree geometry and epsilons, so a refit
+    // request inherits the base entry's plan and skips the traversal
+    // outright -- the kernels are the only per-conformation work left.
+    if (base && base->plan) {
+      entry->plan = base->plan;
+      resp.plan_reused = true;
+    } else {
+      entry->plan = std::make_shared<const gb::InteractionPlan>(
+          gb::build_interaction_plan(entry->trees, params.approx, pool));
+    }
+    born = gb::born_radii_batched(entry->trees, req.mol, *entry->surf,
+                                  *entry->plan, params.approx, pool);
+    epol = gb::epol_batched(entry->trees.atoms, req.mol, born.radii,
+                            *entry->plan, params.approx, params.physics,
+                            pool);
+  } else {
+    born = params.kernel == gb::BornKernel::kSurfaceR4
+               ? gb::born_radii_octree_r4(entry->trees, req.mol,
+                                          *entry->surf, params.approx,
+                                          pool)
+               : gb::born_radii_octree(entry->trees, req.mol, *entry->surf,
+                                       params.approx, pool);
+    epol = gb::epol_octree(entry->trees.atoms, req.mol, born.radii,
+                           params.approx, params.physics, pool);
+  }
   resp.t_kernel = stage.seconds();
 
   entry->born_radii = std::move(born.radii);

@@ -84,6 +84,9 @@ struct ServiceStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t refits = 0;
   std::uint64_t cold_builds = 0;
+  /// Refit requests that reused the cached interaction plan (no
+  /// traversal ran at all; see CacheEntry::plan).
+  std::uint64_t plan_reuses = 0;
   /// Requests answered by another identical request in the same batch.
   std::uint64_t coalesced = 0;
 

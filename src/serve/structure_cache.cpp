@@ -17,6 +17,7 @@ std::size_t CacheEntry::memory_bytes() const {
   }
   bytes += trees.atoms.memory_bytes() + trees.qpoints.memory_bytes();
   bytes += trees.q_weighted_normal.capacity() * sizeof(geom::Vec3);
+  if (plan) bytes += plan->memory_bytes();
   bytes += born_radii.capacity() * sizeof(double);
   return bytes;
 }

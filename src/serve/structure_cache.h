@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/gb/born.h"
+#include "src/gb/interaction_lists.h"
 #include "src/geom/vec3.h"
 #include "src/surface/quadrature.h"
 #include "src/util/thread_annotations.h"
@@ -47,6 +48,13 @@ struct CacheEntry {
   /// refit path exists to avoid).
   std::shared_ptr<const surface::QuadratureSurface> surf;
   gb::BornOctrees trees;
+  /// Interaction plan of the two-phase engine. Shared with refit
+  /// descendants like the surface: a refit keeps the octree topology,
+  /// so the parent's traversal classification is reused and the refit
+  /// path skips the plan build entirely (the slightly stale near/far
+  /// classification is part of the refit approximation, like the
+  /// retained surface). Null on the fused-engine and r^4 paths.
+  std::shared_ptr<const gb::InteractionPlan> plan;
   std::vector<double> born_radii;
   double energy = 0.0;
   std::size_t num_qpoints = 0;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/gb/calculator.h"
+#include "src/gb/kernels_batch.h"
 #include "src/molecule/generators.h"
 #include "src/serve/content_hash.h"
 #include "src/serve/service.h"
@@ -301,6 +302,34 @@ TEST(ServeTest, RefitMatchesRebuildWithinTolerance) {
   const auto repeat = svc.serve_now(make_request(3, moved));
   EXPECT_EQ(repeat.path, serve::Path::kCacheHit);
   EXPECT_EQ(repeat.energy, refit.energy);
+}
+
+TEST(ServeTest, RefitReusesCachedInteractionPlan) {
+  // With the two-phase engine, a refit request inherits the base
+  // entry's interaction plan and runs zero traversal; the counter in
+  // ServiceStats proves the reuse actually happened.
+  if (!gb::use_batched_engine()) {
+    GTEST_SKIP() << "OCTGB_FUSED_TRAVERSAL set: no plans to reuse";
+  }
+  const auto mol = molecule::generate_protein(400, 31);
+  serve::PolarizationService svc(test_config());
+  const auto cold = svc.serve_now(make_request(1, mol));
+  ASSERT_EQ(cold.path, serve::Path::kColdBuild);
+  EXPECT_FALSE(cold.plan_reused);
+
+  // A drifting stream: every step refits against the previous entry
+  // and reuses the plan built once by the cold request.
+  auto conf = mol;
+  for (std::uint64_t step = 0; step < 3; ++step) {
+    conf = jittered(conf, 0.02, 40 + step);
+    const auto resp = svc.serve_now(make_request(2 + step, conf));
+    ASSERT_EQ(resp.status, serve::Status::kOk);
+    ASSERT_EQ(resp.path, serve::Path::kRefit) << "step " << step;
+    EXPECT_TRUE(resp.plan_reused) << "step " << step;
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.refits, 3u);
+  EXPECT_EQ(stats.plan_reuses, 3u);
 }
 
 TEST(ServeTest, LargeDriftFallsBackToRebuild) {
