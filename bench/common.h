@@ -28,6 +28,7 @@
 
 #include "src/gb/calculator.h"
 #include "src/molecule/generators.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/env.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
@@ -142,12 +143,20 @@ class BenchJson {
                   static_cast<unsigned long long>(hash_));
     os << "{\n"
        << "  \"name\": \"" << name_ << "\",\n"
+       << "  \"git_sha\": \"" << OCTGB_GIT_SHA << "\",\n"
+       << "  \"build_flags\": \"" << OCTGB_BUILD_FLAGS << "\",\n"
        << "  \"atoms\": " << atoms_ << ",\n"
        << "  \"threads\": " << threads_ << ",\n";
     char wall[32];
     std::snprintf(wall, sizeof(wall), "%.3f", timer_.seconds() * 1e3);
     os << "  \"wall_ms\": " << wall << ",\n";
     for (const std::string& extra : extras_) os << "  " << extra << ",\n";
+    // Snapshot of the process-wide metrics registry: counters, gauges
+    // and latency histograms accumulated over the whole run. Empty "{}"
+    // when nothing was instrumented (e.g. OCTGB_TELEMETRY=OFF builds
+    // still record, since the registry classes are always compiled).
+    os << "  \"metrics\": " << telemetry::MetricsRegistry::instance().dump_json()
+       << ",\n";
     os << "  \"checksum\": \"" << hash << "\"\n}\n";
     std::printf("[json] wrote %s\n", path.c_str());
   }

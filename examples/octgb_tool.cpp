@@ -13,6 +13,13 @@
 //   suite [count]
 //       print the ZDock-substitute suite specification
 //
+// Global flags (any command):
+//   --trace=out.json   arm the span recorder and write a Chrome
+//                      trace-event file on exit (load in Perfetto or
+//                      chrome://tracing)
+//   --metrics          dump the metrics registry (counters, gauges,
+//                      latency percentiles) to stdout on exit
+//
 // Exit code 0 on success, 1 on usage error, 2 on runtime failure.
 #include <cstdio>
 #include <cstring>
@@ -26,6 +33,8 @@
 #include "src/molecule/io.h"
 #include "src/parallel/pool.h"
 #include "src/surface/surface_io.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
@@ -42,7 +51,8 @@ int usage() {
       "         [--naive] [--surface-cache FILE]\n"
       "  radii <in.pqr> <out.txt>\n"
       "  convert <in.(pqr|xyzr)> <out.(pqr|xyzr)>\n"
-      "  suite [count]\n");
+      "  suite [count]\n"
+      "global flags: --trace=out.json  --metrics\n");
   return 1;
 }
 
@@ -197,18 +207,63 @@ int cmd_suite(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  // Peel off the global telemetry flags before command dispatch so
+  // they work with every subcommand.
+  std::string trace_path;
+  bool dump_metrics = false;
+  std::vector<std::string> words;
+  for (int i = 1; i < argc; ++i) {
+    const std::string w = argv[i];
+    if (w.rfind("--trace=", 0) == 0) {
+      trace_path = w.substr(8);
+      if (trace_path.empty()) return usage();
+    } else if (w == "--metrics") {
+      dump_metrics = true;
+    } else {
+      words.push_back(w);
+    }
+  }
+  if (words.empty()) return usage();
+  if (!trace_path.empty()) {
+    telemetry::TraceRecorder::instance().set_enabled(true);
+  }
+  const std::string command = words[0];
+  const std::vector<std::string> args(words.begin() + 1, words.end());
+  int rc = 1;
   try {
-    if (command == "generate") return cmd_generate(args);
-    if (command == "energy") return cmd_energy(args);
-    if (command == "radii") return cmd_radii(args);
-    if (command == "convert") return cmd_convert(args);
-    if (command == "suite") return cmd_suite(args);
+    if (command == "generate") {
+      rc = cmd_generate(args);
+    } else if (command == "energy") {
+      rc = cmd_energy(args);
+    } else if (command == "radii") {
+      rc = cmd_radii(args);
+    } else if (command == "convert") {
+      rc = cmd_convert(args);
+    } else if (command == "suite") {
+      rc = cmd_suite(args);
+    } else {
+      rc = usage();
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    rc = 2;
   }
-  return usage();
+  if (!trace_path.empty()) {
+    auto& rec = telemetry::TraceRecorder::instance();
+    if (rec.flush(trace_path)) {
+      std::printf("[trace] wrote %zu spans across %zu threads to %s"
+                  " (%llu dropped)\n",
+                  rec.collect().size(), rec.num_threads(),
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(rec.dropped_spans()));
+    } else {
+      std::fprintf(stderr, "[trace] cannot write %s\n", trace_path.c_str());
+      if (rc == 0) rc = 2;
+    }
+  }
+  if (dump_metrics) {
+    std::printf("---- metrics ----\n%s",
+                telemetry::MetricsRegistry::instance().dump_text().c_str());
+  }
+  return rc;
 }

@@ -17,6 +17,7 @@
 
 #include "src/molecule/generators.h"
 #include "src/serve/service.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/env.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
@@ -152,8 +153,11 @@ int main() {
   const double total_s = wall.seconds();
   table.print(std::cout);
 
-  const serve::ServiceStats stats = svc.stats();
-  const serve::CacheStats cs = svc.cache_stats();
+  // Tear-free combined view: stats, queue depth and cache counters all
+  // belong to the same instant (see ServiceSnapshot).
+  const serve::ServiceSnapshot snap = svc.snapshot();
+  const serve::ServiceStats& stats = snap.stats;
+  const serve::CacheStats& cs = snap.cache;
   std::printf("\n%zu requests in %.3f s (%.1f req/s)\n", stream.size(),
               total_s, static_cast<double>(stats.completed) / total_s);
   std::printf("paths: %llu cold, %llu refit, %llu cache hits "
@@ -176,5 +180,28 @@ int main() {
   std::printf("batches: %llu (max size %llu)\n",
               static_cast<unsigned long long>(stats.batches),
               static_cast<unsigned long long>(stats.max_batch_size));
+
+  // Latency percentiles from the telemetry registry (populated by the
+  // service's per-request histograms in telemetry-enabled builds).
+  auto& registry = telemetry::MetricsRegistry::instance();
+  const telemetry::HistogramSnapshot queue_h =
+      registry.histogram("serve.queue_seconds").snapshot();
+  const telemetry::HistogramSnapshot total_h =
+      registry.histogram("serve.request_seconds").snapshot();
+  if (total_h.count > 0) {
+    std::printf("\nper-request latency (n=%llu, completed only):\n",
+                static_cast<unsigned long long>(total_h.count));
+    std::printf("  %-12s %10s %10s %10s %10s\n", "", "p50 ms", "p95 ms",
+                "p99 ms", "max ms");
+    std::printf("  %-12s %10.3f %10.3f %10.3f %10.3f\n", "queue wait",
+                1e3 * queue_h.p50(), 1e3 * queue_h.p95(),
+                1e3 * queue_h.p99(), 1e3 * queue_h.max_seconds);
+    std::printf("  %-12s %10.3f %10.3f %10.3f %10.3f\n", "end-to-end",
+                1e3 * total_h.p50(), 1e3 * total_h.p95(),
+                1e3 * total_h.p99(), 1e3 * total_h.max_seconds);
+  } else {
+    std::printf("\n(per-request latency histograms empty: build with "
+                "OCTGB_TELEMETRY=ON for the breakdown)\n");
+  }
   return 0;
 }

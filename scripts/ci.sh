@@ -15,9 +15,14 @@
 #      detection".
 #   5. tsan: ThreadSanitizer build (OCTGB_TSAN=ON) of the concurrent
 #      core's tests, run with halt_on_error so any report fails CI.
+#   6. telemetry: OCTGB_TELEMETRY=OFF build must pass the full suite
+#      (the instrumentation macros compile to nothing and must not
+#      change behaviour), and the concurrency stress tests must be
+#      TSan-clean with telemetry ON and the tracer armed (the lock-free
+#      span recorder and the metrics registry run under contention).
 #
 # Usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only |
-#                       --tsan-only]
+#                       --tsan-only | --telemetry-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -84,6 +89,30 @@ run_tsan() {
   done
 }
 
+run_telemetry() {
+  echo "==> telemetry: OCTGB_TELEMETRY=OFF build + full suite"
+  # OFF build: every OCTGB_TRACE_SCOPE / OCTGB_COUNTER_ADD site expands
+  # to `do {} while (0)`, so the whole suite must pass unchanged.
+  cmake -B build-notele -S . -DOCTGB_TELEMETRY=OFF \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-notele -j "$JOBS"
+  ctest --test-dir build-notele --output-on-failure -j "$JOBS"
+  # ON + TSan + armed tracer: the per-thread seqlock rings and the
+  # registry maps are hit from every pool/serve thread. Reuses the
+  # build-tsan tree (telemetry defaults ON there).
+  local TELE_TSAN_TESTS=(race_stress_test serve_test telemetry_test)
+  echo "==> telemetry: TSan with tracer armed (OCTGB_TRACE=1)"
+  cmake -B build-tsan -S . -DOCTGB_TSAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target "${TELE_TSAN_TESTS[@]}"
+  local t
+  for t in "${TELE_TSAN_TESTS[@]}"; do
+    echo "--> $t (OCTGB_TRACE=1, TSAN_OPTIONS=halt_on_error=1)"
+    OCTGB_TRACE=1 TSAN_OPTIONS="halt_on_error=1" \
+      "build-tsan/tests/$t" --gtest_brief=1
+  done
+}
+
 case "$MODE" in
   --tier1-only)
     run_tier1
@@ -101,16 +130,21 @@ case "$MODE" in
     run_tsan
     echo "==> tsan OK"
     ;;
+  --telemetry-only)
+    run_telemetry
+    echo "==> telemetry OK"
+    ;;
   "")
     run_tier1
     run_asan
     run_simd
     run_lint
     run_tsan
+    run_telemetry
     echo "==> CI OK"
     ;;
   *)
-    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --tsan-only]" >&2
+    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --tsan-only | --telemetry-only]" >&2
     exit 2
     ;;
 esac

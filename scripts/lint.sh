@@ -18,6 +18,9 @@
 #                         / std::sqrt in kernel code; per-pair math
 #                         goes through the ExactMath/ApproxMath
 #                         policies (util/fastmath.h)
+#        rawclock         no raw std::chrono::*_clock::now() outside
+#                         src/telemetry/ and bench/; timing goes
+#                         through util::WallTimer or the span recorder
 #      Intentional exceptions carry `lint:allow(<rule>)` plus a
 #      justification comment on the offending line.
 #
@@ -139,6 +142,34 @@ EOF
     rc=1
   fi
 
+  # rawclock is scoped to everything EXCEPT src/telemetry/ and bench/:
+  # the seeded violation lives at the case-dir root, and the same code
+  # under src/telemetry/ or bench/ must stay quiet.
+  local clocktmp="$dir/clockcase"
+  mkdir -p "$clocktmp"
+  cat > "$clocktmp/rawclock.cpp" <<'EOF'
+#include <chrono>
+long ticks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+EOF
+  if scan_tree "$clocktmp" >/dev/null 2>&1; then
+    echo "selftest FAIL: seeded rawclock violation was not caught"
+    rc=1
+  else
+    echo "selftest ok: rawclock fires on rawclock.cpp"
+  fi
+  local clockexempt="$dir/clockexempt"
+  mkdir -p "$clockexempt/src/telemetry" "$clockexempt/bench"
+  cp "$clocktmp/rawclock.cpp" "$clockexempt/src/telemetry/clock.cpp"
+  cp "$clocktmp/rawclock.cpp" "$clockexempt/bench/clock.cpp"
+  if scan_tree "$clockexempt" >/dev/null 2>&1; then
+    echo "selftest ok: rawclock stays quiet under src/telemetry/ and bench/"
+  else
+    echo "selftest FAIL: rawclock fired inside src/telemetry/ or bench/"
+    rc=1
+  fi
+
   local f rule
   for f in naked_new.cpp mutex_unguarded.h float_eq.cpp unseeded_rng.cpp; do
     rule="${f%.*}"
@@ -164,6 +195,8 @@ EOF
 const char* kMsg = "new delete rand() == 1.0";  // strings are fine too
 int* sanctioned() { return new int(7); }  // lint:allow(naked-new) test
 bool exact(double d) { return d == 0.0; }  // lint:allow(float-eq) test
+// lint:allow(rawclock) deadline-wait test case
+long deadline() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
 EOF
   if scan_tree "$clean" >/dev/null 2>&1; then
     echo "selftest ok: clean + allow-marked code passes"

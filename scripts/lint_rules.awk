@@ -21,6 +21,13 @@
 #                 approx_math switch stays honest. One-time setup code,
 #                 the naive reference, and the vector lane spill carry
 #                 `lint:allow(fastmath)` with a justification.
+#   rawclock      (everywhere except src/telemetry/ and bench/) no raw
+#                 `std::chrono::steady_clock::now()` (nor system_clock /
+#                 high_resolution_clock): timing goes through
+#                 util::WallTimer or the telemetry span recorder so
+#                 clocks stay consistent and mockable. Genuinely
+#                 time-based code (e.g. a deadline wait) carries
+#                 `lint:allow(rawclock)` with a justification.
 #
 # A violation is suppressed by `lint:allow(<rule>)` on the same source
 # line or on the line directly above it (the NOLINT/NOLINTNEXTLINE
@@ -73,6 +80,11 @@ FNR == 1 { in_block = 0; prev_raw = "" }
       (line ~ /(^|[^[:alnum:]_])std::exp[[:space:]]*\(/ ||
        line ~ /\/[[:space:]]*std::sqrt[[:space:]]*\(/))
     print FILENAME ":" FNR ":fastmath: " raw
+
+  if (FILENAME !~ /(^|\/)src\/telemetry\// && FILENAME !~ /(^|\/)bench\// &&
+      !allowed("rawclock") &&
+      line ~ /(steady_clock|system_clock|high_resolution_clock)[[:space:]]*::[[:space:]]*now[[:space:]]*\(/)
+    print FILENAME ":" FNR ":rawclock: " raw
 
   prev_raw = raw
 }

@@ -5,6 +5,7 @@
 #include "src/gb/interaction_lists.h"
 #include "src/gb/kernels_batch.h"
 #include "src/gb/naive.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/timer.h"
 
 namespace octgb::gb {
@@ -16,13 +17,19 @@ GBResult compute_gb_energy(const molecule::Molecule& mol,
   GBResult result;
   util::WallTimer timer;
 
-  const surface::QuadratureSurface surf =
-      surface::build_surface(mol, params.surface);
+  // Phase spans mirror the t_* timer fields; IIFEs keep the const locals.
+  const surface::QuadratureSurface surf = [&] {
+    OCTGB_TRACE_SCOPE("calc/surface");
+    return surface::build_surface(mol, params.surface);
+  }();
   result.num_qpoints = surf.size();
   result.t_surface = timer.seconds();
 
   timer.restart();
-  const BornOctrees trees = build_born_octrees(mol, surf, params.octree);
+  const BornOctrees trees = [&] {
+    OCTGB_TRACE_SCOPE("calc/tree_build");
+    return build_born_octrees(mol, surf, params.octree);
+  }();
   result.t_tree_build = timer.seconds();
 
   // The two-phase engine (traverse once into an InteractionPlan, then
@@ -37,38 +44,52 @@ GBResult compute_gb_energy(const molecule::Molecule& mol,
   EpolResult epol;
   if (batched) {
     timer.restart();
-    const InteractionPlan plan =
-        build_interaction_plan(trees, params.approx, pool);
+    const InteractionPlan plan = [&] {
+      OCTGB_TRACE_SCOPE("calc/plan_build");
+      return build_interaction_plan(trees, params.approx, pool);
+    }();
     result.t_plan = timer.seconds();
 
     timer.restart();
-    born = born_radii_batched(trees, mol, surf, plan, params.approx, pool);
-    result.t_born = timer.seconds();
-
-    timer.restart();
-    epol = epol_batched(trees.atoms, mol, born.radii, plan, params.approx,
-                        params.physics, pool);
-    result.t_epol = timer.seconds();
-  } else {
-    timer.restart();
-    if (params.kernel == BornKernel::kSurfaceR4) {
-      // r^4 path is single-tree only (the dual-tree variant exists for
-      // the paper's r^6 OCT_CILK comparison).
-      born = born_radii_octree_r4(trees, mol, surf, params.approx, pool);
-    } else {
-      born = traversal == Traversal::kSingleTree
-                 ? born_radii_octree(trees, mol, surf, params.approx, pool)
-                 : born_radii_dualtree(trees, mol, surf, params.approx,
-                                       pool);
+    {
+      OCTGB_TRACE_SCOPE("calc/born");
+      born = born_radii_batched(trees, mol, surf, plan, params.approx, pool);
     }
     result.t_born = timer.seconds();
 
     timer.restart();
-    epol = traversal == Traversal::kSingleTree
-               ? epol_octree(trees.atoms, mol, born.radii, params.approx,
-                             params.physics, pool)
-               : epol_dualtree(trees.atoms, mol, born.radii, params.approx,
-                               params.physics, pool);
+    {
+      OCTGB_TRACE_SCOPE("calc/epol");
+      epol = epol_batched(trees.atoms, mol, born.radii, plan, params.approx,
+                          params.physics, pool);
+    }
+    result.t_epol = timer.seconds();
+  } else {
+    timer.restart();
+    {
+      OCTGB_TRACE_SCOPE("calc/born");
+      if (params.kernel == BornKernel::kSurfaceR4) {
+        // r^4 path is single-tree only (the dual-tree variant exists for
+        // the paper's r^6 OCT_CILK comparison).
+        born = born_radii_octree_r4(trees, mol, surf, params.approx, pool);
+      } else {
+        born = traversal == Traversal::kSingleTree
+                   ? born_radii_octree(trees, mol, surf, params.approx, pool)
+                   : born_radii_dualtree(trees, mol, surf, params.approx,
+                                         pool);
+      }
+    }
+    result.t_born = timer.seconds();
+
+    timer.restart();
+    {
+      OCTGB_TRACE_SCOPE("calc/epol");
+      epol = traversal == Traversal::kSingleTree
+                 ? epol_octree(trees.atoms, mol, born.radii, params.approx,
+                               params.physics, pool)
+                 : epol_dualtree(trees.atoms, mol, born.radii, params.approx,
+                                 params.physics, pool);
+    }
     result.t_epol = timer.seconds();
   }
 

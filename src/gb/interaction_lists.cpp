@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/geom/vec3.h"
+#include "src/telemetry/telemetry.h"
 
 namespace octgb::gb {
 
@@ -123,6 +124,7 @@ std::size_t InteractionPlan::memory_bytes() const {
 InteractionPlan build_interaction_plan(const BornOctrees& trees,
                                        const ApproxParams& params,
                                        parallel::WorkStealingPool* pool) {
+  OCTGB_TRACE_SCOPE("gb/plan_build");
   if (params.eps_epol <= 0.0) {
     throw std::invalid_argument("ApproxParams: eps must be > 0");
   }

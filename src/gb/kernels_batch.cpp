@@ -4,6 +4,7 @@
 
 #include "src/gb/kernel_primitives.h"
 #include "src/gb/kernels_batch_simd.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/env.h"
 #include "src/util/fastmath.h"
 
@@ -35,6 +36,11 @@ void run_chunks(parallel::WorkStealingPool* pool,
   pool->run([&] {
     parallel::parallel_for(*pool, 0, n, 1,
                            [&](std::size_t lo, std::size_t hi) {
+                             // Worker-side span; the serial path above
+                             // stays unspanned so the pool-free replay
+                             // configuration keeps an untouched hot
+                             // loop.
+                             OCTGB_TRACE_SCOPE("gb/kernel_chunk");
                              for (std::size_t c = lo; c < hi; ++c) {
                                body(chunks[c], chunks[c + 1]);
                              }
@@ -263,8 +269,26 @@ BornRadiiResult born_radii_batched(const BornOctrees& trees,
                                    const ApproxParams& params,
                                    parallel::WorkStealingPool* pool,
                                    SimdMode mode) {
+  OCTGB_TRACE_SCOPE("gb/born_kernels");
   BornWorkspace ws(trees);
   const bool use_simd = mode == SimdMode::kAuto && simd_enabled();
+#if defined(OCTGB_TELEMETRY_ENABLED)
+  OCTGB_COUNTER_ADD("gb.born_near_pairs", plan.born_near.size());
+  OCTGB_COUNTER_ADD("gb.born_far_pairs", plan.born_far.size());
+  {
+    // Row = one atom's accumulation against one near q-leaf; the pair
+    // list is tiny next to the rows themselves, so this pass is cheap.
+    std::uint64_t rows = 0;
+    for (const NodePair p : plan.born_near) {
+      rows += trees.atoms.node(p.target).count();
+    }
+    if (use_simd) {
+      OCTGB_COUNTER_ADD("gb.born_rows_simd", rows);
+    } else {
+      OCTGB_COUNTER_ADD("gb.born_rows_scalar", rows);
+    }
+  }
+#endif
   // Serial execution owns every accumulator slot outright, so deposits
   // can skip the lock prefix -- on million-item far lists the CAS loop
   // is the dominant serial cost, not the arithmetic.
@@ -359,6 +383,7 @@ EpolResult epol_batched(const octree::Octree& tree,
                         parallel::WorkStealingPool* pool, SimdMode mode) {
   EpolResult out;
   if (tree.empty()) return out;
+  OCTGB_TRACE_SCOPE("gb/epol_kernels");
   const ChargeBins bins =
       build_charge_bins(tree, mol.charges(), born_radii, params.eps_epol);
   const auto leaves = tree.leaves();
@@ -369,6 +394,21 @@ EpolResult epol_batched(const octree::Octree& tree,
   std::vector<double> far_acc(leaves.size(), 0.0);
   const bool use_simd = mode == SimdMode::kAuto && simd_enabled();
   const bool atomic = pool != nullptr;
+#if defined(OCTGB_TELEMETRY_ENABLED)
+  OCTGB_COUNTER_ADD("gb.epol_near_pairs", plan.epol_near.size());
+  OCTGB_COUNTER_ADD("gb.epol_far_pairs", plan.epol_far.size());
+  {
+    std::uint64_t rows = 0;
+    for (const NodePair p : plan.epol_near) {
+      rows += tree.node(leaves[p.target]).count();
+    }
+    if (use_simd) {
+      OCTGB_COUNTER_ADD("gb.epol_rows_simd", rows);
+    } else {
+      OCTGB_COUNTER_ADD("gb.epol_rows_scalar", rows);
+    }
+  }
+#endif
 
 #ifdef OCTGB_SIMD_AVX2
   if (use_simd) {

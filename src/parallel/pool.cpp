@@ -3,6 +3,8 @@
 #include <chrono>
 #include <memory>
 
+#include "src/telemetry/telemetry.h"
+
 namespace octgb::parallel {
 
 namespace {
@@ -95,6 +97,21 @@ void WorkStealingPool::run(std::function<void()> root) {
   root();
   tls_binding = saved;
   run_owner_ = std::thread::id{};
+#if defined(OCTGB_TELEMETRY_ENABLED)
+  // Mirror the scheduler tallies for this run onto the registry. All
+  // tasks spawned under root() have drained (every TaskGroup joins
+  // before its frame unwinds), so the delta against the previous flush
+  // is this run's work. Still under run_mu_, so deltas never race.
+  const PoolStats now = stats();
+  OCTGB_COUNTER_ADD("pool.tasks_executed",
+                    now.tasks_executed - reported_.tasks_executed);
+  OCTGB_COUNTER_ADD("pool.steals",
+                    now.successful_steals - reported_.successful_steals);
+  OCTGB_COUNTER_ADD(
+      "pool.failed_steals",
+      now.failed_steal_attempts - reported_.failed_steal_attempts);
+  reported_ = now;
+#endif
 }
 
 int WorkStealingPool::current_worker_index() const {

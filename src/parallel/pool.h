@@ -123,6 +123,9 @@ class WorkStealingPool {
   /// The externally bound driver's id while a run() is in progress
   /// (diagnostics; worker 0's deque ownership follows this thread).
   std::thread::id run_owner_ OCTGB_GUARDED_BY(run_mu_);
+  /// Cumulative counts already mirrored onto the telemetry metrics
+  /// registry; run() flushes the delta since the previous flush.
+  PoolStats reported_ OCTGB_GUARDED_BY(run_mu_);
 };
 
 /// Recursive binary-split parallel for over [begin, end). `grain` bounds

@@ -10,6 +10,7 @@
 #include "src/gb/epol.h"
 #include "src/gb/naive.h"
 #include "src/runtime/partition.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/fastmath.h"
 #include "src/util/log.h"
 #include "src/util/timer.h"
@@ -55,28 +56,39 @@ DriverResult run_oct_cilk(const molecule::Molecule& mol, int threads,
                           const gb::CalculatorParams& params) {
   DriverResult result;
   util::WallTimer total;
+  OCTGB_TRACE_SCOPE("driver/oct_cilk");
   parallel::WorkStealingPool pool(threads);
 
+  // The immediately-invoked lambdas exist to scope the phase spans;
+  // they inline away and are present in both telemetry configurations.
   util::WallTimer timer;
-  const surface::QuadratureSurface surf =
-      surface::build_surface(mol, params.surface);
+  const surface::QuadratureSurface surf = [&] {
+    OCTGB_TRACE_SCOPE("driver/surface");
+    return surface::build_surface(mol, params.surface);
+  }();
   result.num_qpoints = surf.size();
   result.t_surface = timer.seconds();
 
   timer.restart();
-  const gb::BornOctrees trees =
-      gb::build_born_octrees(mol, surf, params.octree);
+  const gb::BornOctrees trees = [&] {
+    OCTGB_TRACE_SCOPE("driver/tree_build");
+    return gb::build_born_octrees(mol, surf, params.octree);
+  }();
   result.t_tree_build = timer.seconds();
 
   timer.restart();
-  gb::BornRadiiResult born =
-      gb::born_radii_dualtree(trees, mol, surf, params.approx, &pool);
+  gb::BornRadiiResult born = [&] {
+    OCTGB_TRACE_SCOPE("driver/born");
+    return gb::born_radii_dualtree(trees, mol, surf, params.approx, &pool);
+  }();
   result.t_born = timer.seconds();
 
   timer.restart();
-  const gb::EpolResult epol =
-      gb::epol_dualtree(trees.atoms, mol, born.radii, params.approx,
-                        params.physics, &pool);
+  const gb::EpolResult epol = [&] {
+    OCTGB_TRACE_SCOPE("driver/epol");
+    return gb::epol_dualtree(trees.atoms, mol, born.radii, params.approx,
+                             params.physics, &pool);
+  }();
   result.t_epol = timer.seconds();
 
   result.energy = epol.energy;
@@ -107,15 +119,22 @@ DriverResult run_distributed(const molecule::Molecule& mol,
   if (config.distribute_qpoints) {
     // Data-distributed runs share only the atoms octree; the surface is
     // generated in per-rank slices inside the SPMD section.
+    OCTGB_TRACE_SCOPE("driver/tree_build");
     shared_trees.emplace();
     shared_trees->atoms = octree::Octree(mol.positions(), config.params.octree);
     result.t_tree_build = phase_timer.seconds();
   } else if (!config.replicate_data) {
-    shared_surf.emplace(surface::build_surface(mol, config.params.surface));
+    {
+      OCTGB_TRACE_SCOPE("driver/surface");
+      shared_surf.emplace(surface::build_surface(mol, config.params.surface));
+    }
     result.t_surface = phase_timer.seconds();
     phase_timer.restart();
-    shared_trees.emplace(
-        gb::build_born_octrees(mol, *shared_surf, config.params.octree));
+    {
+      OCTGB_TRACE_SCOPE("driver/tree_build");
+      shared_trees.emplace(
+          gb::build_born_octrees(mol, *shared_surf, config.params.octree));
+    }
     result.t_tree_build = phase_timer.seconds();
   }
 
@@ -126,6 +145,7 @@ DriverResult run_distributed(const molecule::Molecule& mol,
   std::atomic<std::size_t> data_bytes{0};
 
   const auto ledgers = simmpi::run(P, config.cost, [&](simmpi::Comm& comm) {
+    OCTGB_TRACE_SCOPE("driver/rank");
     const int r = comm.rank();
     PhaseTimes& t = times[static_cast<std::size_t>(r)];
     util::WallTimer rank_timer;
@@ -137,12 +157,16 @@ DriverResult run_distributed(const molecule::Molecule& mol,
       // Generate only this rank's slice of the surface and a private
       // q-point octree over it; reuse the shared atoms octree.
       util::WallTimer timer;
-      const auto [slo, shi] = partition(mol.size(), P, r);
-      local_surf.emplace(surface::sphere_sampled_surface_slice(
-          mol, config.params.surface.sphere_points,
-          config.params.surface.sphere_probe, slo, shi));
+      {
+        OCTGB_TRACE_SCOPE("driver/surface");
+        const auto [slo, shi] = partition(mol.size(), P, r);
+        local_surf.emplace(surface::sphere_sampled_surface_slice(
+            mol, config.params.surface.sphere_points,
+            config.params.surface.sphere_probe, slo, shi));
+      }
       t.surface = timer.seconds();
       timer.restart();
+      OCTGB_TRACE_SCOPE("driver/tree_build");
       local_trees.emplace();
       local_trees->atoms = shared_trees->atoms;  // replicated (small)
       local_trees->qpoints =
@@ -171,12 +195,18 @@ DriverResult run_distributed(const molecule::Molecule& mol,
       t.tree = timer.seconds();
     } else if (config.replicate_data) {
       util::WallTimer timer;
-      local_surf.emplace(
-          surface::build_surface(mol, config.params.surface));
+      {
+        OCTGB_TRACE_SCOPE("driver/surface");
+        local_surf.emplace(
+            surface::build_surface(mol, config.params.surface));
+      }
       t.surface = timer.seconds();
       timer.restart();
-      local_trees.emplace(
-          gb::build_born_octrees(mol, *local_surf, config.params.octree));
+      {
+        OCTGB_TRACE_SCOPE("driver/tree_build");
+        local_trees.emplace(
+            gb::build_born_octrees(mol, *local_surf, config.params.octree));
+      }
       t.tree = timer.seconds();
     }
     const bool rank_local = config.distribute_qpoints || config.replicate_data;
@@ -201,66 +231,84 @@ DriverResult run_distributed(const molecule::Molecule& mol,
     // replicated modes the shared tree's leaves are divided statically.
     util::WallTimer timer;
     gb::BornWorkspace ws(trees);
-    if (config.distribute_qpoints) {
-      gb::approx_integrals(trees, mol, surf, 0,
-                           trees.qpoints.num_leaves(),
-                           config.params.approx, ws, pool_ptr);
-    } else {
-      const auto [qlo, qhi] = partition(trees.qpoints.num_leaves(), P, r);
-      gb::approx_integrals(trees, mol, surf, qlo, qhi,
-                           config.params.approx, ws, pool_ptr);
+    {
+      OCTGB_TRACE_SCOPE("driver/approx_integrals");
+      if (config.distribute_qpoints) {
+        gb::approx_integrals(trees, mol, surf, 0,
+                             trees.qpoints.num_leaves(),
+                             config.params.approx, ws, pool_ptr);
+      } else {
+        const auto [qlo, qhi] = partition(trees.qpoints.num_leaves(), P, r);
+        gb::approx_integrals(trees, mol, surf, qlo, qhi,
+                             config.params.approx, ws, pool_ptr);
+      }
     }
 
     // Step 3: merge partial integrals (MPI_Allreduce).
-    comm.all_reduce_sum(std::span<double>(ws.node_s));
-    comm.all_reduce_sum(std::span<double>(ws.atom_s));
+    {
+      OCTGB_TRACE_SCOPE("driver/allreduce");
+      comm.all_reduce_sum(std::span<double>(ws.node_s));
+      comm.all_reduce_sum(std::span<double>(ws.atom_s));
+    }
 
     // Step 4: PUSH-INTEGRALS for this rank's atom segment.
     std::vector<double> radii(mol.size(), 0.0);
     const auto [alo, ahi] = partition(mol.size(), P, r);
-    gb::push_integrals_to_atoms(trees, mol, ws, alo, ahi,
-                                config.params.approx, radii, pool_ptr);
+    {
+      OCTGB_TRACE_SCOPE("driver/push_integrals");
+      gb::push_integrals_to_atoms(trees, mol, ws, alo, ahi,
+                                  config.params.approx, radii, pool_ptr);
+    }
 
     // Step 5: gather everyone's Born radii (disjoint segments, so an
     // element-wise sum is an allgather).
-    comm.all_reduce_sum(std::span<double>(radii));
+    {
+      OCTGB_TRACE_SCOPE("driver/allreduce");
+      comm.all_reduce_sum(std::span<double>(radii));
+    }
     t.born = timer.seconds();
 
     // Step 6: E_pol over this rank's leaf (or atom) segment.
     timer.restart();
-    const gb::ChargeBins bins = gb::build_charge_bins(
-        trees.atoms, mol.charges(), radii, config.params.approx.eps_epol);
     double partial = 0.0;
-    if (config.division == WorkDivision::kNodeNode) {
-      const auto [llo, lhi] = partition(trees.atoms.num_leaves(), P, r);
-      partial = gb::approx_epol(trees.atoms, mol, bins, radii, llo, lhi,
-                                config.params.approx, pool_ptr);
-    } else if (config.division == WorkDivision::kNodeNodeWeighted) {
-      // Balance by per-leaf atom count (the dominant epol cost factor).
-      std::vector<double> costs;
-      costs.reserve(trees.atoms.num_leaves());
-      for (const auto leaf : trees.atoms.leaves()) {
-        costs.push_back(
-            static_cast<double>(trees.atoms.node(leaf).count()));
+    {
+      OCTGB_TRACE_SCOPE("driver/approx_epol");
+      const gb::ChargeBins bins = gb::build_charge_bins(
+          trees.atoms, mol.charges(), radii, config.params.approx.eps_epol);
+      if (config.division == WorkDivision::kNodeNode) {
+        const auto [llo, lhi] = partition(trees.atoms.num_leaves(), P, r);
+        partial = gb::approx_epol(trees.atoms, mol, bins, radii, llo, lhi,
+                                  config.params.approx, pool_ptr);
+      } else if (config.division == WorkDivision::kNodeNodeWeighted) {
+        // Balance by per-leaf atom count (the dominant epol cost factor).
+        std::vector<double> costs;
+        costs.reserve(trees.atoms.num_leaves());
+        for (const auto leaf : trees.atoms.leaves()) {
+          costs.push_back(
+              static_cast<double>(trees.atoms.node(leaf).count()));
+        }
+        const auto bounds = weighted_boundaries(costs, P);
+        partial = gb::approx_epol(
+            trees.atoms, mol, bins, radii,
+            bounds[static_cast<std::size_t>(r)],
+            bounds[static_cast<std::size_t>(r) + 1], config.params.approx,
+            pool_ptr);
+      } else if (config.division == WorkDivision::kDynamicChunks) {
+        partial = approx_epol_dynamic(comm, trees.atoms, mol, bins, radii,
+                                      config.params.approx, pool_ptr);
+      } else {
+        partial = approx_epol_atom_division(trees.atoms, mol, bins, radii,
+                                            alo, ahi, config.params.approx,
+                                            pool_ptr);
       }
-      const auto bounds = weighted_boundaries(costs, P);
-      partial = gb::approx_epol(
-          trees.atoms, mol, bins, radii,
-          bounds[static_cast<std::size_t>(r)],
-          bounds[static_cast<std::size_t>(r) + 1], config.params.approx,
-          pool_ptr);
-    } else if (config.division == WorkDivision::kDynamicChunks) {
-      partial = approx_epol_dynamic(comm, trees.atoms, mol, bins, radii,
-                                    config.params.approx, pool_ptr);
-    } else {
-      partial = approx_epol_atom_division(trees.atoms, mol, bins, radii,
-                                          alo, ahi, config.params.approx,
-                                          pool_ptr);
     }
 
     // Step 7: accumulate the final energy.
     std::vector<double> acc{partial};
-    comm.all_reduce_sum(std::span<double>(acc));
+    {
+      OCTGB_TRACE_SCOPE("driver/allreduce");
+      comm.all_reduce_sum(std::span<double>(acc));
+    }
     t.epol = timer.seconds();
     t.total = rank_timer.seconds();
 

@@ -5,6 +5,7 @@
 
 #include "src/gb/kernels_batch.h"
 #include "src/serve/content_hash.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/timer.h"
 
 namespace octgb::serve {
@@ -34,15 +35,18 @@ std::future<Response> PolarizationService::submit(Request req) {
   std::promise<Response> promise;
   std::future<Response> fut = promise.get_future();
   const Clock::time_point now = Clock::now();
+  OCTGB_COUNTER_ADD("serve.submitted", 1);
   {
     util::MutexLock lock(mu_);
     ++stats_.submitted;
     if (stopping_ || queue_.size() >= config_.queue_capacity) {
       ++stats_.rejected;
+      OCTGB_COUNTER_ADD("serve.rejected", 1);
       promise.set_value(make_terminal(req, Status::kRejected, 0.0));
       return fut;
     }
     queue_.push_back(Pending{std::move(req), std::move(promise), now});
+    OCTGB_GAUGE_SET("serve.queue_depth", queue_.size());
   }
   queue_cv_.notify_one();
   return fut;
@@ -72,6 +76,18 @@ ServiceStats PolarizationService::stats() const {
 }
 
 CacheStats PolarizationService::cache_stats() const { return cache_.stats(); }
+
+ServiceSnapshot PolarizationService::snapshot() const {
+  ServiceSnapshot snap;
+  {
+    util::MutexLock lock(mu_);
+    snap.stats = stats_;
+    snap.queue_depth = queue_.size();
+    snap.in_flight = in_flight_;
+  }
+  snap.cache = cache_.stats();
+  return snap;
+}
 
 std::size_t PolarizationService::queue_depth() const {
   util::MutexLock lock(mu_);
@@ -107,6 +123,7 @@ void PolarizationService::dispatch_loop() {
       queue_.pop_front();
     }
     in_flight_ += n;
+    OCTGB_GAUGE_SET("serve.queue_depth", queue_.size());
     lock.unlock();
 
     process_batch(std::move(batch));
@@ -118,6 +135,7 @@ void PolarizationService::dispatch_loop() {
 }
 
 void PolarizationService::process_batch(std::vector<Pending>&& batch) {
+  OCTGB_TRACE_SCOPE("serve/batch");
   const Clock::time_point start = Clock::now();
 
   struct Item {
@@ -242,6 +260,24 @@ void PolarizationService::process_batch(std::vector<Pending>&& batch) {
       stats_.kernel_seconds += r.t_kernel;
     }
   }
+  OCTGB_COUNTER_ADD("serve.batches", 1);
+  OCTGB_COUNTER_ADD("serve.shed", num_shed);
+  OCTGB_COUNTER_ADD("serve.coalesced", num_coalesced);
+#if defined(OCTGB_TELEMETRY_ENABLED)
+  // Registry mirror of the per-request outcome tallies; the loop itself
+  // is compiled out with telemetry so the OFF build's instruction path
+  // matches the pre-telemetry code exactly.
+  for (const Item& item : items) {
+    const Response& r = item.resp;
+    if (r.status == Status::kOk) {
+      OCTGB_COUNTER_ADD("serve.completed", 1);
+      OCTGB_HISTOGRAM_OBSERVE("serve.queue_seconds", r.t_queue);
+      OCTGB_HISTOGRAM_OBSERVE("serve.request_seconds", r.t_total);
+    } else if (r.status == Status::kFailed) {
+      OCTGB_COUNTER_ADD("serve.failed", 1);
+    }
+  }
+#endif
 
   for (Item& item : items) {
     item.pending.promise.set_value(std::move(item.resp));
@@ -251,6 +287,7 @@ void PolarizationService::process_batch(std::vector<Pending>&& batch) {
 Response PolarizationService::compute_one(const Request& req,
                                           double queue_wait,
                                           parallel::WorkStealingPool* pool) {
+  OCTGB_TRACE_SCOPE("serve/request");
   Response resp;
   resp.id = req.id;
   resp.t_queue = queue_wait;
@@ -260,7 +297,9 @@ Response PolarizationService::compute_one(const Request& req,
   resp.content_key = content_key(req.mol, params);
 
   if (config_.cache_capacity > 0) {
+    OCTGB_TRACE_SCOPE("serve/cache_lookup");
     if (auto hit = cache_.find_exact(resp.content_key)) {
+      OCTGB_COUNTER_ADD("serve.cache_hits", 1);
       resp.path = Path::kCacheHit;
       resp.energy = hit->energy;
       resp.num_qpoints = hit->num_qpoints;
@@ -284,12 +323,14 @@ Response PolarizationService::compute_one(const Request& req,
 
   util::WallTimer stage;
   if (base) {
+    OCTGB_TRACE_SCOPE("serve/refit");
     // Incremental refit: keep the base entry's surface and octree
     // topology (point order, children, leaves, charge-bin layout of
     // the q-normals); recompute only node centers/radii for the moved
     // atoms. The base entry itself is immutable -- the copy is an
     // O(M + Q) memcpy, orders of magnitude below a rebuild's
     // surface generation + Morton sort.
+    OCTGB_COUNTER_ADD("serve.refits", 1);
     resp.path = Path::kRefit;
     entry->surf = base->surf;
     entry->trees = base->trees;
@@ -299,6 +340,8 @@ Response PolarizationService::compute_one(const Request& req,
     // Cold build: exactly the compute_gb_energy pipeline (same calls,
     // same order), so a kExact request's energy is bit-identical to
     // the one-shot driver.
+    OCTGB_TRACE_SCOPE("serve/cold_build");
+    OCTGB_COUNTER_ADD("serve.cold_builds", 1);
     resp.path = Path::kColdBuild;
     entry->surf = std::make_shared<const surface::QuadratureSurface>(
         surface::build_surface(req.mol, params.surface));
@@ -321,16 +364,20 @@ Response PolarizationService::compute_one(const Request& req,
     if (base && base->plan) {
       entry->plan = base->plan;
       resp.plan_reused = true;
+      OCTGB_COUNTER_ADD("serve.plan_reuses", 1);
     } else {
+      OCTGB_TRACE_SCOPE("serve/plan_build");
       entry->plan = std::make_shared<const gb::InteractionPlan>(
           gb::build_interaction_plan(entry->trees, params.approx, pool));
     }
+    OCTGB_TRACE_SCOPE("serve/kernels");
     born = gb::born_radii_batched(entry->trees, req.mol, *entry->surf,
                                   *entry->plan, params.approx, pool);
     epol = gb::epol_batched(entry->trees.atoms, req.mol, born.radii,
                             *entry->plan, params.approx, params.physics,
                             pool);
   } else {
+    OCTGB_TRACE_SCOPE("serve/kernels");
     born = params.kernel == gb::BornKernel::kSurfaceR4
                ? gb::born_radii_octree_r4(entry->trees, req.mol,
                                           *entry->surf, params.approx,

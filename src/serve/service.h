@@ -100,6 +100,21 @@ struct ServiceStats {
   double kernel_seconds = 0.0;
 };
 
+/// One-shot consistent view of the service. stats/queue_depth/
+/// in_flight are read under a single mu_ acquisition, so cross-field
+/// invariants (completed == cache_hits + refits + cold_builds;
+/// submitted == rejected + shed + completed + failed + queued +
+/// in-flight work) hold exactly -- unlike calling stats(),
+/// queue_depth() and cache_stats() back to back, which lock three
+/// times and can interleave with a batch retiring. The cache block is
+/// its own mutex and is internally consistent but taken second.
+struct ServiceSnapshot {
+  ServiceStats stats;
+  std::size_t queue_depth = 0;
+  std::size_t in_flight = 0;
+  CacheStats cache;
+};
+
 /// In-process batched GB-energy server. Construction starts the
 /// dispatcher; destruction drains the queue and joins.
 class PolarizationService {
@@ -127,6 +142,9 @@ class PolarizationService {
 
   ServiceStats stats() const OCTGB_EXCLUDES(mu_);
   CacheStats cache_stats() const;
+  /// Tear-free combined snapshot; prefer this over separate accessor
+  /// calls whenever two fields will be compared against each other.
+  ServiceSnapshot snapshot() const OCTGB_EXCLUDES(mu_);
   /// Scheduler counters of the underlying pool.
   parallel::PoolStats pool_stats() const { return pool_.stats(); }
   std::size_t cache_size() const { return cache_.size(); }

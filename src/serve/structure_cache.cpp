@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/serve/content_hash.h"
+#include "src/telemetry/telemetry.h"
 
 namespace octgb::serve {
 
@@ -28,10 +29,12 @@ std::shared_ptr<const CacheEntry> StructureCache::find_exact(
   const auto it = by_key_.find(key);
   if (it == by_key_.end()) {
     ++stats_.misses;
+    OCTGB_COUNTER_ADD("cache.misses", 1);
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
   ++stats_.exact_hits;
+  OCTGB_COUNTER_ADD("cache.exact_hits", 1);
   return *it->second;
 }
 
@@ -58,10 +61,14 @@ std::shared_ptr<const CacheEntry> StructureCache::find_refit(
     lru_.splice(lru_.begin(), lru_,
                 by_key_.find(best->key)->second);  // bump to MRU
     ++stats_.refit_hits;
+    OCTGB_COUNTER_ADD("cache.refit_hits", 1);
     if (out_rms) *out_rms = best_rms;
     return best;
   }
-  if (any_candidate) ++stats_.refit_fallbacks;
+  if (any_candidate) {
+    ++stats_.refit_fallbacks;
+    OCTGB_COUNTER_ADD("cache.refit_fallbacks", 1);
+  }
   return nullptr;
 }
 
@@ -73,6 +80,7 @@ void StructureCache::insert(std::shared_ptr<const CacheEntry> entry) {
   by_key_[lru_.front()->key] = lru_.begin();
   by_skey_.emplace(lru_.front()->skey, lru_.front()->key);
   ++stats_.insertions;
+  OCTGB_COUNTER_ADD("cache.insertions", 1);
   evict_locked();
 }
 
@@ -81,6 +89,7 @@ void StructureCache::evict_locked() {
     const std::uint64_t victim = lru_.back()->key;
     unlink_locked(victim);
     ++stats_.evictions;
+    OCTGB_COUNTER_ADD("cache.evictions", 1);
   }
 }
 

@@ -1,5 +1,7 @@
 #include "src/simmpi/comm.h"
 
+#include "src/telemetry/telemetry.h"
+
 #include <algorithm>
 #include <cmath>
 #include <exception>
@@ -36,13 +38,33 @@ double log2_ceil(int p) {
   return p <= 1 ? 0.0 : std::ceil(std::log2(static_cast<double>(p)));
 }
 
+#if defined(OCTGB_TELEMETRY_ENABLED)
+void record_comm_op(const char* op, std::size_t bytes,
+                    double modeled_seconds) {
+  // The name concatenation and map lookup are fine here: every comm op
+  // already pays at least one barrier + memcpy, orders of magnitude
+  // above a registry access.
+  auto& reg = telemetry::MetricsRegistry::instance();
+  const std::string base = std::string("simmpi.") + op;
+  reg.counter(base + ".calls").add(1);
+  reg.counter(base + ".bytes").add(bytes);
+  reg.counter(base + ".modeled_ns")
+      .add(static_cast<std::uint64_t>(modeled_seconds * 1e9 + 0.5));
+}
+#else
+void record_comm_op(const char* /*op*/, std::size_t /*bytes*/,
+                    double /*modeled_seconds*/) {}
+#endif
+
 }  // namespace detail
 
 void Comm::barrier() {
   world_.barrier_wait();
   CommLedger& led = my_ledger();
+  const double modeled = world_.cost.t_s * detail::log2_ceil(world_.size);
   ++led.collectives;
-  led.modeled_seconds += world_.cost.t_s * detail::log2_ceil(world_.size);
+  led.modeled_seconds += modeled;
+  detail::record_comm_op("barrier", 0, modeled);
 }
 
 void Comm::send_bytes(const void* data, std::size_t bytes, int dest,
@@ -64,8 +86,10 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dest,
   CommLedger& led = my_ledger();
   ++led.p2p_messages;
   led.p2p_bytes += bytes;
-  led.modeled_seconds +=
+  const double modeled =
       world_.cost.t_s + world_.cost.t_w * static_cast<double>(bytes);
+  led.modeled_seconds += modeled;
+  detail::record_comm_op("send", bytes, modeled);
 }
 
 void Comm::recv_bytes(void* out, std::size_t bytes, int src, int tag) {
@@ -153,9 +177,11 @@ void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
   CommLedger& led = my_ledger();
   ++led.collectives;
   led.collective_bytes += bytes;
-  led.modeled_seconds +=
+  const double modeled =
       (w.cost.t_s + w.cost.t_w * static_cast<double>(bytes)) *
       detail::log2_ceil(w.size);
+  led.modeled_seconds += modeled;
+  detail::record_comm_op("bcast", bytes, modeled);
 }
 
 void Comm::all_reduce_sum_impl(
@@ -188,7 +214,10 @@ void Comm::all_reduce_sum_impl(
   const double term =
       (w.cost.t_s + w.cost.t_w * static_cast<double>(bytes)) *
       detail::log2_ceil(w.size);
-  led.modeled_seconds += charge_allreduce ? 2.0 * term : term;
+  const double modeled = charge_allreduce ? 2.0 * term : term;
+  led.modeled_seconds += modeled;
+  detail::record_comm_op(charge_allreduce ? "allreduce" : "reduce", bytes,
+                         modeled);
 }
 
 void Comm::scatter_bytes(const void* all, void* out,
@@ -209,10 +238,12 @@ void Comm::scatter_bytes(const void* all, void* out,
   // Scatter of n total bytes: t_s log P + t_w n (P-1)/P.
   const double total =
       static_cast<double>(chunk_bytes) * static_cast<double>(w.size);
-  led.modeled_seconds +=
+  const double modeled =
       w.cost.t_s * detail::log2_ceil(w.size) +
       w.cost.t_w * total * (static_cast<double>(w.size - 1) /
                             std::max(1, w.size));
+  led.modeled_seconds += modeled;
+  detail::record_comm_op("scatter", chunk_bytes, modeled);
 }
 
 double Comm::max_modeled_seconds() const {

@@ -95,6 +95,15 @@ struct World {
 
 double log2_ceil(int p);
 
+/// Mirrors one communication operation onto the telemetry metrics
+/// registry as "simmpi.<op>.{calls,bytes,modeled_ns}" counters, so the
+/// modeled alpha-beta cost is visible next to measured compute in any
+/// metrics dump. Defined in comm.cpp (a no-op when the build has
+/// telemetry off) so this header stays free of telemetry includes --
+/// the header-resident templates (all_gather_v_impl) call it too.
+void record_comm_op(const char* op, std::size_t bytes,
+                    double modeled_seconds);
+
 }  // namespace detail
 
 class Comm;
@@ -343,10 +352,12 @@ void Comm::all_gather_v_impl(const void* local, std::size_t local_bytes,
   CommLedger& led = my_ledger();
   ++led.collectives;
   led.collective_bytes += total_bytes;
-  led.modeled_seconds +=
+  const double modeled =
       w.cost.t_s * detail::log2_ceil(w.size) +
       w.cost.t_w * static_cast<double>(total_bytes) *
           (static_cast<double>(w.size - 1) / std::max(1, w.size));
+  led.modeled_seconds += modeled;
+  detail::record_comm_op("allgather", total_bytes, modeled);
 }
 
 }  // namespace octgb::simmpi

@@ -1,0 +1,269 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace octgb::telemetry {
+namespace {
+
+void atomic_min(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // JSON has no inf/nan; metrics never produce them, but stay valid.
+  if (!std::isfinite(v)) return "0";
+  return buf;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ Histogram
+
+int Histogram::bucket_index_ns(std::uint64_t ns) {
+  if (ns == 0) return 0;
+  // floor(log2(ns)) via bit width: ns in [2^k, 2^(k+1)) -> bucket k+1.
+  int k = 63 - __builtin_clzll(ns);
+  int b = k + 1;
+  return b >= kBuckets ? kBuckets - 1 : b;
+}
+
+double Histogram::bucket_lower_seconds(int bucket) {
+  if (bucket <= 0) return 0.0;
+  return std::ldexp(1e-9, bucket - 1);  // 2^(bucket-1) ns, in seconds
+}
+
+void Histogram::observe_ns(std::uint64_t ns) {
+  buckets_[bucket_index_ns(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  atomic_min(min_ns_, ns);
+  atomic_max(max_ns_, ns);
+}
+
+void Histogram::observe_seconds(double s) {
+  if (s < 0.0 || !std::isfinite(s)) s = 0.0;
+  observe_ns(static_cast<std::uint64_t>(s * 1e9 + 0.5));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_seconds =
+      static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  const std::uint64_t mn = min_ns_.load(std::memory_order_relaxed);
+  snap.min_seconds =
+      snap.count == 0 ? 0.0 : static_cast<double>(mn) * 1e-9;
+  snap.max_seconds =
+      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based, ceil), then walk buckets.
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < static_cast<int>(buckets.size()); ++i) {
+    const std::uint64_t n = buckets[i];
+    if (n == 0) continue;
+    if (static_cast<double>(seen + n) >= target) {
+      // Interpolate within [lower, upper) by the fraction of the
+      // target rank that falls inside this bucket.
+      const double lower = Histogram::bucket_lower_seconds(i);
+      double upper = i + 1 < static_cast<int>(buckets.size())
+                         ? Histogram::bucket_lower_seconds(i + 1)
+                         : max_seconds;
+      if (upper < lower) upper = lower;
+      const double frac =
+          n == 0 ? 0.0
+                 : (target - static_cast<double>(seen)) /
+                       static_cast<double>(n);
+      double v = lower + (upper - lower) * (frac < 0.0 ? 0.0 : frac);
+      // The true extremes are known exactly; never report beyond them.
+      if (v < min_seconds) v = min_seconds;
+      if (v > max_seconds) v = max_seconds;
+      return v;
+    }
+    seen += n;
+  }
+  return max_seconds;
+}
+
+// ------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked singleton, same rationale as TraceRecorder::instance():
+  // worker threads may bump counters during static destruction.
+  // lint:allow(naked-new)
+  static MetricsRegistry* inst = new MetricsRegistry();
+  return *inst;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  util::MutexLock lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  util::MutexLock lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  util::MutexLock lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  util::MutexLock lock(mu_);
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kCounter;
+    s.counter = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kGauge;
+    s.gauge = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.histogram = h->snapshot();
+    out.push_back(std::move(s));
+  }
+  // The three maps are each sorted; merge into one global name order so
+  // dumps interleave kinds ("serve.shed" next to "serve.shed_seconds").
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::dump_text() const {
+  const std::vector<MetricSample> samples = snapshot();
+  std::string out;
+  char buf[256];
+  for (const MetricSample& s : samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%-40s %20llu\n", s.name.c_str(),
+                      static_cast<unsigned long long>(s.counter));
+        break;
+      case MetricSample::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%-40s %20lld\n", s.name.c_str(),
+                      static_cast<long long>(s.gauge));
+        break;
+      case MetricSample::Kind::kHistogram:
+        std::snprintf(
+            buf, sizeof(buf),
+            "%-40s n=%llu mean=%.3gs p50=%.3gs p95=%.3gs p99=%.3gs "
+            "max=%.3gs\n",
+            s.name.c_str(),
+            static_cast<unsigned long long>(s.histogram.count),
+            s.histogram.mean_seconds(), s.histogram.p50(), s.histogram.p95(),
+            s.histogram.p99(), s.histogram.max_seconds);
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::dump_json() const {
+  const std::vector<MetricSample> samples = snapshot();
+  std::string out = "{";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"";
+    append_json_escaped(out, s.name);
+    out += "\": ";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += std::to_string(s.counter);
+        break;
+      case MetricSample::Kind::kGauge:
+        out += std::to_string(s.gauge);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out += "{\"count\": " + std::to_string(s.histogram.count);
+        out += ", \"mean_s\": " + format_double(s.histogram.mean_seconds());
+        out += ", \"p50_s\": " + format_double(s.histogram.p50());
+        out += ", \"p95_s\": " + format_double(s.histogram.p95());
+        out += ", \"p99_s\": " + format_double(s.histogram.p99());
+        out += ", \"min_s\": " + format_double(s.histogram.min_seconds);
+        out += ", \"max_s\": " + format_double(s.histogram.max_seconds);
+        out += "}";
+        break;
+      }
+    }
+  }
+  out += "\n}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  util::MutexLock lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace octgb::telemetry

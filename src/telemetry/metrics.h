@@ -1,0 +1,152 @@
+// metrics.h -- thread-safe metrics registry: named counters, gauges,
+// and fixed-bucket log-scale latency histograms.
+//
+// The counter half of src/telemetry (trace.h is the span half). The
+// registry maps the repo's ad-hoc per-subsystem statistics -- serve's
+// shed/coalesce counts, simmpi's α–β byte ledger, the pool's
+// steal/spawn tallies, the GB engine's near/far pair counts -- onto
+// one namespace that dumps as text or JSON and snapshots into every
+// BENCH_<name>.json, so a bench number always carries the *why* (pair
+// counts, hit rates) next to the number.
+//
+// Concurrency model: metric handles are created/looked up under the
+// registry mutex (slow, once per call site via the static-handle
+// macros in telemetry.h), then updated lock-free through relaxed
+// atomics (fast, any thread). Relaxed is enough: these are monotone
+// tallies read at quiescent points, not synchronization.
+//
+// Histograms use 64 power-of-two buckets anchored at 1 ns
+// (bucket 0 = [0,1ns), bucket i = [2^(i-1), 2^i) ns, bucket 63 =
+// overflow), so the full range [1ns, ~146y) is covered with ≤2x
+// relative error; quantiles (p50/p95/p99) interpolate linearly inside
+// the landing bucket.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/thread_annotations.h"
+
+namespace octgb::telemetry {
+
+/// Monotone event count. add() is lock-free and relaxed.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time signed level (queue depth, bytes in flight).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Immutable histogram snapshot with quantile math.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum_seconds = 0.0;
+  double min_seconds = 0.0;  // smallest/largest *observed* values
+  double max_seconds = 0.0;
+  std::vector<std::uint64_t> buckets;  // size Histogram::kBuckets
+
+  /// Quantile in seconds, q in [0,1]; linear interpolation within the
+  /// landing bucket, clamped to the observed min/max. 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+  double mean_seconds() const {
+    return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
+  }
+};
+
+/// Fixed-bucket log-2 latency histogram. observe() is lock-free.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Bucket 0 holds [0,1) ns (and any negative input); bucket i in
+  /// [1,62] holds [2^(i-1), 2^i) ns; bucket 63 holds >= 2^62 ns.
+  static int bucket_index_ns(std::uint64_t ns);
+  /// Inclusive-lower bucket boundary in seconds (boundary(0) == 0).
+  static double bucket_lower_seconds(int bucket);
+
+  void observe_seconds(double s);
+  void observe_ns(std::uint64_t ns);
+
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  // Stored in ns so the tallies stay integral/atomic; converted back to
+  // seconds in snapshots.
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// One registry entry in a MetricsRegistry::snapshot().
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t counter = 0;       // kCounter
+  std::int64_t gauge = 0;          // kGauge
+  HistogramSnapshot histogram;     // kHistogram
+};
+
+/// Named metric namespace. Lookup is mutex-guarded; returned handles
+/// are stable for the registry's lifetime and update lock-free.
+/// Naming convention: dotted lowercase paths, "subsystem.metric"
+/// ("serve.shed", "simmpi.allreduce.bytes", "gb.born_near_pairs").
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the OCTGB_COUNTER_* macros target.
+  static MetricsRegistry& instance();
+
+  /// Find-or-create. The returned reference never moves or dies.
+  Counter& counter(const std::string& name) OCTGB_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) OCTGB_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name) OCTGB_EXCLUDES(mu_);
+
+  /// All metrics, sorted by name (map order).
+  std::vector<MetricSample> snapshot() const OCTGB_EXCLUDES(mu_);
+
+  /// Human-readable table; histograms print count/mean/p50/p95/p99.
+  std::string dump_text() const OCTGB_EXCLUDES(mu_);
+  /// One JSON object: {"name": value, ...}; histograms become nested
+  /// objects. Embeddable as-is into BENCH_<name>.json.
+  std::string dump_json() const OCTGB_EXCLUDES(mu_);
+
+  /// Zeroes every registered metric (entries stay registered). For
+  /// tests and per-run bench isolation.
+  void reset() OCTGB_EXCLUDES(mu_);
+
+ private:
+  mutable util::Mutex mu_;
+  // node-based maps: handle addresses survive rehash/insert.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      OCTGB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ OCTGB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      OCTGB_GUARDED_BY(mu_);
+};
+
+}  // namespace octgb::telemetry

@@ -1,0 +1,90 @@
+// telemetry.h -- the instrumentation surface the rest of the repo uses.
+//
+// Include this (not trace.h/metrics.h) from instrumented code and use
+// only the macros below. With the OCTGB_TELEMETRY CMake option ON (the
+// default) they expand to the span recorder / metrics registry in this
+// directory; with it OFF every macro expands to `do {} while (0)` --
+// no argument evaluation, no statics, no atomic loads, a bit-identical
+// instruction path (the `telemetry` CI stage builds both ways).
+//
+// Because the OFF forms do not evaluate their arguments, never compute
+// a value *solely* to pass it to a macro -- either the value is already
+// needed by real code, or the computation belongs inside the macro
+// argument expression itself.
+//
+// Span names and metric names must be string literals (they are stored
+// by pointer and keyed once per call site respectively). Conventions:
+//   spans    "subsystem/phase"        e.g. "serve/refit", "gb/plan_build"
+//   metrics  "subsystem.metric"       e.g. "serve.shed", "pool.steals"
+//
+// The classes themselves (TraceRecorder, MetricsRegistry, ...) stay
+// available in both configurations -- binaries like octgb_tool link
+// them unconditionally; under OFF they simply never receive data from
+// library code.
+#pragma once
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+#if defined(OCTGB_TELEMETRY_ENABLED)
+
+#define OCTGB_TELEMETRY_CONCAT2(a, b) a##b
+#define OCTGB_TELEMETRY_CONCAT(a, b) OCTGB_TELEMETRY_CONCAT2(a, b)
+
+/// RAII span: records [entry, scope exit) on the calling thread under
+/// the given literal name, when tracing is enabled at runtime.
+#define OCTGB_TRACE_SCOPE(name)                                     \
+  ::octgb::telemetry::SpanScope OCTGB_TELEMETRY_CONCAT(             \
+      octgb_trace_scope_, __LINE__)(name)
+
+/// Counter increment. The registry lookup runs once per call site
+/// (function-local static); the increment itself is a relaxed atomic.
+#define OCTGB_COUNTER_ADD(name, n)                                     \
+  do {                                                                 \
+    static ::octgb::telemetry::Counter& octgb_counter_handle =         \
+        ::octgb::telemetry::MetricsRegistry::instance().counter(name); \
+    octgb_counter_handle.add(                                          \
+        static_cast<std::uint64_t>(n));                                \
+  } while (0)
+
+#define OCTGB_GAUGE_SET(name, v)                                     \
+  do {                                                               \
+    static ::octgb::telemetry::Gauge& octgb_gauge_handle =           \
+        ::octgb::telemetry::MetricsRegistry::instance().gauge(name); \
+    octgb_gauge_handle.set(static_cast<std::int64_t>(v));            \
+  } while (0)
+
+#define OCTGB_GAUGE_ADD(name, d)                                     \
+  do {                                                               \
+    static ::octgb::telemetry::Gauge& octgb_gauge_handle =           \
+        ::octgb::telemetry::MetricsRegistry::instance().gauge(name); \
+    octgb_gauge_handle.add(static_cast<std::int64_t>(d));            \
+  } while (0)
+
+/// Latency observation in seconds (the repo's WallTimer unit).
+#define OCTGB_HISTOGRAM_OBSERVE(name, seconds)                           \
+  do {                                                                   \
+    static ::octgb::telemetry::Histogram& octgb_histogram_handle =       \
+        ::octgb::telemetry::MetricsRegistry::instance().histogram(name); \
+    octgb_histogram_handle.observe_seconds(seconds);                     \
+  } while (0)
+
+#else  // !OCTGB_TELEMETRY_ENABLED
+
+#define OCTGB_TRACE_SCOPE(name) \
+  do {                          \
+  } while (0)
+#define OCTGB_COUNTER_ADD(name, n) \
+  do {                             \
+  } while (0)
+#define OCTGB_GAUGE_SET(name, v) \
+  do {                           \
+  } while (0)
+#define OCTGB_GAUGE_ADD(name, d) \
+  do {                           \
+  } while (0)
+#define OCTGB_HISTOGRAM_OBSERVE(name, seconds) \
+  do {                                         \
+  } while (0)
+
+#endif  // OCTGB_TELEMETRY_ENABLED

@@ -1,0 +1,245 @@
+#include "src/telemetry/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace octgb::telemetry {
+namespace {
+
+std::uint64_t steady_now_ns() {
+  // src/telemetry is the one place allowed to touch the raw clock
+  // (scripts/lint.sh `rawclock`); everything else times through spans.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t next_recorder_id() {
+  // Ids (not addresses) key the thread-local buffer cache: a test
+  // recorder can die and a new one reuse its address.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+bool env_flag_set(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return false;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');  // span names are code literals; never expected
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity_per_thread)
+    : capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread),
+      recorder_id_(next_recorder_id()),
+      epoch_ns_(steady_now_ns()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder& TraceRecorder::instance() {
+  // Leaked singleton: worker threads (pool, simmpi ranks, serve
+  // dispatcher) may still be recording during static destruction.
+  // lint:allow(naked-new)
+  static TraceRecorder* inst = new TraceRecorder([] {
+    std::size_t cap = kDefaultCapacity;
+    if (const char* e = std::getenv("OCTGB_TRACE_CAPACITY")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(e, &end, 10);
+      if (end != e && v > 0) cap = static_cast<std::size_t>(v);
+    }
+    return cap;
+  }());
+  static const bool armed = [] {
+    if (env_flag_set("OCTGB_TRACE")) inst->set_enabled(true);
+    return true;
+  }();
+  (void)armed;
+  return *inst;
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return steady_now_ns() - epoch_ns_;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  // Fast path: this thread already resolved a ring for this recorder.
+  struct TlsCache {
+    std::uint64_t recorder_id = 0;
+    ThreadBuffer* buf = nullptr;
+  };
+  thread_local TlsCache cache;
+  if (cache.recorder_id == recorder_id_ && cache.buf != nullptr) {
+    return *cache.buf;
+  }
+  // Slow path (once per thread per recorder): find or create the ring.
+  // A thread alternating between two live recorders re-runs this
+  // lookup on every switch -- only tests construct extra recorders.
+  const std::thread::id me = std::this_thread::get_id();
+  util::MutexLock lock(mu_);
+  ThreadBuffer* buf = nullptr;
+  for (const auto& b : buffers_) {
+    if (b->owner == me) {
+      buf = b.get();
+      break;
+    }
+  }
+  if (buf == nullptr) {
+    buffers_.push_back(std::make_unique<ThreadBuffer>(
+        capacity_, static_cast<std::uint32_t>(buffers_.size() + 1), me));
+    buf = buffers_.back().get();
+  }
+  cache.recorder_id = recorder_id_;
+  cache.buf = buf;
+  return *buf;
+}
+
+void TraceRecorder::record(const char* name, std::uint64_t t0_ns,
+                           std::uint64_t t1_ns, std::uint32_t depth) {
+  ThreadBuffer& b = local_buffer();
+  const std::uint64_t i = b.head.load(std::memory_order_relaxed);
+  Slot& s = b.slots[i % capacity_];
+  // Seqlock write: odd seq marks the slot in flux, even publishes it.
+  // A concurrent collect() that catches the slot mid-write sees a seq
+  // mismatch and skips it.
+  s.seq.store(2 * i + 1, std::memory_order_release);
+  s.name.store(name, std::memory_order_relaxed);
+  s.t0.store(t0_ns, std::memory_order_relaxed);
+  s.t1.store(t1_ns, std::memory_order_relaxed);
+  s.depth.store(depth, std::memory_order_relaxed);
+  s.seq.store(2 * i + 2, std::memory_order_release);
+  b.head.store(i + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRecorder::collect() const {
+  std::vector<TraceEvent> out;
+  util::MutexLock lock(mu_);
+  for (const auto& b : buffers_) {
+    const std::uint64_t head = b->head.load(std::memory_order_acquire);
+    const std::uint64_t first = head > capacity_ ? head - capacity_ : 0;
+    for (std::uint64_t i = first; i < head; ++i) {
+      const Slot& s = b->slots[i % capacity_];
+      const std::uint64_t want = 2 * i + 2;
+      if (s.seq.load(std::memory_order_acquire) != want) continue;
+      TraceEvent ev;
+      ev.name = s.name.load(std::memory_order_relaxed);
+      ev.t0_ns = s.t0.load(std::memory_order_relaxed);
+      ev.t1_ns = s.t1.load(std::memory_order_relaxed);
+      ev.depth = s.depth.load(std::memory_order_relaxed);
+      ev.tid = b->tid;
+      // The fence upgrades the relaxed payload reads so the
+      // revalidation below cannot be hoisted above them.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != want) continue;
+      if (ev.name == nullptr) continue;
+      out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.depth < b.depth;
+            });
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped_spans() const {
+  std::uint64_t dropped = 0;
+  util::MutexLock lock(mu_);
+  for (const auto& b : buffers_) {
+    const std::uint64_t head = b->head.load(std::memory_order_acquire);
+    if (head > capacity_) dropped += head - capacity_;
+  }
+  return dropped;
+}
+
+std::size_t TraceRecorder::num_threads() const {
+  util::MutexLock lock(mu_);
+  return buffers_.size();
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  const std::vector<TraceEvent> events = collect();
+  std::string out;
+  out.reserve(128 + events.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    append_json_escaped(out, ev.name);
+    // Chrome's ts/dur are microseconds; keep ns precision as decimals.
+    const double ts_us = static_cast<double>(ev.t0_ns) / 1e3;
+    const double dur_us = static_cast<double>(ev.t1_ns - ev.t0_ns) / 1e3;
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"depth\":%u}}",
+                  ts_us, dur_us, ev.tid, ev.depth);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceRecorder::flush(const std::string& path) const {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f) return false;
+  f << chrome_trace_json();
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+void TraceRecorder::reset() {
+  util::MutexLock lock(mu_);
+  for (const auto& b : buffers_) {
+    // Zero every slot's seq as well as head: otherwise a stale even
+    // seq from the previous epoch could validate for the same ring
+    // index and resurrect an old span into the next collect().
+    for (Slot& s : b->slots) s.seq.store(0, std::memory_order_release);
+    b->head.store(0, std::memory_order_release);
+  }
+}
+
+SpanScope::SpanScope(const char* name) {
+  TraceRecorder& r = TraceRecorder::instance();
+  if (!r.enabled()) return;  // disabled: one relaxed load, nothing else
+  rec_ = &r;
+  name_ = name;
+  depth_ = nesting_depth()++;
+  t0_ = r.now_ns();
+}
+
+SpanScope::~SpanScope() {
+  if (rec_ == nullptr) return;
+  const std::uint64_t t1 = rec_->now_ns();
+  rec_->record(name_, t0_, t1, static_cast<std::uint32_t>(depth_));
+  --nesting_depth();
+}
+
+int& SpanScope::nesting_depth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace octgb::telemetry

@@ -1,0 +1,164 @@
+// trace.h -- per-thread lock-free span recorder with a Chrome
+// trace-event exporter.
+//
+// The paper's argument is a time breakdown (octree build vs
+// APPROX-INTEGRALS vs PUSH vs APPROX-EPOL vs communication), so the
+// repo needs a way to see *where* a request's or a rank's time goes,
+// not just end-to-end wall clock. This recorder is the span half of
+// src/telemetry (metrics.h is the counter half):
+//
+//  * OCTGB_TRACE_SCOPE("phase") (src/telemetry/telemetry.h) opens an
+//    RAII span; on destruction the span -- name, start/end timestamp,
+//    thread id, nesting depth -- is written into the calling thread's
+//    private ring buffer. Compiled out entirely under
+//    OCTGB_TELEMETRY=OFF.
+//  * Recording is lock-free and wait-free for the writer: each thread
+//    owns its ring outright, and every slot is a tiny seqlock (atomic
+//    sequence number + relaxed-atomic payload) so a concurrent
+//    collect() can drain the rings without stopping the writers and
+//    without data races (ThreadSanitizer-clean; see the `telemetry` CI
+//    stage).
+//  * On wrap the ring drops the *oldest* spans and counts them
+//    (dropped_spans()), so a long run keeps the most recent window.
+//  * flush(path) / chrome_trace_json() export every recorded span in
+//    the Chrome trace-event format, loadable in chrome://tracing or
+//    https://ui.perfetto.dev.
+//
+// Disabled recorders cost one relaxed atomic load per scope; tracing
+// is armed with set_enabled(true), the OCTGB_TRACE environment flag,
+// or `octgb_tool --trace=out.json`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/thread_annotations.h"
+
+namespace octgb::telemetry {
+
+/// One completed span, as drained by TraceRecorder::collect().
+struct TraceEvent {
+  const char* name = nullptr;  // static string (the macro passes literals)
+  std::uint64_t t0_ns = 0;     // start, ns since the recorder's epoch
+  std::uint64_t t1_ns = 0;     // end
+  std::uint32_t tid = 0;       // recorder-assigned thread id (1-based)
+  std::uint32_t depth = 0;     // nesting depth on that thread (0 = root)
+};
+
+/// Process-wide span recorder. Thread rings are created lazily on a
+/// thread's first record() and retained until the recorder dies (a
+/// finished thread's spans stay flushable).
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  /// `capacity_per_thread` is the ring size in spans; past it the
+  /// oldest spans are overwritten (drop-oldest) and counted.
+  explicit TraceRecorder(std::size_t capacity_per_thread = kDefaultCapacity);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The recorder OCTGB_TRACE_SCOPE writes to. Ring capacity comes from
+  /// $OCTGB_TRACE_CAPACITY (default 65536 spans per thread); tracing
+  /// starts enabled iff the OCTGB_TRACE environment flag is truthy.
+  static TraceRecorder& instance();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Monotonic nanoseconds since this recorder's construction.
+  std::uint64_t now_ns() const;
+
+  /// Appends one completed span to the calling thread's ring. `name`
+  /// must have static storage duration (pass string literals).
+  void record(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns,
+              std::uint32_t depth = 0);
+
+  /// Drains every thread ring into one list sorted by start time.
+  /// Safe to call while other threads are still recording: a slot
+  /// being overwritten mid-read fails its seqlock check and is simply
+  /// skipped (it will be a *newer* span than the snapshot anyway).
+  std::vector<TraceEvent> collect() const;
+
+  /// Spans lost to ring wrap-around, summed over all threads.
+  std::uint64_t dropped_spans() const;
+
+  std::size_t capacity_per_thread() const { return capacity_; }
+  /// Number of threads that have recorded at least one span.
+  std::size_t num_threads() const;
+
+  /// Chrome trace-event JSON ("ph":"X" complete events, microsecond
+  /// timestamps) for chrome://tracing / Perfetto.
+  std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to `path`. Returns false on I/O error.
+  bool flush(const std::string& path) const;
+
+  /// Forgets every recorded span and zeroes the dropped counters.
+  /// Rings stay registered. Must not race with active spans (call at
+  /// a quiescent point, e.g. between test cases); memory-safe either
+  /// way, but concurrent spans may be partially kept.
+  void reset();
+
+ private:
+  // Single-writer seqlock slot: seq goes 2i+1 (write in progress) ->
+  // 2i+2 (published) for ring index i. Payload fields are relaxed
+  // atomics so the (rare, cross-thread) collect() read is race-free;
+  // on x86 a relaxed atomic store is an ordinary MOV, so the writer
+  // fast path stays branch- and fence-free.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> t0{0};
+    std::atomic<std::uint64_t> t1{0};
+    std::atomic<std::uint32_t> depth{0};
+  };
+
+  struct ThreadBuffer {
+    ThreadBuffer(std::size_t capacity, std::uint32_t tid_,
+                 std::thread::id owner_)
+        : slots(capacity), tid(tid_), owner(owner_) {}
+    std::vector<Slot> slots;
+    std::atomic<std::uint64_t> head{0};  // total spans ever written
+    const std::uint32_t tid;
+    const std::thread::id owner;  // for re-lookup after a tls-cache miss
+  };
+
+  ThreadBuffer& local_buffer();
+
+  const std::size_t capacity_;
+  const std::uint64_t recorder_id_;  // distinguishes tls caches
+  std::atomic<bool> enabled_{false};
+  std::uint64_t epoch_ns_;  // steady-clock origin
+
+  mutable util::Mutex mu_;  // guards registration, not recording
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ OCTGB_GUARDED_BY(mu_);
+};
+
+/// RAII span bound to TraceRecorder::instance(). Prefer the
+/// OCTGB_TRACE_SCOPE macro, which compiles to nothing under
+/// OCTGB_TELEMETRY=OFF.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name);
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  static int& nesting_depth();  // thread-local
+
+  TraceRecorder* rec_ = nullptr;  // null: tracing was disabled at entry
+  const char* name_ = nullptr;
+  std::uint64_t t0_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace octgb::telemetry

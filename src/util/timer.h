@@ -19,6 +19,8 @@ class WallTimer {
   double milliseconds() const { return seconds() * 1e3; }
 
  private:
+  // The sanctioned raw-clock site: everything outside src/telemetry/
+  // and bench/ times through this class. lint:allow(rawclock)
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };

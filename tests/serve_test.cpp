@@ -489,6 +489,42 @@ TEST(ServeTest, DrainWaitsForAllOutstandingWork) {
   EXPECT_EQ(svc.queue_depth(), 0u);
 }
 
+TEST(ServeTest, SnapshotIsTearFreeAndInternallyConsistent) {
+  const auto mol = molecule::generate_protein(300, 47);
+  serve::ServiceConfig cfg = test_config();
+  cfg.max_batch = 3;
+  serve::PolarizationService svc(cfg);
+  std::vector<std::future<serve::Response>> futures;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    // Mix of repeats (cache hits / coalesces) and fresh structures.
+    futures.push_back(svc.submit(
+        make_request(i, i % 2 == 0 ? mol : jittered(mol, 0.02, i))));
+  }
+  // Snapshots taken *while* batches retire must satisfy the invariants
+  // documented on ServiceSnapshot -- this is exactly the tear the
+  // separate stats()/queue_depth() accessors could expose.
+  for (int probe = 0; probe < 50; ++probe) {
+    const serve::ServiceSnapshot snap = svc.snapshot();
+    const auto& s = snap.stats;
+    EXPECT_EQ(s.completed, s.cache_hits + s.refits + s.cold_builds)
+        << "probe " << probe;
+    EXPECT_GE(s.submitted,
+              s.rejected + s.shed + s.completed + s.failed)
+        << "probe " << probe;
+    EXPECT_LE(snap.queue_depth, cfg.queue_capacity);
+  }
+  for (auto& f : futures) f.get();
+  svc.drain();
+  const serve::ServiceSnapshot snap = svc.snapshot();
+  const auto& s = snap.stats;
+  // Quiescent: everything submitted is fully accounted for.
+  EXPECT_EQ(s.submitted, s.rejected + s.shed + s.completed + s.failed);
+  EXPECT_EQ(s.completed, s.cache_hits + s.refits + s.cold_builds);
+  EXPECT_EQ(snap.queue_depth, 0u);
+  EXPECT_EQ(snap.in_flight, 0u);
+  EXPECT_EQ(s.completed, 8u);
+}
+
 TEST(ServeTest, StatsAccumulateStageTimes) {
   const auto mol = molecule::generate_protein(300, 43);
   serve::PolarizationService svc(test_config());

@@ -1,0 +1,421 @@
+// Unit tests for src/telemetry: span recorder (nesting, thread
+// attribution, ring wrap), histogram bucket/quantile math, registry
+// dumps, and the Chrome trace-event JSON export.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
+
+namespace octgb::telemetry {
+namespace {
+
+// ------------------------------------------------------------ JSON check
+
+// Minimal recursive-descent JSON syntax validator -- enough to prove
+// chrome_trace_json() / dump_json() emit well-formed JSON without
+// pulling in a parser dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_lit();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string_lit()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string_lit() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------- tracing
+
+TEST(TraceRecorderTest, RecordsAndCollectsSortedByStart) {
+  TraceRecorder rec(64);
+  rec.set_enabled(true);
+  rec.record("b", 20, 30);
+  rec.record("a", 5, 15);
+  rec.record("c", 40, 45);
+  const std::vector<TraceEvent> events = rec.collect();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "a");
+  EXPECT_STREQ(events[1].name, "b");
+  EXPECT_STREQ(events[2].name, "c");
+  EXPECT_EQ(events[0].t0_ns, 5u);
+  EXPECT_EQ(events[0].t1_ns, 15u);
+  EXPECT_EQ(events[0].tid, events[1].tid);  // same thread, same ring
+}
+
+TEST(TraceRecorderTest, ThreadAttributionIsDistinct) {
+  TraceRecorder rec(64);
+  rec.set_enabled(true);
+  rec.record("main", 0, 1);
+  std::thread t([&rec] { rec.record("worker", 2, 3); });
+  t.join();
+  const std::vector<TraceEvent> events = rec.collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(rec.num_threads(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+  // tids are 1-based and dense.
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.tid, 1u);
+    EXPECT_LE(e.tid, 2u);
+  }
+}
+
+TEST(TraceRecorderTest, RingWrapDropsOldestAndCounts) {
+  constexpr std::size_t kCap = 8;
+  TraceRecorder rec(kCap);
+  rec.set_enabled(true);
+  for (std::uint64_t i = 0; i < 20; ++i) rec.record("span", i, i + 1);
+  const std::vector<TraceEvent> events = rec.collect();
+  ASSERT_EQ(events.size(), kCap);
+  EXPECT_EQ(rec.dropped_spans(), 20u - kCap);
+  // The survivors are the NEWEST spans (drop-oldest policy).
+  for (std::size_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(events[i].t0_ns, 20 - kCap + i);
+  }
+}
+
+TEST(TraceRecorderTest, ResetForgetsSpansAndDrops) {
+  TraceRecorder rec(4);
+  rec.set_enabled(true);
+  for (std::uint64_t i = 0; i < 10; ++i) rec.record("x", i, i + 1);
+  EXPECT_GT(rec.dropped_spans(), 0u);
+  rec.reset();
+  EXPECT_EQ(rec.collect().size(), 0u);
+  EXPECT_EQ(rec.dropped_spans(), 0u);
+  rec.record("y", 1, 2);
+  ASSERT_EQ(rec.collect().size(), 1u);
+  EXPECT_STREQ(rec.collect()[0].name, "y");
+}
+
+TEST(TraceRecorderTest, DisabledRecorderStoresNothing) {
+  TraceRecorder rec(16);
+  EXPECT_FALSE(rec.enabled());
+  // SpanScope checks enabled() itself; record() is the raw sink and is
+  // only reached when a scope was opened while enabled.
+  {
+    SpanScope scope("ignored");  // instance() is disabled by default
+  }
+  EXPECT_EQ(rec.collect().size(), 0u);
+}
+
+TEST(SpanScopeTest, NestingDepthAndOrderViaMacro) {
+  TraceRecorder& rec = TraceRecorder::instance();
+  rec.reset();
+  rec.set_enabled(true);
+  {
+    OCTGB_TRACE_SCOPE("outer");
+    {
+      OCTGB_TRACE_SCOPE("inner");
+    }
+    {
+      OCTGB_TRACE_SCOPE("inner2");
+    }
+  }
+  rec.set_enabled(false);
+  const std::vector<TraceEvent> events = rec.collect();
+#if defined(OCTGB_TELEMETRY_ENABLED)
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by start time: outer opens first but closes last.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_STREQ(events[2].name, "inner2");
+  EXPECT_EQ(events[2].depth, 1u);
+  // Containment: both inners lie inside outer's interval.
+  EXPECT_GE(events[1].t0_ns, events[0].t0_ns);
+  EXPECT_LE(events[2].t1_ns, events[0].t1_ns);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+#else
+  // Macros compile to nothing when telemetry is off.
+  EXPECT_EQ(events.size(), 0u);
+#endif
+  rec.reset();
+}
+
+TEST(SpanScopeTest, SpansFromMultipleThreadsViaMacro) {
+#if defined(OCTGB_TELEMETRY_ENABLED)
+  TraceRecorder& rec = TraceRecorder::instance();
+  rec.reset();
+  rec.set_enabled(true);
+  {
+    OCTGB_TRACE_SCOPE("main_phase");
+    std::thread t([] { OCTGB_TRACE_SCOPE("worker_phase"); });
+    t.join();
+  }
+  rec.set_enabled(false);
+  const std::vector<TraceEvent> events = rec.collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+  rec.reset();
+#endif
+}
+
+TEST(TraceRecorderTest, ChromeTraceJsonIsValidAndComplete) {
+  TraceRecorder rec(64);
+  rec.set_enabled(true);
+  rec.record("tree_build", 1000, 2500);
+  rec.record("kernels \"quoted\\name\"", 3000, 4000, 1);
+  std::thread t([&rec] { rec.record("worker_phase", 1500, 1750); });
+  t.join();
+  const std::string json = rec.chrome_trace_json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("tree_build"), std::string::npos);
+  EXPECT_NE(json.find("worker_phase"), std::string::npos);
+  // 1000ns..2500ns -> ts 1.000us, dur 1.500us.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.500"), std::string::npos);
+}
+
+// ------------------------------------------------------------- histogram
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  EXPECT_EQ(Histogram::bucket_index_ns(0), 0);
+  EXPECT_EQ(Histogram::bucket_index_ns(1), 1);   // [1,2)
+  EXPECT_EQ(Histogram::bucket_index_ns(2), 2);   // [2,4)
+  EXPECT_EQ(Histogram::bucket_index_ns(3), 2);
+  EXPECT_EQ(Histogram::bucket_index_ns(4), 3);   // [4,8)
+  EXPECT_EQ(Histogram::bucket_index_ns(7), 3);
+  EXPECT_EQ(Histogram::bucket_index_ns(8), 4);
+  EXPECT_EQ(Histogram::bucket_index_ns(1023), 10);
+  EXPECT_EQ(Histogram::bucket_index_ns(1024), 11);
+  // Overflow bucket clamps.
+  EXPECT_EQ(Histogram::bucket_index_ns(std::uint64_t{1} << 62), 63);
+  EXPECT_EQ(Histogram::bucket_index_ns(~std::uint64_t{0}), 63);
+}
+
+TEST(HistogramTest, BucketLowerBoundarySeconds) {
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_seconds(1), 1e-9);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_seconds(2), 2e-9);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_seconds(11), 1024e-9);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  Histogram h;
+  h.observe_ns(100);
+  h.observe_ns(200);
+  h.observe_ns(700);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum_seconds, 1000e-9);
+  EXPECT_DOUBLE_EQ(s.min_seconds, 100e-9);
+  EXPECT_DOUBLE_EQ(s.max_seconds, 700e-9);
+  EXPECT_DOUBLE_EQ(s.mean_seconds(), 1000e-9 / 3.0);
+}
+
+TEST(HistogramTest, QuantilesInterpolateAndClamp) {
+  Histogram h;
+  // 100 identical-bucket observations: 1000ns lands in [512ns, 1024ns).
+  for (int i = 0; i < 100; ++i) h.observe_ns(1000);
+  const HistogramSnapshot s = h.snapshot();
+  // All quantiles clamp to the observed [min,max] = [1000ns, 1000ns].
+  EXPECT_DOUBLE_EQ(s.p50(), 1000e-9);
+  EXPECT_DOUBLE_EQ(s.p95(), 1000e-9);
+  EXPECT_DOUBLE_EQ(s.p99(), 1000e-9);
+}
+
+TEST(HistogramTest, QuantileOrderingAcrossBuckets) {
+  Histogram h;
+  // 90 fast (~1us) + 10 slow (~1ms): p50 must sit near 1us, p99 near
+  // 1ms, and the quantiles must be monotone.
+  for (int i = 0; i < 90; ++i) h.observe_seconds(1e-6);
+  for (int i = 0; i < 10; ++i) h.observe_seconds(1e-3);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_LT(s.p50(), 5e-6);
+  EXPECT_GT(s.p99(), 1e-4);
+  EXPECT_LE(s.p50(), s.p95());
+  EXPECT_LE(s.p95(), s.p99());
+  EXPECT_LE(s.p99(), s.max_seconds);
+  EXPECT_GE(s.p50(), s.min_seconds);
+}
+
+TEST(HistogramTest, EmptyAndNegativeInputs) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.snapshot().p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().mean_seconds(), 0.0);
+  h.observe_seconds(-5.0);  // clamped to 0
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.buckets[0], 1u);
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, FindOrCreateIsStable) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("test.hits");
+  Counter& b = reg.counter("test.hits");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(2);
+  EXPECT_EQ(reg.counter("test.hits").value(), 5u);
+  reg.gauge("test.depth").set(-7);
+  EXPECT_EQ(reg.gauge("test.depth").value(), -7);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedAndTyped) {
+  MetricsRegistry reg;
+  reg.counter("b.count").add(1);
+  reg.gauge("a.level").set(4);
+  reg.histogram("c.lat").observe_seconds(1e-6);
+  const std::vector<MetricSample> samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a.level");
+  EXPECT_EQ(samples[0].kind, MetricSample::Kind::kGauge);
+  EXPECT_EQ(samples[1].name, "b.count");
+  EXPECT_EQ(samples[1].kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(samples[2].name, "c.lat");
+  EXPECT_EQ(samples[2].kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(samples[2].histogram.count, 1u);
+}
+
+TEST(MetricsRegistryTest, DumpJsonIsValid) {
+  MetricsRegistry reg;
+  reg.counter("serve.shed").add(2);
+  reg.gauge("serve.queue_depth").set(3);
+  reg.histogram("serve.request_seconds").observe_seconds(0.25);
+  const std::string json = reg.dump_json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("serve.shed"), std::string::npos);
+  const std::string text = reg.dump_text();
+  EXPECT_NE(text.find("serve.queue_depth"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesSum) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter& c = reg.counter("conc.hits");
+      Histogram& h = reg.histogram("conc.lat");
+      for (int i = 0; i < kAdds; ++i) {
+        c.add(1);
+        h.observe_ns(static_cast<std::uint64_t>(i % 1000) + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter("conc.hits").value(),
+            static_cast<std::uint64_t>(kThreads) * kAdds);
+  EXPECT_EQ(reg.histogram("conc.lat").snapshot().count,
+            static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsEntries) {
+  MetricsRegistry reg;
+  reg.counter("x.n").add(9);
+  reg.histogram("x.lat").observe_ns(100);
+  reg.reset();
+  EXPECT_EQ(reg.counter("x.n").value(), 0u);
+  EXPECT_EQ(reg.histogram("x.lat").snapshot().count, 0u);
+  ASSERT_EQ(reg.snapshot().size(), 2u);  // entries survive reset
+}
+
+}  // namespace
+}  // namespace octgb::telemetry
