@@ -1,0 +1,165 @@
+// driver_main.cpp -- standalone fuzz driver for toolchains without
+// libFuzzer (the repo's default GCC container).
+//
+// Implements the subset of the libFuzzer CLI that scripts/ci.sh uses:
+//
+//   fuzz_target [corpus_dir|file]... [-max_total_time=N] [-runs=N]
+//               [-seed=N]
+//
+// Phase 1 replays every corpus input through LLVMFuzzerTestOneInput
+// (a deterministic regression gate over the checked-in seeds). Phase 2
+// mutates random corpus picks -- byte flips, truncation, duplication,
+// random splices, interesting-value injection -- until the time or run
+// budget is exhausted. Any crash (signal/abort/uncaught exception)
+// terminates the process abnormally, which is what the CI stage checks.
+// The stream is xoshiro-seeded, so a failing run is reproducible by
+// rerunning with the printed -seed.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(f),
+                                   std::istreambuf_iterator<char>());
+}
+
+// One mutation step in place. Mirrors libFuzzer's basic mutators; no
+// coverage feedback, so breadth comes from the seed corpus instead.
+void mutate(std::vector<std::uint8_t>& buf, octgb::util::Xoshiro256& rng) {
+  constexpr std::size_t kMaxLen = 1 << 16;
+  const std::uint64_t op = rng.below(6);
+  switch (op) {
+    case 0:  // flip random bytes
+      if (!buf.empty()) {
+        const std::size_t n = 1 + rng.below(8);
+        for (std::size_t i = 0; i < n; ++i) {
+          buf[rng.below(buf.size())] =
+              static_cast<std::uint8_t>(rng.below(256));
+        }
+      }
+      break;
+    case 1:  // truncate
+      if (!buf.empty()) buf.resize(rng.below(buf.size() + 1));
+      break;
+    case 2:  // duplicate a chunk
+      if (!buf.empty() && buf.size() < kMaxLen) {
+        const std::size_t at = rng.below(buf.size());
+        const std::size_t len =
+            1 + rng.below(std::min<std::size_t>(buf.size() - at, 64));
+        buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(at),
+                   buf.begin() + static_cast<std::ptrdiff_t>(at),
+                   buf.begin() + static_cast<std::ptrdiff_t>(at + len));
+      }
+      break;
+    case 3: {  // insert random bytes
+      if (buf.size() < kMaxLen) {
+        const std::size_t at = rng.below(buf.size() + 1);
+        const std::size_t n = 1 + rng.below(16);
+        std::vector<std::uint8_t> ins(n);
+        for (auto& b : ins) b = static_cast<std::uint8_t>(rng.below(256));
+        buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(at),
+                   ins.begin(), ins.end());
+      }
+      break;
+    }
+    case 4: {  // inject an "interesting" token (parser edge cases)
+      static const char* kTokens[] = {"nan",  "inf",   "-inf", "1e999",
+                                      "-0",   "ATOM",  "#",    "\n",
+                                      "1e-999", "HETATM"};
+      const char* tok = kTokens[rng.below(std::size(kTokens))];
+      const std::size_t at = rng.below(buf.size() + 1);
+      buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(at),
+                 reinterpret_cast<const std::uint8_t*>(tok),
+                 reinterpret_cast<const std::uint8_t*>(tok + std::strlen(tok)));
+      break;
+    }
+    default:  // overwrite with random ASCII (keeps text parsers busy)
+      if (!buf.empty()) {
+        const std::size_t at = rng.below(buf.size());
+        const std::size_t len =
+            1 + rng.below(std::min<std::size_t>(buf.size() - at, 32));
+        for (std::size_t i = 0; i < len; ++i) {
+          buf[at + i] = static_cast<std::uint8_t>(' ' + rng.below(95));
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_total_time = 0.0;  // 0 = no time budget
+  long long max_runs = -1;      // -1 = no run budget
+  std::uint64_t seed = 0x0c7bf022;
+  std::vector<std::filesystem::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::atof(arg.c_str() + 16);
+    } else if (arg.rfind("-runs=", 0) == 0) {
+      max_runs = std::atoll(arg.c_str() + 6);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 6));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "INFO: ignoring unsupported flag %s\n",
+                   arg.c_str());
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (const auto& in : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(in, ec)) {
+      for (const auto& e : std::filesystem::directory_iterator(in)) {
+        if (e.is_regular_file()) corpus.push_back(read_file(e.path()));
+      }
+    } else if (std::filesystem::is_regular_file(in, ec)) {
+      corpus.push_back(read_file(in));
+    }
+  }
+
+  std::fprintf(stderr, "INFO: standalone driver, seed=%llu, %zu corpus inputs\n",
+               static_cast<unsigned long long>(seed), corpus.size());
+
+  long long runs = 0;
+  for (const auto& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++runs;
+  }
+
+  if (corpus.empty()) corpus.push_back({});  // mutate from scratch
+  octgb::util::Xoshiro256 rng(seed);
+  octgb::util::WallTimer timer;
+  while ((max_total_time <= 0.0 || timer.seconds() < max_total_time) &&
+         (max_runs < 0 || runs < max_runs)) {
+    if (max_total_time <= 0.0 && max_runs < 0) break;  // replay-only mode
+    std::vector<std::uint8_t> buf = corpus[rng.below(corpus.size())];
+    const std::uint64_t steps = 1 + rng.below(4);
+    for (std::uint64_t s = 0; s < steps; ++s) mutate(buf, rng);
+    LLVMFuzzerTestOneInput(buf.data(), buf.size());
+    ++runs;
+  }
+
+  std::fprintf(stderr, "Done: %lld runs, %.1fs\n", runs, timer.seconds());
+  return 0;
+}

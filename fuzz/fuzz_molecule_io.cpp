@@ -1,0 +1,56 @@
+// fuzz_molecule_io.cpp -- fuzzes the PQR/XYZR readers.
+//
+// First input byte selects the format; the rest is fed to the parser as
+// text. The harness asserts the reader's contract: it either returns a
+// molecule whose every atom passed validation (finite coordinates and
+// charge, positive finite radius) or throws molecule::IoError -- any
+// other exception, crash, or a molecule carrying a non-finite value is
+// a bug.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "src/molecule/io.h"
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fuzz_molecule_io: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const bool use_pqr = (data[0] & 1) != 0;
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data + 1), size - 1));
+
+  octgb::molecule::Molecule mol("fuzz");
+  try {
+    mol = use_pqr ? octgb::molecule::read_pqr(is)
+                  : octgb::molecule::read_xyzr(is);
+  } catch (const octgb::molecule::IoError&) {
+    return 0;  // typed rejection is the contract for bad input
+  } catch (...) {
+    die("reader threw something other than IoError");
+  }
+
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    const octgb::molecule::Atom a = mol.atom(i);
+    if (!std::isfinite(a.position.x) || !std::isfinite(a.position.y) ||
+        !std::isfinite(a.position.z) || !std::isfinite(a.charge)) {
+      die("accepted molecule carries a non-finite value");
+    }
+    if (!(a.radius > 0.0) || !std::isfinite(a.radius)) {
+      die("accepted molecule carries a non-positive radius");
+    }
+  }
+  return 0;
+}

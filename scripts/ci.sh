@@ -20,9 +20,19 @@
 #      change behaviour), and the concurrency stress tests must be
 #      TSan-clean with telemetry ON and the tracer armed (the lock-free
 #      span recorder and the metrics registry run under contention).
+#   7. validate: OCTGB_VALIDATE=ON build -- every contract checkpoint
+#      armed -- must pass the full suite with FP-exception traps on
+#      (OCTGB_FPE=1), then a mutation self-test proves the checkpoints
+#      are live: each OCTGB_TEST_CORRUPT hook (born_sign, plan_drop,
+#      bin_charge) flips one value mid-pipeline and the matching
+#      validator must abort with a contract-violation report.
+#   8. fuzz-smoke: both fuzz targets (fuzz/) replay their seed corpora
+#      and mutate for 60 s each, crash-free (OCTGB_FUZZ=ON build; uses
+#      libFuzzer under clang, the bundled driver under gcc).
 #
 # Usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only |
-#                       --tsan-only | --telemetry-only]
+#                       --tsan-only | --telemetry-only |
+#                       --validate-only | --fuzz-smoke]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -113,6 +123,49 @@ run_telemetry() {
   done
 }
 
+run_validate() {
+  echo "==> validate: OCTGB_VALIDATE=ON build + full suite under OCTGB_FPE=1"
+  cmake -B build-validate -S . -DOCTGB_VALIDATE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-validate -j "$JOBS"
+  OCTGB_FPE=1 ctest --test-dir build-validate --output-on-failure -j "$JOBS"
+
+  # Mutation self-test: each hook corrupts one value mid-pipeline; a
+  # checkpoint that fails to abort on it is a dead checkpoint, which
+  # this gate treats as a CI failure.
+  echo "==> validate: mutation self-test (OCTGB_TEST_CORRUPT hooks)"
+  local hook out rc
+  for hook in born_sign plan_drop bin_charge; do
+    rc=0
+    out=$(OCTGB_TEST_CORRUPT="$hook" build-validate/examples/quickstart 2>&1) \
+      || rc=$?
+    if [[ "$rc" -eq 0 ]]; then
+      echo "FAIL: corruption hook '$hook' was not caught (exit 0)"
+      return 1
+    fi
+    if ! grep -q "contract violated" <<<"$out"; then
+      echo "FAIL: hook '$hook' died without a contract report (exit $rc):"
+      printf '%s\n' "$out"
+      return 1
+    fi
+    echo "--> $hook: caught ($(grep -m1 'contract violated' <<<"$out"))"
+  done
+}
+
+run_fuzz() {
+  local budget="${OCTGB_FUZZ_BUDGET:-60}"
+  echo "==> fuzz-smoke: OCTGB_FUZZ=ON build, ${budget}s per target"
+  cmake -B build-fuzz -S . -DOCTGB_FUZZ=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-fuzz -j "$JOBS" --target fuzz_molecule_io fuzz_plan
+  local t
+  for t in fuzz_molecule_io fuzz_plan; do
+    echo "--> $t (corpus fuzz/corpus/${t#fuzz_}, -max_total_time=$budget)"
+    "build-fuzz/fuzz/$t" -max_total_time="$budget" \
+      "fuzz/corpus/${t#fuzz_}"
+  done
+}
+
 case "$MODE" in
   --tier1-only)
     run_tier1
@@ -134,6 +187,14 @@ case "$MODE" in
     run_telemetry
     echo "==> telemetry OK"
     ;;
+  --validate-only)
+    run_validate
+    echo "==> validate OK"
+    ;;
+  --fuzz-smoke)
+    run_fuzz
+    echo "==> fuzz-smoke OK"
+    ;;
   "")
     run_tier1
     run_asan
@@ -141,10 +202,12 @@ case "$MODE" in
     run_lint
     run_tsan
     run_telemetry
+    run_validate
+    run_fuzz
     echo "==> CI OK"
     ;;
   *)
-    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --tsan-only | --telemetry-only]" >&2
+    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --tsan-only | --telemetry-only | --validate-only | --fuzz-smoke]" >&2
     exit 2
     ;;
 esac

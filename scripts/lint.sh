@@ -18,6 +18,13 @@
 #                         / std::sqrt in kernel code; per-pair math
 #                         goes through the ExactMath/ApproxMath
 #                         policies (util/fastmath.h)
+#        sqrt-domain      (src/gb/ only) std::pow( and std::sqrt( over
+#                         a subtraction need a justification naming
+#                         where the operand's domain is established
+#        narrow-cast      (src/gb/ only) no narrowing integer cast
+#                         applied directly to floating-point math; use
+#                         an explicit rounding function or justify the
+#                         truncation
 #        rawclock         no raw std::chrono::*_clock::now() outside
 #                         src/telemetry/ and bench/; timing goes
 #                         through util::WallTimer or the span recorder
@@ -130,6 +137,64 @@ EOF
     rc=1
   else
     echo "selftest ok: fastmath fires on src/gb/fastmath.cpp"
+  fi
+
+  # sqrt-domain and narrow-cast are src/gb/-scoped like fastmath: each
+  # seeded violation must fire there, the rounding-function form and
+  # the same code outside src/gb/ must stay quiet.
+  local domtmp="$dir/domcase"
+  mkdir -p "$domtmp/src/gb"
+  cat > "$domtmp/src/gb/sqrt_domain.cpp" <<'EOF'
+#include <cmath>
+double sixth_root(double eps) { return std::pow(1.0 + eps, 1.0 / 6.0); }
+double gap(double a, double b) { return std::sqrt(a - b); }
+EOF
+  if scan_tree "$domtmp" >/dev/null 2>&1; then
+    echo "selftest FAIL: seeded sqrt-domain violation in src/gb/ was not caught"
+    rc=1
+  else
+    echo "selftest ok: sqrt-domain fires on src/gb/sqrt_domain.cpp"
+  fi
+  local casttmp="$dir/castcase"
+  mkdir -p "$casttmp/src/gb"
+  cat > "$casttmp/src/gb/narrow_cast.cpp" <<'EOF'
+#include <cmath>
+int bin(double r) { return static_cast<int>(std::log(r) * 1.4427); }
+EOF
+  if scan_tree "$casttmp" >/dev/null 2>&1; then
+    echo "selftest FAIL: seeded narrow-cast violation in src/gb/ was not caught"
+    rc=1
+  else
+    echo "selftest ok: narrow-cast fires on src/gb/narrow_cast.cpp"
+  fi
+  local gbclean="$dir/gbclean"
+  mkdir -p "$gbclean/src/gb"
+  cat > "$gbclean/src/gb/gb_clean.cpp" <<'EOF'
+#include <cmath>
+// Rounded casts, positive-argument sqrt and allow-marked sites pass.
+int bins(double x) { return static_cast<int>(std::ceil(std::log(x))); }
+double dist(double d2) { return std::sqrt(d2); }
+// lint:allow(sqrt-domain) selftest: domain established by caller
+double k6(double eps) { return std::pow(1.0 + eps, 1.0 / 6.0); }
+// lint:allow(narrow-cast) selftest: truncation is the rule
+int bin_floor(double r) { return static_cast<int>(std::log(r) * 1.4); }
+EOF
+  if scan_tree "$gbclean" >/dev/null 2>&1; then
+    echo "selftest ok: sqrt-domain/narrow-cast stay quiet on clean gb code"
+  else
+    echo "selftest FAIL: clean src/gb/ code flagged"
+    scan_tree "$gbclean" || true
+    rc=1
+  fi
+  local domexempt="$dir/domexempt"
+  mkdir -p "$domexempt"
+  cp "$domtmp/src/gb/sqrt_domain.cpp" "$casttmp/src/gb/narrow_cast.cpp" \
+    "$domexempt/"
+  if scan_tree "$domexempt" >/dev/null 2>&1; then
+    echo "selftest ok: sqrt-domain/narrow-cast stay quiet outside src/gb/"
+  else
+    echo "selftest FAIL: sqrt-domain or narrow-cast fired outside src/gb/"
+    rc=1
   fi
   # The same code outside src/gb/ must NOT trip the rule.
   local othertmp="$dir/othercase"

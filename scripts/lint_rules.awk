@@ -21,6 +21,21 @@
 #                 approx_math switch stays honest. One-time setup code,
 #                 the naive reference, and the vector lane spill carry
 #                 `lint:allow(fastmath)` with a justification.
+#   sqrt-domain   (src/gb/ only) fractional powers and square roots of
+#                 expressions that can go negative turn a bad operand
+#                 into a silent NaN (or an FE_INVALID trap under
+#                 OCTGB_FPE). Any `std::pow(` call and any `std::sqrt(`
+#                 whose argument contains a subtraction must carry
+#                 `lint:allow(sqrt-domain)` plus a justification naming
+#                 where the domain (operand >= 0 / eps > 0) is
+#                 established.
+#   narrow-cast   (src/gb/ only) a narrowing integer cast applied
+#                 directly to floating-point math (`static_cast<int>(
+#                 std::log(...))` and friends) truncates silently; go
+#                 through an explicit rounding function (std::ceil /
+#                 floor / round / lround / trunc) or carry
+#                 `lint:allow(narrow-cast)` with a justification when
+#                 the truncation is the intended rule.
 #   rawclock      (everywhere except src/telemetry/ and bench/) no raw
 #                 `std::chrono::steady_clock::now()` (nor system_clock /
 #                 high_resolution_clock): timing goes through
@@ -80,6 +95,15 @@ FNR == 1 { in_block = 0; prev_raw = "" }
       (line ~ /(^|[^[:alnum:]_])std::exp[[:space:]]*\(/ ||
        line ~ /\/[[:space:]]*std::sqrt[[:space:]]*\(/))
     print FILENAME ":" FNR ":fastmath: " raw
+
+  if (FILENAME ~ /(^|\/)src\/gb\// && !allowed("sqrt-domain") &&
+      (line ~ /(^|[^[:alnum:]_])std::pow[[:space:]]*\(/ ||
+       line ~ /(^|[^[:alnum:]_])std::sqrt[[:space:]]*\([^)]*-/))
+    print FILENAME ":" FNR ":sqrt-domain: " raw
+
+  if (FILENAME ~ /(^|\/)src\/gb\// && !allowed("narrow-cast") &&
+      line ~ /static_cast<[[:space:]]*(std::)?u?int[0-9a-z_]*[[:space:]]*>[[:space:]]*\([[:space:]]*std::(log|log2|log10|log1p|exp|exp2|expm1|sqrt|cbrt|pow|fma|sin|cos|tan|atan|atan2|asin|acos|hypot)[[:space:]]*\(/)
+    print FILENAME ":" FNR ":narrow-cast: " raw
 
   if (FILENAME !~ /(^|\/)src\/telemetry\// && FILENAME !~ /(^|\/)bench\// &&
       !allowed("rawclock") &&

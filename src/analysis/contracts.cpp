@@ -1,0 +1,34 @@
+#include "src/analysis/contracts.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace octgb::analysis {
+
+void contract_failure(const char* file, int line, const char* kind,
+                      const char* expr, const char* detail) {
+  // stderr directly (not util::log): a violated contract must reach the
+  // terminal even if the logging layer's own state is what corrupted.
+  std::fprintf(stderr,
+               "\n*** OCTGB contract violated [%s] at %s:%d\n"
+               "***   %s\n",
+               kind, file, line, expr);
+  if (detail != nullptr && detail[0] != '\0') {
+    std::fprintf(stderr, "***   %s\n", detail);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+bool test_corruption(const char* tag) {
+#if defined(OCTGB_VALIDATE_BUILD)
+  const char* v = std::getenv("OCTGB_TEST_CORRUPT");
+  return v != nullptr && std::strcmp(v, tag) == 0;
+#else
+  (void)tag;
+  return false;
+#endif
+}
+
+}  // namespace octgb::analysis

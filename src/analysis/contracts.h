@@ -1,0 +1,88 @@
+// contracts.h -- the project's contract macros (DESIGN.md section 12).
+//
+// Three macro families, all compiled to nothing unless the build was
+// configured with -DOCTGB_VALIDATE=ON (which defines
+// OCTGB_VALIDATE_BUILD):
+//
+//   OCTGB_REQUIRE(cond, what)   precondition at a function entry
+//   OCTGB_ASSERT(cond, what)    invariant in a function body
+//   OCTGB_ENSURE(cond, what)    postcondition before a function returns
+//
+// On failure each prints the file:line, the failing expression, the
+// caller-supplied context string and the contract kind to stderr, then
+// aborts -- a contract violation means memory already holds corrupted
+// science, so there is nothing safe to continue with. The three names
+// carry intent only; the machinery is identical.
+//
+// OCTGB_VALIDATE_CHECKPOINT(report_expr, what) runs one of the deep
+// structural validators in src/analysis/validate.h and aborts with the
+// validator's full error list when the report is non-empty. Checkpoints
+// sit at the phase boundaries of the pipeline (octree build/refit, plan
+// construction, PUSH-INTEGRALS, charge-bin build, serve refit/insert,
+// batch-kernel dispatch); in non-validate builds the argument
+// expression is not evaluated at all.
+//
+// Validate builds also honor the OCTGB_TEST_CORRUPT environment knob
+// (test_corruption below): scripts/ci.sh --validate-only uses it to
+// inject one deliberate corruption per run and prove the checkpoint
+// that should catch it actually fires (a validator layer that silently
+// passes everything is worse than none).
+#pragma once
+
+namespace octgb::analysis {
+
+/// Prints a contract diagnostic and aborts. `kind` is "REQUIRE" /
+/// "ASSERT" / "ENSURE" / "CHECKPOINT"; `detail` may be multi-line (the
+/// checkpoint macro passes a validator's full error list).
+[[noreturn]] void contract_failure(const char* file, int line,
+                                   const char* kind, const char* expr,
+                                   const char* detail);
+
+/// True when the OCTGB_TEST_CORRUPT environment variable equals `tag`
+/// in a validate build; always false otherwise. Guards the test-only
+/// corruption hooks of the mutation self-test.
+bool test_corruption(const char* tag);
+
+}  // namespace octgb::analysis
+
+#if defined(OCTGB_VALIDATE_BUILD)
+
+#define OCTGB_CONTRACT_IMPL_(kind, cond, what)                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::octgb::analysis::contract_failure(__FILE__, __LINE__, kind,       \
+                                          #cond, what);                   \
+    }                                                                     \
+  } while (0)
+
+#define OCTGB_REQUIRE(cond, what) OCTGB_CONTRACT_IMPL_("REQUIRE", cond, what)
+#define OCTGB_ASSERT(cond, what) OCTGB_CONTRACT_IMPL_("ASSERT", cond, what)
+#define OCTGB_ENSURE(cond, what) OCTGB_CONTRACT_IMPL_("ENSURE", cond, what)
+
+#define OCTGB_VALIDATE_CHECKPOINT(report_expr, what)                      \
+  do {                                                                    \
+    const ::octgb::analysis::Report octgb_checkpoint_report_ =            \
+        (report_expr);                                                    \
+    if (!octgb_checkpoint_report_.ok()) {                                 \
+      ::octgb::analysis::contract_failure(                                \
+          __FILE__, __LINE__, "CHECKPOINT", what,                         \
+          octgb_checkpoint_report_.str().c_str());                        \
+    }                                                                     \
+  } while (0)
+
+#else  // !OCTGB_VALIDATE_BUILD
+
+#define OCTGB_REQUIRE(cond, what) \
+  do {                            \
+  } while (0)
+#define OCTGB_ASSERT(cond, what) \
+  do {                           \
+  } while (0)
+#define OCTGB_ENSURE(cond, what) \
+  do {                           \
+  } while (0)
+#define OCTGB_VALIDATE_CHECKPOINT(report_expr, what) \
+  do {                                               \
+  } while (0)
+
+#endif  // OCTGB_VALIDATE_BUILD

@@ -1,0 +1,68 @@
+#include "src/analysis/fpe.h"
+
+#include <cfenv>
+
+#include "src/util/env.h"
+
+// feenableexcept / fedisableexcept / fegetexcept are glibc extensions;
+// musl and macOS need different mechanisms. Everything here degrades
+// to a no-op off glibc so the validate gate stays portable in spirit.
+#if defined(__GLIBC__)
+#define OCTGB_FPE_AVAILABLE 1
+#else
+#define OCTGB_FPE_AVAILABLE 0
+#endif
+
+namespace octgb::analysis {
+
+namespace {
+constexpr int kTrapMask = FE_INVALID | FE_DIVBYZERO | FE_OVERFLOW;
+}  // namespace
+
+bool fpe_supported() { return OCTGB_FPE_AVAILABLE != 0; }
+
+void fpe_enable() {
+#if OCTGB_FPE_AVAILABLE
+  std::feclearexcept(FE_ALL_EXCEPT);
+  feenableexcept(kTrapMask);
+#endif
+}
+
+void fpe_disable() {
+#if OCTGB_FPE_AVAILABLE
+  fedisableexcept(FE_ALL_EXCEPT);
+#endif
+}
+
+bool fpe_enabled() {
+#if OCTGB_FPE_AVAILABLE
+  return (fegetexcept() & kTrapMask) != 0;
+#else
+  return false;
+#endif
+}
+
+bool arm_fpe_from_env() {
+  if (!fpe_supported()) return false;
+  if (!util::env_flag("OCTGB_FPE")) return false;
+  fpe_enable();
+  return true;
+}
+
+FpeSuspend::FpeSuspend() {
+#if OCTGB_FPE_AVAILABLE
+  saved_ = fegetexcept();
+  fedisableexcept(FE_ALL_EXCEPT);
+#endif
+}
+
+FpeSuspend::~FpeSuspend() {
+#if OCTGB_FPE_AVAILABLE
+  // Clear what the sanctioned scope raised, then restore the mask --
+  // re-arming with flags still set would trap on the next FP op.
+  std::feclearexcept(FE_ALL_EXCEPT);
+  if (saved_ != 0) feenableexcept(saved_);
+#endif
+}
+
+}  // namespace octgb::analysis

@@ -1,0 +1,59 @@
+// fpe.h -- floating-point exception trapping (DESIGN.md section 12).
+//
+// The GB kernels are dense floating-point code where a NaN born of one
+// bad operand silently poisons every accumulator downstream; by the
+// time a test compares energies the NaN has been max()'d or clamped
+// away and the failure reads as "energy off by 4%", not "divide by
+// zero in far_deposit". Trapping mode turns the *first* invalid
+// operation, divide-by-zero or overflow into an immediate SIGFPE at
+// the faulting instruction.
+//
+// Armed by the OCTGB_FPE environment flag: every test binary links
+// src/analysis/fpe_boot.cpp, whose constructor calls
+// arm_fpe_from_env() before main(). scripts/ci.sh --validate-only runs
+// the full suite with OCTGB_FPE=1. Underflow and inexact stay masked
+// -- both are routine in this code (denormal far-field tails, every
+// rounding operation).
+//
+// FE_* trap control is glibc-specific (feenableexcept); on other libcs
+// the functions compile to no-ops and fpe_supported() reports false.
+#pragma once
+
+namespace octgb::analysis {
+
+/// True when this platform can unmask FP exceptions.
+bool fpe_supported();
+
+/// Unmasks FE_INVALID | FE_DIVBYZERO | FE_OVERFLOW (no-op when
+/// unsupported). Clears pending exception flags first so a stale flag
+/// from startup code does not trap retroactively.
+void fpe_enable();
+
+/// Restores the default fully-masked environment.
+void fpe_disable();
+
+/// True when trapping is currently enabled on this thread.
+bool fpe_enabled();
+
+/// Enables trapping iff the OCTGB_FPE environment flag is truthy
+/// ("1"/"true"/"on"/"yes"). Returns whether traps are now armed.
+bool arm_fpe_from_env();
+
+/// RAII suspension for code that *legitimately* produces non-finite
+/// intermediates (e.g. a probe dividing by a possibly-zero reference).
+/// Saves the trap mask, masks everything, and on destruction clears
+/// the flags raised inside the scope before re-arming -- so the
+/// sanctioned operation does not trap retroactively. Every use site
+/// carries a justification comment, like lint:allow markers.
+class FpeSuspend {
+ public:
+  FpeSuspend();
+  ~FpeSuspend();
+  FpeSuspend(const FpeSuspend&) = delete;
+  FpeSuspend& operator=(const FpeSuspend&) = delete;
+
+ private:
+  int saved_ = 0;  // trap mask at entry (glibc excepts value)
+};
+
+}  // namespace octgb::analysis

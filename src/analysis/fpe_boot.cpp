@@ -1,0 +1,20 @@
+// fpe_boot.cpp -- arms FP-exception traps before main() when the
+// OCTGB_FPE environment flag is set.
+//
+// This TU is *not* part of the octgb library (a static-archive member
+// with only a constructor would never be pulled in by the linker);
+// tests/CMakeLists.txt compiles it directly into every test binary, so
+// `OCTGB_FPE=1 ctest` runs the entire suite with traps armed -- the
+// `validate` stage of scripts/ci.sh. Examples and benches are not
+// wired: traps exist to make test failures precise, not to guard
+// production runs.
+
+#include "src/analysis/fpe.h"
+
+namespace {
+
+__attribute__((constructor)) void octgb_fpe_boot() {
+  octgb::analysis::arm_fpe_from_env();
+}
+
+}  // namespace

@@ -4,8 +4,12 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "src/analysis/contracts.h"
 #include "src/gb/kernel_primitives.h"
 #include "src/util/fastmath.h"
+#if defined(OCTGB_VALIDATE_BUILD)
+#include "src/analysis/validate.h"
+#endif
 
 namespace octgb::gb {
 
@@ -22,6 +26,7 @@ double born_far_factor2(const ApproxParams& params) {
   }
   double f;
   if (params.strict_born_criterion) {
+    // lint:allow(sqrt-domain) eps > 0 was just validated above
     const double k = std::pow(1.0 + eps, 1.0 / 6.0);
     f = (k + 1.0) / (k - 1.0);
   } else {
@@ -270,6 +275,21 @@ void push_integrals_to_atoms(const BornOctrees& trees,
   } else {
     launch(nullptr);
   }
+
+#if defined(OCTGB_VALIDATE_BUILD)
+  if (analysis::test_corruption("born_sign")) {
+    // Mutation self-test hook (scripts/ci.sh --validate-only): flip the
+    // sign of one computed radius so the checkpoint below must fire.
+    out_radii[trees.atoms.point_index()[atom_begin]] *= -1.0;
+  }
+  if (atom_begin == 0 && atom_end == mol.size()) {
+    // Segment calls (distributed ranks) leave the rest of out_radii
+    // untouched, so only full-range pushes can be deep-checked.
+    OCTGB_VALIDATE_CHECKPOINT(
+        analysis::validate_born_radii(mol.radii(), out_radii),
+        "PUSH-INTEGRALS radii");
+  }
+#endif
 }
 
 void approx_integrals_cross(const octree::Octree& atoms_tree,

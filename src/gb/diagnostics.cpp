@@ -10,6 +10,7 @@ namespace {
 
 double far_factor(const ApproxParams& params, bool born) {
   if (born && params.strict_born_criterion) {
+    // lint:allow(sqrt-domain) eps > 0 enforced by born_far_factor2
     const double k = std::pow(1.0 + params.eps_born, 1.0 / 6.0);
     return (k + 1.0) / (k - 1.0);
   }

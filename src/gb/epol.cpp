@@ -4,8 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/analysis/contracts.h"
 #include "src/gb/kernel_primitives.h"
 #include "src/util/fastmath.h"
+#if defined(OCTGB_VALIDATE_BUILD)
+#include "src/analysis/validate.h"
+#endif
 
 namespace octgb::gb {
 
@@ -14,6 +18,7 @@ namespace {
 // Bin index of Born radius R: floor(log_{1+eps}(R / R_min)), clamped.
 int bin_of(double born, const ChargeBins& bins) {
   if (born <= bins.r_min) return 0;
+  // lint:allow(narrow-cast) log-bin truncation is the binning rule itself
   const int k = static_cast<int>(std::log(born / bins.r_min) *
                                  bins.inv_log1p);
   return std::clamp(k, 0, bins.num_bins - 1);
@@ -237,6 +242,16 @@ ChargeBins build_charge_bins(const octree::Octree& tree,
     }
     bins.nz_offset[n + 1] = static_cast<std::uint32_t>(bins.nz_bin.size());
   }
+
+#if defined(OCTGB_VALIDATE_BUILD)
+  if (analysis::test_corruption("bin_charge") && !bins.q.empty()) {
+    // Mutation self-test hook: perturb the root histogram so the charge
+    // conservation check in the checkpoint below must fire.
+    bins.q[0] += 1.0;
+  }
+#endif
+  OCTGB_VALIDATE_CHECKPOINT(
+      analysis::validate_charge_bins(tree, bins, charges), "charge bins");
   return bins;
 }
 

@@ -4,8 +4,12 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "src/analysis/contracts.h"
 #include "src/geom/vec3.h"
 #include "src/telemetry/telemetry.h"
+#if defined(OCTGB_VALIDATE_BUILD)
+#include "src/analysis/validate.h"
+#endif
 
 namespace octgb::gb {
 
@@ -214,6 +218,20 @@ InteractionPlan build_interaction_plan(const BornOctrees& trees,
   plan.epol_far_chunks =
       make_chunks(plan.epol_far, kTargetChunks,
                   [](const NodePair&) { return kFarBinCost; });
+
+#if defined(OCTGB_VALIDATE_BUILD)
+  if (analysis::test_corruption("plan_drop") && !plan.born_near.empty()) {
+    // Mutation self-test hook (scripts/ci.sh --validate-only): drop one
+    // near pair so the coverage proof in the checkpoint below must fire.
+    plan.born_near.pop_back();
+    if (plan.born_near_chunks.size() >= 2) {
+      plan.born_near_chunks.back() =
+          static_cast<std::uint32_t>(plan.born_near.size());
+    }
+  }
+#endif
+  OCTGB_VALIDATE_CHECKPOINT(analysis::validate_plan(trees, plan, params),
+                            "interaction plan");
   return plan;
 }
 

@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "src/analysis/contracts.h"
 #include "src/gb/kernel_primitives.h"
 #include "src/gb/kernels_batch_simd.h"
 #include "src/telemetry/telemetry.h"
@@ -270,6 +271,17 @@ BornRadiiResult born_radii_batched(const BornOctrees& trees,
                                    parallel::WorkStealingPool* pool,
                                    SimdMode mode) {
   OCTGB_TRACE_SCOPE("gb/born_kernels");
+  // Dispatch preconditions: the chunk tables must span their pair lists
+  // exactly, or run_chunks would silently skip (or overrun) work items.
+  OCTGB_REQUIRE(plan.born_near_chunks.empty() ||
+                    plan.born_near_chunks.back() == plan.born_near.size(),
+                "born_near chunk table does not cover its pair list");
+  OCTGB_REQUIRE(plan.born_far_chunks.empty() ||
+                    plan.born_far_chunks.back() == plan.born_far.size(),
+                "born_far chunk table does not cover its pair list");
+  OCTGB_REQUIRE(mol.size() == trees.atoms.num_points() &&
+                    surf.points.size() == trees.qpoints.num_points(),
+                "plan/tree built over different molecule or surface");
   BornWorkspace ws(trees);
   const bool use_simd = mode == SimdMode::kAuto && simd_enabled();
 #if defined(OCTGB_TELEMETRY_ENABLED)
@@ -384,6 +396,15 @@ EpolResult epol_batched(const octree::Octree& tree,
   EpolResult out;
   if (tree.empty()) return out;
   OCTGB_TRACE_SCOPE("gb/epol_kernels");
+  OCTGB_REQUIRE(plan.epol_near_chunks.empty() ||
+                    plan.epol_near_chunks.back() == plan.epol_near.size(),
+                "epol_near chunk table does not cover its pair list");
+  OCTGB_REQUIRE(plan.epol_far_chunks.empty() ||
+                    plan.epol_far_chunks.back() == plan.epol_far.size(),
+                "epol_far chunk table does not cover its pair list");
+  OCTGB_REQUIRE(born_radii.size() == tree.num_points() &&
+                    mol.size() == tree.num_points(),
+                "born radii / molecule size mismatch with tree");
   const ChargeBins bins =
       build_charge_bins(tree, mol.charges(), born_radii, params.eps_epol);
   const auto leaves = tree.leaves();

@@ -6,11 +6,34 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "src/molecule/molecule.h"
 
 namespace octgb::molecule {
+
+/// Typed parse/validation failure thrown by the readers. Derives from
+/// std::runtime_error so existing catch sites keep working; `kind()`
+/// lets callers (and the fuzz harness) distinguish rejection reasons.
+class IoError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kOpenFailed,          // file could not be opened
+    kMalformedRecord,     // row/record did not parse
+    kNonFiniteCoordinate,  // NaN/Inf position component
+    kInvalidRadius,       // radius NaN/Inf or <= 0
+    kInvalidCharge,       // charge NaN/Inf
+  };
+
+  IoError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
 
 /// Writes whitespace-delimited PQR ATOM records:
 ///   ATOM serial name resName resSeq x y z charge radius
@@ -18,8 +41,9 @@ void write_pqr(std::ostream& os, const Molecule& mol);
 bool write_pqr_file(const std::string& path, const Molecule& mol);
 
 /// Parses PQR. Unrecognized lines are skipped; ATOM/HETATM records are
-/// parsed in the whitespace-delimited convention. Throws
-/// std::runtime_error on malformed ATOM records.
+/// parsed in the whitespace-delimited convention. Throws IoError on
+/// malformed ATOM records, non-finite coordinates/charges, and
+/// non-positive or non-finite radii.
 Molecule read_pqr(std::istream& is, std::string name = "pqr");
 Molecule read_pqr_file(const std::string& path);
 
@@ -27,7 +51,8 @@ Molecule read_pqr_file(const std::string& path);
 void write_xyzr(std::ostream& os, const Molecule& mol);
 bool write_xyzr_file(const std::string& path, const Molecule& mol);
 
-/// Parses XYZR rows (4 or 5 columns; charge defaults to 0).
+/// Parses XYZR rows (4 or 5 columns; charge defaults to 0). Throws
+/// IoError under the same validation rules as read_pqr.
 Molecule read_xyzr(std::istream& is, std::string name = "xyzr");
 Molecule read_xyzr_file(const std::string& path);
 

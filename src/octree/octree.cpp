@@ -5,7 +5,13 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/analysis/contracts.h"
 #include "src/geom/morton.h"
+#if defined(OCTGB_VALIDATE_BUILD)
+// Deep validators only in validate builds: validate.h pulls the gb
+// headers, which would invert the layering for everyone else.
+#include "src/analysis/validate.h"
+#endif
 
 namespace octgb::octree {
 
@@ -43,6 +49,8 @@ Octree::Octree(std::span<const geom::Vec3> points,
   nodes_.reserve(points.size() / std::max<std::size_t>(params.leaf_capacity / 2, 1) + 16);
   build_node(ctx, 0, static_cast<std::uint32_t>(points.size()), cube, 0,
              Node::kInvalid);
+  OCTGB_VALIDATE_CHECKPOINT(analysis::validate_octree(*this, points, &params),
+                            "octree build");
 }
 
 std::uint32_t Octree::build_node(BuildCtx& ctx, std::uint32_t begin,
@@ -135,6 +143,11 @@ void Octree::refit(std::span<const geom::Vec3> points) {
     }
     node.radius = std::sqrt(r2);
   }
+  // Refit keeps topology for arbitrary drift, so leaf capacity is not
+  // re-checked (pass no params) -- but the sphere hierarchy must again
+  // contain every moved point, which is what the far criterion consumes.
+  OCTGB_VALIDATE_CHECKPOINT(analysis::validate_octree(*this, points, nullptr),
+                            "octree refit");
 }
 
 std::size_t Octree::memory_bytes() const {

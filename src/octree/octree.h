@@ -80,6 +80,11 @@ class Octree {
   const Node& root() const { return nodes_[0]; }
   std::uint32_t root_index() const { return 0; }
 
+  /// Mutable node access for the contract-layer tests ONLY
+  /// (tests/analysis_test.cpp corrupts trees to prove the validators
+  /// fire). Library code must never mutate nodes through this.
+  Node& node_for_test(std::size_t i) { return nodes_[i]; }
+
   /// Indices (into the tree's own node array) of all leaves, in
   /// depth-first order == Morton order. This is the paper's unit of
   /// static work division across MPI ranks.

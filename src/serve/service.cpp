@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/analysis/contracts.h"
 #include "src/gb/kernels_batch.h"
 #include "src/serve/content_hash.h"
 #include "src/telemetry/telemetry.h"
@@ -279,9 +280,66 @@ void PolarizationService::process_batch(std::vector<Pending>&& batch) {
   }
 #endif
 
+  OCTGB_VALIDATE_CHECKPOINT(validate_invariants(), "service batch stats");
+
   for (Item& item : items) {
     item.pending.promise.set_value(std::move(item.resp));
   }
+}
+
+analysis::Report PolarizationService::validate_invariants() const {
+  const ServiceSnapshot snap = snapshot();
+  const ServiceStats& s = snap.stats;
+  analysis::Report report;
+  if (s.completed != s.cache_hits + s.refits + s.cold_builds) {
+    report.fail("service: %llu completed != %llu hits + %llu refits + "
+                "%llu cold builds",
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.cache_hits),
+                static_cast<unsigned long long>(s.refits),
+                static_cast<unsigned long long>(s.cold_builds));
+  }
+  const std::uint64_t settled = s.rejected + s.shed + s.completed + s.failed;
+  if (s.submitted < settled) {
+    report.fail("service: %llu submitted < %llu settled",
+                static_cast<unsigned long long>(s.submitted),
+                static_cast<unsigned long long>(settled));
+  } else if (s.submitted - settled > snap.queue_depth + snap.in_flight) {
+    // Every unsettled request must be queued or inside a batch. (Settled
+    // requests of a running batch are still counted in_flight, so the
+    // bound is one-sided.)
+    report.fail("service: %llu unsettled requests but only %zu queued + "
+                "%zu in flight",
+                static_cast<unsigned long long>(s.submitted - settled),
+                snap.queue_depth, snap.in_flight);
+  }
+  if (snap.queue_depth > config_.queue_capacity) {
+    report.fail("service: queue depth %zu exceeds capacity %zu",
+                snap.queue_depth, config_.queue_capacity);
+  }
+  if (s.max_batch_size > config_.max_batch) {
+    report.fail("service: max batch %llu exceeds configured %zu",
+                static_cast<unsigned long long>(s.max_batch_size),
+                config_.max_batch);
+  }
+  if (s.coalesced > s.cache_hits) {
+    report.fail("service: %llu coalesced > %llu cache hits",
+                static_cast<unsigned long long>(s.coalesced),
+                static_cast<unsigned long long>(s.cache_hits));
+  }
+  if (s.plan_reuses > s.refits) {
+    report.fail("service: %llu plan reuses > %llu refits",
+                static_cast<unsigned long long>(s.plan_reuses),
+                static_cast<unsigned long long>(s.refits));
+  }
+  if (s.queue_seconds < 0.0 || s.build_seconds < 0.0 ||
+      s.refit_seconds < 0.0 || s.kernel_seconds < 0.0) {
+    report.fail("service: negative stage-time sums");
+  }
+  if (snap.cache.evictions > snap.cache.insertions) {
+    report.fail("service: cache evictions exceed insertions");
+  }
+  return report;
 }
 
 Response PolarizationService::compute_one(const Request& req,
@@ -336,6 +394,11 @@ Response PolarizationService::compute_one(const Request& req,
     entry->trees = base->trees;
     entry->trees.atoms.refit(req.mol.positions());
     resp.t_refit = stage.seconds();
+    // The q-tree and its normal aggregates are retained untouched;
+    // prove they still match the retained surface.
+    OCTGB_VALIDATE_CHECKPOINT(
+        analysis::validate_born_octrees(entry->trees, *entry->surf),
+        "serve refit");
   } else {
     // Cold build: exactly the compute_gb_energy pipeline (same calls,
     // same order), so a kExact request's energy is bit-identical to
@@ -397,7 +460,10 @@ Response PolarizationService::compute_one(const Request& req,
   resp.num_qpoints = entry->num_qpoints;
   if (req.want_born_radii) resp.born_radii = entry->born_radii;
 
-  if (config_.cache_capacity > 0) cache_.insert(std::move(entry));
+  if (config_.cache_capacity > 0) {
+    cache_.insert(std::move(entry));
+    OCTGB_VALIDATE_CHECKPOINT(cache_.validate(), "structure cache insert");
+  }
   resp.t_total = queue_wait + total.seconds();
   return resp;
 }

@@ -147,6 +147,13 @@ class PolarizationService {
   ServiceSnapshot snapshot() const OCTGB_EXCLUDES(mu_);
   /// Scheduler counters of the underlying pool.
   parallel::PoolStats pool_stats() const { return pool_.stats(); }
+  /// Cross-field stat invariants over a tear-free snapshot (completed
+  /// splits exactly into cache_hits + refits + cold_builds; unsettled
+  /// submissions are bounded by queue depth + in-flight work; batch
+  /// and coalescing counters respect their configured caps). Called
+  /// from the OCTGB_VALIDATE checkpoint after every batch, and
+  /// directly by tests.
+  analysis::Report validate_invariants() const OCTGB_EXCLUDES(mu_);
   std::size_t cache_size() const { return cache_.size(); }
   /// Approximate bytes retained by cached structures.
   std::size_t cache_memory_bytes() const { return cache_.memory_bytes(); }

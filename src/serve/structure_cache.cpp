@@ -77,6 +77,7 @@ void StructureCache::insert(std::shared_ptr<const CacheEntry> entry) {
   util::MutexLock lock(mu_);
   unlink_locked(entry->key);  // replace an existing key in place
   lru_.push_front(std::move(entry));
+  resident_bytes_ += lru_.front()->memory_bytes();
   by_key_[lru_.front()->key] = lru_.begin();
   by_skey_.emplace(lru_.front()->skey, lru_.front()->key);
   ++stats_.insertions;
@@ -97,6 +98,7 @@ void StructureCache::unlink_locked(std::uint64_t key) {
   const auto it = by_key_.find(key);
   if (it == by_key_.end()) return;
   const std::uint64_t skey = (*it->second)->skey;
+  resident_bytes_ -= (*it->second)->memory_bytes();
   const auto [begin, end] = by_skey_.equal_range(skey);
   for (auto sit = begin; sit != end; ++sit) {
     if (sit->second == key) {
@@ -115,14 +117,69 @@ std::size_t StructureCache::size() const {
 
 std::size_t StructureCache::memory_bytes() const {
   util::MutexLock lock(mu_);
-  std::size_t bytes = 0;
-  for (const auto& entry : lru_) bytes += entry->memory_bytes();
-  return bytes;
+  return resident_bytes_;
 }
 
 CacheStats StructureCache::stats() const {
   util::MutexLock lock(mu_);
   return stats_;
+}
+
+analysis::Report StructureCache::validate() const {
+  util::MutexLock lock(mu_);
+  analysis::Report report;
+  if (lru_.size() > capacity_) {
+    report.fail("cache: %zu resident entries exceed capacity %zu",
+                lru_.size(), capacity_);
+  }
+  if (by_key_.size() != lru_.size() || by_skey_.size() != lru_.size()) {
+    report.fail(
+        "cache: index sizes diverge (lru=%zu by_key=%zu by_skey=%zu)",
+        lru_.size(), by_key_.size(), by_skey_.size());
+  }
+  std::size_t recomputed = 0;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    const CacheEntry& entry = **it;
+    recomputed += entry.memory_bytes();
+    const auto kit = by_key_.find(entry.key);
+    if (kit == by_key_.end() || kit->second != it) {
+      report.fail("cache: by_key does not map key %llu back to its node",
+                  static_cast<unsigned long long>(entry.key));
+      continue;
+    }
+    const auto [sb, se] = by_skey_.equal_range(entry.skey);
+    std::size_t links = 0;
+    for (auto sit = sb; sit != se; ++sit) {
+      if (sit->second == entry.key) ++links;
+    }
+    if (links != 1) {
+      report.fail("cache: skey %llu lists key %llu %zu times (want 1)",
+                  static_cast<unsigned long long>(entry.skey),
+                  static_cast<unsigned long long>(entry.key), links);
+    }
+  }
+  if (recomputed != resident_bytes_) {
+    report.fail("cache: byte counter drift (counter=%zu recomputed=%zu)",
+                resident_bytes_, recomputed);
+  }
+  if (stats_.evictions > stats_.insertions) {
+    report.fail("cache: %llu evictions exceed %llu insertions",
+                static_cast<unsigned long long>(stats_.evictions),
+                static_cast<unsigned long long>(stats_.insertions));
+  }
+  if (lru_.size() + stats_.evictions > stats_.insertions) {
+    report.fail(
+        "cache: %zu resident + %llu evicted exceed %llu ever inserted",
+        lru_.size(), static_cast<unsigned long long>(stats_.evictions),
+        static_cast<unsigned long long>(stats_.insertions));
+  }
+  return report;
+}
+
+void StructureCache::test_only_corrupt_bytes(std::ptrdiff_t delta) {
+  util::MutexLock lock(mu_);
+  resident_bytes_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(resident_bytes_) + delta);
 }
 
 }  // namespace octgb::serve

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/analysis/validate.h"
 #include "src/gb/born.h"
 #include "src/gb/interaction_lists.h"
 #include "src/geom/vec3.h"
@@ -102,9 +103,22 @@ class StructureCache {
 
   std::size_t size() const OCTGB_EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
-  /// Sum of memory_bytes over resident entries.
+  /// Sum of memory_bytes over resident entries. O(1): maintained as a
+  /// running counter on insert/unlink; validate() cross-checks it
+  /// against a full recomputation.
   std::size_t memory_bytes() const OCTGB_EXCLUDES(mu_);
   CacheStats stats() const OCTGB_EXCLUDES(mu_);
+
+  /// Deep structural check: LRU list, key/skey index maps, the byte
+  /// counter and the monotonic stats must all agree. Called from the
+  /// OCTGB_VALIDATE checkpoints in the service after every insert, and
+  /// directly by tests.
+  analysis::Report validate() const OCTGB_EXCLUDES(mu_);
+
+  /// Skews the O(1) resident-byte counter by `delta` bytes. Exists so
+  /// tests can prove validate() catches accounting drift; never called
+  /// by library code.
+  void test_only_corrupt_bytes(std::ptrdiff_t delta) OCTGB_EXCLUDES(mu_);
 
  private:
   using LruList = std::list<std::shared_ptr<const CacheEntry>>;
@@ -120,6 +134,9 @@ class StructureCache {
   /// structure_key -> content keys of resident entries with it.
   std::unordered_multimap<std::uint64_t, std::uint64_t> by_skey_
       OCTGB_GUARDED_BY(mu_);
+  /// Running sum of memory_bytes over resident entries (entries are
+  /// immutable after insert, so insert/unlink deltas stay exact).
+  std::size_t resident_bytes_ OCTGB_GUARDED_BY(mu_) = 0;
   CacheStats stats_ OCTGB_GUARDED_BY(mu_);
 };
 

@@ -34,6 +34,10 @@ struct PairHash {
 TriMesh marching_tetrahedra(const GaussianDensityField& field,
                             const MarchingParams& params) {
   const geom::Aabb box = field.surface_bounds();
+  // No atoms -> the bounds are the empty Aabb sentinel (+inf, -inf);
+  // sizing the grid from it would cast inf to an integer (undefined,
+  // and an FE_INVALID trap under OCTGB_FPE). No surface to extract.
+  if (box.empty()) return {};
   const geom::Vec3 size = box.size();
   const double h = params.spacing;
   const auto nx = static_cast<std::size_t>(std::ceil(size.x / h)) + 1;
