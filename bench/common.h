@@ -24,6 +24,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/gb/calculator.h"
@@ -34,6 +35,45 @@
 #include "src/util/timer.h"
 
 namespace octgb::bench {
+
+/// Escapes `s` for inclusion inside a JSON string literal: quote,
+/// backslash, and control characters (RFC 8259 mandates all three; the
+/// old writer emitted none of them, so a build-flags string containing
+/// `-DFOO="bar"` -- or any future name/field with a quote -- produced
+/// unparseable BENCH_*.json records).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 /// Number of suite molecules for figure sweeps.
 inline int suite_count() {
@@ -121,9 +161,47 @@ class BenchJson {
 
   /// Adds an experiment-specific numeric field (e.g. a speedup).
   void field(const std::string& key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "\"%s\": %.6g", key.c_str(), value);
-    extras_.emplace_back(buf);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    extras_.push_back("\"" + json_escape(key) + "\": " + buf);
+  }
+
+  /// Adds an experiment-specific string field (escaped).
+  void field(const std::string& key, const std::string& value) {
+    extras_.push_back("\"" + json_escape(key) + "\": \"" + json_escape(value) +
+                      "\"");
+  }
+
+  /// Adds a field whose value is already well-formed JSON (an array or
+  /// object the experiment rendered itself, e.g. a capacity table).
+  /// The *caller* is responsible for its validity.
+  void field_raw(const std::string& key, const std::string& json_value) {
+    extras_.push_back("\"" + json_escape(key) + "\": " + json_value);
+  }
+
+  /// Renders the record body (exposed so tests can check the writer
+  /// produces valid JSON without touching the filesystem).
+  void render(std::ostream& os) const {
+    char hash[20];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(hash_));
+    os << "{\n"
+       << "  \"name\": \"" << json_escape(name_) << "\",\n"
+       << "  \"git_sha\": \"" << json_escape(OCTGB_GIT_SHA) << "\",\n"
+       << "  \"build_flags\": \"" << json_escape(OCTGB_BUILD_FLAGS) << "\",\n"
+       << "  \"atoms\": " << atoms_ << ",\n"
+       << "  \"threads\": " << threads_ << ",\n";
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", timer_.seconds() * 1e3);
+    os << "  \"wall_ms\": " << wall << ",\n";
+    for (const std::string& extra : extras_) os << "  " << extra << ",\n";
+    // Snapshot of the process-wide metrics registry: counters, gauges
+    // and latency histograms accumulated over the whole run. Empty "{}"
+    // when nothing was instrumented (e.g. OCTGB_TELEMETRY=OFF builds
+    // still record, since the registry classes are always compiled).
+    os << "  \"metrics\": " << telemetry::MetricsRegistry::instance().dump_json()
+       << ",\n";
+    os << "  \"checksum\": \"" << hash << "\"\n}\n";
   }
 
   /// Writes BENCH_<name>.json. Idempotent; called automatically at
@@ -138,26 +216,7 @@ class BenchJson {
       std::printf("[json] FAILED to write %s\n", path.c_str());
       return;
     }
-    char hash[20];
-    std::snprintf(hash, sizeof(hash), "%016llx",
-                  static_cast<unsigned long long>(hash_));
-    os << "{\n"
-       << "  \"name\": \"" << name_ << "\",\n"
-       << "  \"git_sha\": \"" << OCTGB_GIT_SHA << "\",\n"
-       << "  \"build_flags\": \"" << OCTGB_BUILD_FLAGS << "\",\n"
-       << "  \"atoms\": " << atoms_ << ",\n"
-       << "  \"threads\": " << threads_ << ",\n";
-    char wall[32];
-    std::snprintf(wall, sizeof(wall), "%.3f", timer_.seconds() * 1e3);
-    os << "  \"wall_ms\": " << wall << ",\n";
-    for (const std::string& extra : extras_) os << "  " << extra << ",\n";
-    // Snapshot of the process-wide metrics registry: counters, gauges
-    // and latency histograms accumulated over the whole run. Empty "{}"
-    // when nothing was instrumented (e.g. OCTGB_TELEMETRY=OFF builds
-    // still record, since the registry classes are always compiled).
-    os << "  \"metrics\": " << telemetry::MetricsRegistry::instance().dump_json()
-       << ",\n";
-    os << "  \"checksum\": \"" << hash << "\"\n}\n";
+    render(os);
     std::printf("[json] wrote %s\n", path.c_str());
   }
 

@@ -1,0 +1,125 @@
+// load_demo.cpp -- one trace, two executors: the virtual-time service
+// simulator next to a live open-loop replay against the real
+// PolarizationService.
+//
+// This is the spot-check that keeps the capacity planner honest: the
+// simulator (src/load/sim.h) claims to mirror the service's queueing
+// mechanics, and here the same seeded trace runs through both, with
+// the resulting path mix (hits / refits / cold builds), shed counts
+// and goodput printed side by side. Counts line up closely; latency
+// quantiles agree only in shape, since the live side runs real kernels
+// on real threads while the sim charges its calibrated cost model.
+//
+// Keep it small: a few hundred requests of small molecules, a couple
+// of seconds of wall clock.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "src/load/capacity.h"
+#include "src/load/driver.h"
+#include "src/load/sim.h"
+#include "src/load/slo.h"
+#include "src/load/traffic.h"
+#include "src/util/table.h"
+
+using namespace octgb;
+
+int main() {
+  // A gentle open-loop stream: ~40 rps of small molecules for ~6 s,
+  // bursting to ~2x that, with deadlines loose enough that a laptop
+  // core mostly meets them. Real kernel speed varies wildly across
+  // machines (the sim's cost model is fixed by design), so the demo
+  // deliberately stays below most machines' live capacity: the point
+  // is comparing *mechanics* (path mix, shed/reject accounting), not
+  // racing the hardware. Crank rate_rps to find your machine's knee.
+  load::ArrivalSpec arrival;
+  arrival.kind = load::ArrivalKind::kBursty;
+  arrival.rate_rps = 40.0;
+  arrival.burst_factor = 3.0;
+  arrival.burst_duty = 0.3;
+
+  load::WorkloadSpec workload;
+  workload.sizes = {{60, 3.0}, {150, 2.0}, {400, 1.0}};
+  workload.deadline_mean_s = 0.40;
+  workload.deadline_min_s = 0.08;
+
+  const std::size_t n = 240;
+  const std::uint64_t seed = 42;
+  const std::vector<load::RequestEvent> trace =
+      load::generate_trace(arrival, workload, n, seed);
+  std::printf("trace: %zu requests over %.1f s (%s arrivals, %.0f rps "
+              "offered)\n\n",
+              trace.size(),
+              load::to_seconds(trace.back().arrival_ns),
+              load::arrival_kind_name(arrival.kind),
+              load::trace_offered_rps(trace));
+
+  // Matched knobs on both sides.
+  load::PolicyConfig policy;
+  policy.queue_capacity = 64;
+  policy.max_batch = 8;
+  policy.linger_ns = 200 * load::kNsPerUs;
+  policy.cache_capacity = 64;
+  policy.num_threads = 2;
+
+  load::SloSpec slo;
+  slo.window_ns = 500 * load::kNsPerMs;
+  slo.warmup_windows = 1;
+
+  // Virtual-time replay. The cost model is calibrated for the default
+  // bench workload; at demo-sized molecules it is only approximately
+  // right, which is fine -- the comparison below is about *mechanics*.
+  load::CostModel cost;
+  const load::SweepCell sim_cell = load::run_cell(
+      arrival, workload, policy, cost, slo, n, seed);
+
+  // Live replay of the identical trace.
+  load::DriverConfig driver;
+  driver.service.num_threads = policy.num_threads;
+  driver.service.queue_capacity = policy.queue_capacity;
+  driver.service.max_batch = policy.max_batch;
+  driver.service.batch_linger = std::chrono::microseconds(200);
+  driver.service.cache_capacity = policy.cache_capacity;
+  driver.slo = slo;
+  driver.perturb_sigma = workload.perturb_sigma;
+  const load::DriverResult live = load::run_trace_live(driver, trace);
+
+  util::Table t({"metric", "sim (virtual time)", "live service"});
+  const load::SimTotals& s = sim_cell.totals;
+  const serve::ServiceStats& l = live.stats;
+  t.row().cell("submitted").cell(static_cast<std::size_t>(s.submitted))
+      .cell(static_cast<std::size_t>(l.submitted));
+  t.row().cell("completed").cell(static_cast<std::size_t>(s.completed))
+      .cell(static_cast<std::size_t>(l.completed));
+  t.row().cell("shed").cell(static_cast<std::size_t>(s.shed))
+      .cell(static_cast<std::size_t>(l.shed));
+  t.row().cell("rejected").cell(static_cast<std::size_t>(s.rejected))
+      .cell(static_cast<std::size_t>(l.rejected));
+  t.row().cell("cache hits").cell(static_cast<std::size_t>(s.cache_hits))
+      .cell(static_cast<std::size_t>(l.cache_hits));
+  t.row().cell("refits").cell(static_cast<std::size_t>(s.refits))
+      .cell(static_cast<std::size_t>(l.refits));
+  t.row().cell("cold builds").cell(static_cast<std::size_t>(s.cold_builds))
+      .cell(static_cast<std::size_t>(l.cold_builds));
+  t.row().cell("coalesced").cell(static_cast<std::size_t>(s.coalesced))
+      .cell(static_cast<std::size_t>(l.coalesced));
+  t.row().cell("goodput rps").cell(sim_cell.report.goodput_rps, 3)
+      .cell(live.report.goodput_rps, 3);
+  t.row().cell("e2e p50").cell(util::format_seconds(sim_cell.report.e2e_p50()))
+      .cell(util::format_seconds(live.report.e2e_p50()));
+  t.row().cell("e2e p99").cell(util::format_seconds(sim_cell.report.e2e_p99()))
+      .cell(util::format_seconds(live.report.e2e_p99()));
+  t.print(std::cout);
+
+  std::printf("\nlive injection: %llu requests, %llu late (> %.1f ms), max "
+              "lag %.2f ms, %.1f s wall\n",
+              static_cast<unsigned long long>(live.injected),
+              static_cast<unsigned long long>(live.late_injections),
+              load::to_seconds(driver.late_threshold_ns) * 1e3,
+              load::to_seconds(live.max_injection_lag_ns) * 1e3,
+              live.wall_seconds);
+  std::printf("open loop: arrivals came from the trace schedule, never from "
+              "completions -- late injections are counted, not re-timed.\n");
+  return 0;
+}

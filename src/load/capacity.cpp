@@ -1,0 +1,112 @@
+#include "src/load/capacity.h"
+
+#include <algorithm>
+
+namespace octgb::load {
+
+std::vector<NamedPolicy> default_policy_grid() {
+  std::vector<NamedPolicy> grid;
+  const std::size_t queues[] = {64, 512};
+  const Ns lingers[] = {0, 500 * kNsPerUs};
+  const ShedPolicy sheds[] = {ShedPolicy::kNever, ShedPolicy::kAtDispatch};
+  const std::size_t caches[] = {0, 96};
+  for (std::size_t q : queues) {
+    for (Ns l : lingers) {
+      for (ShedPolicy s : sheds) {
+        for (std::size_t c : caches) {
+          PolicyConfig p;
+          p.queue_capacity = q;
+          p.linger_ns = l;
+          p.shed = s;
+          p.cache_capacity = c;
+          std::string name = "q" + std::to_string(q) + "/l" +
+                             std::to_string(l / kNsPerUs) + "us/" +
+                             shed_policy_name(s) + "/c" + std::to_string(c);
+          grid.push_back({std::move(name), p});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+SweepCell run_cell(const ArrivalSpec& arrival, const WorkloadSpec& workload,
+                   const PolicyConfig& policy, const CostModel& cost,
+                   const SloSpec& slo, std::size_t n, std::uint64_t seed) {
+  const std::vector<RequestEvent> trace =
+      generate_trace(arrival, workload, n, seed);
+
+  ServiceSim sim(policy, cost);
+  const std::vector<SimOutcome> outcomes = sim.run(trace);
+
+  SloTracker tracker(slo);
+  for (const SimOutcome& o : outcomes) {
+    SloSample s;
+    s.arrival_ns = o.arrival_ns;
+    s.status = o.status;
+    s.good = o.status == serve::Status::kOk && o.deadline_met;
+    if (o.status == serve::Status::kOk) {
+      s.queue_seconds = to_seconds(o.dispatch_ns - o.arrival_ns);
+      s.e2e_seconds = to_seconds(o.complete_ns - o.arrival_ns);
+    }
+    tracker.record(s);
+  }
+
+  SweepCell cell;
+  cell.offered_rps = arrival.rate_rps;
+  cell.report = tracker.finish();
+  cell.totals = sim.totals();
+  cell.meets_slo = cell.report.meets(slo);
+  return cell;
+}
+
+SweepResult sweep_policies(const SweepSpec& spec,
+                           const std::vector<NamedPolicy>& grid) {
+  SweepResult result;
+  result.rows.reserve(grid.size());
+  for (const NamedPolicy& config : grid) {
+    SweepRow row;
+    row.config = config;
+    for (std::size_t li = 0; li < spec.load_rps.size(); ++li) {
+      ArrivalSpec arrival = spec.arrival;
+      arrival.rate_rps = spec.load_rps[li];
+      // Seed depends on the load point only: every config at this load
+      // replays the byte-identical trace.
+      const std::uint64_t seed = spec.seed + 0x9e3779b97f4a7c15ull * (li + 1);
+      row.cells.push_back(run_cell(arrival, spec.workload, config.policy,
+                                   spec.cost, spec.slo,
+                                   spec.requests_per_point, seed));
+      if (row.cells.back().meets_slo) {
+        row.knee_rps = std::max(row.knee_rps, spec.load_rps[li]);
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+
+  // Headline spread: at each load point, the ratio of the worst to the
+  // best policy's windowed e2e p99; report the largest.
+  for (std::size_t li = 0; li < spec.load_rps.size(); ++li) {
+    double best = 0.0;
+    double worst = 0.0;
+    bool any = false;
+    for (const SweepRow& row : result.rows) {
+      if (li >= row.cells.size()) continue;
+      const double p99 = row.cells[li].report.e2e_p99();
+      if (p99 <= 0.0) continue;
+      if (!any) {
+        best = worst = p99;
+        any = true;
+      } else {
+        best = std::min(best, p99);
+        worst = std::max(worst, p99);
+      }
+    }
+    if (any && best > 0.0 && worst / best > result.p99_spread) {
+      result.p99_spread = worst / best;
+      result.p99_spread_at_rps = spec.load_rps[li];
+    }
+  }
+  return result;
+}
+
+}  // namespace octgb::load

@@ -1,0 +1,86 @@
+// capacity.h -- policy-sweep capacity planning over the virtual-time
+// replay.
+//
+// The question a capacity plan answers is not "how fast is the
+// service" but "at what offered load does each *policy* stop meeting
+// the SLO, and how hard does it fall past that point". So the sweep is
+// a grid: policy configs x offered-load points, every cell a full
+// deterministic replay (same trace seed per load point across all
+// configs, so policies are compared on byte-identical request
+// streams), reduced to a windowed steady-state SloReport.
+//
+// The *knee* of a config is the highest swept load that still meets
+// the SLO; the degradation ratio (worst-policy p99 / best-policy p99
+// at the same offered load) is what the bench asserts on -- if no
+// policy axis matters, the sweep would be a very slow way to print one
+// row twelve times.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/load/sim.h"
+#include "src/load/slo.h"
+#include "src/load/traffic.h"
+
+namespace octgb::load {
+
+/// One policy-grid axis point with a printable name.
+struct NamedPolicy {
+  std::string name;
+  PolicyConfig policy;
+};
+
+/// The swept grid: every policy evaluated at every offered-load point.
+struct SweepSpec {
+  ArrivalSpec arrival;          // rate_rps overridden per load point
+  WorkloadSpec workload;
+  std::vector<double> load_rps;  // offered-load axis
+  std::size_t requests_per_point = 50000;
+  SloSpec slo;
+  CostModel cost;
+  std::uint64_t seed = 0x10adbeef;
+};
+
+/// One (policy, load point) cell of the sweep.
+struct SweepCell {
+  double offered_rps = 0.0;  // the swept target rate
+  SloReport report;
+  SimTotals totals;
+  bool meets_slo = false;
+};
+
+/// One policy's row: its cells across the load axis plus the knee.
+struct SweepRow {
+  NamedPolicy config;
+  std::vector<SweepCell> cells;
+  /// Highest swept load meeting the SLO; 0 when none does.
+  double knee_rps = 0.0;
+};
+
+struct SweepResult {
+  std::vector<SweepRow> rows;
+  /// Worst/best windowed e2e p99 ratio across policies at the highest
+  /// load point where every policy still completed the replay -- the
+  /// "policy choice matters this much" headline.
+  double p99_spread = 0.0;
+  double p99_spread_at_rps = 0.0;
+};
+
+/// Default 16-config grid: 2 queue bounds x 2 coalescing windows x
+/// 2 shed policies x 2 cache capacities.
+std::vector<NamedPolicy> default_policy_grid();
+
+/// Runs the full grid. Deterministic in `spec` (per-load-point trace
+/// seeds derive from spec.seed, shared across configs).
+SweepResult sweep_policies(const SweepSpec& spec,
+                           const std::vector<NamedPolicy>& grid);
+
+/// Replays one cell (exposed for tests and the demo).
+SweepCell run_cell(const ArrivalSpec& arrival, const WorkloadSpec& workload,
+                   const PolicyConfig& policy, const CostModel& cost,
+                   const SloSpec& slo, std::size_t n, std::uint64_t seed);
+
+}  // namespace octgb::load

@@ -1,0 +1,68 @@
+// driver.h -- live open-loop replay against a real PolarizationService.
+//
+// The virtual-time simulator (sim.h) gives scale and determinism; this
+// driver is the ground-truth check. It takes the *same* trace, turns
+// each RequestEvent into a real Request (materializing molecules by
+// content identity: equal (structure_id, version) pairs become
+// byte-identical molecules, version bumps apply a small seeded jitter
+// -- refit-sized, as the trace promises), and injects on the trace's
+// schedule against a real service.
+//
+// Open-loop discipline, the whole point: injection times come from the
+// trace, never from completions. The driver never blocks on a future
+// -- outcomes are collected through ServiceConfig::on_complete -- and
+// when the injection thread itself falls behind schedule (molecule
+// generation hiccup, scheduler noise), the request is still injected
+// immediately and counted in `late_injections` instead of silently
+// re-timing the arrival. Re-timing is how closed-loop harnesses commit
+// coordinated omission: the service's worst moments erase the evidence
+// against them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/load/clock.h"
+#include "src/load/slo.h"
+#include "src/load/traffic.h"
+#include "src/serve/service.h"
+
+namespace octgb::load {
+
+struct DriverConfig {
+  serve::ServiceConfig service;  // on_complete is overwritten by the driver
+  SloSpec slo;
+  /// Replay speed: >1 compresses the trace (arrivals *and* deadline
+  /// slacks divide by it, so a deadline keeps its meaning relative to
+  /// service time only at 1.0 -- use >1 for smoke runs that only check
+  /// mechanics, not latency numbers).
+  double time_scale = 1.0;
+  /// Jitter applied per version bump when materializing perturbed
+  /// conformations (Angstrom RMS per axis; keep well under
+  /// ServiceConfig::refit_max_rms).
+  double perturb_sigma = 0.05;
+  /// Molecule-materialization seed; same seed, same molecules.
+  std::uint64_t seed = 0x5eed0f0a;
+  /// Injections more than this past schedule count as late.
+  Ns late_threshold_ns = 1 * kNsPerMs;
+};
+
+struct DriverResult {
+  SloReport report;
+  serve::ServiceStats stats;
+  std::uint64_t injected = 0;
+  /// Requests injected more than late_threshold_ns past schedule
+  /// (injected anyway -- see file comment).
+  std::uint64_t late_injections = 0;
+  Ns max_injection_lag_ns = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Replays `trace` against a freshly-constructed service and reports
+/// the windowed steady-state SLO view plus the service's own counters.
+/// Blocking: returns after every request has settled.
+DriverResult run_trace_live(const DriverConfig& config,
+                            std::span<const RequestEvent> trace);
+
+}  // namespace octgb::load

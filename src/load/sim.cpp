@@ -1,0 +1,310 @@
+#include "src/load/sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace octgb::load {
+
+const char* shed_policy_name(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kAtDispatch:
+      return "dispatch";
+    case ShedPolicy::kNever:
+      return "never";
+    case ShedPolicy::kAtAdmission:
+      return "admission";
+  }
+  return "?";
+}
+
+Ns CostModel::cold_ns(std::size_t atoms) const {
+  const double n = static_cast<double>(std::max<std::size_t>(atoms, 2));
+  const double us = cold_base_us + cold_us_per_atom_log * n * std::log2(n);
+  return from_seconds(us * 1e-6);
+}
+
+Ns CostModel::refit_ns(std::size_t atoms) const {
+  const Ns cold = cold_ns(atoms);
+  const Ns base = from_seconds(cold_base_us * 1e-6);
+  const Ns variable = cold > base ? cold - base : 0;
+  return base / 2 + static_cast<Ns>(refit_fraction *
+                                    static_cast<double>(variable));
+}
+
+ServiceSim::ServiceSim(const PolicyConfig& policy, const CostModel& cost)
+    : policy_(policy), cost_(cost) {
+  policy_.max_batch = std::max<std::size_t>(1, policy_.max_batch);
+  policy_.num_threads = std::max(1, policy_.num_threads);
+}
+
+namespace {
+
+std::uint64_t content_id(const RequestEvent& ev) {
+  return (ev.structure_id << 32) | ev.version;
+}
+
+constexpr Ns kNever = std::numeric_limits<Ns>::max();
+
+}  // namespace
+
+bool ServiceSim::cache_find_exact(std::uint64_t key) {
+  for (std::size_t i = lru_.size(); i-- > 0;) {
+    if (lru_[i] == key) {
+      // MRU bump, like StructureCache::find_exact.
+      const std::uint64_t sid = structure_of_[i];
+      lru_.erase(lru_.begin() + static_cast<std::ptrdiff_t>(i));
+      structure_of_.erase(structure_of_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      lru_.push_back(key);
+      structure_of_.push_back(sid);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ServiceSim::cache_find_structure(std::uint64_t structure_id) const {
+  for (std::size_t i = 0; i < structure_of_.size(); ++i) {
+    if (structure_of_[i] == structure_id) return true;
+  }
+  return false;
+}
+
+void ServiceSim::cache_insert(std::uint64_t key, std::uint64_t structure_id) {
+  if (policy_.cache_capacity == 0) return;
+  for (std::size_t i = 0; i < lru_.size(); ++i) {
+    if (lru_[i] == key) {
+      lru_.erase(lru_.begin() + static_cast<std::ptrdiff_t>(i));
+      structure_of_.erase(structure_of_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  lru_.push_back(key);
+  structure_of_.push_back(structure_id);
+  while (lru_.size() > policy_.cache_capacity) {
+    lru_.erase(lru_.begin());
+    structure_of_.erase(structure_of_.begin());
+  }
+}
+
+Ns ServiceSim::estimated_batch_start(Ns now_ns) const {
+  // The request would queue behind queue_.size() others; with one
+  // dispatcher it starts no earlier than the current batch's end plus
+  // the linger, and full batches ahead of it each cost at least a
+  // batch overhead. A deliberately optimistic bound: kAtAdmission only
+  // sheds requests that cannot make it even in the best case.
+  const Ns base = std::max(free_at_ns_, now_ns);
+  const std::uint64_t batches_ahead =
+      static_cast<std::uint64_t>(queue_.size() / policy_.max_batch);
+  return base + policy_.linger_ns + batches_ahead * cost_.batch_overhead();
+}
+
+void ServiceSim::dispatch_batch(Ns start_ns, std::vector<SimOutcome>& out) {
+  // Only requests already queued at the dispatch moment join the
+  // batch; the FIFO queue makes the eligible set a prefix.
+  std::size_t n = 0;
+  while (n < queue_.size() && n < policy_.max_batch &&
+         queue_[n].enqueued_ns <= start_ns) {
+    ++n;
+  }
+  ++totals_.batches;
+  totals_.max_batch_size = std::max<std::uint64_t>(totals_.max_batch_size, n);
+
+  // Phase 0: shed + leader/follower grouping, mirroring process_batch.
+  struct Item {
+    const RequestEvent* ev;
+    bool shed = false;
+    bool follower = false;
+    serve::Path path = serve::Path::kNone;
+    Ns cost = 0;
+  };
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back({queue_[i].ev});
+  }
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+
+  std::vector<std::uint64_t> leader_keys;
+  for (Item& item : items) {
+    const RequestEvent& ev = *item.ev;
+    // kAtAdmission keeps the dispatch-time backstop: the admission
+    // estimate is optimistic by design, so requests that expired in the
+    // queue anyway are still dropped uncomputed (admission control
+    // *adds* foresight, it does not remove the production shed).
+    if (policy_.shed != ShedPolicy::kNever && ev.deadline_ns != 0 &&
+        ev.deadline_ns < start_ns) {
+      item.shed = true;
+      ++totals_.shed;
+      continue;
+    }
+    const std::uint64_t key = content_id(ev);
+    const bool duplicate =
+        std::find(leader_keys.begin(), leader_keys.end(), key) !=
+        leader_keys.end();
+    // With the cache disabled there is no entry for followers to hit.
+    if (duplicate && policy_.cache_capacity > 0) {
+      item.follower = true;
+    } else {
+      leader_keys.push_back(key);
+    }
+  }
+
+  // Phase 1: classify + cost leaders, list-schedule them across the
+  // worker pool (earliest-free worker, submission order -- the same
+  // order parallel_for hands out unit chunks).
+  std::vector<Ns> worker_free(static_cast<std::size_t>(policy_.num_threads),
+                              start_ns);
+  Ns leaders_end = start_ns;
+  for (Item& item : items) {
+    if (item.shed || item.follower) continue;
+    const RequestEvent& ev = *item.ev;
+    const std::uint64_t key = content_id(ev);
+    if (policy_.cache_capacity > 0 && cache_find_exact(key)) {
+      item.path = serve::Path::kCacheHit;
+      item.cost = cost_.hit_ns();
+    } else if (policy_.enable_refit && policy_.cache_capacity > 0 &&
+               cache_find_structure(ev.structure_id)) {
+      // Perturbed conformation of a cached structure: the trace's
+      // perturb steps stay inside refit_max_rms by construction.
+      item.path = serve::Path::kRefit;
+      item.cost = cost_.refit_ns(ev.atoms);
+    } else {
+      item.path = serve::Path::kColdBuild;
+      item.cost = cost_.cold_ns(ev.atoms);
+    }
+    if (item.path != serve::Path::kCacheHit) {
+      cache_insert(key, ev.structure_id);
+    }
+    auto slot = std::min_element(worker_free.begin(), worker_free.end());
+    *slot += item.cost;
+    leaders_end = std::max(leaders_end, *slot);
+    totals_.compute_ns += item.cost;
+  }
+
+  // Phase 2: followers replay the entries phase 1 inserted, serially
+  // after the parallel phase (service.cpp does exactly this).
+  Ns batch_end = leaders_end;
+  for (Item& item : items) {
+    if (!item.follower) continue;
+    item.path = serve::Path::kCacheHit;
+    item.cost = cost_.hit_ns();
+    batch_end += item.cost;
+    ++totals_.coalesced;
+  }
+  batch_end += cost_.batch_overhead();
+
+  // Settle: every promise of the batch resolves at batch end.
+  for (const Item& item : items) {
+    const RequestEvent& ev = *item.ev;
+    SimOutcome o;
+    o.id = ev.id;
+    o.arrival_ns = ev.arrival_ns;
+    o.dispatch_ns = start_ns;
+    o.deadline_ns = ev.deadline_ns;
+    o.atoms = ev.atoms;
+    if (item.shed) {
+      o.status = serve::Status::kShed;
+      o.path = serve::Path::kNone;
+      o.complete_ns = start_ns;
+      o.deadline_met = false;
+    } else {
+      o.status = serve::Status::kOk;
+      o.path = item.follower ? serve::Path::kCacheHit : item.path;
+      o.complete_ns = batch_end;
+      o.deadline_met = ev.deadline_ns == 0 || batch_end <= ev.deadline_ns;
+      ++totals_.completed;
+      if (!o.deadline_met) ++totals_.deadline_missed;
+      switch (o.path) {
+        case serve::Path::kCacheHit:
+          ++totals_.cache_hits;
+          break;
+        case serve::Path::kRefit:
+          ++totals_.refits;
+          break;
+        case serve::Path::kColdBuild:
+          ++totals_.cold_builds;
+          break;
+        case serve::Path::kNone:
+          break;
+      }
+    }
+    out.push_back(o);
+  }
+
+  totals_.busy_ns += batch_end - start_ns;
+  free_at_ns_ = batch_end;
+}
+
+void ServiceSim::pump(Ns horizon_ns, std::vector<SimOutcome>& out) {
+  for (;;) {
+    if (queue_.empty()) return;
+    // Dispatcher wakes when both free and signalled by the head.
+    const Ns wake = std::max(free_at_ns_, queue_.front().enqueued_ns);
+    Ns dispatch_at;
+    if (policy_.linger_ns == 0) {
+      dispatch_at = wake;
+    } else if (queue_.size() >= policy_.max_batch) {
+      // The linger ends early the moment the batch fills -- at the
+      // max_batch-th request's arrival, never before it (otherwise the
+      // simulated batch would contain requests from its own future).
+      const Ns t_full = queue_[policy_.max_batch - 1].enqueued_ns;
+      dispatch_at = std::min(std::max(wake, t_full), wake + policy_.linger_ns);
+    } else {
+      // Below max_batch the dispatcher lingers; an arrival before the
+      // linger deadline may still join, so defer to the caller when
+      // the horizon (next arrival) comes first.
+      dispatch_at = wake + policy_.linger_ns;
+    }
+    if (dispatch_at >= horizon_ns) return;
+    dispatch_batch(dispatch_at, out);
+  }
+}
+
+std::vector<SimOutcome> ServiceSim::run(std::span<const RequestEvent> trace) {
+  std::vector<SimOutcome> out;
+  out.reserve(trace.size());
+  for (const RequestEvent& ev : trace) {
+    pump(ev.arrival_ns, out);
+    ++totals_.submitted;
+    if (queue_.size() >= policy_.queue_capacity) {
+      ++totals_.rejected;
+      SimOutcome o;
+      o.id = ev.id;
+      o.arrival_ns = o.dispatch_ns = o.complete_ns = ev.arrival_ns;
+      o.deadline_ns = ev.deadline_ns;
+      o.atoms = ev.atoms;
+      o.status = serve::Status::kRejected;
+      o.deadline_met = false;
+      out.push_back(o);
+      continue;
+    }
+    if (policy_.shed == ShedPolicy::kAtAdmission && ev.deadline_ns != 0 &&
+        ev.deadline_ns < estimated_batch_start(ev.arrival_ns)) {
+      ++totals_.shed;
+      SimOutcome o;
+      o.id = ev.id;
+      o.arrival_ns = o.dispatch_ns = o.complete_ns = ev.arrival_ns;
+      o.deadline_ns = ev.deadline_ns;
+      o.atoms = ev.atoms;
+      o.status = serve::Status::kShed;
+      o.deadline_met = false;
+      out.push_back(o);
+      continue;
+    }
+    queue_.push_back({&ev, ev.arrival_ns});
+  }
+  pump(kNever, out);
+
+  // Outcomes were appended in settle order; hand them back in trace
+  // order so window attribution downstream is a linear scan.
+  std::sort(out.begin(), out.end(),
+            [](const SimOutcome& a, const SimOutcome& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace octgb::load

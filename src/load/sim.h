@@ -1,0 +1,170 @@
+// sim.h -- virtual-time discrete-event model of PolarizationService.
+//
+// Why simulate a service we already have? Two reasons the real thing
+// cannot deliver:
+//
+//  * *Scale*: a capacity-planning sweep needs hundreds of (policy,
+//    offered-load) cells at steady state. At real time on one core
+//    that is days; in virtual time the whole >=1M-request grid runs in
+//    seconds, because only the queueing mechanics execute -- no GB
+//    kernels ever run.
+//
+//  * *Determinism*: real thread timing makes every latency table a
+//    one-off. The simulator's only inputs are the trace and the policy
+//    knobs, so the same seed reproduces the identical
+//    goodput/latency table bit for bit -- a regression artifact, not a
+//    weather report.
+//
+// The model mirrors src/serve/service.cpp decision for decision (one
+// dispatcher, bounded queue at submit, linger-until-full coalescing,
+// leader/follower grouping by content identity, LRU structure cache
+// with exact/refit/cold classification, workers list-scheduled across
+// leaders, every promise of a batch fulfilled at batch end). The only
+// abstraction is the per-request service *time*, supplied by CostModel
+// -- constants calibrated against bench/serve_throughput so the knees
+// land where the real service's would. The live driver
+// (src/load/driver.h) exists to spot-check exactly that mapping.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/load/traffic.h"
+#include "src/serve/request.h"
+
+namespace octgb::load {
+
+/// What to do with requests whose deadline cannot be (or was not) met.
+enum class ShedPolicy : std::uint8_t {
+  /// The production default (service.cpp): a request whose deadline
+  /// expired while it queued is dropped at batch formation, uncomputed.
+  kAtDispatch,
+  /// Never shed: compute everything, even hopeless requests. The
+  /// baseline that shows what shedding buys (late work steals capacity
+  /// from salvageable requests).
+  kNever,
+  /// Admission control with foresight: on submit, estimate the batch
+  /// start the request would make and shed it immediately when its
+  /// deadline falls before that, so the queue never carries obviously
+  /// doomed work. The dispatch-time backstop stays on (the estimate is
+  /// optimistic; anything that expired in the queue anyway is still
+  /// dropped uncomputed).
+  kAtAdmission,
+};
+
+const char* shed_policy_name(ShedPolicy policy);
+
+/// The admission/batching/caching policy under test -- the simulated
+/// subset of serve::ServiceConfig, plus the shed policy axis.
+struct PolicyConfig {
+  std::size_t queue_capacity = 256;
+  std::size_t max_batch = 16;
+  Ns linger_ns = 200 * kNsPerUs;
+  ShedPolicy shed = ShedPolicy::kAtDispatch;
+  std::size_t cache_capacity = 64;
+  int num_threads = 4;
+  bool enable_refit = true;
+};
+
+/// Deterministic service-time model, nanoseconds as a function of the
+/// execution path and molecule size. Defaults are calibrated against
+/// bench/serve_throughput on the reference container (cold ~55 ms at
+/// 2000 atoms; refit ~cold/3.7; exact hit ~30 us -- the PR 1 ratios),
+/// with the N log N shape of the octree pipeline. They are *fixed
+/// constants*, not runtime measurements, so tables replay bit-for-bit.
+struct CostModel {
+  double cold_base_us = 400.0;
+  /// Cold build cost slope: us per atom * log2(atoms).
+  double cold_us_per_atom_log = 2.5;
+  /// Refit path cost as a fraction of the cold build's variable part
+  /// (surface + tree construction skipped, kernels kept).
+  double refit_fraction = 0.27;
+  double hit_us = 30.0;
+  /// Per-batch fixed cost (dispatch, grouping, promise fanout).
+  double batch_overhead_us = 50.0;
+
+  Ns cold_ns(std::size_t atoms) const;
+  Ns refit_ns(std::size_t atoms) const;
+  Ns hit_ns() const { return from_seconds(hit_us * 1e-6); }
+  Ns batch_overhead() const { return from_seconds(batch_overhead_us * 1e-6); }
+};
+
+/// Terminal record of one simulated request, in trace (arrival) order.
+struct SimOutcome {
+  std::uint64_t id = 0;
+  Ns arrival_ns = 0;
+  Ns dispatch_ns = 0;   // == arrival_ns when never dispatched
+  Ns complete_ns = 0;   // response-ready time (== arrival for rejects)
+  Ns deadline_ns = 0;   // echoed from the event; 0 = none
+  serve::Status status = serve::Status::kOk;
+  serve::Path path = serve::Path::kNone;
+  bool deadline_met = true;  // kOk within deadline, or no deadline
+  std::size_t atoms = 0;
+};
+
+/// Aggregate counters, mirroring serve::ServiceStats where they
+/// overlap so the live driver's numbers line up column for column.
+struct SimTotals {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_missed = 0;  // completed late (kOk, not good)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t refits = 0;
+  std::uint64_t cold_builds = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch_size = 0;
+  /// Dispatcher busy time and summed per-leader compute time; the
+  /// perfmodel projection uses these as the serial work of the run.
+  Ns busy_ns = 0;
+  Ns compute_ns = 0;
+};
+
+/// Single-dispatcher discrete-event replica of PolarizationService.
+/// run() consumes a time-sorted trace and returns one outcome per
+/// event, in trace order. Instances are single-use state machines:
+/// construct one per (policy, trace) replay.
+class ServiceSim {
+ public:
+  ServiceSim(const PolicyConfig& policy, const CostModel& cost);
+
+  std::vector<SimOutcome> run(std::span<const RequestEvent> trace);
+
+  const SimTotals& totals() const { return totals_; }
+
+ private:
+  struct Queued {
+    const RequestEvent* ev;
+    Ns enqueued_ns;
+  };
+
+  /// Runs dispatcher decisions whose trigger time is strictly before
+  /// `horizon_ns` (the next arrival, or +inf at end of trace).
+  void pump(Ns horizon_ns, std::vector<SimOutcome>& out);
+  void dispatch_batch(Ns start_ns, std::vector<SimOutcome>& out);
+  /// Expected start of the batch a request admitted now would join
+  /// (the kAtAdmission shed estimate).
+  Ns estimated_batch_start(Ns now_ns) const;
+
+  PolicyConfig policy_;
+  CostModel cost_;
+  SimTotals totals_;
+
+  std::vector<Queued> queue_;  // FIFO; small max_batch keeps this cheap
+  Ns free_at_ns_ = 0;          // dispatcher busy until here
+
+  // LRU structure-cache model over content identities. An entry knows
+  // only its identity -- hit/refit/cold classification needs nothing
+  // else. Keys pack (structure_id << 32 | version); linear scans are
+  // fine at serve-layer cache sizes (<= a few hundred entries).
+  std::vector<std::uint64_t> lru_;  // front = LRU, back = MRU
+  std::vector<std::uint64_t> structure_of_;  // parallel to lru_
+  bool cache_find_exact(std::uint64_t key);
+  bool cache_find_structure(std::uint64_t structure_id) const;
+  void cache_insert(std::uint64_t key, std::uint64_t structure_id);
+};
+
+}  // namespace octgb::load

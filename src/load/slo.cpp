@@ -1,0 +1,100 @@
+#include "src/load/slo.h"
+
+#include <utility>
+
+namespace octgb::load {
+
+SloTracker::SloTracker(const SloSpec& spec)
+    : spec_(spec), queue_reader_(queue_hist_), e2e_reader_(e2e_hist_) {
+  if (spec_.window_ns == 0) spec_.window_ns = kNsPerSec;
+}
+
+void SloTracker::record(const SloSample& sample) {
+  // Roll windows forward until the sample's arrival falls inside the
+  // current one. Empty windows (no arrivals at all -- e.g. a diurnal
+  // trough at low rate) still close, with zero counts.
+  while (sample.arrival_ns >= (window_index_ + 1) * spec_.window_ns) {
+    close_window();
+  }
+
+  ++current_.offered;
+  switch (sample.status) {
+    case serve::Status::kOk:
+      ++current_.completed;
+      if (sample.good) {
+        ++current_.good;
+      } else {
+        ++current_.deadline_missed;
+      }
+      // Latency histograms see completed requests only: a shed or
+      // rejected request has no service latency, and folding its
+      // (tiny) turnaround time in would make overload look *fast*.
+      queue_hist_.observe_seconds(sample.queue_seconds);
+      e2e_hist_.observe_seconds(sample.e2e_seconds);
+      break;
+    case serve::Status::kShed:
+      ++current_.shed;
+      break;
+    case serve::Status::kRejected:
+      ++current_.rejected;
+      break;
+    default:
+      ++current_.failed;
+      break;
+  }
+}
+
+void SloTracker::close_window() {
+  current_.queue_hist = queue_reader_.take_window();
+  current_.e2e_hist = e2e_reader_.take_window();
+  closed_.push_back(std::move(current_));
+  current_ = WindowCounts{};
+  ++window_index_;
+}
+
+SloReport SloTracker::finish() {
+  // The in-progress window is partial by construction (the trace ended
+  // mid-window); dropping it avoids under-filled tail windows skewing
+  // the rates. Everything closed before it is a complete window.
+  SloReport report;
+  report.windows_total = closed_.size() + 1;  // + the dropped partial
+
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t good = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t missed = 0;
+  for (std::size_t i = spec_.warmup_windows; i < closed_.size(); ++i) {
+    const WindowCounts& w = closed_[i];
+    ++report.windows_measured;
+    offered += w.offered;
+    completed += w.completed;
+    good += w.good;
+    shed += w.shed;
+    rejected += w.rejected;
+    missed += w.deadline_missed;
+    report.queue_hist =
+        telemetry::HistogramSnapshot::merge(report.queue_hist, w.queue_hist);
+    report.e2e_hist =
+        telemetry::HistogramSnapshot::merge(report.e2e_hist, w.e2e_hist);
+  }
+
+  report.seconds_measured =
+      static_cast<double>(report.windows_measured) * to_seconds(spec_.window_ns);
+  if (report.seconds_measured > 0.0) {
+    report.offered_rps = static_cast<double>(offered) / report.seconds_measured;
+    report.completed_rps =
+        static_cast<double>(completed) / report.seconds_measured;
+    report.goodput_rps = static_cast<double>(good) / report.seconds_measured;
+  }
+  if (offered > 0) {
+    const double denom = static_cast<double>(offered);
+    report.shed_frac = static_cast<double>(shed) / denom;
+    report.reject_frac = static_cast<double>(rejected) / denom;
+    report.deadline_miss_frac = static_cast<double>(missed) / denom;
+  }
+  return report;
+}
+
+}  // namespace octgb::load

@@ -1,0 +1,133 @@
+// slo.h -- windowed SLO accounting over a replayed request stream.
+//
+// Cumulative-since-boot quantiles are the classic load-test lie: the
+// warmup transient (cold caches, empty queues) and the post-overload
+// recovery both leak into p99 and flatter the service. The tracker
+// therefore cuts the stream into fixed measurement windows on the
+// harness time base, discards the leading warmup windows and the
+// trailing partial window, and reports rates/quantiles over the
+// steady-state middle only.
+//
+// Latencies are fed into the *cumulative* telemetry histograms the
+// rest of the repo already uses (src/telemetry/metrics.h), and each
+// window is extracted by snapshot-and-delta
+// (telemetry::WindowedHistogramReader) -- precisely the interval
+// machinery a production scrape loop would use, exercised here under
+// test. Requests are attributed to the window of their *arrival*:
+// under overload, completions smear far past the window that caused
+// them, and capacity questions are about offered intervals.
+//
+// The second classic lie is coordinated omission: closed-loop clients
+// stop offering load when the service stalls, so the worst intervals
+// record no samples. The harness is open-loop (arrivals are scheduled
+// independently of completions -- see sim.h / driver.h), and this
+// tracker counts every scheduled arrival in `offered`, including
+// rejects and sheds, so a stall shows up as collapsed goodput instead
+// of vanishing from the record.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/load/clock.h"
+#include "src/serve/request.h"
+#include "src/telemetry/metrics.h"
+
+namespace octgb::load {
+
+/// Windowing + the service-level objective a sweep tests against.
+struct SloSpec {
+  Ns window_ns = kNsPerSec;
+  std::size_t warmup_windows = 2;
+  /// The objective: windowed end-to-end p99 at or under p99_slo_s and
+  /// goodput at or over goodput_frac of offered load.
+  double p99_slo_s = 0.050;
+  double goodput_frac = 0.9;
+};
+
+/// One terminal request outcome, on the harness time base.
+struct SloSample {
+  Ns arrival_ns = 0;
+  double queue_seconds = 0.0;
+  double e2e_seconds = 0.0;
+  serve::Status status = serve::Status::kOk;
+  /// kOk and within deadline (or deadline-free): counts toward goodput.
+  bool good = false;
+};
+
+/// Steady-state aggregate over the measured (post-warmup, complete)
+/// windows.
+struct SloReport {
+  std::size_t windows_total = 0;
+  std::size_t windows_measured = 0;
+  double seconds_measured = 0.0;
+
+  // Rates per second of measured window time.
+  double offered_rps = 0.0;
+  double completed_rps = 0.0;
+  double goodput_rps = 0.0;
+
+  // Fractions of offered requests in the measured windows.
+  double shed_frac = 0.0;
+  double reject_frac = 0.0;
+  double deadline_miss_frac = 0.0;  // computed but late
+
+  // Merged per-window latency deltas (queue wait and end-to-end).
+  telemetry::HistogramSnapshot queue_hist;
+  telemetry::HistogramSnapshot e2e_hist;
+
+  double queue_p50() const { return queue_hist.p50(); }
+  double queue_p95() const { return queue_hist.p95(); }
+  double queue_p99() const { return queue_hist.p99(); }
+  double e2e_p50() const { return e2e_hist.p50(); }
+  double e2e_p95() const { return e2e_hist.p95(); }
+  double e2e_p99() const { return e2e_hist.p99(); }
+
+  /// Does the steady state meet `spec`'s objective?
+  bool meets(const SloSpec& spec) const {
+    if (windows_measured == 0) return false;
+    if (e2e_p99() > spec.p99_slo_s) return false;
+    return goodput_rps + 1e-12 >= spec.goodput_frac * offered_rps;
+  }
+};
+
+/// Accumulates samples (non-decreasing arrival_ns) and reports the
+/// steady-state aggregate. Single-threaded by design: replay loops and
+/// result sinks feed it sequentially.
+class SloTracker {
+ public:
+  explicit SloTracker(const SloSpec& spec);
+
+  /// `sample.arrival_ns` must be >= every previously recorded arrival.
+  void record(const SloSample& sample);
+
+  /// Closes the stream and aggregates. The tracker is spent afterwards.
+  SloReport finish();
+
+ private:
+  struct WindowCounts {
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t good = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t deadline_missed = 0;
+    telemetry::HistogramSnapshot queue_hist;
+    telemetry::HistogramSnapshot e2e_hist;
+  };
+
+  void close_window();
+
+  SloSpec spec_;
+  telemetry::Histogram queue_hist_;  // cumulative; windows are deltas
+  telemetry::Histogram e2e_hist_;
+  telemetry::WindowedHistogramReader queue_reader_;
+  telemetry::WindowedHistogramReader e2e_reader_;
+
+  std::uint64_t window_index_ = 0;
+  WindowCounts current_;
+  std::vector<WindowCounts> closed_;
+};
+
+}  // namespace octgb::load

@@ -1,0 +1,216 @@
+#include "src/load/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace octgb::load {
+
+const char* arrival_kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+const char* event_kind_name(RequestEvent::Kind kind) {
+  switch (kind) {
+    case RequestEvent::Kind::kFresh:
+      return "fresh";
+    case RequestEvent::Kind::kRepeat:
+      return "repeat";
+    case RequestEvent::Kind::kPerturb:
+      return "perturb";
+  }
+  return "?";
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec& spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  spec_.rate_rps = std::max(1e-9, spec_.rate_rps);
+  if (spec_.kind == ArrivalKind::kBursty) {
+    const double f = std::max(1.0, spec_.burst_factor);
+    const double d = std::clamp(spec_.burst_duty, 1e-6, 1.0 - 1e-6);
+    // Long-run mean rate d*hi + (1-d)*lo == rate_rps with hi == f*lo.
+    rate_lo_ = spec_.rate_rps / (1.0 + d * (f - 1.0));
+    rate_hi_ = f * rate_lo_;
+    high_ = false;
+    state_until_s_ = exp_seconds(1.0 / dwell_low_mean_s());
+  }
+  if (spec_.kind == ArrivalKind::kDiurnal) {
+    spec_.diurnal_amplitude = std::clamp(spec_.diurnal_amplitude, 0.0, 0.999);
+    spec_.diurnal_period_s = std::max(1e-6, spec_.diurnal_period_s);
+  }
+}
+
+double ArrivalProcess::exp_seconds(double rate) {
+  // Inverse-CDF exponential; 1-u in (0,1] keeps log() finite.
+  return -std::log(1.0 - rng_.uniform()) / rate;
+}
+
+double ArrivalProcess::burst_time_fraction() const {
+  return t_s_ > 0.0 ? high_time_s_ / t_s_ : 0.0;
+}
+
+Ns ArrivalProcess::next_arrival_ns() {
+  switch (spec_.kind) {
+    case ArrivalKind::kPoisson: {
+      t_s_ += exp_seconds(spec_.rate_rps);
+      break;
+    }
+    case ArrivalKind::kBursty: {
+      // Piecewise-constant-rate Poisson: spend one unit-rate
+      // exponential across the dwell segments, switching state (and
+      // redrawing the dwell) at each boundary.
+      double budget = exp_seconds(1.0);
+      for (;;) {
+        const double rate = high_ ? rate_hi_ : rate_lo_;
+        const double segment = state_until_s_ - t_s_;
+        if (budget <= rate * segment) {
+          const double dt = budget / rate;
+          if (high_) high_time_s_ += dt;
+          t_s_ += dt;
+          break;
+        }
+        budget -= rate * segment;
+        if (high_) high_time_s_ += segment;
+        t_s_ = state_until_s_;
+        high_ = !high_;
+        const double mean =
+            high_ ? spec_.burst_dwell_s : dwell_low_mean_s();
+        state_until_s_ = t_s_ + exp_seconds(1.0 / mean);
+      }
+      break;
+    }
+    case ArrivalKind::kDiurnal: {
+      // Thinning (Lewis-Shedler): candidates at the envelope peak
+      // rate, accepted with probability rate(t)/rate_max.
+      const double rate_max =
+          spec_.rate_rps * (1.0 + spec_.diurnal_amplitude);
+      for (;;) {
+        t_s_ += exp_seconds(rate_max);
+        const double phase =
+            2.0 * 3.14159265358979323846 * t_s_ / spec_.diurnal_period_s;
+        const double rate =
+            spec_.rate_rps * (1.0 + spec_.diurnal_amplitude * std::sin(phase));
+        if (rng_.uniform() * rate_max <= rate) break;
+      }
+      break;
+    }
+  }
+  return from_seconds(t_s_);
+}
+
+double ArrivalProcess::dwell_low_mean_s() const {
+  // Duty cycle d = mean_hi / (mean_hi + mean_lo), so the low state's
+  // mean dwell follows from the high state's and the duty.
+  const double d = std::clamp(spec_.burst_duty, 1e-6, 1.0 - 1e-6);
+  return spec_.burst_dwell_s * (1.0 - d) / d;
+}
+
+namespace {
+
+/// Weighted categorical draw over size classes.
+std::uint32_t draw_size_class(const std::vector<SizeClass>& sizes,
+                              util::Xoshiro256& rng) {
+  double total = 0.0;
+  for (const SizeClass& s : sizes) total += std::max(0.0, s.weight);
+  if (total <= 0.0 || sizes.empty()) return 0;
+  double x = rng.uniform() * total;
+  for (std::uint32_t i = 0; i < sizes.size(); ++i) {
+    x -= std::max(0.0, sizes[i].weight);
+    if (x <= 0.0) return i;
+  }
+  return static_cast<std::uint32_t>(sizes.size() - 1);
+}
+
+serve::Tier draw_tier(const WorkloadSpec& w, util::Xoshiro256& rng) {
+  const double e = std::max(0.0, w.tier_exact_frac);
+  const double s = std::max(0.0, w.tier_standard_frac);
+  const double f = std::max(0.0, 1.0 - e - s);
+  const double total = e + s + f;
+  const double x = rng.uniform() * (total > 0.0 ? total : 1.0);
+  if (x < e) return serve::Tier::kExact;
+  if (x < e + s) return serve::Tier::kStandard;
+  return serve::Tier::kFast;
+}
+
+}  // namespace
+
+std::vector<RequestEvent> generate_trace(const ArrivalSpec& arrival,
+                                         const WorkloadSpec& workload,
+                                         std::size_t n, std::uint64_t seed) {
+  // Independent streams so reshaping arrivals never perturbs the
+  // request mix (and vice versa): sweeping rate keeps the workload
+  // byte-identical.
+  ArrivalProcess arrivals(arrival, seed ^ 0xa55a5aa5f00dull);
+  util::Xoshiro256 mix_rng(seed ^ 0x7aff1c0de5ull);
+
+  struct Live {
+    std::uint64_t structure_id;
+    std::uint32_t version;
+    std::uint32_t size_class;
+  };
+  std::vector<Live> pool;
+  pool.reserve(workload.population);
+  std::uint64_t next_structure = 0;
+
+  std::vector<RequestEvent> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RequestEvent ev;
+    ev.id = i;
+    ev.arrival_ns = arrivals.next_arrival_ns();
+
+    const double x = mix_rng.uniform();
+    const bool want_repeat = x < workload.repeat_frac;
+    const bool want_perturb =
+        !want_repeat && x < workload.repeat_frac + workload.perturb_frac;
+    if ((want_repeat || want_perturb) && !pool.empty()) {
+      Live& live = pool[mix_rng.below(pool.size())];
+      if (want_perturb) ++live.version;  // future repeats see the new pose
+      ev.kind = want_repeat ? RequestEvent::Kind::kRepeat
+                            : RequestEvent::Kind::kPerturb;
+      ev.structure_id = live.structure_id;
+      ev.version = live.version;
+      ev.size_class = live.size_class;
+    } else {
+      ev.kind = RequestEvent::Kind::kFresh;
+      ev.structure_id = next_structure++;
+      ev.version = 0;
+      ev.size_class = draw_size_class(workload.sizes, mix_rng);
+      if (pool.size() < workload.population) {
+        pool.push_back({ev.structure_id, 0, ev.size_class});
+      } else if (!pool.empty()) {
+        // Replace a random live structure: campaigns retire.
+        pool[mix_rng.below(pool.size())] = {ev.structure_id, 0,
+                                            ev.size_class};
+      }
+    }
+    ev.atoms = workload.sizes.empty()
+                   ? 0
+                   : workload.sizes[ev.size_class].atoms;
+    ev.tier = draw_tier(workload, mix_rng);
+    if (mix_rng.uniform() < workload.deadline_frac) {
+      const double slack =
+          workload.deadline_min_s -
+          workload.deadline_mean_s * std::log(1.0 - mix_rng.uniform());
+      ev.deadline_ns = ev.arrival_ns + from_seconds(slack);
+    }
+    out.push_back(ev);
+  }
+  return out;
+}
+
+double trace_offered_rps(std::span<const RequestEvent> trace) {
+  if (trace.size() < 2) return 0.0;
+  const Ns span = trace.back().arrival_ns - trace.front().arrival_ns;
+  if (span == 0) return 0.0;
+  return static_cast<double>(trace.size() - 1) / to_seconds(span);
+}
+
+}  // namespace octgb::load

@@ -1,0 +1,171 @@
+// traffic.h -- composable production traffic models.
+//
+// A load test is only as honest as its traffic. This module factors a
+// workload into two orthogonal, individually-seeded pieces:
+//
+//  * the *arrival process* -- WHEN requests arrive. Three processes
+//    cover the regimes a polarization service sees in production:
+//    Poisson (independent users, the M/G/k baseline), Markov-modulated
+//    bursty (an on/off MMPP-2: docking campaigns and batch pipelines
+//    switch on and off, so arrivals clump far beyond Poisson), and a
+//    diurnal envelope (sinusoid-modulated Poisson via thinning: the
+//    day/night swing every user-facing service rides, compressed from
+//    24 h to a configurable period so a "day" fits in a bench run);
+//
+//  * the *workload mix* -- WHAT each request is. Molecule-size classes
+//    (weighted), accuracy-tier mix, deadline distribution, and the
+//    repeat/perturb/fresh ratio that decides which serve path a
+//    request can take: byte-identical repeats are exact-hit
+//    candidates, small perturbations of a live structure are refit
+//    candidates (the Cornerstone-style streaming-update steady state),
+//    fresh structures force cold builds.
+//
+// generate_trace() folds both into a flat, time-sorted RequestEvent
+// vector. Everything is seeded xoshiro: the same (specs, n, seed)
+// yields the byte-identical trace on every run and platform, which is
+// what makes the virtual-time replay (sim.h) and the capacity tables
+// built on it (capacity.h) reproducible artifacts rather than
+// one-off measurements.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/load/clock.h"
+#include "src/serve/request.h"
+#include "src/util/rng.h"
+
+namespace octgb::load {
+
+enum class ArrivalKind : std::uint8_t {
+  kPoisson,  // exponential inter-arrivals at a fixed rate
+  kBursty,   // 2-state Markov-modulated Poisson (on/off bursts)
+  kDiurnal,  // sinusoid-modulated Poisson (thinning)
+};
+
+const char* arrival_kind_name(ArrivalKind kind);
+
+/// Arrival-process knobs. `rate_rps` is always the *long-run mean*
+/// offered rate; the bursty and diurnal shapes redistribute it in time
+/// without changing the total, so sweeps at equal rate_rps compare
+/// equal work under different clumping.
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_rps = 1000.0;
+
+  // kBursty: the high state's rate is burst_factor x the low state's;
+  // the process spends burst_duty of its time (long-run) in the high
+  // state, with exponentially-distributed dwells of mean burst_dwell_s
+  // up there.
+  double burst_factor = 8.0;
+  double burst_duty = 0.2;
+  double burst_dwell_s = 0.25;
+
+  // kDiurnal: rate(t) = rate_rps * (1 + amplitude * sin(2 pi t / P)).
+  // Amplitude in [0, 1): 0.8 means the "3 am" trough runs at 20% of
+  // the "noon" peak... of a day compressed to diurnal_period_s.
+  double diurnal_amplitude = 0.8;
+  double diurnal_period_s = 20.0;
+};
+
+/// A seeded arrival-time generator. next_arrival_ns() returns strictly
+/// non-decreasing absolute times on the harness time base.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalSpec& spec, std::uint64_t seed);
+
+  Ns next_arrival_ns();
+
+  /// kBursty introspection: fraction of elapsed process time spent in
+  /// the high state so far (tests pin it to burst_duty).
+  double burst_time_fraction() const;
+
+ private:
+  double exp_seconds(double rate);
+  double dwell_low_mean_s() const;
+
+  ArrivalSpec spec_;
+  util::Xoshiro256 rng_;
+  double t_s_ = 0.0;           // current process time, seconds
+  double rate_lo_ = 0.0;       // kBursty derived rates
+  double rate_hi_ = 0.0;
+  bool high_ = false;
+  double state_until_s_ = 0.0;
+  double high_time_s_ = 0.0;
+};
+
+/// One weighted molecule-size class of the mix.
+struct SizeClass {
+  std::size_t atoms = 0;
+  double weight = 1.0;
+};
+
+/// What the request stream asks for. Fractions need not be exactly
+/// normalized; each categorical draw normalizes over its options.
+struct WorkloadSpec {
+  /// Molecule-size mix (small ligand-ish through receptor-sized).
+  std::vector<SizeClass> sizes = {
+      {160, 4.0}, {400, 3.0}, {1000, 2.0}, {2400, 1.0}};
+
+  /// Path mix: fraction of requests that are byte-identical repeats of
+  /// a live structure (exact-hit candidates) and fraction that are
+  /// small perturbations of one (refit candidates). The remainder are
+  /// fresh structures (cold builds). Repeats/perturbs draw from a
+  /// bounded pool of `population` live structures, like a working set
+  /// of active docking campaigns.
+  double repeat_frac = 0.35;
+  double perturb_frac = 0.35;
+  std::size_t population = 48;
+
+  /// Accuracy-tier mix; the remainder after exact+standard is kFast.
+  double tier_exact_frac = 0.2;
+  double tier_standard_frac = 0.5;
+
+  /// Fraction of requests carrying a deadline, and its distribution:
+  /// deadline_min_s + Exp(deadline_mean_s) past the arrival. Defaults
+  /// are sized to the service's unloaded latency scale (a cold build of
+  /// the largest default size class takes ~68 ms under the bench cost
+  /// model, and every batch member settles at batch end), so a healthy
+  /// service meets most deadlines and a queueing one visibly does not.
+  double deadline_frac = 0.8;
+  double deadline_mean_s = 0.150;
+  double deadline_min_s = 0.025;
+
+  /// RMS-ish positional jitter (Angstrom) a perturb step applies when
+  /// the trace is materialized against a live service. Well inside
+  /// ServiceConfig::refit_max_rms by default, so perturbs are refit
+  /// candidates there just as the simulator assumes.
+  double perturb_sigma = 0.05;
+};
+
+/// One scheduled request of a trace. `structure_id`/`version` name the
+/// content identity: equal pairs are byte-identical molecules (exact
+/// repeat), equal ids with different versions are perturbed
+/// conformations of the same structure (refit candidates).
+struct RequestEvent {
+  enum class Kind : std::uint8_t { kFresh, kRepeat, kPerturb };
+
+  std::uint64_t id = 0;        // 0..n-1, in arrival order
+  Ns arrival_ns = 0;           // absolute, non-decreasing
+  Ns deadline_ns = 0;          // absolute; 0 = no deadline
+  std::uint32_t size_class = 0;
+  std::size_t atoms = 0;
+  serve::Tier tier = serve::Tier::kStandard;
+  Kind kind = Kind::kFresh;
+  std::uint64_t structure_id = 0;
+  std::uint32_t version = 0;
+};
+
+const char* event_kind_name(RequestEvent::Kind kind);
+
+/// Generates `n` events. Deterministic in (arrival, workload, n, seed):
+/// two calls with equal arguments return byte-identical traces.
+std::vector<RequestEvent> generate_trace(const ArrivalSpec& arrival,
+                                         const WorkloadSpec& workload,
+                                         std::size_t n, std::uint64_t seed);
+
+/// Mean offered load of a trace: n / span of arrivals (0 if degenerate).
+double trace_offered_rps(std::span<const RequestEvent> trace);
+
+}  // namespace octgb::load

@@ -103,6 +103,11 @@ struct Response {
   std::uint64_t id = 0;
   Status status = Status::kOk;
   Path path = Path::kNone;
+  /// kOk only: the energy was computed, but the response was ready
+  /// after the request's deadline had passed. Distinct from kShed
+  /// (deadline expired *before* compute, nothing ran): a goodput
+  /// metric counts neither, a completion metric counts this one.
+  bool deadline_missed = false;
 
   double energy = 0.0;             // kcal/mol
   std::vector<double> born_radii;  // filled iff want_born_radii

@@ -37,17 +37,24 @@ std::future<Response> PolarizationService::submit(Request req) {
   std::future<Response> fut = promise.get_future();
   const Clock::time_point now = Clock::now();
   OCTGB_COUNTER_ADD("serve.submitted", 1);
+  bool rejected = false;
   {
     util::MutexLock lock(mu_);
     ++stats_.submitted;
     if (stopping_ || queue_.size() >= config_.queue_capacity) {
       ++stats_.rejected;
-      OCTGB_COUNTER_ADD("serve.rejected", 1);
-      promise.set_value(make_terminal(req, Status::kRejected, 0.0));
-      return fut;
+      rejected = true;
+    } else {
+      queue_.push_back(Pending{std::move(req), std::move(promise), now});
+      OCTGB_GAUGE_SET("serve.queue_depth", queue_.size());
     }
-    queue_.push_back(Pending{std::move(req), std::move(promise), now});
-    OCTGB_GAUGE_SET("serve.queue_depth", queue_.size());
+  }
+  if (rejected) {
+    OCTGB_COUNTER_ADD("serve.rejected", 1);
+    const Response resp = make_terminal(req, Status::kRejected, 0.0);
+    promise.set_value(resp);
+    if (config_.on_complete) config_.on_complete(resp);
+    return fut;
   }
   queue_cv_.notify_one();
   return fut;
@@ -218,10 +225,26 @@ void PolarizationService::process_batch(std::vector<Pending>&& batch) {
   // inserted -- an exact cache hit, radii included.
   for (std::size_t i : followers) run_one(items[i], nullptr);
 
+  // Deadline audit at settle time: a computed response that lands past
+  // its deadline is a miss-but-completed, not a shed -- the work was
+  // done, the client just can't use it. Flagged on the Response before
+  // fulfillment so result sinks see the same classification the stats
+  // record.
+  const Clock::time_point settle = Clock::now();
+  std::uint64_t num_deadline_missed = 0;
+  for (Item& item : items) {
+    if (item.resp.status == Status::kOk &&
+        item.pending.req.has_deadline() && item.pending.req.deadline < settle) {
+      item.resp.deadline_missed = true;
+      ++num_deadline_missed;
+    }
+  }
+
   std::uint64_t num_coalesced = 0;
   {
     util::MutexLock lock(mu_);
     ++stats_.batches;
+    stats_.deadline_missed += num_deadline_missed;
     stats_.max_batch_size = std::max<std::uint64_t>(stats_.max_batch_size,
                                                     items.size());
     stats_.shed += num_shed;
@@ -264,6 +287,7 @@ void PolarizationService::process_batch(std::vector<Pending>&& batch) {
   OCTGB_COUNTER_ADD("serve.batches", 1);
   OCTGB_COUNTER_ADD("serve.shed", num_shed);
   OCTGB_COUNTER_ADD("serve.coalesced", num_coalesced);
+  OCTGB_COUNTER_ADD("serve.deadline_missed", num_deadline_missed);
 #if defined(OCTGB_TELEMETRY_ENABLED)
   // Registry mirror of the per-request outcome tallies; the loop itself
   // is compiled out with telemetry so the OFF build's instruction path
@@ -283,7 +307,14 @@ void PolarizationService::process_batch(std::vector<Pending>&& batch) {
   OCTGB_VALIDATE_CHECKPOINT(validate_invariants(), "service batch stats");
 
   for (Item& item : items) {
-    item.pending.promise.set_value(std::move(item.resp));
+    // The callback needs the Response after set_value consumed it, so
+    // fulfill from a copy only when a sink is installed.
+    if (config_.on_complete) {
+      item.pending.promise.set_value(item.resp);
+      config_.on_complete(item.resp);
+    } else {
+      item.pending.promise.set_value(std::move(item.resp));
+    }
   }
 }
 
@@ -326,6 +357,11 @@ analysis::Report PolarizationService::validate_invariants() const {
     report.fail("service: %llu coalesced > %llu cache hits",
                 static_cast<unsigned long long>(s.coalesced),
                 static_cast<unsigned long long>(s.cache_hits));
+  }
+  if (s.deadline_missed > s.completed) {
+    report.fail("service: %llu deadline misses > %llu completed",
+                static_cast<unsigned long long>(s.deadline_missed),
+                static_cast<unsigned long long>(s.completed));
   }
   if (s.plan_reuses > s.refits) {
     report.fail("service: %llu plan reuses > %llu refits",

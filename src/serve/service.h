@@ -32,6 +32,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <thread>
@@ -70,6 +71,15 @@ struct ServiceConfig {
   /// of parallelizing across requests (throughput mode, the default --
   /// and the mode whose energies are bit-reproducible).
   bool intra_request_parallelism = false;
+  /// Result sink: invoked once per settled request with the final
+  /// Response, right after the request's future is fulfilled. Lets an
+  /// open-loop load driver record per-request outcomes without ever
+  /// blocking on futures (src/load/driver.h). Called with no service
+  /// lock held, from the dispatcher thread for dispatched requests and
+  /// from the submitting thread for admission-time rejects -- the
+  /// callback must be thread-safe and should be cheap (it runs on the
+  /// batch critical path). Null disables it.
+  std::function<void(const Response&)> on_complete;
 };
 
 /// Monotonic service counters + per-stage time sums, exported like
@@ -80,6 +90,11 @@ struct ServiceStats {
   std::uint64_t shed = 0;       // deadline expired while queued
   std::uint64_t completed = 0;  // responses with status kOk
   std::uint64_t failed = 0;
+  /// Of `completed`: computed, but the response landed after the
+  /// request's deadline. Disjoint from `shed` (expired before compute);
+  /// goodput = completed - deadline_missed. Before this counter the two
+  /// late outcomes were conflated into plain `completed`.
+  std::uint64_t deadline_missed = 0;
 
   std::uint64_t cache_hits = 0;
   std::uint64_t refits = 0;

@@ -130,6 +130,71 @@ double HistogramSnapshot::quantile(double q) const {
   return max_seconds;
 }
 
+HistogramSnapshot HistogramSnapshot::delta(const HistogramSnapshot& cur,
+                                           const HistogramSnapshot& prev) {
+  HistogramSnapshot out;
+  const std::size_t n = cur.buckets.size();
+  out.buckets.assign(n, 0);
+  int first_nonzero = -1;
+  int last_nonzero = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t p = i < prev.buckets.size() ? prev.buckets[i] : 0;
+    // A cumulative bucket can only grow; clamp defensively so a
+    // mismatched (reset-in-between) pair degrades to an empty window
+    // instead of wrapping to 2^64.
+    out.buckets[i] = cur.buckets[i] >= p ? cur.buckets[i] - p : 0;
+    if (out.buckets[i] > 0) {
+      if (first_nonzero < 0) first_nonzero = static_cast<int>(i);
+      last_nonzero = static_cast<int>(i);
+    }
+  }
+  out.count = cur.count >= prev.count ? cur.count - prev.count : 0;
+  out.sum_seconds =
+      cur.sum_seconds >= prev.sum_seconds ? cur.sum_seconds - prev.sum_seconds
+                                          : 0.0;
+  if (out.count == 0 || first_nonzero < 0) {
+    out.count = 0;
+    out.sum_seconds = 0.0;
+    return out;
+  }
+  // Window extremes at bucket resolution: the landing bucket's bounds,
+  // tightened by the cumulative extremes (which bound every window).
+  double lo = Histogram::bucket_lower_seconds(first_nonzero);
+  double hi = last_nonzero + 1 < static_cast<int>(n)
+                  ? Histogram::bucket_lower_seconds(last_nonzero + 1)
+                  : cur.max_seconds;
+  lo = std::max(lo, cur.min_seconds);
+  hi = std::min(hi, cur.max_seconds);
+  if (hi < lo) hi = lo;
+  out.min_seconds = lo;
+  out.max_seconds = hi;
+  return out;
+}
+
+HistogramSnapshot HistogramSnapshot::merge(const HistogramSnapshot& a,
+                                           const HistogramSnapshot& b) {
+  HistogramSnapshot out;
+  const std::size_t n = std::max(a.buckets.size(), b.buckets.size());
+  out.buckets.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < a.buckets.size()) out.buckets[i] += a.buckets[i];
+    if (i < b.buckets.size()) out.buckets[i] += b.buckets[i];
+  }
+  out.count = a.count + b.count;
+  out.sum_seconds = a.sum_seconds + b.sum_seconds;
+  if (a.count == 0) {
+    out.min_seconds = b.min_seconds;
+    out.max_seconds = b.max_seconds;
+  } else if (b.count == 0) {
+    out.min_seconds = a.min_seconds;
+    out.max_seconds = a.max_seconds;
+  } else {
+    out.min_seconds = std::min(a.min_seconds, b.min_seconds);
+    out.max_seconds = std::max(a.max_seconds, b.max_seconds);
+  }
+  return out;
+}
+
 // ------------------------------------------------------- MetricsRegistry
 
 MetricsRegistry& MetricsRegistry::instance() {

@@ -73,6 +73,23 @@ struct HistogramSnapshot {
   double mean_seconds() const {
     return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
   }
+
+  /// Windowed view: the observations recorded between `prev` and `cur`,
+  /// two cumulative snapshots of the *same* histogram (prev taken
+  /// first). count/sum/buckets subtract exactly; the window's true
+  /// min/max are unrecoverable from cumulative extremes, so they are
+  /// reconstructed from the first/last non-empty delta bucket's bounds
+  /// (<= 2x off, the histogram's native resolution) and clamped to
+  /// cur's cumulative extremes. This is what lets an SLO tracker report
+  /// steady-state quantiles per measurement window instead of
+  /// since-boot quantiles that forever drag the warmup transient along.
+  static HistogramSnapshot delta(const HistogramSnapshot& cur,
+                                 const HistogramSnapshot& prev);
+
+  /// Pointwise sum of two snapshots (e.g. folding per-window deltas
+  /// back into one measurement-period aggregate).
+  static HistogramSnapshot merge(const HistogramSnapshot& a,
+                                 const HistogramSnapshot& b);
 };
 
 /// Fixed-bucket log-2 latency histogram. observe() is lock-free.
@@ -100,6 +117,34 @@ class Histogram {
   std::atomic<std::uint64_t> sum_ns_{0};
   std::atomic<std::uint64_t> min_ns_{~std::uint64_t{0}};
   std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Interval reader over a live Histogram: each take_window() returns
+/// the observations recorded since the previous call (snapshot-and-
+/// delta, so the underlying histogram is never reset and concurrent
+/// cumulative readers -- BENCH json dumps, octgb_tool --metrics -- are
+/// unaffected). The first window is measured against construction.
+/// Single-consumer: calls to take_window() must not race each other;
+/// the histogram itself may keep taking observations from any thread.
+class WindowedHistogramReader {
+ public:
+  explicit WindowedHistogramReader(const Histogram& hist)
+      : hist_(hist), prev_(hist.snapshot()) {}
+
+  /// Ends the current window and starts the next one.
+  HistogramSnapshot take_window() {
+    HistogramSnapshot cur = hist_.snapshot();
+    HistogramSnapshot window = HistogramSnapshot::delta(cur, prev_);
+    prev_ = std::move(cur);
+    return window;
+  }
+
+  /// The cumulative snapshot the next window will be measured against.
+  const HistogramSnapshot& baseline() const { return prev_; }
+
+ private:
+  const Histogram& hist_;
+  HistogramSnapshot prev_;
 };
 
 /// One registry entry in a MetricsRegistry::snapshot().

@@ -7,6 +7,8 @@
 #include <barrier>
 #include <chrono>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -523,6 +525,86 @@ TEST(ServeTest, SnapshotIsTearFreeAndInternallyConsistent) {
   EXPECT_EQ(snap.queue_depth, 0u);
   EXPECT_EQ(snap.in_flight, 0u);
   EXPECT_EQ(s.completed, 8u);
+}
+
+TEST(ServeTest, OnCompleteSeesEverySettledRequest) {
+  const auto mol = molecule::generate_protein(200, 77);
+
+  std::mutex mu;
+  std::vector<serve::Response> seen;
+
+  serve::ServiceConfig cfg = test_config();
+  cfg.queue_capacity = 2;  // force at least one admission reject
+  cfg.on_complete = [&mu, &seen](const serve::Response& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(r);
+  };
+
+  constexpr int kRequests = 12;
+  {
+    serve::PolarizationService svc(cfg);
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+      futures.push_back(svc.submit(make_request(
+          static_cast<std::uint64_t>(i), jittered(mol, 0.3, 1000 + i))));
+    }
+    // The callback fires *after* the future resolves: everything a
+    // future reports must already be (or immediately become) visible.
+    for (auto& f : futures) f.get();
+    svc.drain();
+  }
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kRequests));
+  std::vector<bool> got(kRequests, false);
+  bool any_rejected = false;
+  for (const serve::Response& r : seen) {
+    ASSERT_LT(r.id, static_cast<std::uint64_t>(kRequests));
+    EXPECT_FALSE(got[r.id]) << "duplicate callback for id " << r.id;
+    got[r.id] = true;
+    if (r.status == serve::Status::kRejected) any_rejected = true;
+  }
+  EXPECT_TRUE(any_rejected);  // the tiny queue must have rejected some
+}
+
+TEST(ServeTest, DeadlineMissedCountsCompletedButLate) {
+  // A large molecule with a deadline far too tight to compute (a
+  // 2000-atom cold build takes tens of ms at best), yet long enough
+  // for the dispatcher to pick the request up before it expires --
+  // otherwise the service sheds it uncomputed. Dispatch latency is at
+  // the mercy of machine load, so a shed retries on a fresh service
+  // with a doubled deadline instead of failing the test.
+  const auto mol = molecule::generate_protein(2000, 99);
+  std::unique_ptr<serve::PolarizationService> svc;
+  serve::Response resp;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    svc = std::make_unique<serve::PolarizationService>(test_config());
+    serve::Request req = make_request(1, mol);
+    req.deadline = std::chrono::steady_clock::now() + 5ms * (1 << attempt);
+    resp = svc->serve_now(std::move(req));
+    if (resp.status == serve::Status::kOk) break;
+  }
+
+  ASSERT_EQ(resp.status, serve::Status::kOk);  // computed, not shed
+  EXPECT_TRUE(resp.deadline_missed);
+  EXPECT_GT(resp.t_total, 0.005);
+
+  const auto stats = svc->stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.deadline_missed, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+
+  // A comfortable deadline on a now-cached molecule is not a miss.
+  serve::Request ok = make_request(2, mol);
+  ok.deadline = std::chrono::steady_clock::now() + 10s;
+  const serve::Response hit = svc->serve_now(std::move(ok));
+  ASSERT_EQ(hit.status, serve::Status::kOk);
+  EXPECT_FALSE(hit.deadline_missed);
+  EXPECT_EQ(svc->stats().deadline_missed, 1u);
+  // Goodput arithmetic: completed - deadline_missed counts only the
+  // in-deadline completion.
+  EXPECT_EQ(svc->stats().completed - svc->stats().deadline_missed, 1u);
 }
 
 TEST(ServeTest, StatsAccumulateStageTimes) {

@@ -341,6 +341,90 @@ TEST(HistogramTest, EmptyAndNegativeInputs) {
   EXPECT_EQ(s.buckets[0], 1u);
 }
 
+// ------------------------------------------------- windowed snapshots
+
+TEST(HistogramDeltaTest, DeltaIsExactlyTheSecondBatch) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.observe_seconds(1e-6);
+  const HistogramSnapshot prev = h.snapshot();
+  for (int i = 0; i < 30; ++i) h.observe_seconds(1e-3);
+  const HistogramSnapshot cur = h.snapshot();
+
+  const HistogramSnapshot w = HistogramSnapshot::delta(cur, prev);
+  EXPECT_EQ(w.count, 30u);
+  EXPECT_NEAR(w.sum_seconds, 30 * 1e-3, 1e-9);
+  // The window contains only ~1ms observations; its quantiles must sit
+  // in that bucket (2x native resolution), nowhere near the 1us batch.
+  EXPECT_GT(w.p50(), 0.5e-3);
+  EXPECT_LT(w.p50(), 2e-3);
+  EXPECT_GT(w.min_seconds, 1e-4);
+  // Window max clamps to the cumulative max (exact here: 1ms is the
+  // global max too).
+  EXPECT_DOUBLE_EQ(w.max_seconds, cur.max_seconds);
+}
+
+TEST(HistogramDeltaTest, EmptyWindowAndResetClampToZero) {
+  Histogram h;
+  h.observe_ns(500);
+  const HistogramSnapshot s = h.snapshot();
+  const HistogramSnapshot none = HistogramSnapshot::delta(s, s);
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_DOUBLE_EQ(none.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(none.sum_seconds, 0.0);
+
+  // A reset between snapshots makes cur < prev per bucket; the delta
+  // degrades to an empty window instead of underflowing.
+  h.reset();
+  h.observe_ns(100);
+  const HistogramSnapshot after_reset = h.snapshot();
+  const HistogramSnapshot w = HistogramSnapshot::delta(after_reset, s);
+  EXPECT_EQ(w.count, 0u);
+}
+
+TEST(HistogramDeltaTest, MergeSumsCountsAndCombinesExtremes) {
+  Histogram h1;
+  Histogram h2;
+  for (int i = 0; i < 10; ++i) h1.observe_ns(1000);
+  for (int i = 0; i < 5; ++i) h2.observe_ns(1000000);
+  const HistogramSnapshot a = h1.snapshot();
+  const HistogramSnapshot b = h2.snapshot();
+
+  const HistogramSnapshot m = HistogramSnapshot::merge(a, b);
+  EXPECT_EQ(m.count, 15u);
+  EXPECT_NEAR(m.sum_seconds, 10 * 1000e-9 + 5 * 1000000e-9, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min_seconds, 1000e-9);
+  EXPECT_DOUBLE_EQ(m.max_seconds, 1000000e-9);
+  EXPECT_LE(m.p50(), m.p99());
+
+  // Merging with an empty snapshot is the identity.
+  const HistogramSnapshot id = HistogramSnapshot::merge(a, HistogramSnapshot{});
+  EXPECT_EQ(id.count, a.count);
+  EXPECT_DOUBLE_EQ(id.min_seconds, a.min_seconds);
+  EXPECT_DOUBLE_EQ(id.max_seconds, a.max_seconds);
+}
+
+TEST(WindowedHistogramReaderTest, ConsecutiveWindowsPartitionTheStream) {
+  Histogram h;
+  WindowedHistogramReader reader(h);
+
+  for (int i = 0; i < 20; ++i) h.observe_ns(100);
+  const HistogramSnapshot w1 = reader.take_window();
+  EXPECT_EQ(w1.count, 20u);
+
+  const HistogramSnapshot empty = reader.take_window();
+  EXPECT_EQ(empty.count, 0u);
+
+  for (int i = 0; i < 7; ++i) h.observe_ns(5000);
+  const HistogramSnapshot w2 = reader.take_window();
+  EXPECT_EQ(w2.count, 7u);
+  EXPECT_GT(w2.p50(), 2e-6);  // only the slow batch is in this window
+
+  // Windows merged back together equal the cumulative stream.
+  const HistogramSnapshot whole =
+      HistogramSnapshot::merge(HistogramSnapshot::merge(w1, empty), w2);
+  EXPECT_EQ(whole.count, h.snapshot().count);
+}
+
 // -------------------------------------------------------------- registry
 
 TEST(MetricsRegistryTest, FindOrCreateIsStable) {
