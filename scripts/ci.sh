@@ -35,11 +35,23 @@
 #   9. fuzz-smoke: both fuzz targets (fuzz/) replay their seed corpora
 #      and mutate for 60 s each, crash-free (OCTGB_FUZZ=ON build; uses
 #      libFuzzer under clang, the bundled driver under gcc).
+#  10. lockgraph: OCTGB_LOCKGRAPH=ON build, full suite with the
+#      lock-order witness dumping per-process graphs, then
+#      scripts/lockgraph_check.py must find the merged graph acyclic
+#      (modulo the committed allowlist). A mutation self-test then
+#      plants a deliberate ABBA inversion and the checker must FAIL on
+#      it -- a gate that cannot see a real inversion is a dead gate.
+#  11. sched-smoke: the deterministic schedule explorer re-runs the
+#      race-stress scenarios (pool drain, cache evict-vs-refit, service
+#      admission/shed, batch coalescing) across >= 1000 distinct seeded
+#      schedules; run as one process so the schedule counter spans all
+#      sweeps.
 #
 # Usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only |
 #                       --tsan-only | --telemetry-only |
 #                       --validate-only | --loadtest-smoke |
-#                       --fuzz-smoke]
+#                       --fuzz-smoke | --lockgraph-only |
+#                       --sched-smoke-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -217,6 +229,52 @@ run_fuzz() {
   done
 }
 
+run_lockgraph() {
+  command -v python3 >/dev/null 2>&1 || {
+    echo "FAIL: lockgraph stage needs python3 for the checker"
+    return 1
+  }
+  echo "==> lockgraph: OCTGB_LOCKGRAPH=ON build + full suite + checker"
+  cmake -B build-lockgraph -S . -DOCTGB_LOCKGRAPH=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-lockgraph -j "$JOBS"
+  # Absolute path: ctest runs each test with its own working directory,
+  # so a relative $OCTGB_LOCKGRAPH_OUT would resolve per-test.
+  local dumps="$PWD/build-lockgraph/lockgraph-dumps"
+  rm -rf "$dumps" && mkdir -p "$dumps"
+  # ctest runs one process per test; each dumps its graph at exit.
+  OCTGB_LOCKGRAPH_OUT="$dumps" \
+    ctest --test-dir build-lockgraph --output-on-failure -j "$JOBS"
+  python3 scripts/lockgraph_check.py "$dumps" \
+    --merged-out build-lockgraph/lockgraph-merged.json
+
+  # Mutation self-test: LockgraphGateSelfTest.DeliberateInversion (only
+  # live under OCTGB_LOCKGRAPH_SELFTEST=1) takes two locks in both
+  # orders and deliberately skips the reset, so its process-exit dump
+  # carries a genuine ABBA cycle. The checker must FAIL on that dump
+  # (--expect-cycle inverts its verdict).
+  echo "==> lockgraph: mutation self-test (planted ABBA inversion)"
+  local seeded=build-lockgraph/lockgraph-selftest
+  rm -rf "$seeded" && mkdir -p "$seeded"
+  OCTGB_LOCKGRAPH_SELFTEST=1 OCTGB_LOCKGRAPH_OUT="$seeded" \
+    build-lockgraph/tests/lockgraph_test \
+    --gtest_filter='LockgraphGateSelfTest.*' --gtest_brief=1
+  python3 scripts/lockgraph_check.py "$seeded" --expect-cycle
+}
+
+run_sched_smoke() {
+  # Four scenario sweeps x OCTGB_SCHED_SEEDS seeds each; the binary
+  # runs as ONE process (not under ctest) so the cross-test schedule
+  # counter spans all sweeps and SchedSmokeTest.SmokeTotal can enforce
+  # the floor.
+  local seeds="${OCTGB_SCHED_SEEDS:-250}"
+  echo "==> sched-smoke: schedule explorer, $seeds seeds per scenario sweep"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j "$JOBS" --target sched_explore_test
+  OCTGB_SCHED_SEEDS="$seeds" OCTGB_SCHED_MIN_TOTAL="$((4 * seeds))" \
+    build/tests/sched_explore_test --gtest_brief=1
+}
+
 case "$MODE" in
   --tier1-only)
     run_tier1
@@ -250,6 +308,14 @@ case "$MODE" in
     run_loadtest
     echo "==> loadtest-smoke OK"
     ;;
+  --lockgraph-only)
+    run_lockgraph
+    echo "==> lockgraph OK"
+    ;;
+  --sched-smoke-only)
+    run_sched_smoke
+    echo "==> sched-smoke OK"
+    ;;
   "")
     run_tier1
     run_asan
@@ -260,10 +326,12 @@ case "$MODE" in
     run_validate
     run_loadtest
     run_fuzz
+    run_lockgraph
+    run_sched_smoke
     echo "==> CI OK"
     ;;
   *)
-    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --tsan-only | --telemetry-only | --validate-only | --loadtest-smoke | --fuzz-smoke]" >&2
+    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --tsan-only | --telemetry-only | --validate-only | --loadtest-smoke | --fuzz-smoke | --lockgraph-only | --sched-smoke-only]" >&2
     exit 2
     ;;
 esac

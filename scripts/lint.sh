@@ -28,6 +28,18 @@
 #        rawclock         no raw std::chrono::*_clock::now() outside
 #                         src/telemetry/ and bench/; timing goes
 #                         through util::WallTimer or the span recorder
+#        raw-mutex        no raw std:: locking primitives (mutex,
+#                         condition_variable, lock_guard, unique_lock,
+#                         ...) outside the thread_annotations.h
+#                         interposition layer and the analysis runtimes
+#                         src/analysis/{sched,lockgraph}/; everything
+#                         else locks through util::Mutex / util::CondVar
+#                         so the lock-order witness and the schedule
+#                         explorer see every acquisition
+#        cv-wait-pred     a bare cv.wait(lock) must sit in a predicate
+#                         loop (while on the same or previous line) or
+#                         carry lint:allow(cv-wait-pred) naming the
+#                         enclosing retry loop
 #      Intentional exceptions carry `lint:allow(<rule>)` plus a
 #      justification comment on the offending line.
 #
@@ -232,6 +244,74 @@ EOF
     echo "selftest ok: rawclock stays quiet under src/telemetry/ and bench/"
   else
     echo "selftest FAIL: rawclock fired inside src/telemetry/ or bench/"
+    rc=1
+  fi
+
+  # raw-mutex is path-exempt like rawclock: the seeded violation at the
+  # case-dir root must fire; the same code under the interposition
+  # header or an analysis runtime must stay quiet.
+  local mxtmp="$dir/mxcase"
+  mkdir -p "$mxtmp"
+  cat > "$mxtmp/raw_mutex.cpp" <<'EOF'
+#include <mutex>
+void touch(std::mutex& mu) { std::lock_guard<std::mutex> g(mu); }
+EOF
+  if scan_tree "$mxtmp" >/dev/null 2>&1; then
+    echo "selftest FAIL: seeded raw-mutex violation was not caught"
+    rc=1
+  else
+    echo "selftest ok: raw-mutex fires on raw_mutex.cpp"
+  fi
+  local mxexempt="$dir/mxexempt"
+  mkdir -p "$mxexempt/src/util" "$mxexempt/src/analysis/sched" \
+    "$mxexempt/src/analysis/lockgraph"
+  cp "$mxtmp/raw_mutex.cpp" "$mxexempt/src/util/thread_annotations.h"
+  cp "$mxtmp/raw_mutex.cpp" "$mxexempt/src/analysis/sched/sched_case.cpp"
+  cp "$mxtmp/raw_mutex.cpp" "$mxexempt/src/analysis/lockgraph/lg_case.cpp"
+  if scan_tree "$mxexempt" >/dev/null 2>&1; then
+    echo "selftest ok: raw-mutex stays quiet in interposition/analysis paths"
+  else
+    echo "selftest FAIL: raw-mutex fired inside an exempt path"
+    rc=1
+  fi
+
+  # cv-wait-pred: the seed lives under src/analysis/sched/ so raw-mutex
+  # stays quiet there and a scan failure can only come from the wait
+  # rule itself (which has no path exemption).
+  local cvtmp="$dir/cvcase"
+  mkdir -p "$cvtmp/src/analysis/sched"
+  cat > "$cvtmp/src/analysis/sched/naked_wait.cpp" <<'EOF'
+#include <condition_variable>
+#include <mutex>
+void park(std::condition_variable& cv, std::unique_lock<std::mutex>& lk) {
+  cv.wait(lk);
+}
+EOF
+  if scan_tree "$cvtmp" >/dev/null 2>&1; then
+    echo "selftest FAIL: seeded cv-wait-pred violation was not caught"
+    rc=1
+  else
+    echo "selftest ok: cv-wait-pred fires on naked_wait.cpp"
+  fi
+  local cvclean="$dir/cvclean"
+  mkdir -p "$cvclean/src/analysis/sched"
+  cat > "$cvclean/src/analysis/sched/guarded_wait.cpp" <<'EOF'
+#include <condition_variable>
+#include <mutex>
+void park(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+          bool& ready) {
+  while (!ready) cv.wait(lk);
+  while (!ready)
+    cv.wait(lk);
+  // lint:allow(cv-wait-pred) selftest: predicate re-checked by caller
+  cv.wait(lk);
+  cv.wait(lk, [&] { return ready; });
+}
+EOF
+  if scan_tree "$cvclean" >/dev/null 2>&1; then
+    echo "selftest ok: cv-wait-pred stays quiet on predicate loops"
+  else
+    echo "selftest FAIL: predicate-looped or allow-marked wait flagged"
     rc=1
   fi
 

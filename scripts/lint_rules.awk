@@ -48,6 +48,28 @@
 #                 rest of src/load must stay clock-agnostic (that is
 #                 what makes the virtual-time replay deterministic), so
 #                 the rule still fires anywhere else in the subsystem.
+#   raw-mutex     (everywhere except src/util/thread_annotations.h,
+#                 src/analysis/sched/ and src/analysis/lockgraph/) no
+#                 raw std::mutex / std::condition_variable /
+#                 std::lock_guard / std::unique_lock / std::scoped_lock
+#                 and friends: library code locks through util::Mutex /
+#                 util::CondVar so the lock-order witness and the
+#                 schedule explorer see every acquisition. The exempt
+#                 paths ARE the interposition layer (wrapping the raw
+#                 primitives is thread_annotations.h's job) and the two
+#                 analysis runtimes, which must not instrument
+#                 themselves (a witness that locks through itself
+#                 recurses). Like the clock.h carve-out above, the
+#                 exemption is by filename, not by subsystem.
+#   cv-wait-pred  a bare `cv.wait(lock)` outside a predicate loop is a
+#                 lost-wakeup / spurious-wake bug waiting to happen --
+#                 the schedule explorer injects seeded spurious wakeups
+#                 precisely to flush these out. Use the predicate
+#                 overload `wait(lock, pred)` or put `while (!cond)` on
+#                 the wait's own line or the line above. A wait at the
+#                 bottom of a larger retry loop whose predicate is
+#                 re-checked at the loop top carries
+#                 `lint:allow(cv-wait-pred)` naming that loop.
 #
 # A violation is suppressed by `lint:allow(<rule>)` on the same source
 # line or on the line directly above it (the NOLINT/NOLINTNEXTLINE
@@ -60,7 +82,7 @@ function allowed(rule) {
          index(prev_raw, "lint:allow(" rule ")") > 0
 }
 
-FNR == 1 { in_block = 0; prev_raw = "" }
+FNR == 1 { in_block = 0; prev_raw = ""; prev_line = "" }
 
 {
   raw = $0
@@ -116,5 +138,17 @@ FNR == 1 { in_block = 0; prev_raw = "" }
       line ~ /(steady_clock|system_clock|high_resolution_clock)[[:space:]]*::[[:space:]]*now[[:space:]]*\(/)
     print FILENAME ":" FNR ":rawclock: " raw
 
+  if (FILENAME !~ /(^|\/)src\/util\/thread_annotations\.h$/ &&
+      FILENAME !~ /(^|\/)src\/analysis\/(sched|lockgraph)\// &&
+      !allowed("raw-mutex") &&
+      line ~ /std::(timed_mutex|recursive_mutex|shared_mutex|mutex|condition_variable_any|condition_variable|lock_guard|unique_lock|scoped_lock|shared_lock)([^[:alnum:]_]|$)/)
+    print FILENAME ":" FNR ":raw-mutex: " raw
+
+  if (!allowed("cv-wait-pred") &&
+      line ~ /\.wait[[:space:]]*\([[:space:]]*[A-Za-z_][A-Za-z0-9_]*[[:space:]]*\)/ &&
+      line !~ /while[[:space:]]*\(/ && prev_line !~ /while[[:space:]]*\(/)
+    print FILENAME ":" FNR ":cv-wait-pred: " raw
+
   prev_raw = raw
+  prev_line = line
 }

@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""lockgraph_check.py -- CI gate over lock-order witness dumps.
+
+The lock-order witness (src/analysis/lockgraph, built under
+-DOCTGB_LOCKGRAPH=ON) dumps one lockgraph-<pid>[.k].json per test
+process at exit when $OCTGB_LOCKGRAPH_OUT names a directory. ctest runs
+one process per test, so a full-suite run leaves dozens of dumps, each
+covering only the lock classes that test touched. This script:
+
+  1. collects every lockgraph-*.json under the given files/directories,
+  2. merges them into one global graph keyed by lock-class label
+     (the "file.cpp:line" first-acquisition site), summing edge counts,
+  3. strips edges vetted in the allowlist (see lockgraph_allowlist.txt),
+  4. fails on any remaining cycle: a strongly connected component of
+     two or more classes (a lock-order inversion across threads or
+     tests) or a self-loop (two locks of the same class held together
+     with no consistent order).
+
+Exit codes:
+  0  merged graph is acyclic after allowlisting
+  1  at least one unvetted cycle -- the report names every class in it
+  2  no dump files found (the gate did not actually observe anything;
+     ci.sh treats this as failure so a silently-disabled witness cannot
+     masquerade as a clean pass)
+
+Usage:
+  scripts/lockgraph_check.py DIR_OR_FILE... [--allowlist FILE]
+      [--merged-out FILE] [--expect-cycle]
+
+--expect-cycle inverts the verdict (exit 0 iff a cycle IS found) for
+the ci.sh mutation self-test: a deliberately planted ABBA inversion
+must make this checker fail, proving the gate can see one.
+"""
+
+import argparse
+import fnmatch
+import glob
+import json
+import os
+import sys
+
+
+def load_dumps(paths):
+    """Yield (path, parsed) for every lockgraph-*.json under paths."""
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            files.extend(sorted(glob.glob(os.path.join(p, "lockgraph-*.json"))))
+        elif os.path.isfile(p):
+            files.append(p)
+        else:
+            sys.exit(f"lockgraph_check: no such file or directory: {p}")
+    for f in files:
+        try:
+            with open(f, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            sys.exit(f"lockgraph_check: cannot parse {f}: {e}")
+        if doc.get("tool") != "octgb-lockgraph":
+            sys.exit(f"lockgraph_check: {f} is not a lockgraph dump")
+        yield f, doc
+
+
+def merge(dumps):
+    """Merge dumps into ({(from_label, to_label): count}, acquisitions)."""
+    edges = {}
+    acquisitions = 0
+    for path, doc in dumps:
+        sites = doc.get("sites", [])
+        acquisitions += int(doc.get("acquisitions", 0))
+        for e in doc.get("edges", []):
+            f, t, count = int(e[0]), int(e[1]), int(e[2])
+            if f >= len(sites) or t >= len(sites):
+                sys.exit(f"lockgraph_check: {path}: edge [{f},{t}] out of "
+                         f"range for {len(sites)} sites")
+            key = (sites[f], sites[t])
+            edges[key] = edges.get(key, 0) + count
+    return edges, acquisitions
+
+
+def load_allowlist(path):
+    """Parse 'from -> to' glob pairs; '#' starts a comment."""
+    rules = []
+    if not os.path.exists(path):
+        return rules
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            if "->" not in body:
+                sys.exit(f"lockgraph_check: {path}:{lineno}: expected "
+                         f"'<from-glob> -> <to-glob>', got: {body}")
+            frm, to = (part.strip() for part in body.split("->", 1))
+            rules.append((frm, to, lineno, [0]))  # [0] = match counter
+    return rules
+
+
+def apply_allowlist(edges, rules):
+    kept = {}
+    for (frm, to), count in edges.items():
+        vetted = False
+        for gfrm, gto, _, hits in rules:
+            if fnmatch.fnmatch(frm, gfrm) and fnmatch.fnmatch(to, gto):
+                hits[0] += 1
+                vetted = True
+        if not vetted:
+            kept[(frm, to)] = count
+    return kept
+
+
+def cycles(edges):
+    """Tarjan SCC; returns sorted node lists for SCCs > 1 plus self-loops."""
+    adj = {}
+    for frm, to in edges:
+        adj.setdefault(frm, []).append(to)
+        adj.setdefault(to, [])
+    index, low, onstack = {}, {}, set()
+    stack, out, counter = [], [], [0]
+
+    def strongconnect(v):
+        # Iterative Tarjan: recursion depth equals the lock-nesting
+        # chain length in principle, but keep it stack-safe anyway.
+        work = [(v, iter(adj[v]))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        onstack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    onstack.add(w)
+                    work.append((w, iter(adj[w])))
+                    advanced = True
+                    break
+                if w in onstack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    onstack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                if len(comp) > 1 or (node, node) in edges:
+                    out.append(sorted(comp))
+
+    for v in sorted(adj):
+        if v not in index:
+            strongconnect(v)
+    return sorted(out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="+",
+                    help="dump files or directories holding lockgraph-*.json")
+    ap.add_argument("--allowlist",
+                    default=os.path.join(os.path.dirname(__file__),
+                                         "lockgraph_allowlist.txt"))
+    ap.add_argument("--merged-out", default=None,
+                    help="write the merged graph (before allowlisting) as JSON")
+    ap.add_argument("--expect-cycle", action="store_true",
+                    help="mutation self-test mode: succeed iff a cycle is found")
+    args = ap.parse_args()
+
+    dumps = list(load_dumps(args.paths))
+    if not dumps:
+        print("lockgraph_check: FAIL: no lockgraph-*.json dumps found "
+              "(was the suite built with -DOCTGB_LOCKGRAPH=ON and run with "
+              "OCTGB_LOCKGRAPH_OUT set?)")
+        return 2
+
+    edges, acquisitions = merge(dumps)
+    if args.merged_out:
+        labels = sorted({lbl for pair in edges for lbl in pair})
+        idx = {lbl: i for i, lbl in enumerate(labels)}
+        doc = {"tool": "octgb-lockgraph", "acquisitions": acquisitions,
+               "try_acquisitions": 0, "sites": labels,
+               "edges": [[idx[f], idx[t], c]
+                         for (f, t), c in sorted(edges.items())]}
+        with open(args.merged_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+
+    rules = load_allowlist(args.allowlist)
+    kept = apply_allowlist(edges, rules)
+    for gfrm, gto, lineno, hits in rules:
+        if hits[0] == 0:
+            print(f"lockgraph_check: WARNING: allowlist entry "
+                  f"'{gfrm} -> {gto}' ({os.path.basename(args.allowlist)}:"
+                  f"{lineno}) matched no observed edge -- stale?")
+
+    found = cycles(kept)
+    print(f"lockgraph_check: {len(dumps)} dump(s), {acquisitions} blocking "
+          f"acquisitions, {len(edges)} distinct ordered pair(s), "
+          f"{len(edges) - len(kept)} allowlisted, {len(found)} cycle(s)")
+    for comp in found:
+        print("lockgraph_check: CYCLE among lock classes:")
+        for label in comp:
+            print(f"    {label}")
+        for (f, t), c in sorted(kept.items()):
+            if f in comp and t in comp:
+                print(f"      {f} -> {t}  (x{c})")
+
+    if args.expect_cycle:
+        if found:
+            print("lockgraph_check: OK (self-test: planted cycle detected)")
+            return 0
+        print("lockgraph_check: FAIL (self-test: planted cycle NOT detected)")
+        return 1
+    if found:
+        print("lockgraph_check: FAIL: lock-order cycle(s) above are "
+              "potential deadlocks; fix the ordering or vet the edge in "
+              "scripts/lockgraph_allowlist.txt with a justification")
+        return 1
+    print("lockgraph_check: OK (merged lock-order graph is acyclic)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,517 @@
+// lockgraph.cpp -- lock-order witness implementation.
+//
+// Two halves: the serialization / graph-algebra helpers (always
+// compiled, pure, unit-testable in any build) and the witness state +
+// hooks (only under OCTGB_LOCKGRAPH_ENABLED). Like src/analysis/sched,
+// this directory is exempt from the raw-mutex lint rule: the witness
+// guards its own graph with a raw std::mutex because util::Mutex calls
+// into the witness.
+
+#include "src/analysis/lockgraph/lockgraph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#if defined(OCTGB_LOCKGRAPH_ENABLED)
+#include <mutex>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace octgb::analysis::lockgraph {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+// Iterative Kosaraju: two DFS passes with explicit stacks. The graphs
+// are tiny (one node per static lock site), so clarity wins.
+std::vector<std::vector<std::uint32_t>> sccs(
+    std::size_t n, const std::vector<Edge>& edges) {
+  std::vector<std::vector<std::uint32_t>> fwd(n), rev(n);
+  for (const Edge& e : edges) {
+    if (e.from >= n || e.to >= n) continue;
+    fwd[e.from].push_back(e.to);
+    rev[e.to].push_back(e.from);
+  }
+  std::vector<std::uint32_t> order;
+  std::vector<char> seen(n, 0);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack{{s, 0}};
+    seen[s] = 1;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      if (i < fwd[v].size()) {
+        const std::uint32_t w = fwd[v][i++];
+        if (!seen[w]) {
+          seen[w] = 1;
+          stack.push_back({w, 0});
+        }
+      } else {
+        order.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> comps;
+  std::vector<char> done(n, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (done[*it]) continue;
+    comps.emplace_back();
+    std::vector<std::uint32_t> stack{*it};
+    done[*it] = 1;
+    while (!stack.empty()) {
+      const std::uint32_t v = stack.back();
+      stack.pop_back();
+      comps.back().push_back(v);
+      for (std::uint32_t w : rev[v]) {
+        if (!done[w]) {
+          done[w] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> detect_cycles(const Snapshot& s) {
+  std::set<std::uint64_t> self_loops;
+  for (const Edge& e : s.edges)
+    if (e.from == e.to) self_loops.insert(e.from);
+  std::vector<std::vector<std::uint32_t>> out;
+  for (auto& comp : sccs(s.sites.size(), s.edges)) {
+    if (comp.size() < 2 &&
+        !(comp.size() == 1 && self_loops.count(comp[0]) > 0))
+      continue;
+    std::sort(comp.begin(), comp.end());
+    out.push_back(std::move(comp));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string to_json(const Snapshot& s) {
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"octgb-lockgraph\",\n";
+  os << "  \"acquisitions\": " << s.acquisitions << ",\n";
+  os << "  \"try_acquisitions\": " << s.try_acquisitions << ",\n";
+  os << "  \"sites\": [";
+  for (std::size_t i = 0; i < s.sites.size(); ++i)
+    os << (i ? ", " : "") << '"' << json_escape(s.sites[i]) << '"';
+  os << "],\n  \"edges\": [";
+  for (std::size_t i = 0; i < s.edges.size(); ++i)
+    os << (i ? ", " : "") << '[' << s.edges[i].from << ", " << s.edges[i].to
+       << ", " << s.edges[i].count << ']';
+  os << "]\n}\n";
+  return os.str();
+}
+
+std::string to_dot(const Snapshot& s) {
+  // Sites inside a cycle component get red edges so `dot -Tsvg` makes
+  // the inversion jump out.
+  std::set<std::uint32_t> cyclic;
+  for (const auto& comp : detect_cycles(s))
+    cyclic.insert(comp.begin(), comp.end());
+  std::ostringstream os;
+  os << "digraph lockgraph {\n  rankdir=LR;\n  node [shape=box, "
+        "fontname=\"monospace\"];\n";
+  for (const Edge& e : s.edges) {
+    if (e.from >= s.sites.size() || e.to >= s.sites.size()) continue;
+    const bool hot = cyclic.count(e.from) > 0 && cyclic.count(e.to) > 0;
+    os << "  \"" << s.sites[e.from] << "\" -> \"" << s.sites[e.to]
+       << "\" [label=\"" << e.count << "\"";
+    if (hot) os << ", color=red, penwidth=2";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+bool from_json(const std::string& text, Snapshot* out) {
+  if (out == nullptr) return false;
+  *out = Snapshot{};
+  auto find_num = [&](const char* key, std::uint64_t* dst) {
+    const std::string tok = std::string("\"") + key + "\"";
+    const std::size_t k = text.find(tok);
+    if (k == std::string::npos) return false;
+    std::size_t i = text.find(':', k + tok.size());
+    if (i == std::string::npos) return false;
+    ++i;
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\n')) ++i;
+    std::uint64_t v = 0;
+    bool any = false;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(text[i] - '0');
+      ++i;
+      any = true;
+    }
+    if (any) *dst = v;
+    return any;
+  };
+  find_num("acquisitions", &out->acquisitions);
+  find_num("try_acquisitions", &out->try_acquisitions);
+
+  std::size_t k = text.find("\"sites\"");
+  if (k == std::string::npos) return false;
+  std::size_t i = text.find('[', k);
+  if (i == std::string::npos) return false;
+  ++i;
+  while (i < text.size() && text[i] != ']') {
+    if (text[i] == '"') {
+      std::string site;
+      ++i;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < text.size()) ++i;
+        site.push_back(text[i]);
+        ++i;
+      }
+      out->sites.push_back(std::move(site));
+    }
+    ++i;
+  }
+
+  k = text.find("\"edges\"");
+  if (k == std::string::npos) return false;
+  i = text.find('[', k);
+  if (i == std::string::npos) return false;
+  ++i;  // inside the outer edges array
+  while (i < text.size() && text[i] != ']') {
+    if (text[i] == '[') {
+      std::uint64_t vals[3] = {0, 0, 0};
+      int nv = 0;
+      ++i;
+      while (i < text.size() && text[i] != ']') {
+        if (text[i] >= '0' && text[i] <= '9') {
+          std::uint64_t v = 0;
+          while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+            v = v * 10 + static_cast<std::uint64_t>(text[i] - '0');
+            ++i;
+          }
+          if (nv < 3) vals[nv] = v;
+          ++nv;
+          continue;
+        }
+        ++i;
+      }
+      if (nv >= 2) {
+        Edge e;
+        e.from = static_cast<std::uint32_t>(vals[0]);
+        e.to = static_cast<std::uint32_t>(vals[1]);
+        e.count = nv >= 3 ? vals[2] : 1;
+        out->edges.push_back(e);
+      }
+    }
+    ++i;
+  }
+  return true;
+}
+
+#if defined(OCTGB_LOCKGRAPH_ENABLED)
+
+namespace {
+
+// "/abs/path/to/repo/src/util/foo.h" -> "src/util/foo.h": keep from
+// the last recognized top-level directory so site names are stable
+// across build locations.
+std::string trim_site_path(const char* file) {
+  const std::string f = file ? file : "?";
+  static const char* kRoots[] = {"/src/", "/tests/", "/bench/",
+                                 "/examples/", "/fuzz/"};
+  std::size_t best = std::string::npos;
+  for (const char* r : kRoots) {
+    const std::size_t p = f.rfind(r);
+    if (p != std::string::npos && (best == std::string::npos || p > best))
+      best = p;
+  }
+  if (best != std::string::npos) return f.substr(best + 1);
+  const std::size_t slash = f.rfind('/');
+  return slash == std::string::npos ? f : f.substr(slash + 1);
+}
+
+struct HeldEntry {
+  const void* mu;
+  std::uint32_t node;  // the lock's class node
+};
+
+struct Graph {
+  // lint:allow(mutex-unguarded) the witness cannot annotate through itself; every member below is guarded by mu
+  std::mutex mu;
+  std::vector<std::string> sites;
+  std::unordered_map<std::string, std::uint32_t> intern;
+  // Instance -> class node, bound at first acquisition, unbound at
+  // destruction (on_destroyed) so address reuse cannot alias classes.
+  std::unordered_map<const void*, std::uint32_t> instance_node;
+  std::unordered_map<std::uint64_t, std::uint64_t> edge_count;
+  std::vector<std::vector<std::uint32_t>> adj;
+  std::set<std::string> warned_cycles;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t try_acquisitions = 0;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph();  // lint:allow(naked-new) immortal: hooks
+                                  // may run during static destruction
+  return *g;
+}
+
+thread_local std::vector<HeldEntry> t_held;
+
+std::uint32_t intern_locked(Graph& g, const std::source_location& site) {
+  std::string name = trim_site_path(site.file_name()) + ":" +
+                     std::to_string(site.line());
+  auto it = g.intern.find(name);
+  if (it != g.intern.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(g.sites.size());
+  g.intern.emplace(name, id);
+  g.sites.push_back(std::move(name));
+  g.adj.emplace_back();
+  return id;
+}
+
+// Is `target` reachable from `start` in the current adjacency? Fills
+// `path` with the node sequence start..target when found.
+bool find_path_locked(const Graph& g, std::uint32_t start,
+                      std::uint32_t target, std::vector<std::uint32_t>* path) {
+  std::vector<std::int32_t> parent(g.sites.size(), -1);
+  std::vector<std::uint32_t> stack{start};
+  std::vector<char> seen(g.sites.size(), 0);
+  seen[start] = 1;
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    if (v == target) {
+      std::uint32_t w = target;
+      path->clear();
+      while (true) {
+        path->push_back(w);
+        if (w == start) break;
+        w = static_cast<std::uint32_t>(parent[w]);
+      }
+      std::reverse(path->begin(), path->end());
+      return true;
+    }
+    for (std::uint32_t w : g.adj[v]) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        parent[w] = static_cast<std::int32_t>(v);
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+void add_edge_locked(Graph& g, std::uint32_t from, std::uint32_t to) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from) << 32) | to;
+  auto [it, fresh] = g.edge_count.emplace(key, 0);
+  ++it->second;
+  if (!fresh) return;
+  g.adj[from].push_back(to);
+  // New edge from->to closes a cycle iff `from` was already reachable
+  // from `to`. Canonicalize (rotate to smallest site id first) so each
+  // distinct cycle warns exactly once.
+  std::vector<std::uint32_t> path;
+  if (from != to && !find_path_locked(g, to, from, &path)) return;
+  std::vector<std::uint32_t> cycle;
+  if (from == to) {
+    cycle = {from};
+  } else {
+    cycle = path;  // to .. from; appending `to` again is implicit
+  }
+  const auto min_it = std::min_element(cycle.begin(), cycle.end());
+  std::rotate(cycle.begin(), min_it, cycle.end());
+  std::string cycle_key;
+  for (std::uint32_t v : cycle) cycle_key += std::to_string(v) + ",";
+  if (!g.warned_cycles.insert(cycle_key).second) return;
+  std::fprintf(stderr,
+               "octgb-lockgraph: WARNING: lock-order cycle (potential "
+               "deadlock):\n");
+  for (std::size_t i = 0; i < cycle.size(); ++i)
+    std::fprintf(stderr, "    %s ->\n", g.sites[cycle[i]].c_str());
+  std::fprintf(stderr, "    %s\n", g.sites[cycle[0]].c_str());
+  std::fflush(stderr);
+}
+
+// Dump at process exit when $OCTGB_LOCKGRAPH_OUT is set. A static
+// object's destructor (instead of atexit) keeps ordering simple, and
+// abort()-based death tests skip it by construction.
+struct AtExitDumper {
+  ~AtExitDumper() {
+    const char* dir = std::getenv("OCTGB_LOCKGRAPH_OUT");
+    if (dir != nullptr && dir[0] != '\0') dump_files(dir);
+  }
+};
+AtExitDumper g_at_exit_dumper;
+
+}  // namespace
+
+void on_attempt(const void* mu, const std::source_location& site) {
+  for (const HeldEntry& h : t_held) {
+    if (h.mu == mu) {
+      Graph& g = graph();
+      std::lock_guard<std::mutex> lk(g.mu);
+      const std::string here = trim_site_path(site.file_name()) + ":" +
+                               std::to_string(site.line());
+      std::fprintf(stderr,
+                   "octgb-lockgraph: FATAL: self-deadlock: blocking "
+                   "re-acquire of mutex %p at %s (already held, class %s)\n",
+                   mu, here.c_str(), g.sites[h.node].c_str());
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+}
+
+void on_acquired(const void* mu, const std::source_location& site,
+                 bool blocking) {
+  Graph& g = graph();
+  std::uint32_t node;
+  {
+    std::lock_guard<std::mutex> lk(g.mu);
+    const auto bound = g.instance_node.find(mu);
+    node = bound != g.instance_node.end()
+               ? bound->second
+               : g.instance_node.emplace(mu, intern_locked(g, site))
+                     .first->second;
+    if (blocking) {
+      ++g.acquisitions;
+      // Same-node edges are deliberate: holding one lock of a class
+      // while blocking on another of the same class is an unordered
+      // same-class pair, reported as a self-loop cycle. (h.mu == mu is
+      // impossible here; on_attempt aborts first.)
+      for (const HeldEntry& h : t_held) add_edge_locked(g, h.node, node);
+    } else {
+      ++g.try_acquisitions;
+    }
+  }
+  t_held.push_back({mu, node});
+}
+
+void on_released(const void* mu) {
+  // LIFO is the common case but out-of-order release is legal for
+  // UniqueLock, so search from the top.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void on_destroyed(const void* mu) {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lk(g.mu);
+  g.instance_node.erase(mu);
+}
+
+#endif  // OCTGB_LOCKGRAPH_ENABLED
+
+Snapshot snapshot() {
+  Snapshot s;
+#if defined(OCTGB_LOCKGRAPH_ENABLED)
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lk(g.mu);
+  s.sites = g.sites;
+  s.acquisitions = g.acquisitions;
+  s.try_acquisitions = g.try_acquisitions;
+  s.edges.reserve(g.edge_count.size());
+  for (const auto& [key, count] : g.edge_count) {
+    Edge e;
+    e.from = static_cast<std::uint32_t>(key >> 32);
+    e.to = static_cast<std::uint32_t>(key & 0xffffffffu);
+    e.count = count;
+    s.edges.push_back(e);
+  }
+  std::sort(s.edges.begin(), s.edges.end(), [](const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+#endif
+  return s;
+}
+
+void reset() {
+#if defined(OCTGB_LOCKGRAPH_ENABLED)
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lk(g.mu);
+  g.sites.clear();
+  g.intern.clear();
+  // Unbinding every instance means a surviving mutex re-classes at its
+  // *next* acquisition site; callers reset only while quiesced.
+  g.instance_node.clear();
+  g.edge_count.clear();
+  g.adj.clear();
+  g.warned_cycles.clear();
+  g.acquisitions = 0;
+  g.try_acquisitions = 0;
+#endif
+}
+
+std::uint64_t cycles_found() {
+#if defined(OCTGB_LOCKGRAPH_ENABLED)
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lk(g.mu);
+  return g.warned_cycles.size();
+#else
+  return 0;
+#endif
+}
+
+bool dump_files(const std::string& dir) {
+#if defined(OCTGB_LOCKGRAPH_ENABLED)
+  const Snapshot s = snapshot();
+  // One test binary = one process under ctest, but pids recycle over a
+  // long suite; probe for a free stem (the prior owner of a recycled
+  // pid is necessarily dead, so existence checks cannot race).
+  const long pid = static_cast<long>(::getpid());
+  std::string stem;
+  for (int k = 0; k < 1000; ++k) {
+    std::ostringstream cand;
+    cand << dir << "/lockgraph-" << pid;
+    if (k > 0) cand << "." << k;
+    std::ifstream probe(cand.str() + ".json");
+    if (!probe.good()) {
+      stem = cand.str();
+      break;
+    }
+  }
+  if (stem.empty()) return false;
+  {
+    std::ofstream js(stem + ".json");
+    if (!js) return false;
+    js << to_json(s);
+    if (!js) return false;
+  }
+  {
+    std::ofstream dot(stem + ".dot");
+    if (!dot) return false;
+    dot << to_dot(s);
+    if (!dot) return false;
+  }
+  return true;
+#else
+  (void)dir;
+  return true;
+#endif
+}
+
+}  // namespace octgb::analysis::lockgraph

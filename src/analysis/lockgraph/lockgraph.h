@@ -1,0 +1,123 @@
+// lockgraph.h -- lock-order witness for potential-deadlock detection.
+//
+// Interposed in util::Mutex / MutexLock / UniqueLock / CondVar (see
+// src/util/thread_annotations.h). Graph nodes are *lock classes*: a
+// mutex instance binds, at its first acquisition ever, to a node
+// labeled with that acquisition's static site (file:line, captured via
+// std::source_location default arguments); every later acquisition of
+// the same instance -- from any site -- maps to the same node, and two
+// instances first locked at the same site share a node (FreeBSD
+// WITNESS-style classing: "the cache mutex", "a channel mutex"). The
+// witness keeps a per-thread stack of currently-held (mutex, node)
+// entries, and every blocking acquire adds edges
+//
+//     each held lock's node  -->  acquired lock's node
+//
+// to a process-global lock-order graph that accumulates across the
+// whole test suite. A cycle in that graph is a *potential* deadlock:
+// two code paths acquire the same lock classes in opposite order, even
+// if no run ever interleaved them fatally (the classic ABBA inversion
+// shows up as A->B plus B->A). Incremental cycle detection runs on
+// every new edge (a warning is printed once per distinct cycle), and
+// at process exit the graph is dumped as JSON + DOT when
+// $OCTGB_LOCKGRAPH_OUT names a directory; scripts/lockgraph_check.py
+// merges the per-process dumps and gates CI against
+// scripts/lockgraph_allowlist.txt.
+//
+// Semantics notes:
+//  * try_lock acquisitions push a held entry (locks taken *while*
+//    holding them still order after them) but add no incoming edge --
+//    a failed or abandoned try_lock cannot deadlock the acquirer.
+//  * A CondVar wait releases and re-acquires its lock; the relock maps
+//    to the lock's existing node, so wait loops do not fabricate
+//    fresh ordering edges.
+//  * A blocking re-acquire of a mutex already held by this thread is
+//    a certain self-deadlock: the witness aborts immediately.
+//  * A self-loop (holding one lock of a class while blocking on
+//    another of the same class) is reported as a cycle: unordered
+//    same-class pairs are exactly how hash-bucket and channel locks
+//    deadlock.
+//  * Classes over-approximate: instance-disjoint orders between two
+//    locks of one class can look cyclic -- vetted false positives go
+//    in the allowlist with a justification. Mutex destruction unbinds
+//    the instance so a recycled address cannot inherit a stale class.
+//
+// Everything here compiles to nothing unless -DOCTGB_LOCKGRAPH=ON
+// (CMake) defines OCTGB_LOCKGRAPH_ENABLED; the serialization helpers
+// (Snapshot / to_json / from_json / to_dot / detect_cycles) are always
+// available so graph algebra is unit-testable in every build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(OCTGB_LOCKGRAPH_ENABLED)
+#include <source_location>
+#endif
+
+namespace octgb::analysis::lockgraph {
+
+struct Edge {
+  std::uint32_t from = 0;  // class-node index into Snapshot::sites
+  std::uint32_t to = 0;
+  std::uint64_t count = 0;  // times observed
+};
+
+struct Snapshot {
+  // Class-node labels: the first-acquisition site of each lock class,
+  // "src/foo/bar.cpp:123".
+  std::vector<std::string> sites;
+  std::vector<Edge> edges;
+  std::uint64_t acquisitions = 0;      // blocking acquires recorded
+  std::uint64_t try_acquisitions = 0;  // try_lock acquires recorded
+};
+
+inline constexpr bool enabled() {
+#if defined(OCTGB_LOCKGRAPH_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(OCTGB_LOCKGRAPH_ENABLED)
+// Hooks called from the util::Mutex wrappers. `mu` is the raw mutex
+// address (identity only); `site` is the guard construction site that
+// labels the lock's class node on first acquisition.
+void on_attempt(const void* mu, const std::source_location& site);
+void on_acquired(const void* mu, const std::source_location& site,
+                 bool blocking);
+void on_released(const void* mu);
+// ~Mutex: drop the instance->class binding before the address can be
+// recycled by an unrelated lock.
+void on_destroyed(const void* mu);
+#endif
+
+// Current accumulated graph (empty when the witness is compiled out).
+Snapshot snapshot();
+
+// Drop all accumulated state (graph, interning table, cycle memory).
+// Tests that deliberately create inversions call this so the
+// process-exit dump stays representative of production ordering.
+void reset();
+
+// Number of distinct cycles warned about since the last reset().
+std::uint64_t cycles_found();
+
+// Serialization (always compiled; pure functions of the snapshot).
+std::string to_json(const Snapshot& s);
+std::string to_dot(const Snapshot& s);
+bool from_json(const std::string& text, Snapshot* out);
+
+// All elementary cycles' participating sites, as the strongly
+// connected components of the edge set with >1 node (plus self-loop
+// singletons). Sorted site indices per component, components sorted
+// by first element.
+std::vector<std::vector<std::uint32_t>> detect_cycles(const Snapshot& s);
+
+// Write `<dir>/lockgraph-<pid>[.k].json` and the matching `.dot`.
+// Returns false on IO failure. No-op (true) when compiled out.
+bool dump_files(const std::string& dir);
+
+}  // namespace octgb::analysis::lockgraph

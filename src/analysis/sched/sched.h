@@ -1,0 +1,239 @@
+// sched.h -- deterministic schedule exploration for the concurrent core.
+//
+// A seeded PCT-style (probabilistic concurrency testing, Burckhardt et
+// al., ASPLOS'10) cooperative scheduler. When *armed*, every thread
+// that registers as a participant is serialized: exactly one
+// participant runs at a time, chosen by static random priorities drawn
+// from the seed, with `change_points` random priority-demotion points
+// injected over a horizon of scheduling decisions. Participants hand
+// control back at *yield points* -- lock acquisitions and CondVar
+// waits (interposed in src/util/thread_annotations.h), pool
+// spawn/exec/steal edges (src/parallel), and explicit
+// `sched::yield_point()` calls -- so a scenario executes a single
+// deterministic interleaving per seed and can be replayed
+// byte-identically from a failing seed.
+//
+// Design constraints:
+//  * Zero overhead when disarmed: every hook is an inline check of one
+//    relaxed atomic (`g_armed_epoch != 0`); tier-1 and production
+//    builds never take the slow path. No separate CMake option is
+//    needed -- the scheduler only activates inside tests that arm it.
+//  * No dedicated scheduler thread: the controller is a state machine
+//    under one mutex; whichever participant transitions last runs the
+//    scheduling decision and wakes the chosen thread.
+//  * Blocking is cooperative. A participant that would block on a
+//    util::Mutex parks in the controller instead (the real lock is
+//    only ever taken with try_lock), so the controller sees the full
+//    wait-for graph and aborts with a report on a *definitive*
+//    deadlock (cycle of mutex-blocked participants). CondVar waits
+//    park until notify, with seeded spurious wakeups injected --
+//    which is why the cv-wait-pred lint rule insists on predicate
+//    loops. Timed waits time out deterministically after a fixed
+//    number of scheduling rounds instead of reading a clock.
+//  * Threads that never register (gtest's main thread in most tests,
+//    detached helpers outside a scenario) fall through to the real
+//    primitives; the scheduler round-robins "polling" participants so
+//    a spinning high-priority thread cannot livelock the schedule.
+//
+// Typical scenario (see tests/sched_explore_test.cpp):
+//
+//   sched::arm({.seed = s, .expected_participants = 3});
+//   // construct world *after* arm so object ids are deterministic
+//   std::thread a([&]{ sched::Participant p("a"); ...; });
+//   std::thread b([&]{ sched::Participant p("b"); ...; });
+//   { sched::Participant p("main"); ...; }   // main joins too
+//   a.join(); b.join();
+//   sched::RunReport r = sched::disarm();    // r.trace replays
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+
+namespace octgb::analysis::sched {
+
+// Where a yield happened; recorded in the trace so replays can be
+// compared structurally, not just by grant count.
+enum class Point : std::uint8_t {
+  kLockAcquire = 0,  // about to acquire a util::Mutex
+  kCondWait = 1,     // CondVar wait (also spurious-wake re-entry)
+  kSpawn = 2,        // TaskGroup::spawn pushed a task
+  kExec = 3,         // a pool worker is about to run a task
+  kSteal = 4,        // ChaseLevDeque::steal_top entry
+  kPop = 5,          // ChaseLevDeque::pop_bottom entry
+  kYield = 6,        // explicit scenario yield
+  kPoll = 7,         // polling loop (idle worker, future await):
+                     // only granted when no ready participant exists
+};
+
+struct PctParams {
+  std::uint64_t seed = 1;
+  // arm() holds every participant at a start barrier until this many
+  // have registered, so the first grant decision sees the whole cast
+  // and the schedule prefix is deterministic. Late joiners (threads
+  // spawned mid-scenario) are still admitted after the barrier.
+  int expected_participants = 0;
+  // PCT depth parameter: number of priority-demotion points injected
+  // at random grant indices within [1, horizon].
+  int change_points = 3;
+  std::uint64_t horizon = 4096;
+  // Deterministic timeout for CondVar timed waits: the waiter times
+  // out after this many grants elapse without a notify.
+  int timed_wait_rounds = 8;
+  // A CondVar wait returns immediately (spuriously) when the waiter's
+  // private RNG draws 0 in [0, denom); 0 disables injection.
+  int spurious_wake_denom = 4;
+  // Record the grant sequence (costs memory; cap ~1M entries).
+  bool record_trace = true;
+};
+
+struct RunReport {
+  std::uint64_t grants = 0;          // scheduling decisions taken
+  std::uint64_t preemptions = 0;     // PCT change points that fired
+  std::uint64_t mutex_blocks = 0;    // cooperative mutex parks
+  std::uint64_t cv_blocks = 0;       // CondVar parks
+  std::uint64_t spurious_wakeups = 0;
+  std::uint64_t timed_timeouts = 0;  // timed waits that timed out
+  int participants = 0;              // threads that registered
+  bool trace_truncated = false;
+  // One "name:point;" text record per grant (names are session-stable
+  // where rec indices are not). Two runs of the same scenario with the
+  // same params must produce identical bytes -- that is the replay
+  // contract (see DESIGN.md §14).
+  std::string trace;
+};
+
+// ---------------------------------------------------------------- fast path
+
+// 0 = disarmed. Odd/even does not matter; each arm() bumps it to a new
+// nonzero value so stale thread registrations from a previous session
+// can never be confused with the current one.
+extern std::atomic<std::uint32_t> g_armed_epoch;
+
+struct TlsState {
+  std::uint32_t epoch = 0;  // epoch this thread registered under
+  int id = -1;              // participant index within that epoch
+  char name[64] = {0};      // set via set_thread_name; sticky
+};
+extern thread_local TlsState t_tls;
+
+inline bool armed() {
+  return g_armed_epoch.load(std::memory_order_relaxed) != 0;
+}
+
+// True iff the *calling thread* is a registered participant of the
+// currently armed session.
+inline bool active_participant() {
+  const std::uint32_t e = g_armed_epoch.load(std::memory_order_relaxed);
+  return e != 0 && t_tls.epoch == e;
+}
+
+// ---------------------------------------------------------------- controller
+
+// Arm the scheduler. Must not already be armed; must be called before
+// the scenario's threads/pools are constructed (object ids and thread
+// names restart from zero at arm so they are session-relative).
+void arm(const PctParams& params);
+
+// Disarm, release any still-parked participants (they deregister and
+// fall back to real primitives), and return the run report.
+RunReport disarm();
+
+// Session-relative object id counter ("o0", "o1", ...), reset at
+// arm(). Pools and services name their threads with it so two runs of
+// the same scenario agree on every thread name.
+int next_object_id();
+
+// Name the calling thread for registration and traces. Safe (and
+// cheap) when disarmed; the name sticks for a later arm. A thread
+// with a name auto-registers at its first yield point while armed;
+// unnamed threads never participate implicitly.
+void set_thread_name(const char* name);
+
+// RAII participant registration for scenario-owned threads: names the
+// thread and joins the armed session immediately; deregisters AND
+// un-names on destruction (so the thread can be joined with a real
+// join(), and cannot be auto-enrolled into a later session).
+class Participant {
+ public:
+  explicit Participant(const char* name);
+  ~Participant();
+  Participant(const Participant&) = delete;
+  Participant& operator=(const Participant&) = delete;
+};
+
+// ------------------------------------------------------------------- hooks
+// Slow paths live in sched.cpp; the inline wrappers keep the disarmed
+// cost to one relaxed load.
+
+void yield_point_slow(Point kind);
+bool cooperative_lock_slow(void* mu);
+void note_locked_slow(void* mu);
+void note_unlocked_slow(void* mu);
+void cond_wait_slow(void* cv);
+bool cond_wait_timed_slow(void* cv);  // true = timed out
+void notify_slow(void* cv, bool all);
+void participant_leave_slow();
+
+// Hand control to the scheduler (no-op when disarmed or not a
+// participant).
+inline void yield_point(Point kind) {
+  if (armed()) yield_point_slow(kind);
+}
+
+// Cooperatively acquire the raw mutex underlying a util::Mutex.
+// Returns true if the lock was taken (cooperatively); false means the
+// caller is not a participant and must take the real blocking lock.
+inline bool cooperative_lock(void* mu) {
+  return armed() && cooperative_lock_slow(mu);
+}
+
+// Ownership tracking for the definitive-deadlock detector. Called
+// after any successful acquire / before control returns from unlock.
+inline void note_locked(void* mu) {
+  if (armed()) note_locked_slow(mu);
+}
+inline void note_unlocked(void* mu) {
+  if (armed()) note_unlocked_slow(mu);
+}
+
+// CondVar interposition: the caller must have released the associated
+// lock; cond_wait parks until notify (or a seeded spurious wake).
+inline void cond_wait(void* cv) {
+  if (armed()) cond_wait_slow(cv);
+}
+inline bool cond_wait_timed(void* cv) {
+  return armed() && cond_wait_timed_slow(cv);
+}
+inline void notify(void* cv, bool all) {
+  if (armed()) notify_slow(cv, all);
+}
+
+// Deterministic future wait: participants poll at kPoll yield points
+// (granted only when nothing else is runnable); everyone else blocks
+// for real.
+template <typename Future>
+void await(Future& fut) {
+  if (!active_participant()) {
+    fut.wait();
+    return;
+  }
+  while (fut.wait_for(std::chrono::seconds(0)) !=
+         std::future_status::ready) {
+    yield_point(Point::kPoll);
+  }
+}
+
+// Deterministic flag wait, same contract as await().
+inline void await_flag(const std::atomic<bool>& flag) {
+  if (!active_participant()) {
+    while (!flag.load(std::memory_order_acquire)) std::this_thread::yield();
+    return;
+  }
+  while (!flag.load(std::memory_order_acquire)) yield_point(Point::kPoll);
+}
+
+}  // namespace octgb::analysis::sched

@@ -52,6 +52,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/analysis/sched/sched.h"
 #include "src/util/sanitizers.h"
 
 namespace octgb::parallel {
@@ -92,6 +93,10 @@ class ChaseLevDeque {
 
   /// Owner only. Returns nullptr when empty.
   T* pop_bottom() {
+    // Schedule point for the PCT explorer (one relaxed load when
+    // disarmed): the owner/thief race on the last element is exactly
+    // the interleaving worth perturbing.
+    analysis::sched::yield_point(analysis::sched::Point::kPop);
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     RingBuffer* buf = buffer_.load(std::memory_order_relaxed);
 #if OCTGB_TSAN_ACTIVE
@@ -127,6 +132,7 @@ class ChaseLevDeque {
 
   /// Any thread. Returns nullptr when empty or when losing a race.
   T* steal_top() {
+    analysis::sched::yield_point(analysis::sched::Point::kSteal);
 #if OCTGB_TSAN_ACTIVE
     // I3, fence-free twin: both loads seq_cst (see pop_bottom).
     std::int64_t t = top_.load(std::memory_order_seq_cst);

@@ -1,8 +1,10 @@
 #include "src/parallel/pool.h"
 
 #include <chrono>
+#include <cstdio>
 #include <memory>
 
+#include "src/analysis/sched/sched.h"
 #include "src/telemetry/telemetry.h"
 
 namespace octgb::parallel {
@@ -21,6 +23,10 @@ thread_local TlsBinding tls_binding;
 // yield, then nap. Keeps the pool functional even when oversubscribed on
 // few physical cores (this container has one).
 void backoff(int& misses) {
+  // Under an armed schedule explorer an idle worker must hand control
+  // back (kPoll is only granted when nothing else is runnable) instead
+  // of napping; one relaxed load when disarmed.
+  analysis::sched::yield_point(analysis::sched::Point::kPoll);
   ++misses;
   if (misses < 16) {
     // busy spin
@@ -44,6 +50,9 @@ void TaskGroup::spawn(std::function<void()> fn) {
   // execute() is the single deleter. lint:allow(naked-new)
   auto* task = new detail::Task{std::move(fn), &pending_};
   pool_.push_task(task);
+  // Schedule point on the spawn edge: PCT can preempt the producer
+  // right after the task becomes stealable.
+  analysis::sched::yield_point(analysis::sched::Point::kSpawn);
 }
 
 void TaskGroup::wait() {
@@ -55,12 +64,17 @@ void TaskGroup::wait() {
   // Either we are a pool worker that drained the group, or (index < 0,
   // which cannot happen given spawn's inline fallback) nothing is pending.
   while (pending_.load(std::memory_order_acquire) != 0) {
+    analysis::sched::yield_point(analysis::sched::Point::kPoll);
     std::this_thread::yield();
   }
 }
 
 WorkStealingPool::WorkStealingPool(int num_workers) {
   if (num_workers < 1) num_workers = 1;
+  // Session-relative object id: helper threads of the k-th object
+  // constructed after sched::arm() are named "o<k>.w<i>", so schedule
+  // traces are byte-comparable across runs.
+  sched_object_id_ = analysis::sched::next_object_id();
   deques_.reserve(static_cast<std::size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
     auto state = std::make_unique<WorkerState>();
@@ -131,6 +145,9 @@ PoolStats WorkStealingPool::stats() const {
 
 void WorkStealingPool::helper_loop(int index) {
   tls_binding = {this, index};
+  char name[32];
+  std::snprintf(name, sizeof(name), "o%d.w%d", sched_object_id_, index);
+  analysis::sched::set_thread_name(name);
   int misses = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (try_run_one(index)) {
@@ -177,6 +194,7 @@ bool WorkStealingPool::try_run_one(int index) {
 }
 
 void WorkStealingPool::execute(detail::Task* task, int index) {
+  analysis::sched::yield_point(analysis::sched::Point::kExec);
   task->fn();
   // acq_rel: the release half publishes fn's writes to whoever observes
   // the counter hit zero in TaskGroup::wait (which loads with acquire);

@@ -117,6 +117,9 @@ class WorkStealingPool {
   std::vector<std::unique_ptr<WorkerState>> deques_;
   std::vector<std::thread> helpers_;
   std::atomic<bool> shutdown_{false};
+  /// Session-relative id from sched::next_object_id(); helper threads
+  /// are named "o<id>.w<index>" for deterministic schedule traces.
+  int sched_object_id_ = -1;
   /// Held by the external (non-worker) thread driving a run(): it is
   /// the owner of worker 0's deque for the duration of the call.
   util::Mutex run_mu_;

@@ -1,9 +1,11 @@
 #include "src/serve/service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "src/analysis/contracts.h"
+#include "src/analysis/sched/sched.h"
 #include "src/gb/kernels_batch.h"
 #include "src/serve/content_hash.h"
 #include "src/telemetry/telemetry.h"
@@ -27,7 +29,21 @@ PolarizationService::PolarizationService(const ServiceConfig& config)
       pool_(std::max(1, config.num_threads)) {
   config_.num_threads = std::max(1, config.num_threads);
   config_.max_batch = std::max<std::size_t>(1, config.max_batch);
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  // Session-relative name for the schedule explorer; the pool member
+  // above already claimed the previous object id for its workers.
+  const int oid = analysis::sched::next_object_id();
+  dispatcher_ = std::thread([this, oid] {
+    char name[32];
+    std::snprintf(name, sizeof(name), "o%d.disp", oid);
+    analysis::sched::set_thread_name(name);
+    dispatch_loop();
+  });
+}
+
+std::chrono::steady_clock::time_point PolarizationService::now_at(
+    ClockEvent ev) const {
+  if (config_.clock) return config_.clock(ev);
+  return Clock::now();
 }
 
 PolarizationService::~PolarizationService() { stop(); }
@@ -35,7 +51,7 @@ PolarizationService::~PolarizationService() { stop(); }
 std::future<Response> PolarizationService::submit(Request req) {
   std::promise<Response> promise;
   std::future<Response> fut = promise.get_future();
-  const Clock::time_point now = Clock::now();
+  const Clock::time_point now = now_at(ClockEvent::kSubmit);
   OCTGB_COUNTER_ADD("serve.submitted", 1);
   bool rejected = false;
   {
@@ -115,7 +131,7 @@ void PolarizationService::dispatch_loop() {
     if (config_.batch_linger.count() > 0 &&
         queue_.size() < config_.max_batch && !stopping_) {
       const Clock::time_point linger_until =
-          Clock::now() + config_.batch_linger;
+          now_at(ClockEvent::kLinger) + config_.batch_linger;
       while (!stopping_ && queue_.size() < config_.max_batch) {
         if (queue_cv_.wait_until(lock, linger_until) ==
             std::cv_status::timeout) {
@@ -144,7 +160,7 @@ void PolarizationService::dispatch_loop() {
 
 void PolarizationService::process_batch(std::vector<Pending>&& batch) {
   OCTGB_TRACE_SCOPE("serve/batch");
-  const Clock::time_point start = Clock::now();
+  const Clock::time_point start = now_at(ClockEvent::kBatchStart);
 
   struct Item {
     Pending pending;
@@ -230,7 +246,7 @@ void PolarizationService::process_batch(std::vector<Pending>&& batch) {
   // done, the client just can't use it. Flagged on the Response before
   // fulfillment so result sinks see the same classification the stats
   // record.
-  const Clock::time_point settle = Clock::now();
+  const Clock::time_point settle = now_at(ClockEvent::kSettle);
   std::uint64_t num_deadline_missed = 0;
   for (Item& item : items) {
     if (item.resp.status == Status::kOk &&

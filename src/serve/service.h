@@ -45,6 +45,17 @@
 
 namespace octgb::serve {
 
+/// Which service decision is reading the clock. Passed to
+/// ServiceConfig::clock so tests can steer individual decisions (e.g.
+/// jump time between batch start and settle to force a deterministic
+/// deadline miss) without racing wall time.
+enum class ClockEvent {
+  kSubmit,      // submit(): request enqueue timestamp
+  kBatchStart,  // process_batch(): shed check + queue-wait accounting
+  kLinger,      // dispatch_loop(): coalescing window base
+  kSettle,      // process_batch(): deadline-missed audit
+};
+
 /// All service knobs.
 struct ServiceConfig {
   /// Workers in the compute pool (>= 1; the dispatcher acts as worker 0
@@ -80,6 +91,14 @@ struct ServiceConfig {
   /// callback must be thread-safe and should be cheap (it runs on the
   /// batch critical path). Null disables it.
   std::function<void(const Response&)> on_complete;
+  /// Clock shim: when set, every scheduling-relevant timestamp the
+  /// service takes goes through this callback instead of
+  /// steady_clock::now(). Pair it with load::VirtualClock (anchored to
+  /// a fixed steady_clock base) for deterministic deadline tests; null
+  /// uses the real clock. Called from the submitting thread (kSubmit)
+  /// and the dispatcher (the rest); must be thread-safe and monotonic
+  /// per event site.
+  std::function<std::chrono::steady_clock::time_point(ClockEvent)> clock;
 };
 
 /// Monotonic service counters + per-stage time sums, exported like
@@ -182,6 +201,10 @@ class PolarizationService {
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point enqueued;
   };
+
+  /// Timestamp for a scheduling decision: config_.clock when the test
+  /// shim is installed, steady_clock::now() otherwise.
+  std::chrono::steady_clock::time_point now_at(ClockEvent ev) const;
 
   void dispatch_loop() OCTGB_EXCLUDES(mu_);
   void process_batch(std::vector<Pending>&& batch) OCTGB_EXCLUDES(mu_);

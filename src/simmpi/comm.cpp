@@ -109,6 +109,7 @@ void Comm::recv_bytes(void* out, std::size_t bytes, int src, int tag) {
         return;
       }
     }
+    // lint:allow(cv-wait-pred) matching-message predicate re-checked at the top of the enclosing for(;;) scan loop
     box.cv.wait(lock);
   }
 }
@@ -162,6 +163,7 @@ int Comm::recv_any_bytes(void* out, std::size_t bytes, int tag) {
         return src;
       }
     }
+    // lint:allow(cv-wait-pred) any-source predicate re-checked at the top of the enclosing for(;;) scan loop
     box.cv.wait(lock);
   }
 }

@@ -16,10 +16,61 @@
 //
 // Build with -DOCTGB_THREAD_SAFETY=ON (Clang only) to turn the analysis
 // on as errors; see the toplevel CMakeLists.txt.
+//
+// These wrappers are also the *dynamic* analysis interposition point
+// (DESIGN.md §14):
+//
+//  * Under -DOCTGB_LOCKGRAPH=ON every guard constructor captures its
+//    call site via a defaulted std::source_location parameter and
+//    reports acquire/release to the lock-order witness
+//    (src/analysis/lockgraph), which accumulates the global lock-order
+//    graph and flags potential deadlocks. Compiled to nothing
+//    otherwise.
+//  * The deterministic schedule explorer (src/analysis/sched) hooks
+//    the same operations in every build; when disarmed each hook is
+//    one relaxed atomic load. When a test arms it, participant
+//    threads acquire cooperatively and CondVar waits park in the
+//    scheduler, with seeded spurious wakeups injected -- which is why
+//    waits must sit in a predicate loop (`while (!cond) cv.wait(lk);`
+//    or the `wait(lock, pred)` overload; scripts/lint.sh rule
+//    cv-wait-pred enforces this).
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
+
+#include "src/analysis/sched/sched.h"
+
+#if defined(OCTGB_LOCKGRAPH_ENABLED)
+#include <source_location>
+
+#include "src/analysis/lockgraph/lockgraph.h"
+
+// Defaulted source_location parameters evaluate at the *call site*,
+// so a guard constructed in service.cpp:120 records "service.cpp:120"
+// even though the lock body lives here. OCTGB_SITE_PARAM splices the
+// parameter in (leading comma form for non-empty parameter lists).
+#define OCTGB_SITE_PARAM0 \
+  const std::source_location& site = std::source_location::current()
+#define OCTGB_SITE_PARAM \
+  , const std::source_location& site = std::source_location::current()
+#define OCTGB_SITE_FWD site
+#define OCTGB_SITE_MEMBER_INIT , site_(site)
+#define OCTGB_SITE_MEMBER_FWD site_
+#define OCTGB_LG_ATTEMPT(mu) ::octgb::analysis::lockgraph::on_attempt((mu), site)
+#define OCTGB_LG_ACQUIRED(mu, blocking) \
+  ::octgb::analysis::lockgraph::on_acquired((mu), site, (blocking))
+#define OCTGB_LG_RELEASED(mu) ::octgb::analysis::lockgraph::on_released((mu))
+#else
+#define OCTGB_SITE_PARAM0
+#define OCTGB_SITE_PARAM
+#define OCTGB_SITE_FWD
+#define OCTGB_SITE_MEMBER_INIT
+#define OCTGB_SITE_MEMBER_FWD
+#define OCTGB_LG_ATTEMPT(mu) ((void)0)
+#define OCTGB_LG_ACQUIRED(mu, blocking) ((void)0)
+#define OCTGB_LG_RELEASED(mu) ((void)0)
+#endif
 
 #if defined(__clang__) && (!defined(SWIG))
 #define OCTGB_THREAD_ANNOTATION(x) __attribute__((x))
@@ -82,10 +133,38 @@ class OCTGB_CAPABILITY("mutex") Mutex {
   Mutex() = default;
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
+#if defined(OCTGB_LOCKGRAPH_ENABLED)
+  // Unbind this instance from its lock class so a recycled address
+  // cannot inherit stale ordering state.
+  ~Mutex() { analysis::lockgraph::on_destroyed(&mu_); }
+#endif
 
-  void lock() OCTGB_ACQUIRE() { mu_.lock(); }
-  void unlock() OCTGB_RELEASE() { mu_.unlock(); }
-  bool try_lock() OCTGB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock(OCTGB_SITE_PARAM0) OCTGB_ACQUIRE() {
+    // Witness first (a blocking re-acquire of a held mutex aborts
+    // before it can hang), then either a cooperative acquire under
+    // the armed schedule explorer or the real blocking lock.
+    OCTGB_LG_ATTEMPT(&mu_);
+    if (!analysis::sched::cooperative_lock(&mu_)) mu_.lock();
+    analysis::sched::note_locked(&mu_);
+    OCTGB_LG_ACQUIRED(&mu_, /*blocking=*/true);
+  }
+  void unlock() OCTGB_RELEASE() {
+    OCTGB_LG_RELEASED(&mu_);
+    mu_.unlock();
+    // Wake cooperative waiters only after the real unlock, or the
+    // woken thread's try_lock could fail and re-park with no further
+    // wakeup coming (lost-wakeup).
+    analysis::sched::note_unlocked(&mu_);
+  }
+  bool try_lock(OCTGB_SITE_PARAM0) OCTGB_TRY_ACQUIRE(true) {
+    analysis::sched::yield_point(analysis::sched::Point::kLockAcquire);
+    if (!mu_.try_lock()) return false;
+    analysis::sched::note_locked(&mu_);
+    // try_lock orders locks taken *while holding* it, but adds no
+    // incoming edge: a failed try cannot deadlock the acquirer.
+    OCTGB_LG_ACQUIRED(&mu_, /*blocking=*/false);
+    return true;
+  }
 
   /// For the rare interop case (never needed for CondVar, which takes
   /// UniqueLock directly).
@@ -97,10 +176,15 @@ class OCTGB_CAPABILITY("mutex") Mutex {
   std::mutex mu_;
 };
 
-/// std::lock_guard equivalent the analysis understands.
+/// std::lock_guard equivalent the analysis understands. The defaulted
+/// source_location parameter makes the *construction site* the static
+/// id the lock-order witness records.
 class OCTGB_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) OCTGB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  explicit MutexLock(Mutex& mu OCTGB_SITE_PARAM) OCTGB_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.lock(OCTGB_SITE_FWD);
+  }
   ~MutexLock() OCTGB_RELEASE() { mu_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -115,8 +199,9 @@ class OCTGB_SCOPED_CAPABILITY MutexLock {
 /// BasicLockable so CondVar can unlock/relock it during a wait.
 class OCTGB_SCOPED_CAPABILITY UniqueLock {
  public:
-  explicit UniqueLock(Mutex& mu) OCTGB_ACQUIRE(mu) : mu_(mu), owned_(true) {
-    mu_.lock();
+  explicit UniqueLock(Mutex& mu OCTGB_SITE_PARAM) OCTGB_ACQUIRE(mu)
+      : mu_(mu), owned_(true) OCTGB_SITE_MEMBER_INIT {
+    mu_.lock(OCTGB_SITE_FWD);
   }
   ~UniqueLock() OCTGB_RELEASE() {
     if (owned_) mu_.unlock();
@@ -125,8 +210,11 @@ class OCTGB_SCOPED_CAPABILITY UniqueLock {
   UniqueLock(const UniqueLock&) = delete;
   UniqueLock& operator=(const UniqueLock&) = delete;
 
+  // Relocks (CondVar wait re-entry, hand-over-hand) are recorded at
+  // the guard's construction site: a wait loop re-acquiring its own
+  // lock must not fabricate fresh ordering edges.
   void lock() OCTGB_ACQUIRE() {
-    mu_.lock();
+    mu_.lock(OCTGB_SITE_MEMBER_FWD);
     owned_ = true;
   }
   void unlock() OCTGB_RELEASE() {
@@ -138,11 +226,20 @@ class OCTGB_SCOPED_CAPABILITY UniqueLock {
  private:
   Mutex& mu_;
   bool owned_;
+#if defined(OCTGB_LOCKGRAPH_ENABLED)
+  std::source_location site_;
+#endif
 };
 
-/// Condition variable over util::Mutex via UniqueLock. Waits must use
-/// the manual `while (!cond) cv.wait(lock);` form -- a predicate lambda
-/// would run outside the annotated scope and defeat the analysis.
+/// Condition variable over util::Mutex via UniqueLock. Waits MUST be
+/// predicate-guarded -- either the manual `while (!cond) cv.wait(lock);`
+/// form (which the Clang capability analysis sees through) or the
+/// `wait(lock, pred)` overload (for predicates over unguarded /
+/// atomic state; a lambda body touching GUARDED_BY members is opaque
+/// to the analysis). The cv-wait-pred lint rule enforces one of the
+/// two. This is not style: the schedule explorer injects *seeded
+/// spurious wakeups* into armed scenarios precisely to flush out
+/// un-looped waits.
 class CondVar {
  public:
   CondVar() = default;
@@ -151,23 +248,63 @@ class CondVar {
 
   /// Atomically releases `lock`, blocks, and reacquires before
   /// returning; the analysis treats the capability as held throughout.
-  void wait(UniqueLock& lock) { cv_.wait(lock); }
+  /// Under an armed schedule explorer, participants park in the
+  /// scheduler instead (the release/re-acquire goes through the
+  /// interposed UniqueLock, so the witness and ownership tracking see
+  /// it too).
+  void wait(UniqueLock& lock) {
+    if (analysis::sched::active_participant()) {
+      lock.unlock();
+      analysis::sched::cond_wait(this);
+      lock.lock();
+      return;
+    }
+    // lint:allow(cv-wait-pred) this IS the interposed primitive; predicate-loop duty lies with the caller (or the overload below)
+    cv_.wait(lock);
+  }
 
+  /// Predicate form: loops on spurious wakeups by construction.
+  template <typename Pred>
+  void wait(UniqueLock& lock, Pred pred) {
+    while (!pred()) wait(lock);
+  }
+
+  /// Timed waits under an armed schedule explorer ignore the wall
+  /// clock and time out deterministically after
+  /// PctParams::timed_wait_rounds scheduling rounds without a notify.
   template <typename Clock, typename Duration>
   std::cv_status wait_until(
       UniqueLock& lock,
       const std::chrono::time_point<Clock, Duration>& deadline) {
+    if (analysis::sched::active_participant()) {
+      lock.unlock();
+      const bool timed_out = analysis::sched::cond_wait_timed(this);
+      lock.lock();
+      return timed_out ? std::cv_status::timeout : std::cv_status::no_timeout;
+    }
     return cv_.wait_until(lock, deadline);
   }
 
   template <typename Rep, typename Period>
   std::cv_status wait_for(UniqueLock& lock,
                           const std::chrono::duration<Rep, Period>& dur) {
+    if (analysis::sched::active_participant()) {
+      lock.unlock();
+      const bool timed_out = analysis::sched::cond_wait_timed(this);
+      lock.lock();
+      return timed_out ? std::cv_status::timeout : std::cv_status::no_timeout;
+    }
     return cv_.wait_for(lock, dur);
   }
 
-  void notify_one() { cv_.notify_one(); }
-  void notify_all() { cv_.notify_all(); }
+  void notify_one() {
+    cv_.notify_one();
+    analysis::sched::notify(this, /*all=*/false);
+  }
+  void notify_all() {
+    cv_.notify_all();
+    analysis::sched::notify(this, /*all=*/true);
+  }
 
  private:
   std::condition_variable_any cv_;

@@ -1,0 +1,317 @@
+// Tests for the lock-order witness (src/analysis/lockgraph).
+//
+// The serialization / graph-algebra half (Snapshot, to_json, from_json,
+// to_dot, detect_cycles) is pure and runs in every build. The witness
+// half -- hooks interposed in util::Mutex and friends -- only exists
+// under -DOCTGB_LOCKGRAPH=ON; those tests GTEST_SKIP otherwise, and the
+// dedicated lockgraph CI stage (scripts/ci.sh --lockgraph-only) runs
+// them for real.
+//
+// Witness tests call lockgraph::reset() before and after making
+// deliberate inversions so the process-exit dump consumed by
+// scripts/lockgraph_check.py stays representative of production
+// ordering. The one exception, GateSelfTest.DeliberateInversion, is
+// env-gated: ci.sh runs it alone with a throwaway dump directory to
+// prove the checker actually fails on a planted ABBA pair.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/lockgraph/lockgraph.h"
+#include "src/util/thread_annotations.h"
+
+namespace octgb::analysis::lockgraph {
+namespace {
+
+Snapshot synthetic(std::vector<std::string> sites, std::vector<Edge> edges) {
+  Snapshot s;
+  s.sites = std::move(sites);
+  s.edges = std::move(edges);
+  for (const Edge& e : s.edges) s.acquisitions += e.count;
+  return s;
+}
+
+TEST(LockgraphAlgebraTest, DetectCyclesFindsAbbaInversion) {
+  const Snapshot s =
+      synthetic({"a.cpp:1", "b.cpp:2"}, {{0, 1, 3}, {1, 0, 1}});
+  const auto cycles = detect_cycles(s);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(LockgraphAlgebraTest, DetectCyclesHierarchyIsAcyclic) {
+  // a -> b -> c plus the transitive a -> c: a proper hierarchy.
+  const Snapshot s = synthetic({"a:1", "b:2", "c:3"},
+                               {{0, 1, 5}, {1, 2, 5}, {0, 2, 2}});
+  EXPECT_TRUE(detect_cycles(s).empty());
+}
+
+TEST(LockgraphAlgebraTest, DetectCyclesReportsSelfLoopSingleton) {
+  const Snapshot s = synthetic({"a:1", "b:2"}, {{0, 1, 1}, {1, 1, 1}});
+  const auto cycles = detect_cycles(s);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<std::uint32_t>{1}));
+}
+
+TEST(LockgraphAlgebraTest, DetectCyclesSeparatesComponents) {
+  // Two disjoint inversions plus an acyclic tail.
+  const Snapshot s =
+      synthetic({"a:1", "b:2", "c:3", "d:4", "e:5"},
+                {{0, 1, 1}, {1, 0, 1}, {2, 3, 1}, {3, 2, 1}, {3, 4, 9}});
+  const auto cycles = detect_cycles(s);
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0], (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(cycles[1], (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(LockgraphAlgebraTest, JsonRoundTripPreservesEverything) {
+  const Snapshot s = synthetic({"src/serve/service.cpp:120",
+                                "we\"ird\\path.h:7", "src/util/log.h:33"},
+                               {{0, 1, 12}, {1, 2, 1}, {2, 0, 4}});
+  Snapshot back;
+  ASSERT_TRUE(from_json(to_json(s), &back));
+  EXPECT_EQ(back.sites, s.sites);
+  ASSERT_EQ(back.edges.size(), s.edges.size());
+  for (std::size_t i = 0; i < s.edges.size(); ++i) {
+    EXPECT_EQ(back.edges[i].from, s.edges[i].from);
+    EXPECT_EQ(back.edges[i].to, s.edges[i].to);
+    EXPECT_EQ(back.edges[i].count, s.edges[i].count);
+  }
+  EXPECT_EQ(back.acquisitions, s.acquisitions);
+  EXPECT_EQ(back.try_acquisitions, s.try_acquisitions);
+}
+
+TEST(LockgraphAlgebraTest, FromJsonRejectsGarbage) {
+  Snapshot out;
+  EXPECT_FALSE(from_json("", &out));
+  EXPECT_FALSE(from_json("{\"tool\": \"octgb-lockgraph\"}", &out));
+  EXPECT_FALSE(from_json("not json at all", &out));
+}
+
+TEST(LockgraphAlgebraTest, DotHighlightsOnlyCycleEdges) {
+  const Snapshot cyclic =
+      synthetic({"a:1", "b:2", "c:3"}, {{0, 1, 1}, {1, 0, 1}, {1, 2, 1}});
+  const std::string dot = to_dot(cyclic);
+  EXPECT_NE(dot.find("digraph lockgraph"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  // The acyclic b -> c edge must stay unhighlighted; count red edges.
+  std::size_t red = 0, pos = 0;
+  while ((pos = dot.find("color=red", pos)) != std::string::npos) {
+    ++red;
+    ++pos;
+  }
+  EXPECT_EQ(red, 2u);
+
+  const Snapshot acyclic = synthetic({"a:1", "b:2"}, {{0, 1, 1}});
+  EXPECT_EQ(to_dot(acyclic).find("color=red"), std::string::npos);
+}
+
+// ------------------------------------------------------------ witness
+
+// Looks up the class-node index whose label ends with ":<line>".
+int node_for_line(const Snapshot& s, int line) {
+  const std::string suffix = ":" + std::to_string(line);
+  for (std::size_t i = 0; i < s.sites.size(); ++i) {
+    const std::string& site = s.sites[i];
+    if (site.size() >= suffix.size() &&
+        site.compare(site.size() - suffix.size(), suffix.size(), suffix) == 0)
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+class LockgraphWitnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!enabled())
+      GTEST_SKIP() << "witness compiled out (configure -DOCTGB_LOCKGRAPH=ON)";
+    reset();
+  }
+  void TearDown() override {
+    if (enabled()) reset();
+  }
+};
+
+TEST_F(LockgraphWitnessTest, HierarchicalOrderStaysSilent) {
+  util::Mutex a, b;
+  for (int i = 0; i < 3; ++i) {
+    util::MutexLock la(a);
+    util::MutexLock lb(b);
+  }
+  const Snapshot s = snapshot();
+  EXPECT_EQ(s.sites.size(), 2u);
+  ASSERT_EQ(s.edges.size(), 1u);
+  EXPECT_EQ(s.edges[0].count, 3u);
+  EXPECT_TRUE(detect_cycles(s).empty());
+  EXPECT_EQ(cycles_found(), 0u);
+}
+
+TEST_F(LockgraphWitnessTest, AbbaInversionMakesCycle) {
+  util::Mutex a, b;
+  {
+    util::MutexLock la(a);  // binds a's class
+    util::MutexLock lb(b);  // binds b's class; edge a -> b
+  }
+  EXPECT_EQ(cycles_found(), 0u);
+  {
+    util::MutexLock lb(b);
+    util::MutexLock la(a);  // edge b -> a: the inversion
+  }
+  const Snapshot s = snapshot();
+  EXPECT_EQ(s.sites.size(), 2u);
+  const auto cycles = detect_cycles(s);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 2u);
+  // The incremental detector warned the moment the closing edge landed.
+  EXPECT_EQ(cycles_found(), 1u);
+}
+
+TEST_F(LockgraphWitnessTest, TryLockOrdersButAddsNoIncomingEdge) {
+  util::Mutex a, b, c;
+  util::MutexLock la(a);
+  const int try_line = __LINE__ + 1;
+  ASSERT_TRUE(b.try_lock());
+  util::MutexLock lc(c);  // edges a -> c and b -> c
+  const Snapshot s = snapshot();
+  b.unlock();
+  EXPECT_EQ(s.acquisitions, 2u);      // a, c
+  EXPECT_EQ(s.try_acquisitions, 1u);  // b
+  const int nb = node_for_line(s, try_line);
+  ASSERT_GE(nb, 0);
+  ASSERT_EQ(s.edges.size(), 2u);
+  for (const Edge& e : s.edges) {
+    EXPECT_NE(static_cast<int>(e.to), nb)
+        << "try_lock must not gain an incoming edge";
+  }
+  EXPECT_TRUE(detect_cycles(s).empty());
+}
+
+TEST_F(LockgraphWitnessTest, CondVarRelockAddsNoFreshEdges) {
+  util::Mutex m;
+  util::CondVar cv;
+  std::atomic<bool> flag{false};
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    util::UniqueLock lk(m);
+    // Predicate loop over timed waits: every timeout/notify re-locks m
+    // through the guard, exercising the relock path repeatedly.
+    while (!flag.load()) cv.wait_for(lk, std::chrono::milliseconds(1));
+    done.store(true);
+  });
+  flag.store(true);
+  while (!done.load()) {
+    cv.notify_all();
+    std::this_thread::yield();
+  }
+  waiter.join();
+  const Snapshot s = snapshot();
+  // The relocks all map to m's existing class node: no edges, no
+  // cycles, exactly one node no matter how many waits ran.
+  EXPECT_EQ(s.sites.size(), 1u);
+  EXPECT_TRUE(s.edges.empty());
+  EXPECT_TRUE(detect_cycles(s).empty());
+  EXPECT_GE(s.acquisitions, 1u);
+}
+
+TEST_F(LockgraphWitnessTest, SameClassUnorderedPairIsSelfLoop) {
+  util::Mutex m1, m2;
+  auto bind = [](util::Mutex& m) { util::MutexLock l(m); };
+  bind(m1);  // both instances first acquired at bind's guard site:
+  bind(m2);  // one class, two locks
+  {
+    util::MutexLock l1(m1);
+    util::MutexLock l2(m2);  // same-class blocking acquire: self-loop
+  }
+  const Snapshot s = snapshot();
+  const auto cycles = detect_cycles(s);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 1u);
+  EXPECT_GE(cycles_found(), 1u);
+}
+
+TEST_F(LockgraphWitnessTest, DestructionUnbindsInstance) {
+  std::optional<util::Mutex> m;
+  m.emplace();
+  {
+    util::MutexLock l(*m);  // class A
+  }
+  EXPECT_EQ(snapshot().sites.size(), 1u);
+  m.reset();   // unbind: the address may now be recycled
+  m.emplace();  // plausibly the same address as before
+  {
+    util::MutexLock l(*m);  // must bind a fresh class here, not class A
+  }
+  EXPECT_EQ(snapshot().sites.size(), 2u);
+}
+
+TEST_F(LockgraphWitnessTest, SelfDeadlockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        util::Mutex m;
+        m.lock();
+        m.lock();  // blocking re-acquire of a held mutex
+      },
+      "self-deadlock");
+}
+
+TEST_F(LockgraphWitnessTest, DumpFilesRoundTrip) {
+  util::Mutex a, b;
+  {
+    util::MutexLock la(a);
+    util::MutexLock lb(b);
+  }
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(dump_files(dir));
+  // Find the dump we just wrote: stem is pid-derived, so re-derive it
+  // by probing like dump_files does, highest suffix wins.
+  std::string json;
+  for (int k = 0; k < 1000; ++k) {
+    std::ostringstream cand;
+    cand << dir << "/lockgraph-" << static_cast<long>(::getpid());
+    if (k > 0) cand << "." << k;
+    std::ifstream in(cand.str() + ".json");
+    if (!in.good()) break;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    json = buf.str();
+  }
+  ASSERT_FALSE(json.empty());
+  Snapshot back;
+  ASSERT_TRUE(from_json(json, &back));
+  EXPECT_EQ(back.sites.size(), 2u);
+  EXPECT_EQ(back.edges.size(), 1u);
+}
+
+// Gate mutation self-test: ci.sh --lockgraph-only runs exactly this
+// test with OCTGB_LOCKGRAPH_SELFTEST=1 and OCTGB_LOCKGRAPH_OUT set to
+// a throwaway directory, then asserts that lockgraph_check.py FAILS on
+// the dump. Deliberately no reset(): the inversion must reach the
+// process-exit dump.
+TEST(LockgraphGateSelfTest, DeliberateInversion) {
+  if (!enabled() || std::getenv("OCTGB_LOCKGRAPH_SELFTEST") == nullptr)
+    GTEST_SKIP() << "gate self-test only runs under ci.sh --lockgraph-only";
+  util::Mutex a, b;
+  {
+    util::MutexLock la(a);
+    util::MutexLock lb(b);
+  }
+  {
+    util::MutexLock lb(b);
+    util::MutexLock la(a);
+  }
+  EXPECT_GE(cycles_found(), 1u);
+}
+
+}  // namespace
+}  // namespace octgb::analysis::lockgraph

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/gb/calculator.h"
+#include "src/load/clock.h"
 #include "src/gb/kernels_batch.h"
 #include "src/molecule/generators.h"
 #include "src/serve/content_hash.h"
@@ -569,42 +570,49 @@ TEST(ServeTest, OnCompleteSeesEverySettledRequest) {
 }
 
 TEST(ServeTest, DeadlineMissedCountsCompletedButLate) {
-  // A large molecule with a deadline far too tight to compute (a
-  // 2000-atom cold build takes tens of ms at best), yet long enough
-  // for the dispatcher to pick the request up before it expires --
-  // otherwise the service sheds it uncomputed. Dispatch latency is at
-  // the mercy of machine load, so a shed retries on a fresh service
-  // with a doubled deadline instead of failing the test.
-  const auto mol = molecule::generate_protein(2000, 99);
-  std::unique_ptr<serve::PolarizationService> svc;
-  serve::Response resp;
-  for (int attempt = 0; attempt < 6; ++attempt) {
-    svc = std::make_unique<serve::PolarizationService>(test_config());
-    serve::Request req = make_request(1, mol);
-    req.deadline = std::chrono::steady_clock::now() + 5ms * (1 << attempt);
-    resp = svc->serve_now(std::move(req));
-    if (resp.status == serve::Status::kOk) break;
-  }
+  // The service reads every scheduling timestamp through cfg.clock, so
+  // the old machine-speed guesswork (retry with doubling deadlines on
+  // a 2000-atom molecule) is gone: a load::VirtualClock anchored to a
+  // fixed steady_clock base puts the batch start *inside* the deadline
+  // (not shed) and the settle audit *past* it (missed),
+  // deterministically on any machine.
+  const auto mol = molecule::generate_protein(300, 99);
+  const auto base = std::chrono::steady_clock::now();
+  auto state = std::make_shared<std::pair<std::mutex, load::VirtualClock>>();
+  serve::ServiceConfig cfg = test_config();
+  cfg.clock = [base, state](serve::ClockEvent ev) {
+    std::lock_guard<std::mutex> lock(state->first);
+    load::VirtualClock& vc = state->second;
+    // Each per-batch settle audit jumps virtual time by 20ms: past the
+    // first request's 10ms deadline, far inside the second one's 10s.
+    if (ev == serve::ClockEvent::kSettle)
+      vc.advance_to(vc.now_ns() + 20 * load::kNsPerMs);
+    return base + std::chrono::nanoseconds(vc.now_ns());
+  };
+  serve::PolarizationService svc(cfg);
+
+  serve::Request req = make_request(1, mol);
+  req.deadline = base + 10ms;
+  const serve::Response resp = svc.serve_now(std::move(req));
 
   ASSERT_EQ(resp.status, serve::Status::kOk);  // computed, not shed
   EXPECT_TRUE(resp.deadline_missed);
-  EXPECT_GT(resp.t_total, 0.005);
 
-  const auto stats = svc->stats();
+  const auto stats = svc.stats();
   EXPECT_EQ(stats.completed, 1u);
   EXPECT_EQ(stats.deadline_missed, 1u);
   EXPECT_EQ(stats.shed, 0u);
 
   // A comfortable deadline on a now-cached molecule is not a miss.
   serve::Request ok = make_request(2, mol);
-  ok.deadline = std::chrono::steady_clock::now() + 10s;
-  const serve::Response hit = svc->serve_now(std::move(ok));
+  ok.deadline = base + 10s;
+  const serve::Response hit = svc.serve_now(std::move(ok));
   ASSERT_EQ(hit.status, serve::Status::kOk);
   EXPECT_FALSE(hit.deadline_missed);
-  EXPECT_EQ(svc->stats().deadline_missed, 1u);
+  EXPECT_EQ(svc.stats().deadline_missed, 1u);
   // Goodput arithmetic: completed - deadline_missed counts only the
   // in-deadline completion.
-  EXPECT_EQ(svc->stats().completed - svc->stats().deadline_missed, 1u);
+  EXPECT_EQ(svc.stats().completed - svc.stats().deadline_missed, 1u);
 }
 
 TEST(ServeTest, StatsAccumulateStageTimes) {
