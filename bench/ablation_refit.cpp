@@ -31,6 +31,7 @@ int main() {
               atoms);
 
   octree::Octree tree{std::span<const geom::Vec3>(positions)};
+  octree::Octree rekey_tree{std::span<const geom::Vec3>(positions)};
   const double base_leaf_radius = [&] {
     double sum = 0.0;
     for (const auto leaf : tree.leaves()) sum += tree.node(leaf).radius;
@@ -40,9 +41,10 @@ int main() {
   util::Xoshiro256 rng(0x57e9);
   const double step_sigma = 0.05;
 
-  util::Table table({"step", "refit time", "rebuild time", "speedup",
-                     "mean leaf radius", "inflation %"});
-  double refit_total = 0.0, rebuild_total = 0.0;
+  util::Table table({"step", "refit time", "rekey time", "rebuild time",
+                     "speedup", "mean leaf radius", "inflation %"});
+  double refit_total = 0.0, rekey_total = 0.0, rebuild_total = 0.0;
+  std::size_t rekey_fallbacks = 0;
   for (int step = 1; step <= 64; ++step) {
     for (auto& p : positions) {
       p += {step_sigma * rng.normal(), step_sigma * rng.normal(),
@@ -52,6 +54,17 @@ int main() {
     tree.refit(positions);
     const double refit_s = t1.seconds();
     refit_total += refit_s;
+
+    // The re-key policy on the same stream: with *every* atom moving,
+    // some key escapes its octant almost every step, so this column is
+    // the price of the never-stale-topology contract (refit cost
+    // degrades to a rebuild; the clustered-drift case where re-key
+    // wins by an order of magnitude is bench/tree_build).
+    util::WallTimer t3;
+    const auto rr = rekey_tree.refit_rekey(positions);
+    const double rekey_s = t3.seconds();
+    rekey_total += rekey_s;
+    rekey_fallbacks += rr.rebuilt ? 1u : 0u;
 
     util::WallTimer t2;
     const octree::Octree rebuilt{std::span<const geom::Vec3>(positions)};
@@ -65,6 +78,7 @@ int main() {
       table.row()
           .cell(static_cast<std::int64_t>(step))
           .cell(util::format_seconds(refit_s))
+          .cell(util::format_seconds(rekey_s))
           .cell(util::format_seconds(rebuild_s))
           .cell(rebuild_s / refit_s, 3)
           .cell(mean, 4)
@@ -72,10 +86,18 @@ int main() {
     }
   }
   bench::emit(table, "ablation_refit");
-  std::printf("\n64 steps total: refit %s vs rebuild %s (%.2fx)\n",
+  bench::json().field("refit_total_ms", refit_total * 1e3);
+  bench::json().field("rekey_total_ms", rekey_total * 1e3);
+  bench::json().field("rebuild_total_ms", rebuild_total * 1e3);
+  bench::json().field("refit_speedup", rebuild_total / refit_total);
+  bench::json().field("rekey_fallbacks",
+                      static_cast<double>(rekey_fallbacks));
+  std::printf("\n64 steps total: refit %s vs rebuild %s (%.2fx); re-key "
+              "%s with %zu/64 fallback rebuilds\n",
               util::format_seconds(refit_total).c_str(),
               util::format_seconds(rebuild_total).c_str(),
-              rebuild_total / refit_total);
+              rebuild_total / refit_total,
+              util::format_seconds(rekey_total).c_str(), rekey_fallbacks);
   std::printf("inflation grows as sqrt(steps) * sigma: rebuild once the\n"
               "weakened pruning costs more than the rebuild saves.\n");
   return 0;

@@ -1,0 +1,176 @@
+// tree_build -- linearized octree construction and re-key refit.
+//
+// New in the Cornerstone-style rebuild of src/octree: the tree is built
+// from a parallel Morton radix sort plus level-by-level key-range
+// splitting (no recursion), and refit can skip resorting entirely when
+// every drifted atom's key stays inside its leaf octant.
+//
+// This host has one physical core, so -- as in figs 5-7 -- the build is
+// *measured* serially and the work-stealing configuration is projected
+// onto a Lonestar4 node by the alpha-beta cluster model (the sort and
+// the per-level splitting/aggregate passes are flat parallel_for loops,
+// i.e. exactly the span-bounded phases the model replays). The re-key
+// refit comparison needs no projection: both sides are serial wall
+// clock on this host.
+#include <cstdlib>
+
+#include "bench/common.h"
+#include "src/geom/vec3.h"
+#include "src/octree/octree.h"
+#include "src/parallel/pool.h"
+#include "src/perfmodel/cluster.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace {
+
+/// Minimum wall time of `reps` calls to `fn` (the usual bench guard
+/// against one-off scheduler noise).
+template <typename Fn>
+double min_seconds(int reps, Fn&& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    octgb::util::WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace octgb;
+  bench::banner("treebuild",
+                "linearized octree construction (radix sort + level "
+                "splitting) and re-key incremental refit");
+
+  const std::size_t atoms =
+      static_cast<std::size_t>(util::env_int("REPRO_TREEBUILD_ATOMS", 30000));
+  const int reps = std::max(3, bench::reps() / 4);
+  bench::json().set_atoms(atoms);
+  bench::json().set_threads(8);
+
+  const molecule::Molecule mol = molecule::generate_protein(atoms, 0x7ee);
+  const std::vector<geom::Vec3> base(mol.positions().begin(),
+                                     mol.positions().end());
+  const std::span<const geom::Vec3> base_span(base);
+  std::printf("protein, %zu atoms, %d reps (min taken)\n\n", atoms, reps);
+
+  // --- Build: measured serial, modeled multi-thread. -------------------
+  octree::Octree tree{base_span};
+  const double build_serial = min_seconds(reps, [&] {
+    octree::Octree t{base_span};
+    if (t.num_nodes() != tree.num_nodes()) std::abort();
+  });
+
+  // Sanity: the pooled build must produce the same topology (the
+  // bit-identity contract itself is enforced by tests/octree_test).
+  {
+    parallel::WorkStealingPool pool(2);
+    const octree::Octree pooled{base_span, {}, &pool};
+    if (pooled.num_nodes() != tree.num_nodes() ||
+        pooled.num_leaves() != tree.num_leaves()) {
+      std::printf("FATAL: pooled build diverged from serial build\n");
+      return 1;
+    }
+  }
+
+  const auto spec = perfmodel::ClusterSpec::lonestar4();
+  perfmodel::Workload build_work;
+  build_work.phases.push_back({build_serial, 0});
+  build_work.data_bytes_per_rank = tree.memory_bytes();
+
+  util::Table build_table({"threads", "build time", "speedup"});
+  double speedup_8t = 0.0;
+  build_table.row().cell(std::int64_t{1}).cell(
+      util::format_seconds(build_serial)).cell(1.0, 3);
+  for (const int threads : {2, 4, 8, 12}) {
+    const double modeled =
+        perfmodel::model_run(spec, build_work, 1, threads).total_seconds();
+    const double speedup = build_serial / modeled;
+    if (threads == 8) speedup_8t = speedup;
+    build_table.row()
+        .cell(static_cast<std::int64_t>(threads))
+        .cell(util::format_seconds(modeled))
+        .cell(speedup, 3);
+  }
+  std::printf("build (serial measured, threads modeled on a Lonestar4 "
+              "node):\n");
+  bench::emit(build_table, "treebuild_build");
+
+  // --- Re-key refit vs cold rebuild. -----------------------------------
+  // Drift a spatially clustered 5% of the atoms (whole leaves in Morton
+  // order -- the flexible-loop picture: one region moves, the rest of
+  // the molecule holds still). Each atom moves toward its own leaf
+  // centroid: a convex move inside the leaf cell, so every recomputed
+  // key provably stays in range and the refit exercises the resort-free
+  // path.
+  std::vector<geom::Vec3> drifted = base;
+  std::size_t num_drifted = 0;
+  for (const auto leaf_id : tree.leaves()) {
+    if (num_drifted * 20 >= atoms) break;
+    const octree::Node& leaf = tree.node(leaf_id);
+    for (std::size_t pi = leaf.begin; pi < leaf.end; ++pi) {
+      const std::size_t idx = tree.point_index()[pi];
+      drifted[idx] += (leaf.center - drifted[idx]) * 0.25;
+      ++num_drifted;
+    }
+  }
+  const std::span<const geom::Vec3> drift_span(drifted);
+
+  const double cold_build = min_seconds(reps, [&] {
+    octree::Octree t{drift_span};
+    if (t.empty()) std::abort();
+  });
+
+  // Alternate drifted <-> base so every refit sees the same dirty set.
+  octree::Octree refit_tree{base_span};
+  refit_tree.refit_rekey(base_span);  // take the position snapshot
+  bool flip = true;
+  std::size_t escaped = 0, rebuilds = 0;
+  const double refit_s = min_seconds(2 * reps, [&] {
+    const auto rr =
+        refit_tree.refit_rekey(flip ? drift_span : base_span);
+    flip = !flip;
+    escaped += rr.escaped_keys;
+    rebuilds += rr.rebuilt ? 1u : 0u;
+  });
+  if (escaped != 0 || rebuilds != 0) {
+    std::printf("FATAL: in-range drift escaped its leaf octants "
+                "(%zu keys, %zu rebuilds)\n", escaped, rebuilds);
+    return 1;
+  }
+
+  const double refit_speedup = cold_build / refit_s;
+  util::Table refit_table(
+      {"variant", "time", "vs cold build", "dirty atoms"});
+  refit_table.row()
+      .cell("cold build")
+      .cell(util::format_seconds(cold_build))
+      .cell(1.0, 3)
+      .cell(static_cast<std::int64_t>(atoms));
+  refit_table.row()
+      .cell("re-key refit")
+      .cell(util::format_seconds(refit_s))
+      .cell(refit_speedup, 3)
+      .cell(static_cast<std::int64_t>(num_drifted));
+  std::printf("\nrefit (5%% of atoms drifted in-cell, measured "
+              "serially):\n");
+  bench::emit(refit_table, "treebuild_refit");
+
+  bench::json().field("build_serial_ms", build_serial * 1e3);
+  bench::json().field("build_speedup_8t", speedup_8t);
+  bench::json().field("cold_build_ms", cold_build * 1e3);
+  bench::json().field("refit_ms", refit_s * 1e3);
+  bench::json().field("refit_speedup", refit_speedup);
+  bench::json().field("drift_fraction",
+                      static_cast<double>(num_drifted) /
+                          static_cast<double>(atoms));
+
+  std::printf("\n8-thread build speedup (model): %.2fx (target >= 3x)\n",
+              speedup_8t);
+  std::printf("re-key refit speedup over cold build: %.2fx "
+              "(target >= 8x)\n", refit_speedup);
+  return 0;
+}

@@ -46,12 +46,19 @@
 #      admission/shed, batch coalescing) across >= 1000 distinct seeded
 #      schedules; run as one process so the schedule counter spans all
 #      sweeps.
+#  12. treebuild: the linearized-construction equivalence suite
+#      (octree_test: parallel build / refit bit-identity, re-key refit
+#      vs rebuild through gb) under the OCTGB_VALIDATE build with FPE
+#      traps -- every octree checkpoint armed, including the new
+#      level-offset and key-range invariants -- then the same suite in
+#      the TSan build with the tracer armed (the build/refit spans and
+#      the pool contend for the telemetry rings).
 #
 # Usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only |
 #                       --tsan-only | --telemetry-only |
 #                       --validate-only | --loadtest-smoke |
 #                       --fuzz-smoke | --lockgraph-only |
-#                       --sched-smoke-only]
+#                       --sched-smoke-only | --treebuild-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -275,6 +282,29 @@ run_sched_smoke() {
     build/tests/sched_explore_test --gtest_brief=1
 }
 
+run_treebuild() {
+  # Equivalence under contract checkpoints: the randomized octree suite
+  # asserts identical topology / point order / bit-identical aggregates
+  # across worker counts and re-key refit == rebuild through gb, while
+  # OCTGB_VALIDATE arms the octree checkpoints (level-offset and
+  # key-range invariants included) on every build and refit it does.
+  echo "==> treebuild: octree equivalence suite (validate build, FPE traps)"
+  cmake -B build-validate -S . -DOCTGB_VALIDATE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-validate -j "$JOBS" --target octree_test
+  OCTGB_FPE=1 build-validate/tests/octree_test --gtest_brief=1
+
+  # Race coverage: the same suite under TSan with the tracer armed --
+  # the radix-sort phases, the per-level splitting/aggregate loops and
+  # the refit sweeps all run on the pool while emitting spans.
+  echo "==> treebuild: octree equivalence suite (TSan, tracer armed)"
+  cmake -B build-tsan -S . -DOCTGB_TSAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target octree_test
+  OCTGB_TRACE=1 TSAN_OPTIONS="halt_on_error=1" \
+    build-tsan/tests/octree_test --gtest_brief=1
+}
+
 case "$MODE" in
   --tier1-only)
     run_tier1
@@ -316,6 +346,10 @@ case "$MODE" in
     run_sched_smoke
     echo "==> sched-smoke OK"
     ;;
+  --treebuild-only)
+    run_treebuild
+    echo "==> treebuild OK"
+    ;;
   "")
     run_tier1
     run_asan
@@ -328,10 +362,11 @@ case "$MODE" in
     run_fuzz
     run_lockgraph
     run_sched_smoke
+    run_treebuild
     echo "==> CI OK"
     ;;
   *)
-    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --tsan-only | --telemetry-only | --validate-only | --loadtest-smoke | --fuzz-smoke | --lockgraph-only | --sched-smoke-only]" >&2
+    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --tsan-only | --telemetry-only | --validate-only | --loadtest-smoke | --fuzz-smoke | --lockgraph-only | --sched-smoke-only | --treebuild-only]" >&2
     exit 2
     ;;
 esac

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "src/geom/morton.h"
+
 namespace octgb::analysis {
 
 namespace {
@@ -118,13 +120,13 @@ Report validate_octree(const octree::Octree& tree,
 
     if (node.leaf) {
       leaf_dfs.push_back(static_cast<std::uint32_t>(i));
-      for (const std::uint32_t c : node.children) {
-        if (c != octree::Node::kInvalid) {
-          rep.fail("octree: leaf %zu has child %u", i, c);
-        }
+      if (!node.children.empty()) {
+        rep.fail("octree: leaf %zu has %zu children", i,
+                 node.children.size());
       }
       if (params != nullptr && node.count() > params->leaf_capacity &&
-          int(node.depth) < params->max_depth) {
+          int(node.depth) <
+              std::min(params->max_depth, octree::kMortonLevels)) {
         rep.fail("octree: leaf %zu holds %zu > leaf_capacity %zu above "
                  "max depth",
                  i, node.count(), params->leaf_capacity);
@@ -168,17 +170,97 @@ Report validate_octree(const octree::Octree& tree,
     }
   }
 
-  // leaves() must be exactly the DFS leaf set (node order == pre-order,
-  // so index order is DFS order).
+  // leaves() must be exactly the leaf set in Morton order (ascending
+  // point ranges == the DFS visit order of the level-indexed tree).
+  std::sort(leaf_dfs.begin(), leaf_dfs.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return tree.node(a).begin < tree.node(b).begin;
+            });
   const auto leaves = tree.leaves();
   if (leaves.size() != leaf_dfs.size() ||
       !std::equal(leaves.begin(), leaves.end(), leaf_dfs.begin())) {
-    rep.fail("octree: leaves() disagrees with DFS leaf set (%zu vs %zu)",
+    rep.fail("octree: leaves() disagrees with Morton-ordered leaf set "
+             "(%zu vs %zu)",
              leaves.size(), leaf_dfs.size());
   }
   if (tree.height() != max_depth_seen) {
     rep.fail("octree: height() %d != max node depth %d", tree.height(),
              max_depth_seen);
+  }
+
+  // Level index: level d is exactly the contiguous node range
+  // [level_offset[d], level_offset[d+1]), in ascending point order, and
+  // children live in the next level's range (the BFS layout the sweeps
+  // stream).
+  const auto level_offset = tree.level_offset();
+  if (level_offset.size() != static_cast<std::size_t>(tree.height()) + 2 ||
+      level_offset.front() != 0 ||
+      level_offset.back() != tree.num_nodes()) {
+    rep.fail("octree: level_offset has %zu entries (height %d, %zu nodes)",
+             level_offset.size(), tree.height(), tree.num_nodes());
+  } else {
+    for (int d = 0; d <= tree.height(); ++d) {
+      if (level_offset[d] > level_offset[d + 1]) {
+        rep.fail("octree: level_offset decreases at level %d", d);
+        break;
+      }
+      for (std::uint32_t id = level_offset[d]; id < level_offset[d + 1];
+           ++id) {
+        const octree::Node& node = tree.node(id);
+        if (int(node.depth) != d) {
+          rep.fail("octree: node %u depth %d filed under level %d", id,
+                   int(node.depth), d);
+          break;
+        }
+        if (id > level_offset[d] && tree.node(id - 1).begin > node.begin) {
+          rep.fail("octree: level %d nodes out of point order at %u", d, id);
+          break;
+        }
+        if (!node.leaf &&
+            (node.children.first < level_offset[d + 1] ||
+             node.children.first + node.children.size() >
+                 (d + 1 <= tree.height()
+                      ? level_offset[d + 2]
+                      : level_offset[d + 1]))) {
+          rep.fail("octree: node %u children outside level %d range", id,
+                   d + 1);
+          break;
+        }
+      }
+    }
+  }
+
+  // Key-range invariants, only while the tree claims to be the *exact*
+  // octree of the given points (a refit that saw a key escape, or a
+  // transform, clears the claim). Keys are re-derived from the points
+  // so a corrupted key array cannot vouch for itself.
+  if (tree.strict_morton()) {
+    const auto keys = tree.keys();
+    if (keys.size() != n) {
+      rep.fail("octree: %zu keys for %zu points", keys.size(), n);
+      return rep;
+    }
+    for (std::size_t li = 0; li < leaves.size(); ++li) {
+      const std::uint32_t leaf = leaves[li];
+      const octree::Node& node = tree.node(leaf);
+      const std::uint64_t key_lo = tree.node_key_lo(leaf);
+      const std::uint64_t key_span = tree.node_key_span(leaf);
+      for (std::uint32_t pi = node.begin; pi < node.end; ++pi) {
+        const std::uint64_t k =
+            geom::morton_code(points[tree.point_index()[pi]], tree.cube());
+        if (k != keys[pi]) {
+          rep.fail("octree: stored key at sorted pos %u is stale", pi);
+          break;
+        }
+        if (k < key_lo || k - key_lo >= key_span) {
+          rep.fail("octree: key of sorted pos %u escapes leaf %u octant "
+                   "range",
+                   pi, leaf);
+          break;
+        }
+      }
+      if (rep.errors.size() > 64) return rep;
+    }
   }
   return rep;
 }

@@ -190,31 +190,49 @@ void born_far_deposit(const BornOctrees& trees, std::uint32_t a_node,
 
 BornOctrees build_born_octrees(const molecule::Molecule& mol,
                                const surface::QuadratureSurface& surf,
-                               const octree::OctreeParams& params) {
+                               const octree::OctreeParams& params,
+                               parallel::WorkStealingPool* pool) {
   BornOctrees trees;
-  trees.atoms = octree::Octree(mol.positions(), params);
-  trees.qpoints = octree::Octree(surf.points, params);
+  trees.atoms = octree::Octree(mol.positions(), params, pool);
+  trees.qpoints = octree::Octree(surf.points, params, pool);
 
-  // Node aggregates ñ_Q = sum w_q n_q. Nodes are stored in DFS pre-order
-  // (children after parents), so a reverse sweep sees children first.
+  // Node aggregates ñ_Q = sum w_q n_q: bottom-up, level at a time (deep
+  // to shallow), so every child sum is complete before its parent reads
+  // it. Within a level nodes are independent; each node sums its own
+  // inputs in a fixed order, so parallel and serial sweeps agree bit
+  // for bit.
   trees.q_weighted_normal.assign(trees.qpoints.num_nodes(), geom::Vec3{});
-  const auto q_index = trees.qpoints.point_index();
-  for (std::size_t i = trees.qpoints.num_nodes(); i-- > 0;) {
-    const octree::Node& node = trees.qpoints.node(i);
-    geom::Vec3 sum;
-    if (node.leaf) {
-      for (std::uint32_t qi = node.begin; qi < node.end; ++qi) {
-        const std::uint32_t q = q_index[qi];
-        sum += surf.normals[q] * surf.weights[q];
-      }
-    } else {
-      for (const auto child : node.children) {
-        if (child != octree::Node::kInvalid) {
-          sum += trees.q_weighted_normal[child];
+  const octree::Octree& qt = trees.qpoints;
+  const auto q_index = qt.point_index();
+  auto sweep = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const octree::Node& node = qt.node(i);
+      geom::Vec3 sum;
+      if (node.leaf) {
+        for (std::uint32_t qi = node.begin; qi < node.end; ++qi) {
+          const std::uint32_t q = q_index[qi];
+          sum += surf.normals[q] * surf.weights[q];
+        }
+      } else {
+        for (const auto child : node.children) {
+          if (child != octree::Node::kInvalid) {
+            sum += trees.q_weighted_normal[child];
+          }
         }
       }
+      trees.q_weighted_normal[i] = sum;
     }
-    trees.q_weighted_normal[i] = sum;
+  };
+  const auto level_offset = qt.level_offset();
+  for (std::size_t level = level_offset.size(); level-- > 1;) {
+    const std::size_t lo = level_offset[level - 1];
+    const std::size_t hi = level_offset[level];
+    if (pool != nullptr && pool->num_workers() > 1 && hi - lo > 128) {
+      pool->run(
+          [&] { parallel::parallel_for(*pool, lo, hi, 64, sweep); });
+    } else {
+      sweep(lo, hi);
+    }
   }
   return trees;
 }

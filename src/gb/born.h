@@ -45,10 +45,13 @@ struct BornOctrees {
   std::vector<geom::Vec3> q_weighted_normal;
 };
 
-/// Builds T_A, T_Q and the q-node aggregates.
+/// Builds T_A, T_Q and the q-node aggregates. With a pool, the octree
+/// builds (Morton sort + level sweeps) and the per-level normal sums
+/// run on it; results are bit-identical to the serial build.
 BornOctrees build_born_octrees(const molecule::Molecule& mol,
                                const surface::QuadratureSurface& surf,
-                               const octree::OctreeParams& params = {});
+                               const octree::OctreeParams& params = {},
+                               parallel::WorkStealingPool* pool = nullptr);
 
 /// Squared Born far-field factor: (A, Q) is far iff
 /// d^2 > (r_A + r_Q)^2 * born_far_factor2(params). Exported so the

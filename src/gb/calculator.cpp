@@ -28,7 +28,7 @@ GBResult compute_gb_energy(const molecule::Molecule& mol,
   timer.restart();
   const BornOctrees trees = [&] {
     OCTGB_TRACE_SCOPE("calc/tree_build");
-    return build_born_octrees(mol, surf, params.octree);
+    return build_born_octrees(mol, surf, params.octree, pool);
   }();
   result.t_tree_build = timer.seconds();
 

@@ -3,11 +3,23 @@
 // This is the data structure at the heart of the paper (Section II,
 // "Octrees vs. Nblists"): points are Morton-sorted once so that every
 // node of the tree owns a *contiguous range* [begin, end) of the point
-// array; the tree itself is an array of nodes in depth-first order with
-// child indices. Space is linear in the number of points and -- unlike a
-// nonbonded list -- independent of any cutoff/approximation parameter,
-// and traversals touch memory in Z-order, which is what makes the
-// structure cache-friendly.
+// array. Since PR 8 the tree is derived entirely from the sorted key
+// array, Cornerstone-style (PAPERS.md: "Octree Construction Algorithms
+// for Scalable Particle Simulations"):
+//
+//  * construction is an O(N) parallel pipeline -- Morton keying, a
+//    parallel LSD radix sort (src/parallel/radix_sort.h), then
+//    level-by-level key-range splitting that only *bisects index
+//    ranges* (no point movement after the sort);
+//  * nodes are stored level-contiguously (breadth-first): the nodes of
+//    level d occupy [level_offset(d), level_offset(d+1)), children of
+//    one node are adjacent (Node::children is a first/count span), and
+//    the per-level aggregate sweeps stream the node array in order;
+//  * refit re-keys only the points that actually moved: while every
+//    moved key stays inside its leaf's Morton key range the topology is
+//    provably still the octree of the new positions, and only the
+//    aggregates of nodes owning moved points are recomputed -- the
+//    serve layer's repeat/perturb hot path.
 //
 // Each node stores the aggregates the GB approximation needs:
 //  * geometric center of the points under it and the radius of the
@@ -28,35 +40,110 @@
 #include "src/geom/transform.h"
 #include "src/geom/vec3.h"
 
+namespace octgb::parallel {
+class WorkStealingPool;
+}
+
 namespace octgb::octree {
+
+/// Morton codes carry 21 levels of 3 bits; the tree cannot split below
+/// the key grid.
+inline constexpr int kMortonLevels = 21;
 
 /// Build-time knobs.
 struct OctreeParams {
   /// Maximum points in a leaf. The paper's grain: leaves are both the
   /// exact-computation unit and the unit of static work division.
   std::size_t leaf_capacity = 32;
-  /// Hard depth cap (Morton codes give 21 levels; duplicate points would
+  /// Hard depth cap (clamped to kMortonLevels; duplicate points would
   /// otherwise recurse forever).
-  int max_depth = 21;
+  int max_depth = kMortonLevels;
+  /// Below this many points the build/refit pipelines ignore the pool
+  /// and run serially (task overhead would dominate). The parallel and
+  /// serial paths are bit-identical, so this is purely a performance
+  /// knob.
+  std::size_t parallel_grain = 8192;
 };
 
-/// One octree node. Children are indices into Octree::nodes (kInvalid if
-/// absent); points of the node are point_index[begin..end).
+/// Contiguous block of child node indices. Level-ordered construction
+/// allocates all children of a node adjacently, so eight slots collapse
+/// to a (first, count) pair -- this is what shrinks Node from 80 to 56
+/// bytes for the aggregate sweeps. Iteration yields node indices, so
+/// the traversal idiom `for (const auto child : node.children)` is
+/// unchanged (and never yields Node::kInvalid).
+struct ChildSpan {
+  std::uint32_t first = 0;
+  std::uint8_t count = 0;
+
+  class iterator {
+   public:
+    explicit iterator(std::uint32_t v) : v_(v) {}
+    std::uint32_t operator*() const { return v_; }
+    iterator& operator++() {
+      ++v_;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return v_ == o.v_; }
+    bool operator!=(const iterator& o) const { return v_ != o.v_; }
+
+   private:
+    std::uint32_t v_;
+  };
+
+  iterator begin() const { return iterator(first); }
+  iterator end() const { return iterator(first + count); }
+  std::uint32_t operator[](std::size_t i) const {
+    return first + static_cast<std::uint32_t>(i);
+  }
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+};
+
+/// One octree node; points of the node are point_index[begin..end).
+/// Hot-sweep layout: the traversal fields (range, children, sphere) are
+/// packed into 56 bytes -- under one cache line, 30% less than the
+/// old eight-slot child array layout streamed per node.
 struct Node {
   static constexpr std::uint32_t kInvalid = 0xffffffffu;
 
   std::uint32_t begin = 0;  // first point (in sorted order)
   std::uint32_t end = 0;    // one past last point
-  std::uint32_t children[8] = {kInvalid, kInvalid, kInvalid, kInvalid,
-                               kInvalid, kInvalid, kInvalid, kInvalid};
   std::uint32_t parent = kInvalid;
+  ChildSpan children;       // contiguous child ids (empty for leaves)
   std::uint8_t depth = 0;
   bool leaf = true;
 
   geom::Vec3 center;    // geometric center (centroid) of points under node
-  double radius = 0.0;  // max distance from center to any point under node
+  /// Bounding radius about `center`: exact point max for leaves, the
+  /// deterministic child sphere-union upper bound for internal nodes
+  /// (containment is all the far criteria consume, and the bound makes
+  /// a refit O(1) per ancestor instead of a full subtree rescan).
+  double radius = 0.0;
 
   std::size_t count() const { return end - begin; }
+};
+// The per-level sweeps and the GB traversals stream this array; keep
+// the layout exactly as packed as the fields allow (4+4+4+8+1+1 -> 24
+// with tail padding, then the 32-byte bounding sphere).
+static_assert(sizeof(ChildSpan) == 8, "ChildSpan must stay two words");
+static_assert(sizeof(Node) == 56, "Node grew: check field packing");
+
+/// What a refit did, and how much of it. Returned so callers (the serve
+/// layer) can account fallbacks and size their policies.
+struct RefitResult {
+  /// Points whose position changed since the tree's positions snapshot
+  /// (first refit after a build has no snapshot: every point counts).
+  std::size_t dirty_points = 0;
+  /// Dirty points whose new Morton key left their leaf's key range --
+  /// zero means the refit tree is still the exact octree of the new
+  /// positions (strict_morton() stays true).
+  std::size_t escaped_keys = 0;
+  /// Nodes whose aggregates were recomputed.
+  std::size_t nodes_refit = 0;
+  /// True when a re-key refit hit an escaped key and rebuilt the whole
+  /// tree (refit_rekey only; plain refit never rebuilds). Topology,
+  /// point order and node count may all have changed.
+  bool rebuilt = false;
 };
 
 /// Immutable octree over a set of points. The constructor Morton-sorts a
@@ -68,8 +155,12 @@ class Octree {
 
   /// Builds over `points`. The points span must stay alive for the
   /// octree's lifetime only if you use `point(i)`; all aggregates are
-  /// copied into the nodes.
-  Octree(std::span<const geom::Vec3> points, const OctreeParams& params = {});
+  /// copied into the nodes. With a pool (and at least parallel_grain
+  /// points) keying, sorting and the aggregate sweeps run on it; the
+  /// result is bit-identical to the serial build at any worker count.
+  explicit Octree(std::span<const geom::Vec3> points,
+                  const OctreeParams& params = {},
+                  parallel::WorkStealingPool* pool = nullptr);
 
   bool empty() const { return nodes_.empty(); }
   std::size_t num_points() const { return point_index_.size(); }
@@ -85,9 +176,10 @@ class Octree {
   /// fire). Library code must never mutate nodes through this.
   Node& node_for_test(std::size_t i) { return nodes_[i]; }
 
-  /// Indices (into the tree's own node array) of all leaves, in
-  /// depth-first order == Morton order. This is the paper's unit of
-  /// static work division across MPI ranks.
+  /// Indices (into the tree's own node array) of all leaves, in Morton
+  /// order (== ascending point ranges, == the DFS visit order of the
+  /// level-indexed tree). This is the paper's unit of static work
+  /// division across MPI ranks.
   std::span<const std::uint32_t> leaves() const { return leaves_; }
 
   /// Maps sorted position -> original point id. Node n owns original
@@ -97,8 +189,41 @@ class Octree {
   /// Maximum node depth in the built tree.
   int height() const { return height_; }
 
-  /// Bytes used by the octree itself (nodes + permutation). Linear in the
-  /// number of points; used by the memory experiments.
+  /// Level index: the nodes of depth d occupy node ids
+  /// [level_offset()[d], level_offset()[d+1]), in ascending point-range
+  /// order. Size is height() + 2; the last entry is num_nodes().
+  std::span<const std::uint32_t> level_offset() const {
+    return level_offset_;
+  }
+
+  /// Morton key of the point at *sorted* position i (key of original
+  /// point point_index()[i]). Ascending after a build; a refit updates
+  /// moved keys in place, which may reorder keys *within* a leaf range.
+  std::span<const std::uint64_t> keys() const { return keys_; }
+
+  /// Smallest Morton key of node i's octant; the octant's key range is
+  /// [node_key_lo(i), node_key_lo(i) + node_key_span(i)).
+  std::uint64_t node_key_lo(std::size_t i) const { return node_key_lo_[i]; }
+  std::uint64_t node_key_span(std::size_t i) const {
+    return 1ull << (3 * (kMortonLevels - nodes_[i].depth));
+  }
+
+  /// Quantization cube the Morton keys were derived from.
+  const geom::Aabb& cube() const { return cube_; }
+
+  /// True while every point's Morton key provably lies inside its
+  /// leaf's octant key range -- i.e. the tree is the exact octree of
+  /// the current positions, not just a valid bounding-sphere hierarchy.
+  /// Cleared by transform(), and by a refit that saw a key escape.
+  bool strict_morton() const { return strict_; }
+
+  /// Build parameters the tree was constructed with (refit_rekey reuses
+  /// them for the rebuild fallback).
+  const OctreeParams& params() const { return params_; }
+
+  /// Bytes used by the octree itself (nodes + permutation + keys +
+  /// level index + refit snapshot). Linear in the number of points;
+  /// used by the memory experiments.
   std::size_t memory_bytes() const;
 
   /// Applies a rigid motion to every node center (radii are invariant
@@ -113,27 +238,73 @@ class Octree {
 
   /// Refits node centers and radii to the *current* positions of the
   /// same points (same order, same count), keeping the topology: point
-  /// ranges, children and leaf structure are untouched. This is the
-  /// flexible-molecule maintenance operation of the paper's companion
-  /// work [Chowdhury et al., "Space-efficient maintenance of nonbonded
-  /// lists for flexible molecules using dynamic octrees"]: after an MD
-  /// step perturbs atoms, an O(M log M)-topology rebuild is replaced by
-  /// an O(M log M)-arithmetic refit with no allocation and no resorting.
-  /// The bounding-sphere hierarchy stays exactly valid; large
-  /// deformations degrade it (radii inflate, pruning weakens) until a
-  /// rebuild pays off -- measured in bench/ablation_refit.
-  void refit(std::span<const geom::Vec3> points);
+  /// ranges, children and leaf structure are untouched, so cached
+  /// traversal products (interaction plans) stay valid. Only the
+  /// aggregates of nodes owning *moved* points are recomputed (the
+  /// first refit after a build snapshots positions and sweeps
+  /// everything). Moved points are re-keyed: if any key escapes its
+  /// leaf's octant range the tree stops being a strict Morton octree
+  /// (bounds inflate, pruning weakens -- measured in
+  /// bench/ablation_refit) until a rebuild; the result reports the
+  /// escape count so callers can decide when a rebuild pays off.
+  RefitResult refit(std::span<const geom::Vec3> points,
+                    parallel::WorkStealingPool* pool = nullptr);
+
+  /// Re-key refit: like refit(), but when a moved key escapes its
+  /// leaf's range the whole tree is rebuilt from the new positions
+  /// (result.rebuilt == true) instead of keeping the stale topology.
+  /// Callers holding topology-derived state (interaction plans, leaf
+  /// partitions) must drop it when rebuilt is reported.
+  RefitResult refit_rekey(std::span<const geom::Vec3> points,
+                          parallel::WorkStealingPool* pool = nullptr);
 
  private:
-  struct BuildCtx;
-  std::uint32_t build_node(BuildCtx& ctx, std::uint32_t begin,
-                           std::uint32_t end, const geom::Aabb& cube,
-                           int depth, std::uint32_t parent);
+  void build_from(std::span<const geom::Vec3> points,
+                  parallel::WorkStealingPool* pool);
+  void compute_aggregates(std::span<const geom::Vec3> points,
+                          std::span<const std::uint32_t> node_ids,
+                          parallel::WorkStealingPool* pool);
+  RefitResult refit_impl(std::span<const geom::Vec3> points,
+                         parallel::WorkStealingPool* pool, bool rekey);
+  /// Pool to actually use for `n` points (null when below the grain).
+  parallel::WorkStealingPool* effective_pool(
+      std::size_t n, parallel::WorkStealingPool* pool) const;
 
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> point_index_;
   std::vector<std::uint32_t> leaves_;
+  std::vector<std::uint32_t> level_offset_;
+  /// Sorted Morton keys, one per sorted position (parallel to
+  /// point_index_).
+  std::vector<std::uint64_t> keys_;
+  /// Octant key floor per node (parallel to nodes_).
+  std::vector<std::uint64_t> node_key_lo_;
+  /// Fixed-grid partial position sums over the sorted order (one per
+  /// 2048-point chunk): centroids combine these in ascending order, so
+  /// aggregates are bit-identical at any worker count, and a refit only
+  /// refreshes the chunks that contain moved points.
+  std::vector<geom::Vec3> chunk_sums_;
+  /// Position snapshot for refit's moved-point detection, indexed by
+  /// *original* point id. Empty until the first refit (octrees that are
+  /// never refit -- the q-point trees -- never pay for it).
+  std::vector<geom::Vec3> prev_positions_;
+  /// Inverse of point_index_ (original id -> sorted position), built
+  /// once per build so a refit can map its dirty ids straight into the
+  /// sorted order instead of re-gathering through the permutation.
+  std::vector<std::uint32_t> inv_index_;
+  /// Owning leaf per sorted position, built once per build: turns the
+  /// refit key-range check into one gather instead of a binary search
+  /// over the leaves per dirty point.
+  std::vector<std::uint32_t> pos_leaf_;
+  /// Scratch reused across refits (per-id dirty flags, per-node dirty
+  /// flags): keeping the capacity alive keeps the steady-state refit
+  /// free of allocator traffic, which matters at its ~O(dirty) scale.
+  std::vector<std::uint8_t> refit_dirty_;
+  std::vector<std::uint8_t> node_dirty_;
+  geom::Aabb cube_;
+  OctreeParams params_;
   int height_ = 0;
+  bool strict_ = false;
 };
 
 }  // namespace octgb::octree

@@ -1,0 +1,140 @@
+// radix_sort.h -- parallel LSD radix sort for (key, value) pairs.
+//
+// The octree builder's hot preprocessing step (Cornerstone-style
+// construction, PAPERS.md): point ids are sorted by their 63-bit Morton
+// keys so that every octree node owns a contiguous range of the sorted
+// array. LSD radix over 8-bit digits is O(N) and, critically, *stable*:
+// the output permutation is the unique stable order, so it is
+// bit-identical for any worker count and any block decomposition --
+// the property the build-equivalence tests (tests/octree_test.cpp)
+// assert at 1/2/8 threads.
+//
+// Parallelization is the classic three-phase counting sort per digit:
+//   1. per-block digit histograms            (parallel over blocks)
+//   2. exclusive scan over (digit, block)    (serial; 256 x #blocks)
+//   3. stable per-block scatter              (parallel over blocks)
+// Blocks partition the *input* order, and phase 2 assigns each block a
+// private output cursor per digit, so phase 3 writes disjoint slots.
+// Digits whose histogram is concentrated on one value (the high bytes
+// of clustered Morton keys) skip their scatter pass entirely.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/parallel/pool.h"
+
+namespace octgb::parallel {
+
+/// Below this size (or without a pool) the sort runs the same passes on
+/// a single block -- identical output, no task overhead.
+inline constexpr std::size_t kRadixSerialCutoff = 1 << 14;
+
+/// Sorts `keys` ascending, applying the same permutation to `values`
+/// (stable: equal keys keep their relative order). `pool` may be null
+/// for a serial sort; the result is bit-identical either way.
+/// `key_bits` bounds the number of 8-bit passes (63 for Morton keys).
+inline void radix_sort_pairs(std::vector<std::uint64_t>& keys,
+                             std::vector<std::uint32_t>& values,
+                             WorkStealingPool* pool, int key_bits = 64) {
+  const std::size_t n = keys.size();
+  if (n < 2) return;
+  const int passes = (key_bits + 7) / 8;
+
+  const bool parallel = pool != nullptr && pool->num_workers() > 1 &&
+                        n >= kRadixSerialCutoff;
+  // Block count is a pure function of n (not of the worker count):
+  // stability already makes the output decomposition-independent, but a
+  // deterministic block grid also keeps the *scheduling shape* fixed,
+  // which the deterministic schedule explorer (src/analysis/sched)
+  // relies on when replaying seeds.
+  const std::size_t block = parallel
+                                ? std::max<std::size_t>(kRadixSerialCutoff / 4,
+                                                        n / 256)
+                                : n;
+  const std::size_t num_blocks = (n + block - 1) / block;
+
+  std::vector<std::uint64_t> keys2(n);
+  std::vector<std::uint32_t> vals2(n);
+  // hist[b * 256 + d]: count of digit d in block b; rewritten per pass
+  // into that block's output cursor for digit d.
+  std::vector<std::uint32_t> hist(num_blocks * 256);
+
+  std::uint64_t* src_k = keys.data();
+  std::uint32_t* src_v = values.data();
+  std::uint64_t* dst_k = keys2.data();
+  std::uint32_t* dst_v = vals2.data();
+
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = pass * 8;
+    std::memset(hist.data(), 0, hist.size() * sizeof(std::uint32_t));
+
+    auto histogram_blocks = [&](std::size_t b0, std::size_t b1) {
+      for (std::size_t b = b0; b < b1; ++b) {
+        std::uint32_t* h = &hist[b * 256];
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        for (std::size_t i = lo; i < hi; ++i) {
+          ++h[(src_k[i] >> shift) & 0xff];
+        }
+      }
+    };
+    if (parallel) {
+      pool->run([&] {
+        parallel_for(*pool, 0, num_blocks, 1, histogram_blocks);
+      });
+    } else {
+      histogram_blocks(0, num_blocks);
+    }
+
+    // Exclusive scan in (digit, block) order: block b's cursor for
+    // digit d starts after every lower digit and after digit d's
+    // occurrences in earlier blocks -- exactly the stable order.
+    std::uint32_t total = 0;
+    int live_digits = 0;
+    for (int d = 0; d < 256; ++d) {
+      bool seen = false;
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        std::uint32_t& h = hist[b * 256 + static_cast<std::size_t>(d)];
+        const std::uint32_t count = h;
+        h = total;
+        total += count;
+        seen = seen || count != 0;
+      }
+      live_digits += seen ? 1 : 0;
+    }
+    if (live_digits <= 1) continue;  // all keys share this digit: no-op pass
+
+    auto scatter_blocks = [&](std::size_t b0, std::size_t b1) {
+      for (std::size_t b = b0; b < b1; ++b) {
+        std::uint32_t* h = &hist[b * 256];
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::uint32_t slot = h[(src_k[i] >> shift) & 0xff]++;
+          dst_k[slot] = src_k[i];
+          dst_v[slot] = src_v[i];
+        }
+      }
+    };
+    if (parallel) {
+      pool->run([&] {
+        parallel_for(*pool, 0, num_blocks, 1, scatter_blocks);
+      });
+    } else {
+      scatter_blocks(0, num_blocks);
+    }
+    std::swap(src_k, dst_k);
+    std::swap(src_v, dst_v);
+  }
+
+  if (src_k != keys.data()) {
+    std::memcpy(keys.data(), src_k, n * sizeof(std::uint64_t));
+    std::memcpy(values.data(), src_v, n * sizeof(std::uint32_t));
+  }
+}
+
+}  // namespace octgb::parallel

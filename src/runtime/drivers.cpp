@@ -72,7 +72,7 @@ DriverResult run_oct_cilk(const molecule::Molecule& mol, int threads,
   timer.restart();
   const gb::BornOctrees trees = [&] {
     OCTGB_TRACE_SCOPE("driver/tree_build");
-    return gb::build_born_octrees(mol, surf, params.octree);
+    return gb::build_born_octrees(mol, surf, params.octree, &pool);
   }();
   result.t_tree_build = timer.seconds();
 
@@ -150,6 +150,13 @@ DriverResult run_distributed(const molecule::Molecule& mol,
     PhaseTimes& t = times[static_cast<std::size_t>(r)];
     util::WallTimer rank_timer;
 
+    // Per-rank worker pool, created before step 1 so the rank-local
+    // tree builds can use it too (the paper's hybrid layout: P ranks
+    // times p workers).
+    std::optional<parallel::WorkStealingPool> pool;
+    if (p > 1) pool.emplace(p);
+    parallel::WorkStealingPool* pool_ptr = pool ? &*pool : nullptr;
+
     // Step 1: every rank owns (a copy of) the data structures.
     std::optional<surface::QuadratureSurface> local_surf;
     std::optional<gb::BornOctrees> local_trees;
@@ -169,8 +176,8 @@ DriverResult run_distributed(const molecule::Molecule& mol,
       OCTGB_TRACE_SCOPE("driver/tree_build");
       local_trees.emplace();
       local_trees->atoms = shared_trees->atoms;  // replicated (small)
-      local_trees->qpoints =
-          octree::Octree(local_surf->points, config.params.octree);
+      local_trees->qpoints = octree::Octree(local_surf->points,
+                                            config.params.octree, pool_ptr);
       // ñ_Q aggregates for the private q-tree.
       local_trees->q_weighted_normal.assign(
           local_trees->qpoints.num_nodes(), geom::Vec3{});
@@ -204,8 +211,8 @@ DriverResult run_distributed(const molecule::Molecule& mol,
       timer.restart();
       {
         OCTGB_TRACE_SCOPE("driver/tree_build");
-        local_trees.emplace(
-            gb::build_born_octrees(mol, *local_surf, config.params.octree));
+        local_trees.emplace(gb::build_born_octrees(
+            mol, *local_surf, config.params.octree, pool_ptr));
       }
       t.tree = timer.seconds();
     }
@@ -221,10 +228,6 @@ DriverResult run_distributed(const molecule::Molecule& mol,
       qpoints.store(surf.size());
       data_bytes.store(estimate_data_bytes(mol, surf, trees));
     }
-
-    std::optional<parallel::WorkStealingPool> pool;
-    if (p > 1) pool.emplace(p);
-    parallel::WorkStealingPool* pool_ptr = pool ? &*pool : nullptr;
 
     // Step 2: APPROX-INTEGRALS over this rank's q-leaves. In the
     // data-distributed mode the private q-tree *is* the segment; in the

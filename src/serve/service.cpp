@@ -432,19 +432,30 @@ Response PolarizationService::compute_one(const Request& req,
                           req.mol.positions().end());
 
   util::WallTimer stage;
+  bool refit_rebuilt = false;
   if (base) {
     OCTGB_TRACE_SCOPE("serve/refit");
     // Incremental refit: keep the base entry's surface and octree
     // topology (point order, children, leaves, charge-bin layout of
-    // the q-normals); recompute only node centers/radii for the moved
-    // atoms. The base entry itself is immutable -- the copy is an
-    // O(M + Q) memcpy, orders of magnitude below a rebuild's
-    // surface generation + Morton sort.
+    // the q-normals); re-key the moved atoms and recompute node
+    // centers/radii only for the nodes that own them. The base entry
+    // itself is immutable -- the copy is an O(M + Q) memcpy, orders of
+    // magnitude below a rebuild's surface generation + Morton sort.
+    // Under rekey_refit a key escaping its leaf's octant range rebuilds
+    // the atoms tree instead of keeping the stale topology.
     OCTGB_COUNTER_ADD("serve.refits", 1);
     resp.path = Path::kRefit;
     entry->surf = base->surf;
     entry->trees = base->trees;
-    entry->trees.atoms.refit(req.mol.positions());
+    const octree::RefitResult rr =
+        config_.rekey_refit
+            ? entry->trees.atoms.refit_rekey(req.mol.positions(), pool)
+            : entry->trees.atoms.refit(req.mol.positions(), pool);
+    refit_rebuilt = rr.rebuilt;
+    if (refit_rebuilt) {
+      cache_.note_refit_fallback();
+      OCTGB_COUNTER_ADD("serve.refit_rebuilds", 1);
+    }
     resp.t_refit = stage.seconds();
     // The q-tree and its normal aggregates are retained untouched;
     // prove they still match the retained surface.
@@ -461,7 +472,7 @@ Response PolarizationService::compute_one(const Request& req,
     entry->surf = std::make_shared<const surface::QuadratureSurface>(
         surface::build_surface(req.mol, params.surface));
     entry->trees = gb::build_born_octrees(req.mol, *entry->surf,
-                                          params.octree);
+                                          params.octree, pool);
     resp.t_build = stage.seconds();
   }
 
@@ -476,7 +487,7 @@ Response PolarizationService::compute_one(const Request& req,
     // plan depends only on tree geometry and epsilons, so a refit
     // request inherits the base entry's plan and skips the traversal
     // outright -- the kernels are the only per-conformation work left.
-    if (base && base->plan) {
+    if (base && base->plan && !refit_rebuilt) {
       entry->plan = base->plan;
       resp.plan_reused = true;
       OCTGB_COUNTER_ADD("serve.plan_reuses", 1);

@@ -78,6 +78,14 @@ struct ServiceConfig {
   double refit_max_rms = 0.5;
   /// Disable to force every non-identical request down the cold path.
   bool enable_refit = true;
+  /// Re-key refit policy: re-key the drifted atoms and, when any Morton
+  /// key escapes its leaf's octant range, rebuild the atoms octree from
+  /// the new positions (counted in CacheStats::refit_fallbacks; the
+  /// cached interaction plan is dropped, the surface and q-tree are
+  /// still reused). Off by default: the stale-topology refit stays
+  /// within the approximation class up to refit_max_rms and keeps plan
+  /// reuse on every small-drift request.
+  bool rekey_refit = false;
   /// Run each request's own kernels on the pool (latency mode) instead
   /// of parallelizing across requests (throughput mode, the default --
   /// and the mode whose energies are bit-reproducible).

@@ -72,6 +72,12 @@ std::shared_ptr<const CacheEntry> StructureCache::find_refit(
   return nullptr;
 }
 
+void StructureCache::note_refit_fallback() {
+  util::MutexLock lock(mu_);
+  ++stats_.refit_fallbacks;
+  OCTGB_COUNTER_ADD("cache.refit_fallbacks", 1);
+}
+
 void StructureCache::insert(std::shared_ptr<const CacheEntry> entry) {
   if (!entry || capacity_ == 0) return;
   util::MutexLock lock(mu_);

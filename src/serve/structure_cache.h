@@ -101,6 +101,13 @@ class StructureCache {
   /// entry (outstanding shared_ptrs stay valid).
   void insert(std::shared_ptr<const CacheEntry> entry) OCTGB_EXCLUDES(mu_);
 
+  /// Counts a refit that had to fall back to construction *after* the
+  /// lookup succeeded: the re-key refit saw a Morton key escape its
+  /// leaf's octant range and rebuilt the atoms octree. Shares
+  /// CacheStats::refit_fallbacks with the drift-threshold fallback --
+  /// either way the cached topology could not be kept.
+  void note_refit_fallback() OCTGB_EXCLUDES(mu_);
+
   std::size_t size() const OCTGB_EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
   /// Sum of memory_bytes over resident entries. O(1): maintained as a

@@ -348,6 +348,44 @@ TEST(ServeTest, LargeDriftFallsBackToRebuild) {
   EXPECT_EQ(svc.stats().refits, 0u);
 }
 
+TEST(ServeTest, RekeyRefitRebuildsWhenKeysEscape) {
+  // rekey_refit policy: drift that passes the RMS gate but pushes some
+  // atom's Morton key out of its leaf octant rebuilds the atoms octree
+  // inside the refit path. The response still reports kRefit (surface
+  // and q-tree are reused), but the cached interaction plan -- bound to
+  // the old topology -- must NOT be reused, and the rebuild is counted
+  // as a refit fallback.
+  const auto mol = molecule::generate_protein(400, 33);
+  serve::ServiceConfig cfg = test_config();
+  cfg.rekey_refit = true;
+  cfg.refit_max_rms = 2.0;  // admit the drift; the key check decides
+  serve::PolarizationService svc(cfg);
+  svc.serve_now(make_request(1, mol));
+
+  const auto moved = jittered(mol, 0.4, 34);  // far beyond a leaf cell
+  const auto resp = svc.serve_now(make_request(2, moved));
+  ASSERT_EQ(resp.status, serve::Status::kOk);
+  ASSERT_EQ(resp.path, serve::Path::kRefit);
+  EXPECT_FALSE(resp.plan_reused);
+  EXPECT_GE(svc.cache_stats().refit_fallbacks, 1u);
+  // The atoms tree is exact for the new positions; the remaining gap
+  // against a cold one-shot run is the deliberately reused (stale)
+  // surface and q-tree, bounded here rather than matched.
+  const gb::GBResult rebuild = gb::compute_gb_energy(moved);
+  EXPECT_LT(gb::relative_error(resp.energy, rebuild.energy), 0.15);
+
+  if (gb::use_batched_engine()) {
+    // Tiny drift against the rebuilt entry stays inside every leaf
+    // octant: no fallback this time, and its (fresh) plan is reused.
+    const auto fallbacks_before = svc.cache_stats().refit_fallbacks;
+    const auto small = svc.serve_now(
+        make_request(3, jittered(moved, 1e-4, 35)));
+    ASSERT_EQ(small.path, serve::Path::kRefit);
+    EXPECT_TRUE(small.plan_reused);
+    EXPECT_EQ(svc.cache_stats().refit_fallbacks, fallbacks_before);
+  }
+}
+
 TEST(ServeTest, RefitDisabledForcesColdBuilds) {
   const auto mol = molecule::generate_protein(300, 29);
   serve::ServiceConfig cfg = test_config();
