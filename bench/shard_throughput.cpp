@@ -1,0 +1,351 @@
+// shard_throughput.cpp -- router-sharded serving scaling ablation.
+//
+// Compares the sharded topology (src/cluster: router rank + R worker
+// shards) against a single-process PolarizationService at *equal total
+// threads*: 1x8, 2x4, 4x2, 8x1. The sweep is a deterministic
+// virtual-time replay (src/load/shard_sim.h) of one seeded repeat-heavy
+// trace in drain mode (queue sized to the trace, no deadlines), so the
+// aggregate-throughput ratios are properties of the topology, not of
+// thread-scheduling weather.
+//
+// Why sharding wins at equal threads: each shard owns a private
+// structure cache, and consistent hashing partitions the structure
+// population across shards -- aggregate cache capacity scales with R
+// while each shard's working set shrinks by 1/R. With a structure
+// population larger than one cache (192 vs 64 here), the single
+// service thrashes its LRU and recomputes cold builds that 4+ shards
+// serve as exact hits. The acceptance gate below checks the headline
+// number: >= 3x aggregate throughput at 4 shards vs 1 shard at equal
+// offered load.
+//
+// Also runs: a determinism self-check (the 4-shard replay repeated
+// from scratch must reproduce every outcome bit for bit), a live
+// 2-shard run_cluster() smoke whose energies must match a single
+// service bit-for-bit (refit off -- see src/cluster/cluster.h), and a
+// perfmodel projection of the topology to 100+ Lonestar4 nodes with
+// codec envelope sizes measured from real serialized entries.
+//
+// Knobs:
+//   SHARD_REQUESTS  virtual requests in the replay   [20000]
+//   SHARD_SEED      trace seed                       [0x5ead]
+//   SHARD_LIVE      run the live 2-shard smoke       [1]
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/cluster/cluster.h"
+#include "src/cluster/codec.h"
+#include "src/load/shard_sim.h"
+#include "src/load/sim.h"
+#include "src/load/traffic.h"
+#include "src/molecule/generators.h"
+#include "src/perfmodel/sharded_serve.h"
+#include "src/serve/content_hash.h"
+#include "src/util/env.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace octgb;
+
+struct TopologyRow {
+  std::string name;
+  int shards = 0;
+  int threads_per_shard = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t refits = 0;
+  std::uint64_t cold_builds = 0;
+  std::uint64_t replications = 0;
+  std::uint64_t migrations = 0;
+  double throughput_rps = 0.0;
+  double compute_seconds = 0.0;
+};
+
+bool outcomes_identical(const load::ShardSimResult& a,
+                        const load::ShardSimResult& b) {
+  if (a.outcomes.size() != b.outcomes.size() || a.shard_of != b.shard_of) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const load::SimOutcome& x = a.outcomes[i];
+    const load::SimOutcome& y = b.outcomes[i];
+    if (x.id != y.id || x.arrival_ns != y.arrival_ns ||
+        x.dispatch_ns != y.dispatch_ns || x.complete_ns != y.complete_ns ||
+        x.status != y.status || x.path != y.path ||
+        x.deadline_met != y.deadline_met) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("shard",
+                "sharded serving scaling (extends the paper's throughput "
+                "scaling, Figs. 5/11, to a router + R-shard topology)");
+
+  const std::size_t n =
+      static_cast<std::size_t>(util::env_int("SHARD_REQUESTS", 20000));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(util::env_int("SHARD_SEED", 0x5ead));
+
+  // Repeat-heavy mix over a structure population (192) chosen to
+  // overflow one shard's cache (64 entries) but fit 4 shards' combined
+  // caches -- the regime the sharded topology exists for. No deadlines:
+  // this is a drain-mode capacity measurement, so every admitted
+  // request completes and throughput is completed / makespan.
+  load::ArrivalSpec arrival;
+  arrival.rate_rps = 50000.0;  // deep saturation for every topology
+  load::WorkloadSpec workload;
+  workload.repeat_frac = 0.72;
+  workload.perturb_frac = 0.14;
+  workload.population = 192;
+  workload.deadline_frac = 0.0;
+  const std::vector<load::RequestEvent> trace =
+      load::generate_trace(arrival, workload, n, seed);
+  std::printf("trace: %zu requests, %.0f rps offered, repeat-heavy "
+              "(repeat %.2f / perturb %.2f / population %zu)\n\n",
+              trace.size(), load::trace_offered_rps(trace),
+              workload.repeat_frac, workload.perturb_frac,
+              workload.population);
+
+  const int total_threads = 8;
+  const load::CostModel cost;
+  std::vector<TopologyRow> rows;
+
+  // Single-process baseline: one service, all 8 threads, no router.
+  {
+    load::PolicyConfig policy;
+    policy.num_threads = total_threads;
+    policy.queue_capacity = n;  // drain mode: admit everything
+    load::ServiceSim sim(policy, cost);
+    const std::vector<load::SimOutcome> outs = sim.run(trace);
+    TopologyRow row;
+    row.name = "single 1x8";
+    row.shards = 1;
+    row.threads_per_shard = total_threads;
+    const load::SimTotals& t = sim.totals();
+    row.completed = t.completed;
+    row.cache_hits = t.cache_hits;
+    row.refits = t.refits;
+    row.cold_builds = t.cold_builds;
+    row.compute_seconds = load::to_seconds(t.compute_ns);
+    load::Ns last = trace.front().arrival_ns;
+    for (const load::SimOutcome& o : outs) {
+      if (o.status == serve::Status::kOk && o.complete_ns > last) {
+        last = o.complete_ns;
+      }
+    }
+    const double span = load::to_seconds(last - trace.front().arrival_ns);
+    row.throughput_rps =
+        span > 0.0 ? static_cast<double>(t.completed) / span : 0.0;
+    rows.push_back(row);
+  }
+
+  // Sharded topologies at equal total threads.
+  load::ShardSimResult four_shard_result;
+  for (const int shards : {1, 2, 4, 8}) {
+    load::ShardSimConfig config;
+    config.router.num_shards = shards;
+    config.policy.num_threads = total_threads / shards;
+    config.policy.queue_capacity = n;  // drain mode
+    const load::ShardSimResult result = run_shard_sim(config, trace);
+    TopologyRow row;
+    row.name = "router " + std::to_string(shards) + "x" +
+               std::to_string(config.policy.num_threads);
+    row.shards = shards;
+    row.threads_per_shard = config.policy.num_threads;
+    row.completed = result.completed;
+    row.throughput_rps = result.throughput_rps;
+    row.replications = result.router.replications;
+    row.migrations = result.router.migrations;
+    for (const load::SimTotals& t : result.shard_totals) {
+      row.cache_hits += t.cache_hits;
+      row.refits += t.refits;
+      row.cold_builds += t.cold_builds;
+      row.compute_seconds += load::to_seconds(t.compute_ns);
+    }
+    rows.push_back(row);
+    if (shards == 4) four_shard_result = result;
+  }
+
+  const double base_rps = rows[1].throughput_rps;  // router 1-shard
+  util::Table scaling({"topology", "completed", "hits", "refits", "cold",
+                       "repl", "migr", "throughput_rps", "speedup"});
+  for (const TopologyRow& row : rows) {
+    scaling.row()
+        .cell(row.name)
+        .cell(static_cast<std::size_t>(row.completed))
+        .cell(static_cast<std::size_t>(row.cache_hits))
+        .cell(static_cast<std::size_t>(row.refits))
+        .cell(static_cast<std::size_t>(row.cold_builds))
+        .cell(static_cast<std::size_t>(row.replications))
+        .cell(static_cast<std::size_t>(row.migrations))
+        .cell(row.throughput_rps, 6)
+        .cell(base_rps > 0.0 ? row.throughput_rps / base_rps : 0.0, 3);
+  }
+  bench::emit(scaling, "shard_scaling");
+
+  // Acceptance gate: >= 3x aggregate throughput at 4 shards vs 1 shard
+  // at equal offered load (the same trace) and equal total threads.
+  const double speedup_4x = base_rps > 0.0 ? rows[3].throughput_rps / base_rps
+                                           : 0.0;
+  std::printf("\n4-shard speedup over 1-shard at equal threads: %.2fx (%s)\n",
+              speedup_4x, speedup_4x >= 3.0 ? "PASS >= 3x" : "FAIL < 3x");
+  bench::json().field("speedup_4_shards", speedup_4x);
+
+  // Determinism self-check: the 4-shard replay repeated from scratch
+  // must reproduce every outcome -- status, path, and every timestamp
+  // -- bit for bit.
+  {
+    load::ShardSimConfig config;
+    config.router.num_shards = 4;
+    config.policy.num_threads = total_threads / 4;
+    config.policy.queue_capacity = n;
+    const load::ShardSimResult replay = run_shard_sim(config, trace);
+    const bool same = outcomes_identical(four_shard_result, replay);
+    std::printf("determinism self-check (4-shard replay): %s\n",
+                same ? "identical" : "MISMATCH");
+    bench::json().field("deterministic", same ? 1.0 : 0.0);
+  }
+
+  // Live smoke: a real 2-shard run_cluster() must reproduce a single
+  // PolarizationService's energies bit-for-bit (refit off; see
+  // src/cluster/cluster.h). Also measures real codec envelope sizes
+  // for the projection below.
+  std::size_t entry_bytes = 4ull << 20;
+  std::size_t request_bytes = 4096;
+  if (util::env_int("SHARD_LIVE", 1) != 0) {
+    const gb::CalculatorParams params = bench::bench_params();
+    std::vector<molecule::Molecule> mols;
+    for (int s = 0; s < 3; ++s) {
+      mols.push_back(molecule::generate_ligand(120 + 20 * s, 77 + s));
+    }
+    std::vector<serve::Request> requests;
+    for (int rep = 0; rep < 4; ++rep) {
+      for (std::size_t m = 0; m < mols.size(); ++m) {
+        serve::Request req;
+        req.id = requests.size();
+        req.mol = mols[m];
+        req.params = params;
+        requests.push_back(req);
+      }
+    }
+
+    cluster::ClusterConfig config;
+    config.router.num_shards = 2;
+    config.service.num_threads = 2;
+    config.service.enable_refit = false;
+    const cluster::ClusterResult live = cluster::run_cluster(config, requests);
+
+    serve::ServiceConfig single_config;
+    single_config.num_threads = 2;
+    single_config.enable_refit = false;
+    serve::PolarizationService single(single_config);
+    bool match = true;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const serve::Response ref = single.serve_now(requests[i]);
+      const serve::Response& got = live.responses[i].response;
+      if (got.status != serve::Status::kOk ||
+          std::memcmp(&got.energy, &ref.energy, sizeof(double)) != 0) {
+        match = false;
+      }
+    }
+    std::printf("live 2-shard vs single-service energies: %s "
+                "(%zu requests, %llu wire request bytes)\n",
+                match ? "bit-identical" : "MISMATCH", requests.size(),
+                static_cast<unsigned long long>(live.stats.request_bytes));
+    bench::json().field("live_energy_match", match ? 1.0 : 0.0);
+
+    // Real envelope sizes for the alpha-beta projection terms.
+    request_bytes = cluster::encode_request(requests[0], 0).size();
+    serve::PolarizationService exporter(single_config);
+    exporter.serve_now(requests[0]);
+    const auto entry =
+        exporter.export_structure(serve::structure_key(
+            requests[0].mol, serve::resolved_params(requests[0])));
+    if (entry) entry_bytes = cluster::encode_entry(*entry).size();
+    std::printf("codec envelopes: request %zu B, serialized entry %zu B\n",
+                request_bytes, entry_bytes);
+    bench::json().field("entry_bytes", static_cast<double>(entry_bytes));
+  }
+
+  // Projection: the sharded topology on the paper's cluster, 100+
+  // nodes. Per-request service time and replication rate come from the
+  // 4-shard replay; envelope sizes from the live smoke.
+  {
+    perfmodel::ShardedServeSpec serve_spec;
+    double compute = 0.0;
+    std::uint64_t completed = 0;
+    for (const load::SimTotals& t : four_shard_result.shard_totals) {
+      compute += load::to_seconds(t.compute_ns);
+      completed += t.completed;
+    }
+    if (completed > 0) {
+      serve_spec.service_seconds = compute / static_cast<double>(completed);
+    }
+    serve_spec.threads_per_shard = 2;
+    serve_spec.request_bytes = request_bytes;
+    serve_spec.entry_bytes = entry_bytes;
+    if (n > 0) {
+      serve_spec.replications_per_request =
+          static_cast<double>(four_shard_result.router.replications) /
+          static_cast<double>(n);
+    }
+
+    const perfmodel::ClusterSpec cluster_spec =
+        perfmodel::ClusterSpec::lonestar4();
+    const int shards_100_nodes =
+        perfmodel::shards_for_nodes(cluster_spec, serve_spec, 100);
+    const std::vector<int> counts = {4, 16, 64, 256, shards_100_nodes};
+    const double offered = rows[3].throughput_rps;  // 4-shard capacity
+    const std::vector<perfmodel::ShardedProjection> proj =
+        perfmodel::project_sharded_serve(cluster_spec, serve_spec, counts,
+                                         offered);
+    util::Table table({"shards", "nodes", "imbalance", "shard_cap_rps",
+                       "router_cap_rps", "capacity_rps", "latency_ms"});
+    std::ostringstream pj;
+    pj << "[";
+    for (std::size_t i = 0; i < proj.size(); ++i) {
+      const perfmodel::ShardedProjection& p = proj[i];
+      table.row()
+          .cell(static_cast<std::int64_t>(p.shards))
+          .cell(static_cast<std::int64_t>(p.nodes))
+          .cell(p.imbalance, 3)
+          .cell(p.shard_capacity_rps, 6)
+          .cell(std::isinf(p.router_capacity_rps) ? -1.0
+                                                  : p.router_capacity_rps,
+                6)
+          .cell(p.capacity_rps, 6)
+          .cell(std::isinf(p.latency_seconds) ? -1.0
+                                              : p.latency_seconds * 1e3,
+                3);
+      if (i) pj << ", ";
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"shards\": %d, \"nodes\": %d, \"capacity_rps\": %.6g}",
+                    p.shards, p.nodes, p.capacity_rps);
+      pj << buf;
+    }
+    pj << "]";
+    std::printf("\nprojection: router + R shards on Lonestar4 "
+                "(%d shards spans %d nodes; router saturates where "
+                "capacity flattens)\n",
+                shards_100_nodes, proj.back().nodes);
+    bench::emit(table, "shard_projection");
+    bench::json().field_raw("projection", pj.str());
+    bench::json().field("shards_at_100_nodes",
+                        static_cast<double>(shards_100_nodes));
+  }
+
+  bench::json().set_threads(total_threads);
+  bench::json().field("requests", static_cast<double>(n));
+  bench::json().field("population", static_cast<double>(workload.population));
+  return 0;
+}

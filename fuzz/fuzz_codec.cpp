@@ -1,0 +1,63 @@
+// fuzz_codec.cpp -- fuzzes the sharded-serving wire codec.
+//
+// First input byte selects the decoder (cache entry, request,
+// response); the rest is the frame. The harness asserts the codec's
+// contract: every decoder either returns a structurally valid object
+// or throws cluster::CodecError -- any other exception or a crash is a
+// bug. Because a random mutation almost never survives the trailing
+// checksum, each input is decoded twice: once raw (exercising the
+// frame gate) and once with the checksum repaired in place
+// (patch_checksum), which lets mutations reach the structural
+// validators behind the gate. Seed corpora are real encoded frames
+// (tests/cluster_test.cpp regenerates them).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/cluster/codec.h"
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fuzz_codec: %s\n", what);
+  std::abort();
+}
+
+void decode_one(std::uint8_t selector,
+                std::span<const std::byte> frame) {
+  try {
+    switch (selector % 3) {
+      case 0:
+        octgb::cluster::decode_entry(frame);
+        break;
+      case 1:
+        octgb::cluster::decode_request(frame);
+        break;
+      default:
+        octgb::cluster::decode_response(frame);
+        break;
+    }
+  } catch (const octgb::cluster::CodecError&) {
+    // typed rejection is the contract for bad input
+  } catch (...) {
+    die("decoder threw something other than CodecError");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::uint8_t selector = data[0];
+  std::vector<std::byte> frame(size - 1);
+  std::memcpy(frame.data(), data + 1, size - 1);
+
+  decode_one(selector, frame);
+  octgb::cluster::patch_checksum(frame);
+  decode_one(selector, frame);
+  return 0;
+}

@@ -46,7 +46,15 @@
 #      admission/shed, batch coalescing) across >= 1000 distinct seeded
 #      schedules; run as one process so the schedule counter spans all
 #      sweeps.
-#  12. treebuild: the linearized-construction equivalence suite
+#  12. shard-smoke: the sharded serving layer (src/cluster) three ways
+#      -- cluster_test under TSan with halt_on_error (router event loop,
+#      worker poll loops and the codec run as real rank-threads), the
+#      same suite in the OCTGB_VALIDATE build with FPE traps armed
+#      (every service/octree checkpoint live while entries ship between
+#      shards), and again in the OCTGB_LOCKGRAPH build with the
+#      lock-order witness dumping graphs that the checker must find
+#      acyclic.
+#  13. treebuild: the linearized-construction equivalence suite
 #      (octree_test: parallel build / refit bit-identity, re-key refit
 #      vs rebuild through gb) under the OCTGB_VALIDATE build with FPE
 #      traps -- every octree checkpoint armed, including the new
@@ -58,7 +66,8 @@
 #                       --tsan-only | --telemetry-only |
 #                       --validate-only | --loadtest-smoke |
 #                       --fuzz-smoke | --lockgraph-only |
-#                       --sched-smoke-only | --treebuild-only]
+#                       --sched-smoke-only | --shard-only |
+#                       --treebuild-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -227,9 +236,10 @@ run_fuzz() {
   echo "==> fuzz-smoke: OCTGB_FUZZ=ON build, ${budget}s per target"
   cmake -B build-fuzz -S . -DOCTGB_FUZZ=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build build-fuzz -j "$JOBS" --target fuzz_molecule_io fuzz_plan
+  cmake --build build-fuzz -j "$JOBS" \
+    --target fuzz_molecule_io fuzz_plan fuzz_codec
   local t
-  for t in fuzz_molecule_io fuzz_plan; do
+  for t in fuzz_molecule_io fuzz_plan fuzz_codec; do
     echo "--> $t (corpus fuzz/corpus/${t#fuzz_}, -max_total_time=$budget)"
     "build-fuzz/fuzz/$t" -max_total_time="$budget" \
       "fuzz/corpus/${t#fuzz_}"
@@ -280,6 +290,37 @@ run_sched_smoke() {
   cmake --build build -j "$JOBS" --target sched_explore_test
   OCTGB_SCHED_SEEDS="$seeds" OCTGB_SCHED_MIN_TOTAL="$((4 * seeds))" \
     build/tests/sched_explore_test --gtest_brief=1
+}
+
+run_shard() {
+  # The cluster suite covers the codec (round-trip bit-identity, typed
+  # rejection), the hash ring, the router policy object, the live
+  # router + R-shard simmpi cluster and the deterministic shard sim.
+  echo "==> shard-smoke: cluster suite under TSan"
+  cmake -B build-tsan -S . -DOCTGB_TSAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target cluster_test
+  TSAN_OPTIONS="halt_on_error=1" build-tsan/tests/cluster_test --gtest_brief=1
+
+  echo "==> shard-smoke: cluster suite with contract checkpoints + FPE traps"
+  cmake -B build-validate -S . -DOCTGB_VALIDATE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-validate -j "$JOBS" --target cluster_test
+  OCTGB_FPE=1 build-validate/tests/cluster_test --gtest_brief=1
+
+  command -v python3 >/dev/null 2>&1 || {
+    echo "FAIL: shard-smoke lockgraph check needs python3"
+    return 1
+  }
+  echo "==> shard-smoke: cluster suite with the lock-order witness armed"
+  cmake -B build-lockgraph -S . -DOCTGB_LOCKGRAPH=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-lockgraph -j "$JOBS" --target cluster_test
+  local dumps="$PWD/build-lockgraph/lockgraph-shard"
+  rm -rf "$dumps" && mkdir -p "$dumps"
+  OCTGB_LOCKGRAPH_OUT="$dumps" \
+    build-lockgraph/tests/cluster_test --gtest_brief=1
+  python3 scripts/lockgraph_check.py "$dumps"
 }
 
 run_treebuild() {
@@ -346,6 +387,10 @@ case "$MODE" in
     run_sched_smoke
     echo "==> sched-smoke OK"
     ;;
+  --shard-only)
+    run_shard
+    echo "==> shard-smoke OK"
+    ;;
   --treebuild-only)
     run_treebuild
     echo "==> treebuild OK"
@@ -362,11 +407,12 @@ case "$MODE" in
     run_fuzz
     run_lockgraph
     run_sched_smoke
+    run_shard
     run_treebuild
     echo "==> CI OK"
     ;;
   *)
-    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --tsan-only | --telemetry-only | --validate-only | --loadtest-smoke | --fuzz-smoke | --lockgraph-only | --sched-smoke-only | --treebuild-only]" >&2
+    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --tsan-only | --telemetry-only | --validate-only | --loadtest-smoke | --fuzz-smoke | --lockgraph-only | --sched-smoke-only | --shard-only | --treebuild-only]" >&2
     exit 2
     ;;
 esac

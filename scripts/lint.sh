@@ -36,6 +36,12 @@
 #                         else locks through util::Mutex / util::CondVar
 #                         so the lock-order witness and the schedule
 #                         explorer see every acquisition
+#        raw-serialize    (src/cluster/ and src/serve/ only) no memcpy
+#                         or reinterpret_cast struct dumping outside
+#                         the codec translation unit
+#                         src/cluster/codec.cpp; wire bytes go through
+#                         the versioned frame Writer/Reader so typed
+#                         rejection stays airtight
 #        cv-wait-pred     a bare cv.wait(lock) must sit in a predicate
 #                         loop (while on the same or previous line) or
 #                         carry lint:allow(cv-wait-pred) naming the
@@ -272,6 +278,50 @@ EOF
     echo "selftest ok: raw-mutex stays quiet in interposition/analysis paths"
   else
     echo "selftest FAIL: raw-mutex fired inside an exempt path"
+    rc=1
+  fi
+
+  # raw-serialize is scoped to src/cluster/ + src/serve/ minus the
+  # codec translation unit: the seeded struct dump must fire in both
+  # serving subsystems, stay quiet when the identical code is the codec
+  # .cpp itself, and stay quiet outside the serving layers entirely.
+  local sertmp="$dir/sercase"
+  mkdir -p "$sertmp/src/cluster" "$sertmp/src/serve"
+  cat > "$sertmp/src/cluster/struct_dump.cpp" <<'EOF'
+#include <cstring>
+struct Hdr { unsigned magic; unsigned len; };
+void dump(char* out, const Hdr& h) { std::memcpy(out, &h, sizeof h); }
+const Hdr* peek(const char* in) { return reinterpret_cast<const Hdr*>(in); }
+EOF
+  cp "$sertmp/src/cluster/struct_dump.cpp" "$sertmp/src/serve/struct_dump.cpp"
+  if scan_tree "$sertmp" >/dev/null 2>&1; then
+    echo "selftest FAIL: seeded raw-serialize violation was not caught"
+    rc=1
+  else
+    echo "selftest ok: raw-serialize fires on src/{cluster,serve} struct dumps"
+  fi
+  local serexempt="$dir/serexempt"
+  mkdir -p "$serexempt/src/cluster" "$serexempt/src/baselines"
+  cp "$sertmp/src/cluster/struct_dump.cpp" "$serexempt/src/cluster/codec.cpp"
+  cp "$sertmp/src/cluster/struct_dump.cpp" "$serexempt/src/baselines/pack.cpp"
+  if scan_tree "$serexempt" >/dev/null 2>&1; then
+    echo "selftest ok: raw-serialize stays quiet in codec.cpp and outside serving layers"
+  else
+    echo "selftest FAIL: raw-serialize fired in an exempt path"
+    rc=1
+  fi
+  local serallow="$dir/serallow"
+  mkdir -p "$serallow/src/cluster"
+  cat > "$serallow/src/cluster/marked.cpp" <<'EOF'
+#include <cstring>
+struct Hdr { unsigned magic; unsigned len; };
+// lint:allow(raw-serialize) selftest: justification goes here
+void dump(char* out, const Hdr& h) { std::memcpy(out, &h, sizeof h); }
+EOF
+  if scan_tree "$serallow" >/dev/null 2>&1; then
+    echo "selftest ok: raw-serialize honors lint:allow markers"
+  else
+    echo "selftest FAIL: allow-marked raw-serialize site flagged"
     rc=1
   fi
 

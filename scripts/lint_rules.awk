@@ -61,6 +61,17 @@
 #                 themselves (a witness that locks through itself
 #                 recurses). Like the clock.h carve-out above, the
 #                 exemption is by filename, not by subsystem.
+#   raw-serialize (src/cluster/ and src/serve/ only, minus the codec
+#                 translation unit src/cluster/codec.cpp) no `memcpy`
+#                 and no `reinterpret_cast`: struct-dumping a cache
+#                 entry or a request onto the wire bypasses the
+#                 versioned frame format (magic/version/length/checksum)
+#                 and its typed-error rejection, so every byte that
+#                 crosses a shard boundary must go through the codec's
+#                 Writer/Reader. The codec .cpp IS the sanctioned home
+#                 of raw byte access; anywhere else in the serving
+#                 layers a genuine need (none known) carries
+#                 `lint:allow(raw-serialize)` plus a justification.
 #   cv-wait-pred  a bare `cv.wait(lock)` outside a predicate loop is a
 #                 lost-wakeup / spurious-wake bug waiting to happen --
 #                 the schedule explorer injects seeded spurious wakeups
@@ -143,6 +154,12 @@ FNR == 1 { in_block = 0; prev_raw = ""; prev_line = "" }
       !allowed("raw-mutex") &&
       line ~ /std::(timed_mutex|recursive_mutex|shared_mutex|mutex|condition_variable_any|condition_variable|lock_guard|unique_lock|scoped_lock|shared_lock)([^[:alnum:]_]|$)/)
     print FILENAME ":" FNR ":raw-mutex: " raw
+
+  if ((FILENAME ~ /(^|\/)src\/cluster\// || FILENAME ~ /(^|\/)src\/serve\//) &&
+      FILENAME !~ /(^|\/)src\/cluster\/codec\.cpp$/ &&
+      !allowed("raw-serialize") &&
+      line ~ /(^|[^[:alnum:]_])((std::)?memcpy[[:space:]]*\(|reinterpret_cast[[:space:]]*<)/)
+    print FILENAME ":" FNR ":raw-serialize: " raw
 
   if (!allowed("cv-wait-pred") &&
       line ~ /\.wait[[:space:]]*\([[:space:]]*[A-Za-z_][A-Za-z0-9_]*[[:space:]]*\)/ &&

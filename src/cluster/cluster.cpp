@@ -1,0 +1,425 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/codec.h"
+#include "src/serve/content_hash.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+
+namespace octgb::cluster {
+namespace {
+
+enum MsgKind : std::uint32_t {
+  kMsgRequest = 1,
+  kMsgPull = 2,
+  kMsgReplicate = 3,
+  kMsgShutdown = 4,
+  kMsgResponse = 5,
+  kMsgPullReply = 6,
+};
+
+/// Fixed wire header. For kMsgPull / kMsgPullReply the ticket field
+/// carries the structure key instead of a request ticket.
+struct MsgHeader {
+  std::uint32_t kind = 0;
+  std::int32_t shard = -1;
+  std::uint64_t ticket = 0;
+  std::uint64_t bytes = 0;
+};
+static_assert(std::is_trivially_copyable_v<MsgHeader>);
+
+// Distinct tags per direction and role keep header and payload streams
+// from matching each other.
+constexpr int kTagToWorkerHdr = 0x701;
+constexpr int kTagToWorkerPayload = 0x702;
+constexpr int kTagToRouterHdr = 0x703;
+constexpr int kTagToRouterPayload = 0x704;
+
+void send_to_worker(simmpi::Comm& comm, int shard, const MsgHeader& hdr,
+                    std::span<const std::byte> payload) {
+  comm.send(std::span<const MsgHeader>(&hdr, 1), shard + 1, kTagToWorkerHdr);
+  if (!payload.empty()) {
+    comm.send(payload, shard + 1, kTagToWorkerPayload);
+  }
+}
+
+void send_to_router(simmpi::Comm& comm, const MsgHeader& hdr,
+                    std::span<const std::byte> payload) {
+  comm.send(std::span<const MsgHeader>(&hdr, 1), 0, kTagToRouterHdr);
+  if (!payload.empty()) {
+    comm.send(payload, 0, kTagToRouterPayload);
+  }
+}
+
+// ---- worker rank ----
+
+struct WorkerContext {
+  const ClusterConfig* config = nullptr;
+  ShardTelemetry* final_slot = nullptr;  // result.stats.shards[shard]
+};
+
+ShardTelemetry build_telemetry(const serve::PolarizationService& service,
+                               std::uint64_t served, double window_p99) {
+  const serve::ServiceSnapshot snap = service.snapshot();
+  ShardTelemetry t;
+  t.served = served;
+  t.failed = snap.stats.failed;
+  t.cache_hits = snap.stats.cache_hits;
+  t.refits = snap.stats.refits;
+  t.cold_builds = snap.stats.cold_builds;
+  t.serializations = snap.cache.serializations;
+  t.deserializations = snap.cache.deserializations;
+  t.cache_entries = service.cache_size();
+  t.cache_bytes = service.cache_memory_bytes();
+  t.queue_depth = snap.queue_depth;
+  t.window_p99_s = window_p99;
+  return t;
+}
+
+void run_worker(simmpi::Comm& comm, const WorkerContext& ctx) {
+  const int shard = comm.rank() - 1;
+  serve::ServiceConfig service_config = ctx.config->service;
+  service_config.on_complete = nullptr;
+  service_config.clock = nullptr;
+  serve::PolarizationService service(service_config);
+
+  // Worker-local end-to-end latency histogram; its windowed p99 is the
+  // load signal piggybacked to the router. telemetry::Histogram is
+  // compiled in every build config, so this works with telemetry OFF.
+  telemetry::Histogram e2e_hist;
+  telemetry::WindowedHistogramReader window_reader(e2e_hist);
+  double window_p99 = 0.0;
+  int window_fill = 0;
+  std::uint64_t served_total = 0;
+
+  struct PendingReq {
+    std::uint64_t ticket = 0;
+    std::future<serve::Response> future;
+  };
+  std::deque<PendingReq> pending;
+
+  const auto settle_ready = [&](bool block) {
+    bool progressed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      const bool ready =
+          block ? (it->future.wait(), true)
+                : it->future.wait_for(std::chrono::seconds(0)) ==
+                      std::future_status::ready;
+      if (!ready) {
+        ++it;
+        continue;
+      }
+      serve::Response resp = it->future.get();
+      e2e_hist.observe_seconds(resp.t_total);
+      if (++window_fill >= ctx.config->telemetry_window) {
+        window_p99 = window_reader.take_window().p99();
+        window_fill = 0;
+      }
+      ++served_total;
+      WireResponse wire;
+      wire.ticket = it->ticket;
+      wire.shard = shard;
+      wire.response = std::move(resp);
+      wire.telemetry = build_telemetry(service, served_total, window_p99);
+      const Bytes payload = encode_response(wire);
+      MsgHeader hdr;
+      hdr.kind = kMsgResponse;
+      hdr.shard = shard;
+      hdr.ticket = wire.ticket;
+      hdr.bytes = payload.size();
+      send_to_router(comm, hdr, payload);
+      it = pending.erase(it);
+      progressed = true;
+    }
+    return progressed;
+  };
+
+  MsgHeader hdr;
+  simmpi::Request hreq =
+      comm.irecv(std::span<MsgHeader>(&hdr, 1), 0, kTagToWorkerHdr);
+  bool running = true;
+  while (running) {
+    bool have_msg;
+    if (pending.empty()) {
+      // Nothing in flight: blocking on the next message cannot starve
+      // the router.
+      // lint:allow(cv-wait-pred) simmpi request wait, not a condvar
+      comm.wait(hreq);
+      have_msg = true;
+    } else {
+      have_msg = comm.test(hreq);
+    }
+    if (have_msg) {
+      std::vector<std::byte> payload(hdr.bytes);
+      if (!payload.empty()) {
+        comm.recv(std::span<std::byte>(payload), 0, kTagToWorkerPayload);
+      }
+      switch (hdr.kind) {
+        case kMsgRequest: {
+          WireRequest wire = decode_request(payload);
+          pending.push_back(
+              {wire.ticket, service.submit(std::move(wire.request))});
+          break;
+        }
+        case kMsgPull: {
+          const std::uint64_t skey = hdr.ticket;
+          Bytes bytes;
+          if (const auto entry = service.export_structure(skey)) {
+            bytes = encode_entry(*entry);
+          }
+          MsgHeader reply;
+          reply.kind = kMsgPullReply;
+          reply.shard = shard;
+          reply.ticket = skey;
+          reply.bytes = bytes.size();
+          send_to_router(comm, reply, bytes);
+          break;
+        }
+        case kMsgReplicate: {
+          service.inject_entry(decode_entry(payload));
+          break;
+        }
+        case kMsgShutdown: {
+          // The router only shuts down once every dispatched request
+          // was answered, but drain defensively anyway.
+          while (!pending.empty()) settle_ready(/*block=*/true);
+          running = false;
+          break;
+        }
+        default:
+          throw std::runtime_error("cluster worker: unknown message kind " +
+                                   std::to_string(hdr.kind));
+      }
+      if (running) {
+        hreq = comm.irecv(std::span<MsgHeader>(&hdr, 1), 0, kTagToWorkerHdr);
+      }
+    }
+    if (running) {
+      const bool progressed = settle_ready(/*block=*/false);
+      if (!have_msg && !progressed) std::this_thread::yield();
+    }
+  }
+
+  *ctx.final_slot = build_telemetry(service, served_total, window_p99);
+#if defined(OCTGB_TELEMETRY_ENABLED)
+  // Per-rank metric labels: the macros require literal names, but the
+  // registry itself accepts dynamic ones -- one namespace per shard.
+  auto& registry = telemetry::MetricsRegistry::instance();
+  const std::string prefix = "cluster.shard" + std::to_string(shard) + ".";
+  const ShardTelemetry& t = *ctx.final_slot;
+  registry.counter(prefix + "served").add(t.served);
+  registry.counter(prefix + "cache_hits").add(t.cache_hits);
+  registry.counter(prefix + "refits").add(t.refits);
+  registry.counter(prefix + "cold_builds").add(t.cold_builds);
+  registry.counter(prefix + "serializations").add(t.serializations);
+  registry.counter(prefix + "deserializations").add(t.deserializations);
+  registry.counter(prefix + "refit_fallbacks")
+      .add(service.cache_stats().refit_fallbacks);
+#endif
+}
+
+// ---- router rank ----
+
+struct RouterContext {
+  const ClusterConfig* config = nullptr;
+  std::span<const serve::Request> requests;
+  ClusterResult* result = nullptr;
+};
+
+void run_router(simmpi::Comm& comm, const RouterContext& ctx) {
+  const std::size_t n = ctx.requests.size();
+  const ClusterConfig& config = *ctx.config;
+  RouterState state(config.router);
+  ClusterResult& result = *ctx.result;
+
+  // Structure keys under the *resolved* params -- the same hash the
+  // shards' caches key refits by, so placement groups conformations.
+  std::vector<std::uint64_t> skeys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    skeys[i] = serve::structure_key(ctx.requests[i].mol,
+                                    serve::resolved_params(ctx.requests[i]));
+  }
+
+  std::vector<std::uint8_t> replica_flag(n, 0);
+  const auto dispatch = [&](std::uint64_t ticket, int shard,
+                            bool replica_read) {
+    replica_flag[ticket] = replica_read ? 1 : 0;
+    const Bytes payload =
+        encode_request(ctx.requests[ticket], ticket);
+    MsgHeader hdr;
+    hdr.kind = kMsgRequest;
+    hdr.shard = shard;
+    hdr.ticket = ticket;
+    hdr.bytes = payload.size();
+    result.stats.request_bytes += payload.size();
+    send_to_worker(comm, shard, hdr, payload);
+  };
+
+  struct PendingPull {
+    std::vector<int> targets;
+    bool migration = false;
+  };
+  std::unordered_map<std::uint64_t, std::deque<PendingPull>> pending_pulls;
+  std::size_t outstanding_pulls = 0;
+
+  const auto issue_control = [&] {
+    for (ReplicationOrder& order : state.take_replication_orders()) {
+      MsgHeader hdr;
+      hdr.kind = kMsgPull;
+      hdr.shard = order.source;
+      hdr.ticket = order.skey;
+      send_to_worker(comm, order.source, hdr, {});
+      pending_pulls[order.skey].push_back(
+          {std::move(order.targets), /*migration=*/false});
+      ++outstanding_pulls;
+    }
+    for (const MigrationOrder& order : state.take_migration_orders()) {
+      MsgHeader hdr;
+      hdr.kind = kMsgPull;
+      hdr.shard = order.from;
+      hdr.ticket = order.skey;
+      send_to_worker(comm, order.from, hdr, {});
+      pending_pulls[order.skey].push_back({{order.to}, /*migration=*/true});
+      ++outstanding_pulls;
+    }
+  };
+
+  // Open-loop burst admission: every request is admitted up-front, in
+  // order. Shard windows and the backlog absorb what they can; the
+  // rest is shed here with an already-terminal response.
+  std::size_t settled = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const AdmitResult admitted = state.admit(i, skeys[i]);
+    switch (admitted.action) {
+      case AdmitResult::Action::kDispatch:
+        dispatch(i, admitted.shard, admitted.replica_read);
+        break;
+      case AdmitResult::Action::kQueued:
+        break;
+      case AdmitResult::Action::kShed: {
+        serve::Response resp;
+        resp.id = ctx.requests[i].id;
+        resp.status = serve::Status::kRejected;
+        result.responses[i] = {std::move(resp), -1, false};
+        ++settled;
+        break;
+      }
+    }
+  }
+  issue_control();
+
+  while (settled < n || outstanding_pulls > 0) {
+    MsgHeader hdr;
+    const int src =
+        comm.recv_any(std::span<MsgHeader>(&hdr, 1), kTagToRouterHdr);
+    std::vector<std::byte> payload(hdr.bytes);
+    if (!payload.empty()) {
+      comm.recv(std::span<std::byte>(payload), src, kTagToRouterPayload);
+    }
+    switch (hdr.kind) {
+      case kMsgResponse: {
+        WireResponse wire = decode_response(payload);
+        const std::uint64_t ticket = wire.ticket;
+        result.stats.response_bytes += payload.size();
+        result.responses[ticket] = {std::move(wire.response), src - 1,
+                                    replica_flag[ticket] != 0};
+        ++settled;
+        for (const Dispatch& d :
+             state.complete(src - 1, skeys[ticket], wire.telemetry)) {
+          dispatch(d.ticket, d.shard, d.replica_read);
+        }
+        issue_control();
+        break;
+      }
+      case kMsgPullReply: {
+        const std::uint64_t skey = hdr.ticket;
+        auto it = pending_pulls.find(skey);
+        if (it == pending_pulls.end() || it->second.empty()) {
+          throw std::runtime_error(
+              "cluster router: pull reply with no pending pull");
+        }
+        PendingPull pull = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) pending_pulls.erase(it);
+        --outstanding_pulls;
+        if (payload.empty()) {
+          // The home shard no longer holds the entry (evicted, or
+          // never computed): nothing to copy. The targets will simply
+          // cold-build; a still-hot structure may retry.
+          if (!pull.migration) state.note_replication_failed(skey);
+          break;
+        }
+        result.stats.replication_bytes += payload.size();
+        for (const int target : pull.targets) {
+          MsgHeader push;
+          push.kind = kMsgReplicate;
+          push.shard = target;
+          push.ticket = skey;
+          push.bytes = payload.size();
+          result.stats.replication_bytes += payload.size();
+          send_to_worker(comm, target, push, payload);
+        }
+        // FIFO mailboxes: the kReplicate above is injected before any
+        // kRequest dispatched to the same shard from here on, so reads
+        // may start spreading immediately.
+        if (!pull.migration) state.note_replicated(skey);
+        break;
+      }
+      default:
+        throw std::runtime_error("cluster router: unknown message kind " +
+                                 std::to_string(hdr.kind));
+    }
+  }
+
+  for (int s = 0; s < config.router.num_shards; ++s) {
+    MsgHeader hdr;
+    hdr.kind = kMsgShutdown;
+    hdr.shard = s;
+    send_to_worker(comm, s, hdr, {});
+  }
+  result.stats.router = state.stats();
+}
+
+}  // namespace
+
+ClusterResult run_cluster(const ClusterConfig& config,
+                          std::span<const serve::Request> requests) {
+  if (config.router.num_shards < 1) {
+    throw std::invalid_argument("run_cluster: need at least one shard");
+  }
+  const int num_shards = config.router.num_shards;
+  ClusterResult result;
+  result.responses.resize(requests.size());
+  result.stats.shards.resize(static_cast<std::size_t>(num_shards));
+
+  RouterContext router_ctx{&config, requests, &result};
+  result.ledgers = simmpi::run(
+      num_shards + 1, config.comm, [&](simmpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          run_router(comm, router_ctx);
+        } else {
+          WorkerContext worker_ctx{
+              &config,
+              &result.stats.shards[static_cast<std::size_t>(comm.rank() - 1)]};
+          run_worker(comm, worker_ctx);
+        }
+      });
+  for (const simmpi::CommLedger& ledger : result.ledgers) {
+    result.stats.max_modeled_comm_seconds =
+        std::max(result.stats.max_modeled_comm_seconds,
+                 ledger.modeled_seconds);
+  }
+  return result;
+}
+
+}  // namespace octgb::cluster

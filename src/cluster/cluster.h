@@ -1,0 +1,97 @@
+// cluster.h -- multi-rank sharded serving over simmpi.
+//
+// run_cluster() executes R+1 simmpi rank-threads in one process: rank
+// 0 is the *router* (admission, placement, replication and migration
+// policy -- see src/cluster/router.h), ranks 1..R are *worker shards*,
+// each hosting a full serve::PolarizationService with its own
+// StructureCache. All inter-rank data flow is explicit messages
+// through the simmpi mailboxes, so the run also produces the per-rank
+// alpha-beta communication ledgers the perfmodel layer projects to
+// real cluster sizes.
+//
+// Wire protocol (all payloads framed by src/cluster/codec):
+//   router -> worker : kRequest   (request envelope, ticketed)
+//                      kPull      (export a structure's cached entry)
+//                      kReplicate (inject an entry decoded elsewhere)
+//                      kShutdown
+//   worker -> router : kResponse  (response envelope + piggybacked
+//                                  ShardTelemetry)
+//                      kPullReply (entry bytes, or empty when the
+//                                  structure is not resident)
+//
+// Replication and migration are router-mediated pulls: the router
+// pulls the serialized entry from the home shard and pushes it to the
+// targets. Because each mailbox is FIFO, a kReplicate forwarded before
+// any later kRequest to the same shard is always injected before that
+// request is served -- the replica never misses on a read the router
+// spread to it after the push.
+//
+// Energies are bit-identical to a single-process PolarizationService
+// for exact-tier repeat traffic (each shard computes with the same
+// serial-per-request pipeline); refit-path energies depend on each
+// shard's cache history, exactly as a single service's depend on its
+// own -- disable refit when bit-equality across topologies matters
+// (the tests do).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/cluster/router.h"
+#include "src/cluster/shard_telemetry.h"
+#include "src/serve/request.h"
+#include "src/serve/service.h"
+#include "src/simmpi/comm.h"
+
+namespace octgb::cluster {
+
+struct ClusterConfig {
+  /// Router policy; router.num_shards is the worker count R (the
+  /// simmpi world is R+1 ranks).
+  RouterConfig router;
+  /// Per-shard service template. on_complete and clock are ignored
+  /// (cleared per worker): responses flow back through the wire, and
+  /// R dispatcher threads sharing one user callback would race it.
+  serve::ServiceConfig service;
+  simmpi::CommCostModel comm;
+  /// Responses per per-shard p99 measurement window (the windowed
+  /// histogram behind ShardTelemetry::window_p99_s).
+  int telemetry_window = 32;
+};
+
+/// One request's outcome, annotated with where it ran.
+struct ClusterResponse {
+  serve::Response response;
+  int shard = -1;            // -1: shed at admission, never dispatched
+  bool replica_read = false;  // served by a replica, not the home shard
+};
+
+struct ClusterStats {
+  RouterStats router;
+  /// Final per-shard telemetry, written by each worker at shutdown.
+  std::vector<ShardTelemetry> shards;
+  /// Codec payload bytes moved over the wire (excluding headers).
+  std::uint64_t request_bytes = 0;
+  std::uint64_t response_bytes = 0;
+  std::uint64_t replication_bytes = 0;
+  /// Max over ranks of the alpha-beta modeled communication seconds.
+  double max_modeled_comm_seconds = 0.0;
+};
+
+struct ClusterResult {
+  /// responses[i] answers requests[i] (submission order, independent
+  /// of completion order).
+  std::vector<ClusterResponse> responses;
+  ClusterStats stats;
+  std::vector<simmpi::CommLedger> ledgers;  // rank 0 = router
+};
+
+/// Serves `requests` through a router + R worker shards. Requests are
+/// admitted up-front in order (open-loop burst), so shed decisions
+/// depend only on router policy and completion order, and every
+/// admission the windows cannot absorb is visible to the shed path.
+/// Throws std::invalid_argument for router.num_shards < 1.
+ClusterResult run_cluster(const ClusterConfig& config,
+                          std::span<const serve::Request> requests);
+
+}  // namespace octgb::cluster

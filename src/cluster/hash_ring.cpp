@@ -1,0 +1,107 @@
+#include "src/cluster/hash_ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace octgb::cluster {
+namespace {
+
+/// splitmix64 finalizer: the vnode points and key remix both need a
+/// full-avalanche 64-bit mix so structure keys (themselves FNV hashes)
+/// and small shard ids spread uniformly over the ring.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(int num_shards, int vnodes_per_shard, std::uint64_t seed)
+    : vnodes_per_shard_(vnodes_per_shard), seed_(seed) {
+  if (num_shards < 1) {
+    throw std::invalid_argument("HashRing: need at least one shard");
+  }
+  if (vnodes_per_shard < 1) {
+    throw std::invalid_argument("HashRing: need at least one vnode/shard");
+  }
+  ring_.reserve(static_cast<std::size_t>(num_shards) *
+                static_cast<std::size_t>(vnodes_per_shard));
+  for (int s = 0; s < num_shards; ++s) insert_vnodes(s);
+  num_shards_ = num_shards;
+}
+
+int HashRing::owner(std::uint64_t key) const {
+  const std::uint64_t point = mix64(key ^ seed_);
+  // Successor on the ring, wrapping past the largest point to the
+  // smallest.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const Vnode& v, std::uint64_t p) { return v.point < p; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+std::vector<int> HashRing::owners(std::uint64_t key, int k) const {
+  k = std::min(k, num_shards_);
+  std::vector<int> out;
+  if (k <= 0) return out;
+  const std::uint64_t point = mix64(key ^ seed_);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const Vnode& v, std::uint64_t p) { return v.point < p; });
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    const int shard = it->shard;
+    if (std::find(out.begin(), out.end(), shard) == out.end()) {
+      out.push_back(shard);
+      if (static_cast<int>(out.size()) == k) break;
+    }
+    ++it;
+  }
+  return out;
+}
+
+void HashRing::add_shard(int shard) {
+  if (has_shard(shard)) return;
+  insert_vnodes(shard);
+  ++num_shards_;
+}
+
+void HashRing::remove_shard(int shard) {
+  if (!has_shard(shard)) return;
+  if (num_shards_ == 1) {
+    throw std::invalid_argument("HashRing: cannot remove the last shard");
+  }
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [shard](const Vnode& v) {
+                               return v.shard == shard;
+                             }),
+              ring_.end());
+  --num_shards_;
+}
+
+bool HashRing::has_shard(int shard) const {
+  return std::any_of(ring_.begin(), ring_.end(), [shard](const Vnode& v) {
+    return v.shard == shard;
+  });
+}
+
+void HashRing::insert_vnodes(int shard) {
+  for (int v = 0; v < vnodes_per_shard_; ++v) {
+    Vnode vn;
+    // Independent point per (seed, shard, replica): mix a value no two
+    // (shard, v) pairs share.
+    vn.point = mix64(seed_ ^
+                     (static_cast<std::uint64_t>(shard) * 0x100000001b3ull +
+                      static_cast<std::uint64_t>(v)));
+    vn.shard = shard;
+    const auto pos = std::lower_bound(
+        ring_.begin(), ring_.end(), vn.point,
+        [](const Vnode& a, std::uint64_t p) { return a.point < p; });
+    ring_.insert(pos, vn);
+  }
+}
+
+}  // namespace octgb::cluster

@@ -1,0 +1,240 @@
+#include "src/cluster/router.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace octgb::cluster {
+
+RouterState::RouterState(const RouterConfig& config)
+    : config_(config),
+      ring_(config.num_shards, config.vnodes_per_shard, config.ring_seed),
+      outstanding_(static_cast<std::size_t>(config.num_shards), 0),
+      telemetry_(static_cast<std::size_t>(config.num_shards)),
+      assigned_(static_cast<std::size_t>(config.num_shards), 0) {
+  if (config.num_shards < 1) {
+    throw std::invalid_argument("RouterState: need at least one shard");
+  }
+  if (config.shard_window < 1) {
+    throw std::invalid_argument("RouterState: shard_window must be >= 1");
+  }
+  config_.replicas = std::min(config_.replicas, config_.num_shards - 1);
+}
+
+AdmitResult RouterState::admit(std::uint64_t ticket, std::uint64_t skey) {
+  ++stats_.admitted;
+  note_admission(skey);
+  const auto [shard, replica_read] = route(skey);
+  const auto s = static_cast<std::size_t>(shard);
+  if (outstanding_[s] < config_.shard_window) {
+    ++outstanding_[s];
+    ++assigned_[s];
+    ++stats_.dispatched;
+    if (replica_read) ++stats_.replica_reads;
+    return {AdmitResult::Action::kDispatch, shard, replica_read};
+  }
+  if (backlog_.size() < config_.queue_capacity) {
+    backlog_.push_back({ticket, skey});
+    ++stats_.queued;
+    stats_.max_backlog = std::max(stats_.max_backlog, backlog_.size());
+    return {AdmitResult::Action::kQueued, -1, false};
+  }
+  ++stats_.shed;
+  return {AdmitResult::Action::kShed, -1, false};
+}
+
+std::vector<Dispatch> RouterState::complete(int shard, std::uint64_t skey,
+                                            const ShardTelemetry& telemetry) {
+  const auto s = static_cast<std::size_t>(shard);
+  if (s >= outstanding_.size() || outstanding_[s] == 0) {
+    throw std::logic_error(
+        "RouterState::complete: no outstanding request on that shard");
+  }
+  --outstanding_[s];
+  telemetry_[s] = telemetry;
+  ++stats_.completed;
+  maybe_emit_replication(skey);
+  if (config_.enable_migration &&
+      ++completions_since_check_ >= config_.migrate_check_period) {
+    completions_since_check_ = 0;
+    maybe_migrate();
+  }
+
+  // Drain: FIFO scan, skipping (not blocking behind) requests whose
+  // shard is still full -- head-of-line blocking across shards would
+  // idle a free shard behind a hot one.
+  std::vector<Dispatch> released;
+  std::deque<Parked> keep;
+  for (Parked& p : backlog_) {
+    const auto [target, replica_read] = route(p.skey);
+    const auto t = static_cast<std::size_t>(target);
+    if (outstanding_[t] < config_.shard_window) {
+      ++outstanding_[t];
+      ++assigned_[t];
+      ++stats_.dispatched;
+      if (replica_read) ++stats_.replica_reads;
+      released.push_back({p.ticket, target, replica_read});
+    } else {
+      keep.push_back(p);
+    }
+  }
+  backlog_ = std::move(keep);
+  return released;
+}
+
+std::vector<ReplicationOrder> RouterState::take_replication_orders() {
+  return std::exchange(pending_replications_, {});
+}
+
+std::vector<MigrationOrder> RouterState::take_migration_orders() {
+  return std::exchange(pending_migrations_, {});
+}
+
+void RouterState::note_replicated(std::uint64_t skey) {
+  auto it = skeys_.find(skey);
+  if (it == skeys_.end()) return;
+  it->second.replication_pending = false;
+  it->second.replicated = true;
+}
+
+void RouterState::note_replication_failed(std::uint64_t skey) {
+  auto it = skeys_.find(skey);
+  if (it == skeys_.end()) return;
+  it->second.replication_pending = false;
+  it->second.replicas.clear();
+}
+
+int RouterState::home_shard(std::uint64_t skey) const {
+  auto it = skeys_.find(skey);
+  if (it != skeys_.end() && it->second.home >= 0) return it->second.home;
+  return ring_.owner(skey);
+}
+
+bool RouterState::is_replicated(std::uint64_t skey) const {
+  auto it = skeys_.find(skey);
+  return it != skeys_.end() && it->second.replicated;
+}
+
+std::pair<int, bool> RouterState::route(std::uint64_t skey) {
+  auto it = skeys_.find(skey);
+  const int home =
+      (it != skeys_.end() && it->second.home >= 0) ? it->second.home
+                                                   : ring_.owner(skey);
+  if (it == skeys_.end() || !it->second.replicated ||
+      it->second.replicas.empty()) {
+    return {home, false};
+  }
+  SkeyInfo& info = it->second;
+  const std::size_t fan = 1 + info.replicas.size();
+  const std::size_t pick = info.read_rr++ % fan;
+  if (pick == 0) return {home, false};
+  return {info.replicas[pick - 1], true};
+}
+
+void RouterState::note_admission(std::uint64_t skey) {
+  SkeyInfo& info = skeys_[skey];
+  ++info.total;
+  ++info.recent;
+  recent_.push_back(skey);
+  if (recent_.size() > config_.hot_window) {
+    const std::uint64_t old = recent_.front();
+    recent_.pop_front();
+    auto it = skeys_.find(old);
+    if (it != skeys_.end() && it->second.recent > 0) --it->second.recent;
+  }
+}
+
+void RouterState::maybe_emit_replication(std::uint64_t skey) {
+  if (!config_.enable_replication || config_.replicas < 1 ||
+      config_.num_shards < 2) {
+    return;
+  }
+  auto it = skeys_.find(skey);
+  if (it == skeys_.end()) return;
+  SkeyInfo& info = it->second;
+  if (info.replicated || info.replication_pending ||
+      info.recent < config_.hot_threshold) {
+    return;
+  }
+  const int home = home_shard(skey);
+  // Ring successors make a stable replica set; the home is filtered
+  // out (it can appear mid-list when a migration override moved the
+  // home off its ring position).
+  std::vector<int> targets = ring_.owners(skey, config_.replicas + 1);
+  targets.erase(std::remove(targets.begin(), targets.end(), home),
+                targets.end());
+  if (targets.size() > static_cast<std::size_t>(config_.replicas)) {
+    targets.resize(static_cast<std::size_t>(config_.replicas));
+  }
+  if (targets.empty()) return;
+  info.replication_pending = true;
+  info.replicas = targets;
+  ++stats_.hot_structures;
+  stats_.replications += targets.size();
+  pending_replications_.push_back({skey, home, std::move(targets)});
+}
+
+double RouterState::shard_load(int shard) const {
+  const auto s = static_cast<std::size_t>(shard);
+  // Prefer the piggybacked windowed p99 -- but only once every shard
+  // has reported one, so early checks never compare a live signal
+  // against a zero placeholder.
+  bool all_reported = true;
+  for (const ShardTelemetry& t : telemetry_) {
+    if (t.window_p99_s <= 0.0) {
+      all_reported = false;
+      break;
+    }
+  }
+  if (all_reported) return telemetry_[s].window_p99_s;
+  return static_cast<double>(assigned_[s]);
+}
+
+void RouterState::maybe_migrate() {
+  if (config_.num_shards < 2) return;
+  int hottest = 0;
+  int coldest = 0;
+  for (int s = 1; s < config_.num_shards; ++s) {
+    if (shard_load(s) > shard_load(hottest)) hottest = s;
+    if (shard_load(s) < shard_load(coldest)) coldest = s;
+  }
+  const double hot = shard_load(hottest);
+  const double cold = shard_load(coldest);
+  if (hottest == coldest || hot <= config_.migrate_skew * cold) return;
+
+  // Coldest structures of the hottest shard: fewest recent admissions,
+  // then fewest ever, then key order -- a total order, so the live
+  // cluster and the sim pick the same victims.
+  struct Candidate {
+    std::uint64_t skey = 0;
+    std::uint32_t recent = 0;
+    std::uint64_t total = 0;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [skey, info] : skeys_) {
+    const int home = info.home >= 0 ? info.home : ring_.owner(skey);
+    if (home == hottest && info.total > 0) {
+      candidates.push_back({skey, info.recent, info.total});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.recent != b.recent) return a.recent < b.recent;
+              if (a.total != b.total) return a.total < b.total;
+              return a.skey < b.skey;
+            });
+  const std::size_t n = std::min(config_.migrate_batch, candidates.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    SkeyInfo& info = skeys_[candidates[i].skey];
+    info.home = coldest;
+    // Placement changed: the old replica set spread reads around the
+    // old home; drop it rather than serve stale fan-out.
+    info.replicated = false;
+    info.replication_pending = false;
+    info.replicas.clear();
+    ++stats_.migrations;
+    pending_migrations_.push_back({candidates[i].skey, hottest, coldest});
+  }
+}
+
+}  // namespace octgb::cluster

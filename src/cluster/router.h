@@ -1,0 +1,211 @@
+// router.h -- the router rank's admission/placement state machine.
+//
+// RouterState is deliberately a pure, single-threaded, deterministic
+// object: it never touches a clock, a lock or a socket. The live
+// simmpi cluster (src/cluster/cluster.cpp) drives it from the router
+// rank's event loop; the deterministic load-sim backend
+// (src/load/shard_sim.cpp) drives it from a trace replay. Both see
+// bit-identical placement, shedding, replication and migration
+// decisions for the same admission/completion sequence -- which is the
+// property that lets the capacity sweep ablate router policies offline
+// and trust the result.
+//
+// Policies owned here:
+//  * placement: consistent-hash ring (src/cluster/hash_ring.h) with a
+//    migration override map consulted first;
+//  * admission: per-shard outstanding-request windows; a request whose
+//    shard window is full goes to a bounded global backlog, and is
+//    shed only when both are full (shed-at-admission: the caller can
+//    reject instantly instead of queueing doomed work);
+//  * hot-structure replication: structures whose admission count
+//    within a sliding window of recent admissions crosses a threshold
+//    get their cached state pushed to k ring-successor replicas; once
+//    the push is acknowledged the router spreads reads round-robin
+//    over home + replicas;
+//  * load-skew migration: every migrate_check_period completions the
+//    router compares per-shard load (piggybacked windowed p99 when
+//    available, cumulative assigned counts otherwise) and re-homes the
+//    coldest structures of the hottest shard onto the coldest shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/hash_ring.h"
+#include "src/cluster/shard_telemetry.h"
+
+namespace octgb::cluster {
+
+/// All router policy knobs.
+struct RouterConfig {
+  int num_shards = 2;
+  int vnodes_per_shard = HashRing::kDefaultVnodes;
+  std::uint64_t ring_seed = 0x0cf1a9u;
+
+  /// Max requests outstanding (dispatched, not yet completed) per
+  /// shard.
+  std::size_t shard_window = 8;
+  /// Bounded global backlog for requests whose shard window is full.
+  /// 0 disables queueing: a full window sheds immediately.
+  std::size_t queue_capacity = 256;
+
+  /// Hot-structure replication. A structure is hot when it appears
+  /// `hot_threshold`+ times among the last `hot_window` admissions.
+  bool enable_replication = true;
+  std::uint32_t hot_threshold = 12;
+  std::uint32_t hot_window = 128;
+  /// Replicas pushed per hot structure (reads spread over 1+replicas
+  /// shards). Clamped to num_shards-1.
+  int replicas = 1;
+
+  /// Load-skew migration: checked every `migrate_check_period`
+  /// completions; fires when the hottest shard's load exceeds
+  /// `migrate_skew` times the coldest's, re-homing up to
+  /// `migrate_batch` of the hottest shard's coldest structures.
+  bool enable_migration = true;
+  std::uint32_t migrate_check_period = 128;
+  double migrate_skew = 1.5;
+  std::size_t migrate_batch = 2;
+};
+
+/// Outcome of one admission.
+struct AdmitResult {
+  enum class Action : std::uint8_t {
+    kDispatch,  // send to `shard` now
+    kQueued,    // parked in the router backlog
+    kShed,      // window and backlog both full: reject at admission
+  };
+  Action action = Action::kShed;
+  int shard = -1;           // kDispatch only
+  bool replica_read = false;  // dispatched to a replica, not the home
+};
+
+/// A request the backlog released after a completion freed its shard.
+struct Dispatch {
+  std::uint64_t ticket = 0;
+  int shard = -1;
+  bool replica_read = false;
+};
+
+/// Order to copy a structure's cached state from its home shard onto
+/// replica shards. The transport executes it (pull from source, push
+/// to targets) and then calls note_replicated().
+struct ReplicationOrder {
+  std::uint64_t skey = 0;
+  int source = -1;
+  std::vector<int> targets;
+};
+
+/// Order to re-home a structure: future requests go to `to`; the
+/// transport moves the cached state so the first request there is not
+/// a cold build.
+struct MigrationOrder {
+  std::uint64_t skey = 0;
+  int from = -1;
+  int to = -1;
+};
+
+/// Monotonic router counters.
+struct RouterStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t dispatched = 0;   // immediate + drained from backlog
+  std::uint64_t queued = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t replica_reads = 0;
+  std::uint64_t hot_structures = 0;
+  std::uint64_t replications = 0;  // replica copies ordered
+  std::uint64_t migrations = 0;
+  std::size_t max_backlog = 0;
+};
+
+class RouterState {
+ public:
+  explicit RouterState(const RouterConfig& config);
+
+  /// Admits one request for structure `skey`. `ticket` is the caller's
+  /// handle for the request; it is echoed back by backlog drains.
+  AdmitResult admit(std::uint64_t ticket, std::uint64_t skey);
+
+  /// Records a completion on `shard` (freeing one window slot) with
+  /// the shard's piggybacked telemetry, and drains every backlog
+  /// request whose target shard now has window room (FIFO scan;
+  /// requests for still-full shards are skipped, not blocked behind).
+  /// `skey` is the completed request's structure: replication orders
+  /// trigger here, once the home shard provably holds the structure.
+  std::vector<Dispatch> complete(int shard, std::uint64_t skey,
+                                 const ShardTelemetry& telemetry);
+
+  /// Pending replication orders (each returned exactly once). The
+  /// transport must call note_replicated / note_replication_failed
+  /// when done.
+  std::vector<ReplicationOrder> take_replication_orders();
+  /// Pending migration orders (each returned exactly once). Placement
+  /// is already switched when the order is emitted; the order only
+  /// tells the transport to move cached state.
+  std::vector<MigrationOrder> take_migration_orders();
+
+  /// The structure's replicas are live: start spreading reads.
+  void note_replicated(std::uint64_t skey);
+  /// The copy failed (e.g. the home shard evicted the entry): forget
+  /// the attempt so a still-hot structure can retry.
+  void note_replication_failed(std::uint64_t skey);
+
+  /// Current home shard (override map first, then the ring).
+  int home_shard(std::uint64_t skey) const;
+
+  const RouterStats& stats() const { return stats_; }
+  std::size_t backlog_depth() const { return backlog_.size(); }
+  std::size_t outstanding(int shard) const {
+    return outstanding_[static_cast<std::size_t>(shard)];
+  }
+  /// Latest telemetry piggybacked by `shard` (zeros before the first
+  /// completion).
+  const ShardTelemetry& shard_telemetry(int shard) const {
+    return telemetry_[static_cast<std::size_t>(shard)];
+  }
+  bool is_replicated(std::uint64_t skey) const;
+  const RouterConfig& config() const { return config_; }
+
+ private:
+  struct SkeyInfo {
+    int home = -1;             // -1: ring placement, no override
+    std::uint64_t total = 0;   // admissions ever
+    std::uint32_t recent = 0;  // admissions inside the sliding window
+    std::vector<int> replicas;
+    bool replicated = false;
+    bool replication_pending = false;
+    std::uint32_t read_rr = 0;  // round-robin cursor over home+replicas
+  };
+
+  struct Parked {
+    std::uint64_t ticket = 0;
+    std::uint64_t skey = 0;
+  };
+
+  /// Placement including replica spreading; advances the round-robin
+  /// cursor when the structure is replicated.
+  std::pair<int, bool> route(std::uint64_t skey);
+  void note_admission(std::uint64_t skey);
+  void maybe_emit_replication(std::uint64_t skey);
+  void maybe_migrate();
+  double shard_load(int shard) const;
+
+  RouterConfig config_;
+  HashRing ring_;
+  RouterStats stats_;
+  std::vector<std::size_t> outstanding_;
+  std::vector<ShardTelemetry> telemetry_;
+  std::vector<std::uint64_t> assigned_;  // cumulative dispatches per shard
+  std::deque<Parked> backlog_;
+  std::deque<std::uint64_t> recent_;  // sliding admission window (skeys)
+  std::unordered_map<std::uint64_t, SkeyInfo> skeys_;
+  std::vector<ReplicationOrder> pending_replications_;
+  std::vector<MigrationOrder> pending_migrations_;
+  std::uint64_t completions_since_check_ = 0;
+};
+
+}  // namespace octgb::cluster

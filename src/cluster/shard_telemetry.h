@@ -1,0 +1,43 @@
+// shard_telemetry.h -- per-shard health snapshot piggybacked on
+// responses.
+//
+// Every response a worker rank sends back to the router carries one of
+// these, so the router's load view is always as fresh as its last
+// completion from that shard -- no separate polling round-trips, the
+// same piggyback idiom real serving stacks use for load reports. The
+// struct is trivially copyable on purpose: it rides inside the wire
+// response envelope (src/cluster/codec) and is also written whole into
+// the final per-shard slot of a ClusterResult.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace octgb::cluster {
+
+/// Cumulative counters plus two instantaneous fields (queue_depth,
+/// window_p99_s). window_p99_s is the p99 of end-to-end serve time over
+/// the shard's most recent telemetry window (see ClusterConfig::
+/// telemetry_window); it is the load signal the router's migration
+/// policy compares across shards. Zero means "no window completed yet".
+struct ShardTelemetry {
+  std::uint64_t served = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t refits = 0;
+  std::uint64_t cold_builds = 0;
+  std::uint64_t serializations = 0;
+  std::uint64_t deserializations = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t queue_depth = 0;
+  double window_p99_s = 0.0;
+};
+
+static_assert(std::is_trivially_copyable_v<ShardTelemetry>,
+              "ShardTelemetry rides in wire messages as plain bytes");
+static_assert(sizeof(ShardTelemetry) == 11 * 8,
+              "ShardTelemetry must stay padding-free: it is serialized "
+              "field-for-field and compared by the codec tests");
+
+}  // namespace octgb::cluster

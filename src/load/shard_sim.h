@@ -1,0 +1,77 @@
+// shard_sim.h -- deterministic virtual-time replay of the sharded
+// serving topology.
+//
+// The live cluster (src/cluster/cluster.h) runs R+1 real threads; its
+// timings are weather. This backend reuses the *same* RouterState
+// policy object the live router runs -- placement, hot-structure
+// replication, and load-skew migration are decision-for-decision
+// identical -- but replays the trace in virtual time: the router
+// partitions the trace into per-shard subtraces, and R independent
+// ServiceSim instances (src/load/sim.h) replay them. The only inputs
+// are (trace, config), so the same pair reproduces the identical
+// outcome table bit for bit: the property the 16-config capacity sweep
+// needs to run router-vs-single-service ablations as regression
+// artifacts.
+//
+// Modeling notes (documented approximations):
+//  * the router hop costs a fixed route_overhead_ns added to each
+//    request's arrival at its shard; the response hop is folded into
+//    the same constant;
+//  * per-shard admission windows do not bind here -- each placement
+//    decision completes instantly in router time (shard queueing is
+//    modeled inside each ServiceSim, which is where the capacity
+//    actually saturates), so the router's load signal is the
+//    cumulative assigned count, the same fallback the live router uses
+//    before p99 windows fill;
+//  * a replica's cache starts cold: the first read a replica absorbs
+//    cold-builds, which *is* the transfer cost of the replication push
+//    expressed in compute time (the alpha-beta wire cost of the
+//    serialized entry is charged by perfmodel, not here).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/cluster/router.h"
+#include "src/load/sim.h"
+#include "src/load/traffic.h"
+
+namespace octgb::load {
+
+struct ShardSimConfig {
+  /// Placement/replication/migration policy; router.num_shards is R.
+  cluster::RouterConfig router;
+  /// Per-shard service policy (num_threads is per shard -- divide the
+  /// single-service thread budget by R for equal-total-threads
+  /// ablations).
+  PolicyConfig policy;
+  CostModel cost;
+  /// Router hop added to each request's arrival at its shard.
+  Ns route_overhead_ns = 5 * kNsPerUs;
+};
+
+struct ShardSimResult {
+  /// One outcome per trace event, in trace order (merged back from the
+  /// per-shard replays).
+  std::vector<SimOutcome> outcomes;
+  /// Shard each event was routed to.
+  std::vector<int> shard_of;
+  std::vector<SimTotals> shard_totals;
+  cluster::RouterStats router;
+
+  // Aggregates over the merged outcomes.
+  std::uint64_t completed = 0;
+  std::uint64_t good = 0;  // completed within deadline (or none)
+  Ns makespan_ns = 0;      // last completion - first arrival
+  double throughput_rps = 0.0;  // completed / makespan
+  double goodput_rps = 0.0;     // good / makespan
+};
+
+/// Replays `trace` through the router policy and R per-shard service
+/// sims. Deterministic: equal (config, trace) pairs produce
+/// byte-identical outcome tables.
+ShardSimResult run_shard_sim(const ShardSimConfig& config,
+                             std::span<const RequestEvent> trace);
+
+}  // namespace octgb::load

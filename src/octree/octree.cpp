@@ -516,6 +516,60 @@ RefitResult Octree::refit_impl(std::span<const geom::Vec3> points,
   return res;
 }
 
+OctreeFlatData Octree::to_flat() const {
+  OctreeFlatData flat;
+  flat.nodes = nodes_;
+  flat.point_index = point_index_;
+  flat.leaves = leaves_;
+  flat.level_offset = level_offset_;
+  flat.keys = keys_;
+  flat.node_key_lo = node_key_lo_;
+  flat.chunk_sums = chunk_sums_;
+  flat.inv_index = inv_index_;
+  flat.pos_leaf = pos_leaf_;
+  flat.cube = cube_;
+  flat.params = params_;
+  flat.height = height_;
+  flat.strict = strict_;
+  return flat;
+}
+
+Octree Octree::from_flat(OctreeFlatData data) {
+  const std::size_t n = data.point_index.size();
+  if (data.keys.size() != n || data.inv_index.size() != n ||
+      data.pos_leaf.size() != n) {
+    throw std::invalid_argument(
+        "Octree::from_flat: per-point array sizes disagree");
+  }
+  if (data.node_key_lo.size() != data.nodes.size()) {
+    throw std::invalid_argument(
+        "Octree::from_flat: node_key_lo size != node count");
+  }
+  if (!data.nodes.empty()) {
+    if (data.level_offset.size() !=
+            static_cast<std::size_t>(data.height) + 2 ||
+        data.level_offset.back() != data.nodes.size()) {
+      throw std::invalid_argument(
+          "Octree::from_flat: level index inconsistent with node count");
+    }
+  }
+  Octree tree;
+  tree.nodes_ = std::move(data.nodes);
+  tree.point_index_ = std::move(data.point_index);
+  tree.leaves_ = std::move(data.leaves);
+  tree.level_offset_ = std::move(data.level_offset);
+  tree.keys_ = std::move(data.keys);
+  tree.node_key_lo_ = std::move(data.node_key_lo);
+  tree.chunk_sums_ = std::move(data.chunk_sums);
+  tree.inv_index_ = std::move(data.inv_index);
+  tree.pos_leaf_ = std::move(data.pos_leaf);
+  tree.cube_ = data.cube;
+  tree.params_ = data.params;
+  tree.height_ = data.height;
+  tree.strict_ = data.strict;
+  return tree;
+}
+
 std::size_t Octree::memory_bytes() const {
   return nodes_.capacity() * sizeof(Node) +
          point_index_.capacity() * sizeof(std::uint32_t) +

@@ -146,12 +146,46 @@ struct RefitResult {
   bool rebuilt = false;
 };
 
+/// Owning snapshot of every array a tree is derived from -- the PR 8
+/// linearization made these flat, which is exactly what lets a cached
+/// structure ship between ranks as plain bytes (see src/cluster/codec).
+/// The refit scratch (position snapshot, dirty flags) is deliberately
+/// absent: it is empty until the first refit, and a reconstructed tree
+/// simply starts in the same never-refit state a fresh build does.
+struct OctreeFlatData {
+  std::vector<Node> nodes;
+  std::vector<std::uint32_t> point_index;
+  std::vector<std::uint32_t> leaves;
+  std::vector<std::uint32_t> level_offset;
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> node_key_lo;
+  std::vector<geom::Vec3> chunk_sums;
+  std::vector<std::uint32_t> inv_index;
+  std::vector<std::uint32_t> pos_leaf;
+  geom::Aabb cube;
+  OctreeParams params;
+  int height = 0;
+  bool strict = false;
+};
+
 /// Immutable octree over a set of points. The constructor Morton-sorts a
 /// permutation of the input; original point order is preserved and
 /// addressed through `point_index`.
 class Octree {
  public:
   Octree() = default;
+
+  /// Copies the tree's full derived state into an owning snapshot.
+  /// to_flat() then from_flat() reproduces a tree whose every traversal
+  /// and aggregate is bit-identical to the original's.
+  OctreeFlatData to_flat() const;
+
+  /// Reconstructs a tree from a snapshot (arrays are moved in, not
+  /// copied). Performs only O(1) cross-array size checks and throws
+  /// std::invalid_argument on mismatch; callers deserializing untrusted
+  /// bytes must run analysis::validate_octree on the result (the codec
+  /// layer does).
+  static Octree from_flat(OctreeFlatData data);
 
   /// Builds over `points`. The points span must stay alive for the
   /// octree's lifetime only if you use `point(i)`; all aggregates are

@@ -1,0 +1,102 @@
+#include "src/perfmodel/sharded_serve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace octgb::perfmodel {
+
+namespace {
+
+/// Hottest-of-R-shards load multiplier for consistent hashing with V
+/// vnodes per shard. Per-shard load is approximately normal with
+/// relative sigma 1/sqrt(V); the max of R such draws sits near
+/// mean + sigma * sqrt(2 ln R) (Gumbel).
+double hash_imbalance(int shards, int vnodes) {
+  if (shards <= 1) return 1.0;
+  const double v = std::max(1, vnodes);
+  return 1.0 + std::sqrt(2.0 * std::log(static_cast<double>(shards)) / v);
+}
+
+/// Per-request router service time: decision cost + alpha-beta
+/// envelopes + amortized replication transfers.
+double router_request_seconds(const ClusterSpec& spec,
+                              const ShardedServeSpec& serve) {
+  const double envelope =
+      2.0 * spec.t_s_inter +
+      spec.t_w_inter *
+          static_cast<double>(serve.request_bytes + serve.response_bytes);
+  // A replication order pulls the entry from the home shard and pushes
+  // it to each replica: (1 + replicas) transfers through the router.
+  const double transfer =
+      spec.t_s_inter +
+      spec.t_w_inter * static_cast<double>(serve.entry_bytes);
+  const double replication = serve.replications_per_request *
+                             static_cast<double>(1 + serve.replicas) *
+                             transfer;
+  return serve.router_overhead_seconds + envelope + replication;
+}
+
+/// Sakasegawa's M/M/c waiting-time approximation (seconds in queue).
+double mmc_wait_seconds(double lambda, double per_thread_rate, int threads) {
+  const double c = static_cast<double>(std::max(1, threads));
+  const double rho = lambda / (c * per_thread_rate);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  if (rho <= 0.0) return 0.0;
+  const double exponent = std::sqrt(2.0 * (c + 1.0));
+  return std::pow(rho, exponent) / (c * (1.0 - rho)) / per_thread_rate;
+}
+
+}  // namespace
+
+std::vector<ShardedProjection> project_sharded_serve(
+    const ClusterSpec& spec, const ShardedServeSpec& serve,
+    std::span<const int> shard_counts, double offered_rps) {
+  if (serve.service_seconds <= 0.0) {
+    throw std::invalid_argument("project_sharded_serve: service_seconds <= 0");
+  }
+  std::vector<ShardedProjection> projections;
+  projections.reserve(shard_counts.size());
+  const double per_thread_rate = 1.0 / serve.service_seconds;
+  const double router_seconds = router_request_seconds(spec, serve);
+  for (const int shards : shard_counts) {
+    if (shards < 1) {
+      throw std::invalid_argument("project_sharded_serve: shards < 1");
+    }
+    ShardedProjection p;
+    p.shards = shards;
+    const int total_threads = shards * serve.threads_per_shard + 1;
+    p.nodes = (total_threads + spec.cores_per_node - 1) / spec.cores_per_node;
+    p.imbalance = hash_imbalance(shards, serve.vnodes_per_shard);
+    p.shard_capacity_rps = static_cast<double>(shards) *
+                           serve.threads_per_shard * per_thread_rate /
+                           p.imbalance;
+    // A single shard needs no router hop at all: the single-service
+    // baseline the ablation compares against.
+    p.router_capacity_rps = shards == 1
+                                ? std::numeric_limits<double>::infinity()
+                                : 1.0 / router_seconds;
+    p.capacity_rps = std::min(p.shard_capacity_rps, p.router_capacity_rps);
+    p.utilization = offered_rps / p.capacity_rps;
+
+    const double hot_lambda =
+        offered_rps * p.imbalance / static_cast<double>(shards);
+    const double wait = mmc_wait_seconds(hot_lambda, per_thread_rate,
+                                         serve.threads_per_shard);
+    const double hop = shards == 1 ? 0.0 : router_seconds;
+    p.latency_seconds = hop + wait + serve.service_seconds;
+    projections.push_back(p);
+  }
+  return projections;
+}
+
+int shards_for_nodes(const ClusterSpec& spec, const ShardedServeSpec& serve,
+                     int nodes) {
+  if (nodes < 1 || serve.threads_per_shard < 1) return 0;
+  const long long cores =
+      static_cast<long long>(nodes) * spec.cores_per_node - 1;  // router rank
+  return static_cast<int>(std::max(0ll, cores / serve.threads_per_shard));
+}
+
+}  // namespace octgb::perfmodel

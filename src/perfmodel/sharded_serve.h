@@ -1,0 +1,84 @@
+// sharded_serve.h -- closed-form projection of the sharded serving
+// topology (src/cluster) onto a real cluster.
+//
+// The container runs router + shards as rank-threads of one process;
+// the interesting question -- where does the topology saturate on 100+
+// Lonestar4-class nodes -- needs a model, exactly like
+// src/perfmodel/cluster.h answers it for the solver. Terms:
+//
+//  * worker capacity: R shards x threads_per_shard workers each, derated
+//    by the consistent-hash imbalance factor (Gumbel-max approximation:
+//    with V vnodes per shard the hottest of R shards carries about
+//    1 + sqrt(2 ln R / V) of the mean load);
+//  * router capacity: a single router rank spends, per request, its
+//    decision overhead plus the alpha-beta cost of the request/response
+//    codec envelopes, plus the amortized alpha-beta cost of replication
+//    pulls/pushes of serialized entries;
+//  * latency: router hop + M/M/c-style queueing on the hottest shard
+//    (Sakasegawa approximation) + the mean service time.
+//
+// All constants are spec inputs, so projections replay bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/perfmodel/cluster.h"
+
+namespace octgb::perfmodel {
+
+/// Measured/assumed per-request characteristics of one shard service.
+struct ShardedServeSpec {
+  /// Mean per-request service time on one shard worker thread
+  /// (seconds) -- the hit/refit/cold mixture of the workload; take it
+  /// from the shard sim's compute_ns / completed.
+  double service_seconds = 2.0e-3;
+  int threads_per_shard = 2;
+  /// Router per-request decision cost (hash, window bookkeeping,
+  /// backlog scan) in seconds.
+  double router_overhead_seconds = 3.0e-6;
+  /// Codec envelope sizes on the wire.
+  std::size_t request_bytes = 4096;
+  std::size_t response_bytes = 512;
+  /// Serialized cache-entry size (replication/migration payload).
+  std::size_t entry_bytes = 8ull << 20;
+  /// Replication orders per admitted request (hot-set churn); each
+  /// order moves entry_bytes from the home shard through the router to
+  /// each replica.
+  double replications_per_request = 1.0e-3;
+  int replicas = 1;
+  int vnodes_per_shard = 64;
+};
+
+/// Projection of one shard count.
+struct ShardedProjection {
+  int shards = 0;
+  int nodes = 0;  // worker threads + the router rank, packed
+  /// Hottest-shard load multiplier from consistent-hash placement
+  /// (>= 1; 1 for a single shard).
+  double imbalance = 1.0;
+  /// Aggregate worker-side capacity after imbalance derating (req/s).
+  double shard_capacity_rps = 0.0;
+  /// Router-side capacity (req/s).
+  double router_capacity_rps = 0.0;
+  /// min(worker, router): the topology's sustainable throughput.
+  double capacity_rps = 0.0;
+  /// Mean response time at the offered load; infinity once the hottest
+  /// shard is driven past saturation.
+  double latency_seconds = 0.0;
+  double utilization = 0.0;  // offered / capacity
+};
+
+/// Projects each entry of `shard_counts` at `offered_rps` total load.
+std::vector<ShardedProjection> project_sharded_serve(
+    const ClusterSpec& spec, const ShardedServeSpec& serve,
+    std::span<const int> shard_counts, double offered_rps);
+
+/// Largest shard count whose worker threads (plus the router) pack
+/// into `nodes` nodes -- the inverse of ShardedProjection::nodes, for
+/// building "project to >= 100 nodes" tables.
+int shards_for_nodes(const ClusterSpec& spec, const ShardedServeSpec& serve,
+                     int nodes);
+
+}  // namespace octgb::perfmodel

@@ -196,6 +196,22 @@ class PolarizationService {
   /// from the OCTGB_VALIDATE checkpoint after every batch, and
   /// directly by tests.
   analysis::Report validate_invariants() const OCTGB_EXCLUDES(mu_);
+  /// Serialization hooks for the sharded serving layer
+  /// (src/cluster): a replication/migration pull exports the
+  /// most-recent cached entry for `skey` (nullptr when none is
+  /// resident; counts CacheStats::serializations), and a push from
+  /// another shard injects a decoded entry into this service's cache
+  /// (counts CacheStats::deserializations). Injected entries serve
+  /// exact hits and refit bases exactly like locally built ones.
+  std::shared_ptr<const CacheEntry> export_structure(std::uint64_t skey) {
+    return cache_.peek_structure(skey);
+  }
+  void inject_entry(std::shared_ptr<const CacheEntry> entry) {
+    if (!entry) return;
+    cache_.insert(std::move(entry));
+    cache_.note_deserialized();
+  }
+
   std::size_t cache_size() const { return cache_.size(); }
   /// Approximate bytes retained by cached structures.
   std::size_t cache_memory_bytes() const { return cache_.memory_bytes(); }

@@ -1,6 +1,7 @@
 #include "src/serve/structure_cache.h"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 
 #include "src/serve/content_hash.h"
@@ -76,6 +77,38 @@ void StructureCache::note_refit_fallback() {
   util::MutexLock lock(mu_);
   ++stats_.refit_fallbacks;
   OCTGB_COUNTER_ADD("cache.refit_fallbacks", 1);
+}
+
+std::shared_ptr<const CacheEntry> StructureCache::peek_structure(
+    std::uint64_t skey) {
+  util::MutexLock lock(mu_);
+  // The by_skey_ bucket is unordered; pick the entry closest to the
+  // LRU front so a replication push ships the snapshot refits are
+  // tracking, not a stale ancestor.
+  std::shared_ptr<const CacheEntry> best;
+  std::size_t best_distance = 0;
+  const auto [begin, end] = by_skey_.equal_range(skey);
+  for (auto it = begin; it != end; ++it) {
+    const auto entry_it = by_key_.find(it->second);
+    if (entry_it == by_key_.end()) continue;
+    const auto distance = static_cast<std::size_t>(
+        std::distance(lru_.begin(), entry_it->second));
+    if (!best || distance < best_distance) {
+      best = *entry_it->second;
+      best_distance = distance;
+    }
+  }
+  if (best) {
+    ++stats_.serializations;
+    OCTGB_COUNTER_ADD("cache.serializations", 1);
+  }
+  return best;
+}
+
+void StructureCache::note_deserialized() {
+  util::MutexLock lock(mu_);
+  ++stats_.deserializations;
+  OCTGB_COUNTER_ADD("cache.deserializations", 1);
 }
 
 void StructureCache::insert(std::shared_ptr<const CacheEntry> entry) {

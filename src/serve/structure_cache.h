@@ -74,6 +74,13 @@ struct CacheStats {
   std::uint64_t misses = 0;  // find_exact lookups that found nothing
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Codec round trips through this cache: entries exported for the
+  /// wire (hot-structure replication / work migration pulls) and
+  /// entries injected from decoded bytes. Paired with the
+  /// "cache.serializations" / "cache.deserializations" registry
+  /// counters so the cross-shard traffic is visible in metrics dumps.
+  std::uint64_t serializations = 0;
+  std::uint64_t deserializations = 0;
 };
 
 /// Thread-safe LRU over CacheEntry, capacity counted in entries.
@@ -107,6 +114,19 @@ class StructureCache {
   /// CacheStats::refit_fallbacks with the drift-threshold fallback --
   /// either way the cached topology could not be kept.
   void note_refit_fallback() OCTGB_EXCLUDES(mu_);
+
+  /// Most-recently-used resident entry with the given structure_key,
+  /// without disturbing LRU order (an export for replication is not a
+  /// client access and must not keep an otherwise-cold entry alive).
+  /// Returns nullptr when no entry with that skey is resident. Counts
+  /// a serialization when an entry is found -- callers only peek on
+  /// the way to the codec.
+  std::shared_ptr<const CacheEntry> peek_structure(std::uint64_t skey)
+      OCTGB_EXCLUDES(mu_);
+
+  /// Counts an entry injected from decoded bytes (the insert itself
+  /// goes through insert()).
+  void note_deserialized() OCTGB_EXCLUDES(mu_);
 
   std::size_t size() const OCTGB_EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }

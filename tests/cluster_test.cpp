@@ -1,0 +1,621 @@
+// Tests for the sharded serving layer: the versioned wire codec
+// (round-trip bit-identity through the gb pipeline, typed rejection of
+// truncated/corrupted frames), consistent-hash ring stability, the
+// router state machine (windows, backlog, shed, replication,
+// migration), the live router + R-shard cluster vs a single service,
+// and the deterministic shard-topology load sim.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/codec.h"
+#include "src/cluster/hash_ring.h"
+#include "src/cluster/router.h"
+#include "src/load/shard_sim.h"
+#include "src/load/traffic.h"
+#include "src/molecule/generators.h"
+#include "src/perfmodel/sharded_serve.h"
+#include "src/serve/content_hash.h"
+#include "src/serve/service.h"
+#include "src/util/rng.h"
+
+namespace octgb {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+serve::Request make_request(std::uint64_t id, molecule::Molecule mol) {
+  serve::Request req;
+  req.id = id;
+  req.mol = std::move(mol);
+  return req;
+}
+
+molecule::Molecule jittered(const molecule::Molecule& mol, double sigma,
+                            std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  molecule::Molecule out(mol.name());
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    molecule::Atom atom = mol.atom(i);
+    atom.position += {sigma * rng.normal(), sigma * rng.normal(),
+                      sigma * rng.normal()};
+    out.add_atom(atom);
+  }
+  return out;
+}
+
+/// Serves one request on a throwaway service and returns the encoded
+/// frame of the cached entry it built.
+cluster::Bytes encoded_entry_frame(const serve::Request& req,
+                                   serve::Response* out_resp = nullptr) {
+  serve::ServiceConfig config;
+  config.num_threads = 2;
+  serve::PolarizationService service(config);
+  const serve::Response resp = service.serve_now(req);
+  EXPECT_EQ(resp.status, serve::Status::kOk);
+  if (out_resp) *out_resp = resp;
+  const auto entry = service.export_structure(
+      serve::structure_key(req.mol, serve::resolved_params(req)));
+  EXPECT_NE(entry, nullptr);
+  return cluster::encode_entry(*entry);
+}
+
+// ---------------------------------------------------------------- codec
+
+TEST(CodecTest, EntryRoundTripIsBitIdentical) {
+  serve::Response ref;
+  const serve::Request req = make_request(1, molecule::generate_ligand(40, 7));
+  const cluster::Bytes frame = encoded_entry_frame(req, &ref);
+
+  const auto decoded = cluster::decode_entry(frame);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_TRUE(same_bits(decoded->energy, ref.energy));
+  EXPECT_EQ(decoded->key, serve::content_key(req.mol, serve::resolved_params(req)));
+  EXPECT_EQ(decoded->skey,
+            serve::structure_key(req.mol, serve::resolved_params(req)));
+  EXPECT_EQ(decoded->positions.size(), req.mol.size());
+  EXPECT_EQ(decoded->born_radii.size(), req.mol.size());
+  ASSERT_NE(decoded->surf, nullptr);
+  EXPECT_EQ(decoded->trees.atoms.num_points(), req.mol.size());
+  EXPECT_EQ(decoded->trees.qpoints.num_points(), decoded->surf->size());
+  EXPECT_EQ(decoded->trees.q_weighted_normal.size(),
+            decoded->trees.qpoints.num_nodes());
+
+  // Re-encoding the decoded entry must reproduce the frame byte for
+  // byte: the codec has one canonical form.
+  EXPECT_EQ(cluster::encode_entry(*decoded), frame);
+}
+
+TEST(CodecTest, DecodedEntryReplaysEnergiesThroughGb) {
+  const molecule::Molecule mol = molecule::generate_ligand(48, 11);
+  const serve::Request req = make_request(1, mol);
+
+  serve::ServiceConfig config;
+  config.num_threads = 2;
+  serve::PolarizationService local(config);
+  const serve::Response cold = local.serve_now(req);
+  ASSERT_EQ(cold.path, serve::Path::kColdBuild);
+
+  // Ship the entry over the codec into a fresh service.
+  const auto entry = local.export_structure(
+      serve::structure_key(mol, serve::resolved_params(req)));
+  ASSERT_NE(entry, nullptr);
+  serve::PolarizationService remote(config);
+  remote.inject_entry(cluster::decode_entry(cluster::encode_entry(*entry)));
+
+  // Exact repeat: served from the decoded entry, energy bit-identical.
+  const serve::Response hit = remote.serve_now(make_request(2, mol));
+  EXPECT_EQ(hit.path, serve::Path::kCacheHit);
+  EXPECT_TRUE(same_bits(hit.energy, cold.energy));
+
+  // Perturbed conformation: the refit path runs the real gb kernels on
+  // the decoded surface/octrees/plan. Both services refit from
+  // bit-identical base entries, so the energies must match bit for bit.
+  const molecule::Molecule moved = jittered(mol, 0.02, 99);
+  const serve::Response refit_local = local.serve_now(make_request(3, moved));
+  const serve::Response refit_remote = remote.serve_now(make_request(3, moved));
+  ASSERT_EQ(refit_local.path, serve::Path::kRefit);
+  ASSERT_EQ(refit_remote.path, serve::Path::kRefit);
+  EXPECT_TRUE(same_bits(refit_remote.energy, refit_local.energy));
+}
+
+TEST(CodecTest, RequestAndResponseEnvelopesRoundTrip) {
+  const serve::Request req = make_request(42, molecule::generate_ligand(24, 3));
+  const cluster::Bytes frame = cluster::encode_request(req, 1234);
+  const cluster::WireRequest wire = cluster::decode_request(frame);
+  EXPECT_EQ(wire.ticket, 1234u);
+  EXPECT_EQ(wire.request.id, req.id);
+  EXPECT_EQ(wire.request.mol.size(), req.mol.size());
+  EXPECT_EQ(serve::content_key(wire.request.mol,
+                               serve::resolved_params(wire.request)),
+            serve::content_key(req.mol, serve::resolved_params(req)));
+
+  cluster::WireResponse resp;
+  resp.ticket = 1234;
+  resp.shard = 3;
+  resp.response.id = req.id;
+  resp.response.status = serve::Status::kOk;
+  resp.response.energy = -123.456789;
+  resp.telemetry.served = 17;
+  resp.telemetry.window_p99_s = 0.0125;
+  const cluster::WireResponse back =
+      cluster::decode_response(cluster::encode_response(resp));
+  EXPECT_EQ(back.ticket, resp.ticket);
+  EXPECT_EQ(back.shard, resp.shard);
+  EXPECT_TRUE(same_bits(back.response.energy, resp.response.energy));
+  EXPECT_EQ(back.telemetry.served, 17u);
+  EXPECT_TRUE(same_bits(back.telemetry.window_p99_s, 0.0125));
+}
+
+TEST(CodecTest, TruncatedFramesRejectedTyped) {
+  const cluster::Bytes frame =
+      encoded_entry_frame(make_request(1, molecule::generate_ligand(24, 5)));
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{8}, std::size_t{23},
+        frame.size() / 2, frame.size() - 1}) {
+    try {
+      cluster::decode_entry(std::span<const std::byte>(frame.data(), len));
+      FAIL() << "truncated frame of " << len << " bytes was accepted";
+    } catch (const cluster::CodecError& e) {
+      EXPECT_EQ(e.kind(), cluster::CodecError::Kind::kTruncated)
+          << "wrong kind at length " << len << ": " << e.what();
+    }
+  }
+}
+
+TEST(CodecTest, CorruptedFramesRejectedTyped) {
+  const cluster::Bytes frame =
+      encoded_entry_frame(make_request(1, molecule::generate_ligand(24, 5)));
+
+  const auto expect_kind = [](cluster::Bytes bytes,
+                              cluster::CodecError::Kind want,
+                              const char* label) {
+    try {
+      cluster::decode_entry(bytes);
+      FAIL() << label << ": corrupted frame was accepted";
+    } catch (const cluster::CodecError& e) {
+      EXPECT_EQ(e.kind(), want) << label << ": " << e.what();
+    }
+  };
+
+  cluster::Bytes bad_magic = frame;
+  bad_magic[0] ^= std::byte{0xff};
+  expect_kind(bad_magic, cluster::CodecError::Kind::kBadMagic, "magic");
+
+  cluster::Bytes bad_version = frame;
+  bad_version[4] ^= std::byte{0x7f};
+  expect_kind(bad_version, cluster::CodecError::Kind::kBadVersion, "version");
+
+  cluster::Bytes bad_payload = frame;
+  bad_payload[cluster::kFrameOverheadBytes + 10] ^= std::byte{0x01};
+  expect_kind(bad_payload, cluster::CodecError::Kind::kBadChecksum,
+              "checksum");
+
+  // With the checksum repaired, a flipped kind byte reaches the
+  // structural validator instead of the checksum gate.
+  cluster::Bytes bad_kind = frame;
+  bad_kind[6] = std::byte{0x77};
+  cluster::patch_checksum(bad_kind);
+  expect_kind(bad_kind, cluster::CodecError::Kind::kCorruptField, "kind");
+
+  // A frame of one kind handed to another decoder is kCorruptField.
+  try {
+    cluster::decode_request(frame);
+    FAIL() << "entry frame accepted as a request";
+  } catch (const cluster::CodecError& e) {
+    EXPECT_EQ(e.kind(), cluster::CodecError::Kind::kCorruptField);
+  }
+
+  cluster::Bytes trailing = frame;
+  trailing.insert(trailing.end(), 8, std::byte{0xab});
+  cluster::patch_checksum(trailing);
+  expect_kind(trailing, cluster::CodecError::Kind::kTrailingBytes, "trailing");
+}
+
+TEST(CodecTest, RepairedMutationsNeverEscapeTypedErrors) {
+  // The fuzz_codec harness in miniature: flip payload bytes, repair the
+  // checksum so the mutation reaches the structural validators, and
+  // require every outcome to be success-or-CodecError.
+  const cluster::Bytes frame =
+      encoded_entry_frame(make_request(1, molecule::generate_ligand(16, 5)));
+  for (std::size_t off = 16; off + 8 < frame.size() && off < 2000; off += 13) {
+    cluster::Bytes mutated = frame;
+    mutated[off] ^= std::byte{0x5a};
+    cluster::patch_checksum(mutated);
+    try {
+      cluster::decode_entry(mutated);
+    } catch (const cluster::CodecError&) {
+      // typed rejection is the contract
+    }
+  }
+}
+
+// ------------------------------------------------------------ hash ring
+
+TEST(HashRingTest, AddingShardRelocatesBoundedFraction) {
+  const int shards = 4;
+  cluster::HashRing before(shards);
+  cluster::HashRing after(shards);
+  after.add_shard(shards);
+
+  util::Xoshiro256 rng(123);
+  const int n = 20000;
+  int moved = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t key = rng();
+    const int a = before.owner(key);
+    const int b = after.owner(key);
+    if (a != b) {
+      ++moved;
+      // Keys only ever move *to* the new shard, never between old ones.
+      EXPECT_EQ(b, shards);
+    }
+  }
+  // Ideal is 1/(R+1) = 20%; accept up to 1.5x of it (vnode variance).
+  const double frac = static_cast<double>(moved) / n;
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LE(frac, 1.5 / (shards + 1));
+}
+
+TEST(HashRingTest, RemoveUndoesAddAndOwnersAreDistinct) {
+  cluster::HashRing ring(3);
+  util::Xoshiro256 rng(7);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back(rng());
+  std::vector<int> owners_before;
+  for (const auto key : keys) owners_before.push_back(ring.owner(key));
+
+  ring.add_shard(3);
+  ring.remove_shard(3);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(ring.owner(keys[i]), owners_before[i]);
+  }
+
+  for (const auto key : keys) {
+    const std::vector<int> two = ring.owners(key, 2);
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_NE(two[0], two[1]);
+    EXPECT_EQ(two[0], ring.owner(key));
+  }
+}
+
+// --------------------------------------------------------------- router
+
+TEST(RouterTest, WindowBacklogAndShed) {
+  cluster::RouterConfig config;
+  config.num_shards = 1;
+  config.shard_window = 2;
+  config.queue_capacity = 2;
+  config.enable_replication = false;
+  config.enable_migration = false;
+  cluster::RouterState state(config);
+
+  const std::uint64_t skey = 42;
+  EXPECT_EQ(state.admit(0, skey).action,
+            cluster::AdmitResult::Action::kDispatch);
+  EXPECT_EQ(state.admit(1, skey).action,
+            cluster::AdmitResult::Action::kDispatch);
+  EXPECT_EQ(state.admit(2, skey).action, cluster::AdmitResult::Action::kQueued);
+  EXPECT_EQ(state.admit(3, skey).action, cluster::AdmitResult::Action::kQueued);
+  EXPECT_EQ(state.admit(4, skey).action, cluster::AdmitResult::Action::kShed);
+  EXPECT_EQ(state.outstanding(0), 2u);
+  EXPECT_EQ(state.backlog_depth(), 2u);
+
+  const auto drained = state.complete(0, skey, {});
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].ticket, 2u);
+  EXPECT_EQ(state.backlog_depth(), 1u);
+  EXPECT_EQ(state.stats().shed, 1u);
+  EXPECT_EQ(state.stats().queued, 2u);
+  EXPECT_EQ(state.stats().dispatched, 3u);
+}
+
+TEST(RouterTest, HotStructureReplicatesAndSpreadsReads) {
+  cluster::RouterConfig config;
+  config.num_shards = 3;
+  config.shard_window = 64;
+  config.hot_threshold = 3;
+  config.replicas = 1;
+  config.enable_migration = false;
+  cluster::RouterState state(config);
+
+  const std::uint64_t skey = 7;
+  const int home = state.home_shard(skey);
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    const auto admit = state.admit(t, skey);
+    ASSERT_EQ(admit.action, cluster::AdmitResult::Action::kDispatch);
+    EXPECT_EQ(admit.shard, home);
+    state.complete(admit.shard, skey, {});
+  }
+  const auto orders = state.take_replication_orders();
+  ASSERT_EQ(orders.size(), 1u);
+  EXPECT_EQ(orders[0].skey, skey);
+  EXPECT_EQ(orders[0].source, home);
+  ASSERT_EQ(orders[0].targets.size(), 1u);
+  EXPECT_NE(orders[0].targets[0], home);
+  EXPECT_FALSE(state.is_replicated(skey));
+  state.note_replicated(skey);
+  EXPECT_TRUE(state.is_replicated(skey));
+
+  // Reads now alternate between home and the replica.
+  bool saw_home = false;
+  bool saw_replica = false;
+  for (std::uint64_t t = 10; t < 16; ++t) {
+    const auto admit = state.admit(t, skey);
+    ASSERT_EQ(admit.action, cluster::AdmitResult::Action::kDispatch);
+    if (admit.shard == home) {
+      saw_home = true;
+      EXPECT_FALSE(admit.replica_read);
+    } else {
+      saw_replica = true;
+      EXPECT_EQ(admit.shard, orders[0].targets[0]);
+      EXPECT_TRUE(admit.replica_read);
+    }
+    state.complete(admit.shard, skey, {});
+  }
+  EXPECT_TRUE(saw_home);
+  EXPECT_TRUE(saw_replica);
+  EXPECT_GT(state.stats().replica_reads, 0u);
+}
+
+TEST(RouterTest, MigrationRehomesAndIsDeterministic) {
+  const auto drive = [](cluster::RouterState& state) {
+    std::vector<cluster::MigrationOrder> orders;
+    // Per-shard p99 telemetry with a pinned skew: shard 0 reports 10x
+    // shard 1, so the migration check re-homes shard 0 structures.
+    for (std::uint64_t t = 0; t < 64; ++t) {
+      const std::uint64_t skey = 100 + (t % 8);
+      const auto admit = state.admit(t, skey);
+      if (admit.action != cluster::AdmitResult::Action::kDispatch) continue;
+      cluster::ShardTelemetry tel;
+      tel.window_p99_s = admit.shard == 0 ? 0.5 : 0.05;
+      state.complete(admit.shard, skey, tel);
+      for (const auto& order : state.take_migration_orders()) {
+        orders.push_back(order);
+      }
+    }
+    return orders;
+  };
+
+  cluster::RouterConfig config;
+  config.num_shards = 2;
+  config.shard_window = 64;
+  config.enable_replication = false;
+  config.migrate_check_period = 16;
+  config.migrate_skew = 2.0;
+  config.migrate_batch = 1;
+
+  cluster::RouterState a(config);
+  cluster::RouterState b(config);
+  const auto orders_a = drive(a);
+  const auto orders_b = drive(b);
+
+  ASSERT_GT(orders_a.size(), 0u) << "skewed telemetry never migrated";
+  ASSERT_EQ(orders_a.size(), orders_b.size());
+  for (std::size_t i = 0; i < orders_a.size(); ++i) {
+    EXPECT_EQ(orders_a[i].skey, orders_b[i].skey);
+    EXPECT_EQ(orders_a[i].from, orders_b[i].from);
+    EXPECT_EQ(orders_a[i].to, orders_b[i].to);
+    EXPECT_EQ(orders_a[i].from, 0);  // the slow shard sheds structures
+    // Future admissions honor the override.
+    EXPECT_EQ(a.home_shard(orders_a[i].skey), orders_a[i].to);
+  }
+  EXPECT_EQ(a.stats().migrations, orders_a.size());
+  EXPECT_EQ(a.stats().admitted, b.stats().admitted);
+  EXPECT_EQ(a.stats().completed, b.stats().completed);
+}
+
+// --------------------------------------------------------- live cluster
+
+TEST(ClusterTest, MatchesSingleServiceBitForBit) {
+  std::vector<molecule::Molecule> mols;
+  for (int s = 0; s < 3; ++s) {
+    mols.push_back(molecule::generate_ligand(40 + 8 * s, 21 + s));
+  }
+  std::vector<serve::Request> requests;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const auto& mol : mols) {
+      requests.push_back(make_request(requests.size(), mol));
+    }
+  }
+
+  cluster::ClusterConfig config;
+  config.router.num_shards = 2;
+  config.service.num_threads = 2;
+  // Refit-path energies depend on cache history, which legitimately
+  // differs between topologies; exact repeats do not (cluster.h).
+  config.service.enable_refit = false;
+  const cluster::ClusterResult live = cluster::run_cluster(config, requests);
+
+  serve::ServiceConfig single_config;
+  single_config.num_threads = 2;
+  single_config.enable_refit = false;
+  serve::PolarizationService single(single_config);
+
+  ASSERT_EQ(live.responses.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const serve::Response ref = single.serve_now(requests[i]);
+    const cluster::ClusterResponse& got = live.responses[i];
+    ASSERT_EQ(got.response.status, serve::Status::kOk) << "request " << i;
+    EXPECT_EQ(got.response.id, requests[i].id);
+    EXPECT_GE(got.shard, 0);
+    EXPECT_LT(got.shard, 2);
+    EXPECT_TRUE(same_bits(got.response.energy, ref.energy))
+        << "request " << i << " diverged on shard " << got.shard;
+  }
+
+  std::uint64_t served = 0;
+  std::uint64_t hits = 0;
+  for (const auto& shard : live.stats.shards) {
+    served += shard.served;
+    hits += shard.cache_hits;
+  }
+  EXPECT_EQ(served, requests.size());
+  EXPECT_GT(hits, 0u);  // the repeats hit shard caches
+  EXPECT_EQ(live.stats.router.completed, requests.size());
+  EXPECT_GT(live.stats.request_bytes, 0u);
+  EXPECT_GT(live.stats.response_bytes, 0u);
+  ASSERT_EQ(live.ledgers.size(), 3u);
+  EXPECT_GT(live.ledgers[0].p2p_messages, 0u);
+}
+
+TEST(ClusterTest, HotStructureReplicationShipsEntriesOverCodec) {
+  const molecule::Molecule mol = molecule::generate_ligand(40, 31);
+  std::vector<serve::Request> requests;
+  for (int rep = 0; rep < 10; ++rep) {
+    requests.push_back(make_request(requests.size(), mol));
+  }
+
+  cluster::ClusterConfig config;
+  config.router.num_shards = 2;
+  config.router.shard_window = 2;  // force backlog so drains spread reads
+  config.router.hot_threshold = 3;
+  config.router.hot_window = 32;
+  config.service.num_threads = 2;
+  config.service.enable_refit = false;
+  const cluster::ClusterResult live = cluster::run_cluster(config, requests);
+
+  serve::ServiceConfig single_config;
+  single_config.num_threads = 2;
+  single_config.enable_refit = false;
+  serve::PolarizationService single(single_config);
+  const serve::Response ref = single.serve_now(requests[0]);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(live.responses[i].response.status, serve::Status::kOk);
+    EXPECT_TRUE(same_bits(live.responses[i].response.energy, ref.energy))
+        << "request " << i;
+  }
+  EXPECT_GE(live.stats.router.replications, 1u);
+  EXPECT_GT(live.stats.replication_bytes, 0u);
+  std::uint64_t serializations = 0;
+  std::uint64_t deserializations = 0;
+  for (const auto& shard : live.stats.shards) {
+    serializations += shard.serializations;
+    deserializations += shard.deserializations;
+  }
+  EXPECT_GE(serializations, 1u);  // the home shard exported the entry
+  EXPECT_GE(deserializations, 1u);  // the replica injected it
+}
+
+TEST(ClusterTest, ServeHooksCountSerializationRoundTrips) {
+  const serve::Request req = make_request(1, molecule::generate_ligand(24, 3));
+  serve::ServiceConfig config;
+  config.num_threads = 2;
+  serve::PolarizationService source(config);
+  source.serve_now(req);
+  EXPECT_EQ(source.snapshot().cache.serializations, 0u);
+
+  const auto entry = source.export_structure(
+      serve::structure_key(req.mol, serve::resolved_params(req)));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(source.snapshot().cache.serializations, 1u);
+
+  serve::PolarizationService sink(config);
+  sink.inject_entry(entry);
+  const serve::ServiceSnapshot snap = sink.snapshot();
+  EXPECT_EQ(snap.cache.deserializations, 1u);
+  EXPECT_EQ(sink.cache_size(), 1u);
+
+  // A miss is not a serialization: unknown skeys export nothing.
+  EXPECT_EQ(source.export_structure(0xdeadbeefu), nullptr);
+  EXPECT_EQ(source.snapshot().cache.serializations, 1u);
+}
+
+// ------------------------------------------------------------ shard sim
+
+TEST(ShardSimTest, ReplayIsDeterministicAndComplete) {
+  load::ArrivalSpec arrival;
+  arrival.rate_rps = 20000.0;
+  load::WorkloadSpec workload;
+  workload.deadline_frac = 0.0;
+  const auto trace = load::generate_trace(arrival, workload, 2000, 77);
+
+  load::ShardSimConfig config;
+  config.router.num_shards = 4;
+  config.policy.num_threads = 2;
+  config.policy.queue_capacity = trace.size();
+  const load::ShardSimResult a = run_shard_sim(config, trace);
+  const load::ShardSimResult b = run_shard_sim(config, trace);
+
+  EXPECT_EQ(a.completed, trace.size());
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].dispatch_ns, b.outcomes[i].dispatch_ns);
+    EXPECT_EQ(a.outcomes[i].complete_ns, b.outcomes[i].complete_ns);
+    EXPECT_EQ(a.outcomes[i].status, b.outcomes[i].status);
+    EXPECT_EQ(a.outcomes[i].path, b.outcomes[i].path);
+  }
+  EXPECT_EQ(a.router.admitted, trace.size());
+  EXPECT_EQ(a.router.completed, trace.size());
+  EXPECT_GT(a.throughput_rps, 0.0);
+
+  // Every dispatched event landed on the shard the router recorded.
+  ASSERT_EQ(a.shard_totals.size(), 4u);
+  std::uint64_t per_shard_total = 0;
+  for (const auto& t : a.shard_totals) per_shard_total += t.submitted;
+  EXPECT_EQ(per_shard_total, trace.size());
+}
+
+TEST(ShardSimTest, RouteOverheadDelaysArrivals) {
+  load::ArrivalSpec arrival;
+  arrival.rate_rps = 100.0;  // unloaded: no queueing
+  load::WorkloadSpec workload;
+  workload.deadline_frac = 0.0;
+  const auto trace = load::generate_trace(arrival, workload, 50, 5);
+
+  load::ShardSimConfig config;
+  config.router.num_shards = 1;
+  config.route_overhead_ns = 1000 * load::kNsPerUs;
+  const load::ShardSimResult routed = run_shard_sim(config, trace);
+  config.route_overhead_ns = 0;
+  const load::ShardSimResult direct = run_shard_sim(config, trace);
+  // The hop shifts every dispatch by at least the overhead.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GE(routed.outcomes[i].dispatch_ns,
+              direct.outcomes[i].dispatch_ns + 1000 * load::kNsPerUs);
+  }
+}
+
+// ------------------------------------------------------------ perfmodel
+
+TEST(ShardedServeModelTest, CapacityScalesUntilRouterBound) {
+  const perfmodel::ClusterSpec spec = perfmodel::ClusterSpec::lonestar4();
+  perfmodel::ShardedServeSpec serve_spec;
+  serve_spec.service_seconds = 2.0e-3;
+  serve_spec.threads_per_shard = 2;
+
+  const int at_100_nodes = perfmodel::shards_for_nodes(spec, serve_spec, 100);
+  EXPECT_GE(at_100_nodes * serve_spec.threads_per_shard + 1,
+            99 * spec.cores_per_node);
+
+  const std::vector<int> counts = {1, 4, 16, 64, at_100_nodes};
+  const auto proj =
+      perfmodel::project_sharded_serve(spec, serve_spec, counts, 1000.0);
+  ASSERT_EQ(proj.size(), counts.size());
+  EXPECT_EQ(proj[0].imbalance, 1.0);
+  for (std::size_t i = 1; i < proj.size(); ++i) {
+    EXPECT_GT(proj[i].imbalance, 1.0);
+    EXPECT_LT(proj[i].imbalance, 2.0);
+    // Worker-side capacity grows with shards...
+    EXPECT_GT(proj[i].shard_capacity_rps, proj[i - 1].shard_capacity_rps);
+    // ...but delivered capacity never exceeds the router bound.
+    EXPECT_LE(proj[i].capacity_rps, proj[i].router_capacity_rps);
+  }
+  EXPECT_GE(proj.back().nodes, 100);
+  // At 100 nodes the single router rank, not the worker pool, is the
+  // bottleneck -- the projection the bench prints.
+  EXPECT_EQ(proj.back().capacity_rps, proj.back().router_capacity_rps);
+
+  EXPECT_THROW(perfmodel::project_sharded_serve(spec, serve_spec, {{0}}, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace octgb
