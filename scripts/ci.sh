@@ -9,44 +9,50 @@
 #      -- the default build (the AVX2 TU gets -mavx2 -mfma on x86_64)
 #      and an OCTGB_SIMD=OFF build where the scalar fallback must pass
 #      the same bit-exactness/tolerance suite (kernels_batch_test).
-#   4. lint: scripts/lint.sh -- clang-tidy (when installed) plus the
-#      custom project rules (naked-new, mutex-unguarded, float-eq,
-#      unseeded-rng, fastmath). See DESIGN.md "Static analysis & race
-#      detection".
-#   5. tsan: ThreadSanitizer build (OCTGB_TSAN=ON) of the concurrent
+#   4. lint: scripts/lint.sh -- detlint, the awk project rules,
+#      compile-commands TU coverage, and clang-tidy (when installed).
+#      See DESIGN.md "Static analysis & race detection".
+#   5. detlint: the determinism gate. `python3 scripts/detlint
+#      --selftest` (every rule must fire on its seeded violation and
+#      honor its suppression), the full-tree contract scan (zero
+#      unsuppressed findings), then the dynamic divergence oracle:
+#      determinism_oracle_test runs every strict-contract pipeline at
+#      1/2/8 workers and the digests must agree bit for bit. See
+#      DESIGN.md section 17.
+#   6. tsan: ThreadSanitizer build (OCTGB_TSAN=ON) of the concurrent
 #      core's tests, run with halt_on_error so any report fails CI.
-#   6. telemetry: OCTGB_TELEMETRY=OFF build must pass the full suite
+#   7. telemetry: OCTGB_TELEMETRY=OFF build must pass the full suite
 #      (the instrumentation macros compile to nothing and must not
 #      change behaviour), and the concurrency stress tests must be
 #      TSan-clean with telemetry ON and the tracer armed (the lock-free
 #      span recorder and the metrics registry run under contention).
-#   7. validate: OCTGB_VALIDATE=ON build -- every contract checkpoint
+#   8. validate: OCTGB_VALIDATE=ON build -- every contract checkpoint
 #      armed -- must pass the full suite with FP-exception traps on
 #      (OCTGB_FPE=1), then a mutation self-test proves the checkpoints
 #      are live: each OCTGB_TEST_CORRUPT hook (born_sign, plan_drop,
 #      bin_charge) flips one value mid-pipeline and the matching
 #      validator must abort with a contract-violation report.
-#   8. loadtest-smoke: the open-loop load harness (src/load) at smoke
+#   9. loadtest-smoke: the open-loop load harness (src/load) at smoke
 #      scale in the validate build -- a 16-config capacity sweep plus
 #      the live sim-vs-service demo. Passes iff it finishes inside the
 #      time budget, no armed contract checkpoint trips, the emitted
 #      BENCH_loadtest.json parses, carries >= 12 policy configs with
 #      nonzero goodput, and the determinism self-check held.
-#   9. fuzz-smoke: both fuzz targets (fuzz/) replay their seed corpora
+#  10. fuzz-smoke: both fuzz targets (fuzz/) replay their seed corpora
 #      and mutate for 60 s each, crash-free (OCTGB_FUZZ=ON build; uses
 #      libFuzzer under clang, the bundled driver under gcc).
-#  10. lockgraph: OCTGB_LOCKGRAPH=ON build, full suite with the
+#  11. lockgraph: OCTGB_LOCKGRAPH=ON build, full suite with the
 #      lock-order witness dumping per-process graphs, then
 #      scripts/lockgraph_check.py must find the merged graph acyclic
 #      (modulo the committed allowlist). A mutation self-test then
 #      plants a deliberate ABBA inversion and the checker must FAIL on
 #      it -- a gate that cannot see a real inversion is a dead gate.
-#  11. sched-smoke: the deterministic schedule explorer re-runs the
+#  12. sched-smoke: the deterministic schedule explorer re-runs the
 #      race-stress scenarios (pool drain, cache evict-vs-refit, service
 #      admission/shed, batch coalescing) across >= 1000 distinct seeded
 #      schedules; run as one process so the schedule counter spans all
 #      sweeps.
-#  12. shard-smoke: the sharded serving layer (src/cluster) three ways
+#  13. shard-smoke: the sharded serving layer (src/cluster) three ways
 #      -- cluster_test under TSan with halt_on_error (router event loop,
 #      worker poll loops and the codec run as real rank-threads), the
 #      same suite in the OCTGB_VALIDATE build with FPE traps armed
@@ -54,7 +60,7 @@
 #      shards), and again in the OCTGB_LOCKGRAPH build with the
 #      lock-order witness dumping graphs that the checker must find
 #      acyclic.
-#  13. treebuild: the linearized-construction equivalence suite
+#  14. treebuild: the linearized-construction equivalence suite
 #      (octree_test: parallel build / refit bit-identity, re-key refit
 #      vs rebuild through gb) under the OCTGB_VALIDATE build with FPE
 #      traps -- every octree checkpoint armed, including the new
@@ -63,7 +69,7 @@
 #      the pool contend for the telemetry rings).
 #
 # Usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only |
-#                       --tsan-only | --telemetry-only |
+#                       --detlint-only | --tsan-only | --telemetry-only |
 #                       --validate-only | --loadtest-smoke |
 #                       --fuzz-smoke | --lockgraph-only |
 #                       --sched-smoke-only | --shard-only |
@@ -115,6 +121,29 @@ run_simd() {
 run_lint() {
   echo "==> lint: scripts/lint.sh"
   scripts/lint.sh
+}
+
+run_detlint() {
+  command -v python3 >/dev/null 2>&1 || {
+    echo "FAIL: detlint stage needs python3"
+    return 1
+  }
+  # Static half. The selftest proves every rule FIRES on its seeded
+  # violation and honors its suppression marker before the real scan is
+  # trusted; the tree scan then enforces the contracts with zero
+  # unsuppressed findings.
+  echo "==> detlint: analyzer selftest (every rule fires + suppresses)"
+  python3 scripts/detlint --selftest
+  echo "==> detlint: contract scan over src/"
+  python3 scripts/detlint src
+
+  # Dynamic half: the divergence oracle. Every strict-contract pipeline
+  # is digested at 1/2/8 workers (and repeated runs); any reordered
+  # element or ulp of drift fails. Reuses the tier-1 Release tree.
+  echo "==> detlint: divergence oracle (1/2/8 workers, bit-identical digests)"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j "$JOBS" --target determinism_oracle_test
+  build/tests/determinism_oracle_test --gtest_brief=1
 }
 
 run_tsan() {
@@ -359,6 +388,10 @@ case "$MODE" in
     run_lint
     echo "==> lint OK"
     ;;
+  --detlint-only)
+    run_detlint
+    echo "==> detlint OK"
+    ;;
   --tsan-only)
     run_tsan
     echo "==> tsan OK"
@@ -400,6 +433,7 @@ case "$MODE" in
     run_asan
     run_simd
     run_lint
+    run_detlint
     run_tsan
     run_telemetry
     run_validate
@@ -412,7 +446,7 @@ case "$MODE" in
     echo "==> CI OK"
     ;;
   *)
-    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --tsan-only | --telemetry-only | --validate-only | --loadtest-smoke | --fuzz-smoke | --lockgraph-only | --sched-smoke-only | --shard-only | --treebuild-only]" >&2
+    echo "usage: scripts/ci.sh [--tier1-only | --simd-only | --lint-only | --detlint-only | --tsan-only | --telemetry-only | --validate-only | --loadtest-smoke | --fuzz-smoke | --lockgraph-only | --sched-smoke-only | --shard-only | --treebuild-only]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,2 @@
+# detlint -- determinism-contract static analyzer (DESIGN.md sec. 17).
+# Run as `python3 scripts/detlint [paths...]`; see __main__.py.

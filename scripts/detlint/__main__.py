@@ -1,0 +1,111 @@
+# __main__.py -- detlint CLI.
+#
+#   python3 scripts/detlint [paths...]      analyze (default: src)
+#   python3 scripts/detlint --json          machine-readable findings
+#   python3 scripts/detlint --selftest      prove every rule fires on a
+#                                           seeded violation and stays
+#                                           quiet on its fixed twin
+#   python3 scripts/detlint --contracts F   alternate manifest
+#   python3 scripts/detlint --list-contracts  print each file's level
+#
+# Exit status: 0 clean, 1 findings (or selftest failure), 2 usage/IO
+# error. Stdlib only -- the container bakes no pip packages.
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+if __package__ in (None, ""):  # `python3 scripts/detlint` adds the dir itself
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from detlint import contracts as contracts_mod  # type: ignore
+    from detlint import rules, selftest  # type: ignore
+else:
+    from . import contracts as contracts_mod
+    from . import rules, selftest
+
+DEFAULT_CONTRACTS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                 "contracts.txt")
+
+
+def repo_root() -> str:
+    return os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def collect_files(paths: list[str], root: str) -> list[str]:
+    out: list[str] = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            out.append(ap)
+        elif os.path.isdir(ap):
+            for dirpath, _dirs, files in os.walk(ap):
+                for f in files:
+                    if f.endswith((".h", ".cpp", ".hpp", ".cc")):
+                        out.append(os.path.join(dirpath, f))
+        else:
+            print(f"detlint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(set(out))
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="detlint",
+        description="determinism-contract static analyzer")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories (default: src)")
+    ap.add_argument("--contracts", default=DEFAULT_CONTRACTS)
+    ap.add_argument("--json", action="store_true")
+    ap.add_argument("--selftest", action="store_true")
+    ap.add_argument("--list-contracts", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.selftest:
+        return selftest.run()
+
+    root = repo_root()
+    try:
+        contracts = contracts_mod.Contracts.parse(args.contracts)
+    except (OSError, contracts_mod.ContractError) as e:
+        print(f"detlint: {e}", file=sys.stderr)
+        return 2
+
+    files = collect_files(args.paths or ["src"], root)
+    if args.list_contracts:
+        for path in files:
+            rel = os.path.relpath(path, root)
+            print(f"{contracts.level_for(rel):>10}  {rel}")
+        return 0
+
+    findings: list[rules.Finding] = []
+    for path in files:
+        rel = os.path.relpath(path, root)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                text = fh.read()
+        except OSError as e:
+            print(f"detlint: {e}", file=sys.stderr)
+            return 2
+        findings.extend(rules.analyze_file(path, rel, text, contracts))
+
+    if args.json:
+        print(json.dumps({
+            "files_scanned": len(files),
+            "contracts": os.path.relpath(args.contracts, root),
+            "findings": [f.as_json() for f in findings],
+        }, indent=2))
+    else:
+        for f in findings:
+            print(f.human())
+        status = "FAILED" if findings else "OK"
+        print(f"detlint: {status} ({len(files)} files,"
+              f" {len(findings)} finding(s))")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

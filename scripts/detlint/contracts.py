@@ -1,0 +1,81 @@
+# contracts.py -- the module-contract manifest (scripts/detlint/contracts.txt).
+#
+# The manifest maps path prefixes to determinism levels (strict /
+# besteffort) and records per-rule sanctions. Longest-prefix match
+# decides a file's level so single files can be carved out of their
+# subsystem. Unlisted files default to besteffort: the strict rule set
+# is an opt-in promise, not a default accusation.
+
+from __future__ import annotations
+
+import os
+
+STRICT = "strict"
+BESTEFFORT = "besteffort"
+_LEVELS = (STRICT, BESTEFFORT)
+
+
+class ContractError(Exception):
+    pass
+
+
+class Contracts:
+    def __init__(self) -> None:
+        self.levels: dict[str, str] = {}  # prefix -> level
+        self.sanctions: list[tuple[str, str]] = []  # (rule, prefix)
+        self.path = "<none>"
+
+    @staticmethod
+    def parse(path: str) -> "Contracts":
+        c = Contracts()
+        c.path = path
+        with open(path, encoding="utf-8") as fh:
+            for lineno, raw in enumerate(fh, 1):
+                line = raw.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                parts = line.split()
+                if parts[0] in _LEVELS:
+                    if len(parts) != 2:
+                        raise ContractError(
+                            f"{path}:{lineno}: want '<level> <prefix>', got {raw!r}")
+                    c.levels[_norm(parts[1])] = parts[0]
+                elif parts[0] == "sanction":
+                    if len(parts) != 3:
+                        raise ContractError(
+                            f"{path}:{lineno}: want 'sanction <rule> <prefix>',"
+                            f" got {raw!r}")
+                    c.sanctions.append((parts[1], _norm(parts[2])))
+                else:
+                    raise ContractError(
+                        f"{path}:{lineno}: unknown directive {parts[0]!r}"
+                        f" (want strict/besteffort/sanction)")
+        return c
+
+    def level_for(self, relpath: str) -> str:
+        """Determinism level of `relpath` (repo-relative, '/'-separated):
+        the longest declared prefix wins; unlisted files are besteffort."""
+        rel = _norm(relpath)
+        best = ""
+        level = BESTEFFORT
+        for prefix, lvl in self.levels.items():
+            if _prefix_match(rel, prefix) and len(prefix) > len(best):
+                best = prefix
+                level = lvl
+        return level
+
+    def sanctioned(self, rule: str, relpath: str) -> bool:
+        rel = _norm(relpath)
+        return any(r == rule and _prefix_match(rel, p)
+                   for r, p in self.sanctions)
+
+
+def _norm(p: str) -> str:
+    return p.replace(os.sep, "/").strip("/")
+
+
+def _prefix_match(rel: str, prefix: str) -> bool:
+    # A prefix naming a file matches exactly; a prefix naming a
+    # directory matches its children. "src/load/clock.h" can never
+    # accidentally match "src/load/clock.hpp".
+    return rel == prefix or rel.startswith(prefix + "/")

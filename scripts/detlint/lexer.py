@@ -1,0 +1,137 @@
+# lexer.py -- comment/string-aware C++ line preparation for detlint.
+#
+# detlint's rules are regex matches over *code*, so prose in comments
+# ("the old code called rand()") and text in string literals must never
+# trip them. strip() walks the file once with a small state machine
+# covering line comments, block comments (multi-line), string and char
+# literals (with escapes) and raw strings R"delim(...)delim", replacing
+# their contents with spaces while preserving line structure -- every
+# diagnostic keeps its true line number and the original source line is
+# still available for display and for suppression markers (which live
+# in comments, so they are read from the RAW lines, not the stripped
+# ones).
+
+from __future__ import annotations
+
+import re
+
+_RAW_OPEN = re.compile(r'R"([^()\\ \t\n]{0,16})\(')
+
+
+def strip(text: str) -> list[str]:
+    """Returns the file's lines with comment/string contents blanked."""
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line | block | str | char
+    buf: list[str] = []
+    line: list[str] = []
+
+    def emit(ch: str) -> None:
+        if ch == "\n":
+            out.append("".join(line))
+            line.clear()
+        else:
+            line.append(ch)
+
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line"
+                emit(" ")
+                emit(" ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block"
+                emit(" ")
+                emit(" ")
+                i += 2
+                continue
+            if ch == "R" and nxt == '"':
+                m = _RAW_OPEN.match(text, i)
+                if m:
+                    close = ")" + m.group(1) + '"'
+                    end = text.find(close, m.end())
+                    if end < 0:
+                        end = n
+                    emit('"')
+                    emit('"')
+                    for j in range(i + 2, min(end + len(close), n)):
+                        emit("\n" if text[j] == "\n" else " ")
+                    i = end + len(close)
+                    continue
+            if ch == '"':
+                state = "str"
+                emit('"')
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                emit("'")
+                i += 1
+                continue
+            emit(ch)
+            i += 1
+            continue
+        if state == "line":
+            if ch == "\n":
+                state = "code"
+                emit("\n")
+            else:
+                emit(" ")
+            i += 1
+            continue
+        if state == "block":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                emit(" ")
+                emit(" ")
+                i += 2
+            else:
+                emit("\n" if ch == "\n" else " ")
+                i += 1
+            continue
+        # str / char: honor escapes, blank the contents.
+        quote = '"' if state == "str" else "'"
+        if ch == "\\" and i + 1 < n:
+            emit(" ")
+            emit(" ")
+            i += 2
+            continue
+        if ch == quote:
+            state = "code"
+            emit(quote)
+        elif ch == "\n":
+            # Unterminated literal (or preprocessor trickery): recover.
+            state = "code"
+            emit("\n")
+        else:
+            emit(" ")
+        i += 1
+    if line:
+        out.append("".join(line))
+    return out
+
+
+def match_angle(text: str, start: int) -> int:
+    """Given text[start] == '<', returns the index one past the matching
+    '>' (treating '>>' as two closers), or -1 when unbalanced. Good
+    enough for template argument lists in declarations; not a parser."""
+    depth = 0
+    i = start
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif ch in ";{}" and depth == 0:
+            return -1
+        i += 1
+    return -1

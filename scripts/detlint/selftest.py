@@ -1,0 +1,401 @@
+# selftest.py -- detlint proves its own rules.
+#
+# Every rule gets at least one seeded violation that MUST fire and one
+# "twin" -- the fixed form, a suppressed form, or the same code under a
+# besteffort contract -- that MUST stay silent. A linter whose rules
+# silently rot is worse than none (the same philosophy as the mutation
+# self-test behind OCTGB_TEST_CORRUPT: prove the detector detects).
+#
+# The four awk-era fixtures (naked-new, float-eq, unseeded-rng,
+# mutex-unguarded) are carried over verbatim from scripts/lint.sh's
+# original selftest as a parity check on the port.
+
+from __future__ import annotations
+
+import dataclasses
+
+from . import contracts as contracts_mod
+from . import rules
+
+_MANIFEST = [
+    ("strict", "src/det"),
+    ("besteffort", "src/loose"),
+    ("besteffort", "src/det/live.cpp"),
+]
+_SANCTIONS = [("wallclock", "src/det/clock.h")]
+
+
+@dataclasses.dataclass
+class Case:
+    name: str
+    path: str              # fixture-relative path (decides contract level)
+    source: str
+    fires: list[str]       # rules that must appear, with multiplicity
+    silent: list[str] = dataclasses.field(default_factory=list)
+    # companion header contents for the sibling-header TU approximation
+    header: str | None = None
+
+
+def _contracts() -> contracts_mod.Contracts:
+    c = contracts_mod.Contracts()
+    c.path = "<selftest>"
+    for level, prefix in _MANIFEST:
+        c.levels[prefix] = level
+    c.sanctions = list(_SANCTIONS)
+    return c
+
+
+CASES: list[Case] = [
+    # ---- unordered-iter --------------------------------------------------
+    Case("unordered-iter fires on range-for in strict module",
+         "src/det/iter_bad.cpp",
+         """#include <unordered_map>
+double drain() {
+  std::unordered_map<int, double> pending;
+  double sum = 0.0;
+  for (const auto& [k, v] : pending) sum += v;
+  return sum;
+}
+""",
+         fires=["unordered-iter"]),
+    Case("unordered-iter fires on begin() iterator walk",
+         "src/det/iter_begin.cpp",
+         """#include <unordered_set>
+int count_all(const std::unordered_set<int>& dummy) {
+  std::unordered_set<int> seen;
+  int n = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) ++n;
+  return n;
+}
+""",
+         fires=["unordered-iter"]),
+    Case("unordered-iter catches a member declared in the sibling header",
+         "src/det/iter_hdr.cpp",
+         """#include "src/det/iter_hdr.h"
+void Registry::dump() const {
+  for (const auto& [k, v] : entries_) use(k, v);
+}
+""",
+         fires=["unordered-iter"],
+         header="""#include <unordered_map>
+class Registry {
+ public:
+  void dump() const;
+ private:
+  std::unordered_map<unsigned long, int> entries_;
+};
+"""),
+    Case("unordered-iter silent on lookups (find/count/operator[])",
+         "src/det/iter_lookup.cpp",
+         """#include <unordered_map>
+int lookup(int k) {
+  std::unordered_map<int, int> cache;
+  cache[k] = 1;
+  auto it = cache.find(k);
+  return it == cache.end() ? 0 : it->second + static_cast<int>(cache.count(k));
+}
+""",
+         fires=[], silent=["unordered-iter"]),
+    Case("unordered-iter silent on std::map iteration",
+         "src/det/iter_map.cpp",
+         """#include <map>
+double drain() {
+  std::map<int, double> pending;
+  double sum = 0.0;
+  for (const auto& [k, v] : pending) sum += v;
+  return sum;
+}
+""",
+         fires=[], silent=["unordered-iter"]),
+    Case("unordered-iter silent in besteffort module",
+         "src/loose/iter_loose.cpp",
+         """#include <unordered_map>
+double drain() {
+  std::unordered_map<int, double> pending;
+  double sum = 0.0;
+  for (const auto& [k, v] : pending) sum += v;
+  return sum;
+}
+""",
+         fires=[], silent=["unordered-iter"]),
+    Case("unordered-iter honors a justified detlint:allow",
+         "src/det/iter_allowed.cpp",
+         """#include <unordered_map>
+double drain() {
+  std::unordered_map<int, double> pending;
+  double sum = 0.0;
+  // detlint:allow(unordered-iter): order-insensitive fold (max), proven
+  for (const auto& [k, v] : pending) sum = sum > v ? sum : v;
+  return sum;
+}
+""",
+         fires=[], silent=["unordered-iter"]),
+
+    # ---- ptr-key-order ---------------------------------------------------
+    Case("ptr-key-order fires on pointer-keyed std::map",
+         "src/det/ptrkey_bad.cpp",
+         """#include <map>
+struct Node { int v; };
+int sum_owners(const std::map<Node*, int>& owners) {
+  int s = 0;
+  for (const auto& [n, c] : owners) s += c;
+  return s;
+}
+""",
+         fires=["ptr-key-order"]),
+    Case("ptr-key-order silent on id-keyed map",
+         "src/det/ptrkey_good.cpp",
+         """#include <map>
+int sum_owners(const std::map<unsigned long, int>& owners) {
+  int s = 0;
+  for (const auto& [id, c] : owners) s += c;
+  return s;
+}
+""",
+         fires=[], silent=["ptr-key-order"]),
+
+    # ---- unstable-sort ---------------------------------------------------
+    Case("unstable-sort fires on std::sort in strict module",
+         "src/det/sort_bad.cpp",
+         """#include <algorithm>
+#include <vector>
+void order(std::vector<int>& v) { std::sort(v.begin(), v.end()); }
+""",
+         fires=["unstable-sort"]),
+    Case("unstable-sort silent on std::stable_sort",
+         "src/det/sort_good.cpp",
+         """#include <algorithm>
+#include <vector>
+void order(std::vector<int>& v) { std::stable_sort(v.begin(), v.end()); }
+""",
+         fires=[], silent=["unstable-sort"]),
+    Case("unstable-sort honors a justified allow (total-order comparator)",
+         "src/det/sort_allowed.cpp",
+         """#include <algorithm>
+#include <vector>
+void order(std::vector<int>& v) {
+  // detlint:allow(unstable-sort): int keys are unique, < is total here
+  std::sort(v.begin(), v.end());
+}
+""",
+         fires=[], silent=["unstable-sort"]),
+
+    # ---- wallclock / sanction -------------------------------------------
+    Case("wallclock fires in a strict module",
+         "src/det/clock_bad.cpp",
+         """#include <chrono>
+long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+""",
+         fires=["wallclock"]),
+    Case("wallclock silent in the sanctioned clock shim",
+         "src/det/clock.h",
+         """#include <chrono>
+inline long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+""",
+         fires=[], silent=["wallclock"]),
+
+    # ---- thread-id / env-read / shared-float-accum ----------------------
+    Case("thread-id fires in a strict module",
+         "src/det/tid_bad.cpp",
+         """#include <thread>
+bool is_owner(std::thread::id owner) {
+  return owner == std::this_thread::get_id();
+}
+""",
+         fires=["thread-id"]),
+    Case("thread-id honors a justified allow",
+         "src/det/tid_allowed.cpp",
+         """#include <thread>
+bool is_owner(std::thread::id owner) {
+  // detlint:allow(thread-id): equality-only reentrancy guard
+  return owner == std::this_thread::get_id();
+}
+""",
+         fires=[], silent=["thread-id"]),
+    Case("env-read fires in a strict module",
+         "src/det/env_bad.cpp",
+         """#include <cstdlib>
+const char* knob() { return std::getenv("OCTGB_KNOB"); }
+""",
+         fires=["env-read"]),
+    Case("env-read silent in besteffort module",
+         "src/loose/env_loose.cpp",
+         """#include <cstdlib>
+const char* knob() { return std::getenv("OCTGB_KNOB"); }
+""",
+         fires=[], silent=["env-read"]),
+    Case("shared-float-accum fires on atomic<double>",
+         "src/det/accum_bad.cpp",
+         """#include <atomic>
+double reduce(const double* x, int n) {
+  std::atomic<double> total{0.0};
+  for (int i = 0; i < n; ++i) total.fetch_add(x[i]);
+  return total.load();
+}
+""",
+         fires=["shared-float-accum"]),
+    Case("shared-float-accum fires on atomic_ref<double>",
+         "src/det/accum_ref.cpp",
+         """#include <atomic>
+void deposit(double& slot, double v) {
+  std::atomic_ref<double>(slot).fetch_add(v);
+}
+""",
+         fires=["shared-float-accum"]),
+    Case("shared-float-accum silent on integer atomics",
+         "src/det/accum_int.cpp",
+         """#include <atomic>
+#include <cstddef>
+void count(std::atomic<std::size_t>& n) { n.fetch_add(1); }
+""",
+         fires=[], silent=["shared-float-accum"]),
+
+    # ---- nondet-taint ----------------------------------------------------
+    Case("nondet-taint propagates through the per-TU call graph",
+         "src/det/taint_bad.cpp",
+         """#include <chrono>
+static long stamp_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+static long jittered(long base) { return base + stamp_ns() % 3; }
+long schedule(long base) { return jittered(base); }
+""",
+         # stamp_ns: direct wallclock; jittered + schedule: tainted.
+         fires=["wallclock", "nondet-taint", "nondet-taint"]),
+    Case("nondet-taint silent when the source is justified-allowed",
+         "src/det/taint_allowed.cpp",
+         """#include <thread>
+static bool on_owner(std::thread::id owner) {
+  // detlint:allow(thread-id): equality-only check, never serialized
+  return owner == std::this_thread::get_id();
+}
+bool guard(std::thread::id owner) { return on_owner(owner); }
+""",
+         fires=[], silent=["thread-id", "nondet-taint"]),
+    Case("nondet-taint silent on a clean call chain",
+         "src/det/taint_clean.cpp",
+         """static long helper(long x) { return x * 3; }
+long triple(long x) { return helper(x); }
+""",
+         fires=[], silent=["nondet-taint"]),
+
+    # ---- suppression hygiene --------------------------------------------
+    Case("bare detlint:allow without justification is itself a finding",
+         "src/det/bare_allow.cpp",
+         """#include <algorithm>
+#include <vector>
+void order(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());  // detlint:allow(unstable-sort)
+}
+""",
+         fires=["bare-allow", "unstable-sort"]),
+
+    # ---- ported awk rules: parity fixtures from scripts/lint.sh ---------
+    Case("parity: naked-new fires (awk selftest fixture)",
+         "src/loose/naked_new.cpp",
+         """int* leak() { return new int(3); }
+void free_it(int* p) { delete p; }
+""",
+         fires=["naked-new", "naked-new"]),
+    Case("parity: float-eq fires (awk selftest fixture)",
+         "src/loose/float_eq.cpp",
+         """bool converged(double residual) { return residual == 0.0; }
+""",
+         fires=["float-eq"]),
+    Case("parity: unseeded-rng fires (awk selftest fixture)",
+         "src/loose/unseeded_rng.cpp",
+         """#include <cstdlib>
+int roll() { return rand() % 6; }
+""",
+         fires=["unseeded-rng"]),
+    Case("parity: mutex-unguarded fires (awk selftest fixture)",
+         "src/loose/mutex_unguarded.h",
+         """#include <mutex>
+class Queue {
+  std::mutex mu_;
+  int depth_ = 0;
+};
+""",
+         fires=["mutex-unguarded"]),
+    Case("parity: clean + legacy lint:allow markers pass (awk fixture)",
+         "src/loose/clean.cpp",
+         """// Mentions of new, delete, rand() and 1.0 == in comments are fine.
+#include <memory>
+const char* kMsg = "new delete rand() == 1.0";  // strings are fine too
+int* sanctioned() { return new int(7); }  // lint:allow(naked-new) test
+bool exact(double d) { return d == 0.0; }  // lint:allow(float-eq) test
+""",
+         fires=[], silent=["naked-new", "float-eq", "unseeded-rng"]),
+    Case("mutex-unguarded silent when annotated or static",
+         "src/loose/mutex_good.h",
+         """#include <mutex>
+#define OCTGB_GUARDED_BY(x)
+class Queue {
+  std::mutex mu_;
+  int depth_ OCTGB_GUARDED_BY(mu_) = 0;
+};
+int ticket() {
+  static std::mutex reg_mu;
+  return 0;
+}
+""",
+         fires=[], silent=["mutex-unguarded"]),
+
+    # ---- lexer immunity --------------------------------------------------
+    Case("raw strings and block comments cannot trip rules",
+         "src/det/lexer_immune.cpp",
+         """/* std::sort(everything) and rand() in prose,
+   spanning lines, plus getenv("X") */
+const char* kDoc = R"(std::sort(v.begin(), v.end()); rand(); new int;)";
+const char kQuote = '"';
+int after(int x) { return x + 1; }  // std::this_thread::get_id() in prose
+""",
+         fires=[],
+         silent=["unstable-sort", "unseeded-rng", "env-read", "naked-new",
+                 "thread-id"]),
+]
+
+
+def run() -> int:
+    import os
+    import tempfile
+
+    contracts = _contracts()
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for case in CASES:
+            if case.header is not None:
+                hpath = os.path.join(tmp, case.path[:-4] + ".h")
+                os.makedirs(os.path.dirname(hpath), exist_ok=True)
+                with open(hpath, "w", encoding="utf-8") as fh:
+                    fh.write(case.header)
+            fpath = os.path.join(tmp, case.path)
+            os.makedirs(os.path.dirname(fpath), exist_ok=True)
+            with open(fpath, "w", encoding="utf-8") as fh:
+                fh.write(case.source)
+
+            findings = rules.analyze_file(fpath, case.path, case.source,
+                                          contracts)
+            got = sorted(f.rule for f in findings)
+            want = sorted(case.fires)
+            ok = got == want and not any(f.rule in case.silent
+                                         for f in findings)
+            if ok:
+                print(f"selftest ok: {case.name}")
+            else:
+                failures += 1
+                print(f"selftest FAIL: {case.name}")
+                print(f"  want rules: {want}")
+                print(f"  got  rules: {got}")
+                for f in findings:
+                    print("  " + f.human().replace(chr(10), chr(10) + "  "))
+    if failures:
+        print(f"detlint selftest: {failures} case(s) FAILED"
+              f" of {len(CASES)}")
+        return 1
+    print(f"detlint selftest OK ({len(CASES)} cases)")
+    return 0

@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
 # lint.sh -- the project lint gate (stage 3 of scripts/ci.sh).
 #
-# Two layers:
-#   1. clang-tidy over src/ with the repo's .clang-tidy config
+# Four layers:
+#   1. scripts/detlint (python3, stdlib only): the determinism-contract
+#      analyzer. Runs the four rules that used to live in the awk layer
+#      (naked-new, mutex-unguarded, float-eq, unseeded-rng) with a real
+#      comment/string-aware lexer, plus the strict-contract rule set
+#      (unordered-iter, shared-float-accum, nondet-taint, ...) scoped
+#      by scripts/detlint/contracts.txt. See DESIGN.md section 17.
+#   2. TU coverage: every src/**/*.cpp must appear in
+#      build/compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS is ON
+#      unconditionally). A TU built by no target is a TU no compiler,
+#      tidy run, or analyzer ever sees -- that is a loud failure here,
+#      never a silent skip.
+#   3. clang-tidy over src/ with the repo's .clang-tidy config
 #      (bugprone-*, concurrency-*, performance-*, curated modernize
 #      subset). Skipped gracefully when clang-tidy is not installed --
-#      this container bakes only the GCC toolchain.
-#   2. Custom project rules (always run; portable awk + grep):
-#        naked-new        no `new`/`delete` expressions in src/
-#        mutex-unguarded  every Mutex/std::mutex member must appear in
-#                         an OCTGB_GUARDED_BY / _REQUIRES / _EXCLUDES /
-#                         _ACQUIRE annotation in the same file
-#        float-eq         no ==/!= against floating-point literals
-#        unseeded-rng     no rand()/random_device/mt19937 (all
-#                         randomness is util::Xoshiro256, seeded)
+#      this container bakes only the GCC toolchain. (The TU coverage
+#      check above runs either way: it is toolchain-independent.)
+#   4. Custom project rules (always run; portable awk + grep):
 #        fastmath         (src/gb/ only) no raw std::exp( or
 #                         / std::sqrt in kernel code; per-pair math
 #                         goes through the ExactMath/ApproxMath
@@ -72,35 +77,9 @@ run_line_rules() {
   fi
 }
 
-# mutex-unguarded: every non-static Mutex/std::mutex declaration needs
-# a partner OCTGB_* annotation naming it somewhere in the same file.
-# (Function-local `static Mutex` guards are exempt: their entire
-# discipline is visible in the enclosing scope.)
-run_mutex_rule() {
-  local f decl lineno name ok=0
-  for f in "$@"; do
-    while IFS= read -r decl; do
-      [[ -z "$decl" ]] && continue
-      lineno="${decl%%:*}"
-      name=$(printf '%s\n' "${decl#*:}" |
-        sed -E 's/^[[:space:]]*(mutable[[:space:]]+)?((std|util)::)?[Mm]utex[[:space:]]+([A-Za-z_][A-Za-z0-9_]*).*/\4/')
-      # Marker on the declaration line or the line directly above it.
-      if printf '%s\n' "${decl#*:}" | grep -q 'lint:allow(mutex-unguarded)'; then
-        continue
-      fi
-      if [[ "$lineno" -gt 1 ]] &&
-          sed -n "$((lineno - 1))p" "$f" | grep -q 'lint:allow(mutex-unguarded)'; then
-        continue
-      fi
-      if ! grep -Eq "OCTGB_[A-Z_]+\([^)]*\\b${name}\\b" "$f"; then
-        echo "$f:$lineno:mutex-unguarded: '$name' has no OCTGB_GUARDED_BY/_REQUIRES/_EXCLUDES partner annotation"
-        ok=1
-      fi
-    done < <(grep -nE '^[[:space:]]*(mutable[[:space:]]+)?((std|util)::)?[Mm]utex[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*;' "$f" |
-             grep -v 'static' || true)
-  done
-  return "$ok"
-}
+# mutex-unguarded moved to scripts/detlint in PR 10 (run_mutex_rule's
+# bash/sed implementation retired with it); the awk layer below carries
+# only the unported rules.
 
 # Full custom-rule scan of a directory tree.
 scan_tree() {
@@ -110,8 +89,33 @@ scan_tree() {
     < <(find "$root" -name '*.h' -o -name '*.cpp' | sort)
   [[ ${#files[@]} -eq 0 ]] && return 0
   run_line_rules "${files[@]}" || rc=1
-  run_mutex_rule "${files[@]}" || rc=1
   return "$rc"
+}
+
+# Every src TU must be visible to the build (and thus to clang-tidy and
+# any compile_commands consumer). Generates the tier-1 configure if the
+# database is absent; a TU missing FROM the database is a hard failure,
+# not a skip -- an unbuilt TU is unlinted, unwarned, and untested.
+check_tu_coverage() {
+  if [[ ! -f build/compile_commands.json ]]; then
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  fi
+  python3 - <<'EOF'
+import json, pathlib, sys
+entries = json.load(open("build/compile_commands.json"))
+seen = {str(pathlib.Path(e["file"]).resolve()) for e in entries}
+missing = [str(p) for p in sorted(pathlib.Path("src").rglob("*.cpp"))
+           if str(p.resolve()) not in seen]
+if missing:
+    print(f"lint: {len(missing)} src TU(s) missing from "
+          "build/compile_commands.json -- built by no target, so no "
+          "compiler or analyzer ever sees them:")
+    for m in missing:
+        print("  " + m)
+    sys.exit(1)
+print(f"lint: compile_commands coverage ok "
+      f"({len([e for e in entries])} database entries cover all src TUs)")
+EOF
 }
 
 # --------------------------------------------------------------- selftest
@@ -121,25 +125,18 @@ selftest() {
   dir=$(mktemp -d)
   trap 'rm -rf "$dir"' RETURN
 
-  # One seeded violation per rule: the scan must FAIL on each.
-  cat > "$dir/naked_new.cpp" <<'EOF'
-int* leak() { return new int(3); }
-void free_it(int* p) { delete p; }
-EOF
-  cat > "$dir/mutex_unguarded.h" <<'EOF'
-#include <mutex>
-class Queue {
-  std::mutex mu_;
-  int depth_ = 0;
-};
-EOF
-  cat > "$dir/float_eq.cpp" <<'EOF'
-bool converged(double residual) { return residual == 0.0; }
-EOF
-  cat > "$dir/unseeded_rng.cpp" <<'EOF'
-#include <cstdlib>
-int roll() { return rand() % 6; }
-EOF
+  # The four ported rules (naked-new, mutex-unguarded, float-eq,
+  # unseeded-rng) selftest inside the analyzer that now owns them --
+  # with parity fixtures matching the seeds this selftest used to
+  # carry. Run that first so a regression in the ported rules still
+  # fails `lint.sh --selftest`.
+  if python3 scripts/detlint --selftest >/dev/null 2>&1; then
+    echo "selftest ok: detlint selftest (ported-rule parity fixtures) passes"
+  else
+    echo "selftest FAIL: python3 scripts/detlint --selftest failed"
+    python3 scripts/detlint --selftest || true
+    rc=1
+  fi
 
   # fastmath is scoped to src/gb/, so its seeded violation must live
   # under a src/gb/ subtree of the case dir.
@@ -365,31 +362,16 @@ EOF
     rc=1
   fi
 
-  local f rule
-  for f in naked_new.cpp mutex_unguarded.h float_eq.cpp unseeded_rng.cpp; do
-    rule="${f%.*}"
-    rule="${rule//_/-}"
-    # mutex_unguarded.h -> mutex-unguarded etc.
-    local tmp="$dir/case"
-    rm -rf "$tmp" && mkdir "$tmp" && cp "$dir/$f" "$tmp/"
-    if scan_tree "$tmp" >/dev/null 2>&1; then
-      echo "selftest FAIL: seeded $rule violation in $f was not caught"
-      rc=1
-    else
-      echo "selftest ok: $rule fires on $f"
-    fi
-  done
-
-  # Clean + allow-marked code: the scan must PASS.
+  # Clean + allow-marked code: the scan must PASS. (The ported rules'
+  # clean fixture, including legacy lint:allow markers for them, lives
+  # in the detlint selftest now.)
   local clean="$dir/clean"
   mkdir "$clean"
   cat > "$clean/clean.cpp" <<'EOF'
-// Mentions of new, delete, rand() and 1.0 == in comments are fine.
+// Mentions of steady_clock::now() in comments are fine.
 #include <memory>
 #include "thread_annotations_stub.h"
-const char* kMsg = "new delete rand() == 1.0";  // strings are fine too
-int* sanctioned() { return new int(7); }  // lint:allow(naked-new) test
-bool exact(double d) { return d == 0.0; }  // lint:allow(float-eq) test
+const char* kMsg = "steady_clock::now()";  // strings are fine too
 // lint:allow(rawclock) deadline-wait test case
 long deadline() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
 EOF
@@ -413,8 +395,18 @@ if [[ "${1:-}" == "--selftest" ]]; then
   exit 1
 fi
 
-echo "==> lint: custom project rules over src/"
+echo "==> lint: detlint (determinism contracts + ported rules)"
+if ! python3 scripts/detlint src; then
+  fail=1
+fi
+
+echo "==> lint: custom project rules over src/ (awk layer)"
 if ! scan_tree src; then
+  fail=1
+fi
+
+echo "==> lint: TU coverage of build/compile_commands.json"
+if ! check_tu_coverage; then
   fail=1
 fi
 

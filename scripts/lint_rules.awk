@@ -1,20 +1,18 @@
 # lint_rules.awk -- line-based project rules for scripts/lint.sh.
 #
+# DEPRECATION NOTE: the original portable rules naked-new, float-eq,
+# unseeded-rng and mutex-unguarded have MOVED to the determinism
+# analyzer `scripts/detlint` (python3 scripts/detlint), which runs them
+# with a real comment/string-aware lexer plus the contract-scoped rule
+# set on top. This file keeps only the rules that have not been ported;
+# do not add new rules here. `python3 scripts/detlint --selftest`
+# carries the parity fixtures proving the ported rules still fire on
+# the exact seeds this file's selftest used.
+#
 # Emits one "<file>:<line>:<rule>: <source>" diagnostic per violation;
 # the caller counts them. Rules (see DESIGN.md "Static analysis & race
 # detection"):
 #
-#   naked-new     no `new` / `delete` expressions in library code; use
-#                 make_unique/make_shared/containers. The lock-free
-#                 deque and the task handoff are the sanctioned
-#                 exceptions, marked `lint:allow(naked-new)`.
-#   float-eq      no ==/!= against floating-point literals; exact
-#                 comparisons that are genuinely intended (e.g. -0.0
-#                 canonicalization, empty-charge-bin skips) carry
-#                 `lint:allow(float-eq)` plus a justification.
-#   unseeded-rng  no rand()/srand()/random_device/mt19937 -- all
-#                 randomness goes through util::Xoshiro256 with an
-#                 explicit seed so every run is reproducible.
 #   fastmath      (src/gb/ only) no raw `std::exp(` or `/ std::sqrt`
 #                 in the GB kernels: per-pair math must go through the
 #                 util::ExactMath / util::ApproxMath policies so the
@@ -116,18 +114,8 @@ FNR == 1 { in_block = 0; prev_raw = ""; prev_line = "" }
   # were still visible in `raw`.
   sub(/\/\/.*/, "", line)
 
-  if (!allowed("naked-new") &&
-      line ~ /(^|[^[:alnum:]_])(new[[:space:]]+[[:alnum:]_(:]|new[[:space:]]*\(|delete[[:space:]]+[[:alnum:]_*(]|delete[[:space:]]*\[\])/)
-    print FILENAME ":" FNR ":naked-new: " raw
-
-  if (!allowed("float-eq") &&
-      (line ~ /[=!]=[[:space:]]*-?[0-9]+\.[0-9]*([eE][-+]?[0-9]+)?f?([^[:alnum:]]|$)/ ||
-       line ~ /(^|[^[:alnum:]_])[0-9]+\.[0-9]*([eE][-+]?[0-9]+)?f?[[:space:]]*[=!]=/))
-    print FILENAME ":" FNR ":float-eq: " raw
-
-  if (!allowed("unseeded-rng") &&
-      line ~ /(^|[^[:alnum:]_])(rand|srand|rand_r|drand48)[[:space:]]*\(|std::random_device|std::mt19937|default_random_engine/)
-    print FILENAME ":" FNR ":unseeded-rng: " raw
+  # naked-new / float-eq / unseeded-rng lived here until PR 10; they
+  # now run inside scripts/detlint (see the deprecation note above).
 
   if (FILENAME ~ /(^|\/)src\/gb\// && !allowed("fastmath") &&
       (line ~ /(^|[^[:alnum:]_])std::exp[[:space:]]*\(/ ||

@@ -236,7 +236,7 @@ void schedule_locked(Ctl& c) {
       if (c.recs[static_cast<std::size_t>(i)]->st == St::kPolling)
         polls.push_back(i);
     if (!polls.empty()) {
-      std::sort(polls.begin(), polls.end(), before);
+      std::stable_sort(polls.begin(), polls.end(), before);
       best = polls[c.poll_rotation++ % polls.size()];
     }
   }
@@ -349,6 +349,9 @@ bool join_current_thread(Point kind) {
   if (id >= 250) fatal_state_dump_locked(c, "participant overflow (>=250)");
   auto rec = std::make_unique<Rec>();
   rec->name = t_tls.name[0] ? t_tls.name : ("anon" + std::to_string(id));
+  // Priorities come from (seed, name) precisely so this id, which
+  // only maps the OS thread to its record, cannot perturb the schedule.
+  // detlint:allow(thread-id): registration identity only, never ordered
   rec->tid = std::this_thread::get_id();
   // Priorities derive from (seed, name), not registration order, so
   // OS-dependent thread startup order cannot perturb the schedule.
@@ -380,6 +383,7 @@ bool ensure_joined(Point kind) {
 
 void watchdog_main(Ctl* c, std::uint32_t epoch) {
   long stall_ms = 20000;
+  // detlint:allow(env-read): watchdog stall knob, never affects results
   if (const char* env = std::getenv("OCTGB_SCHED_STALL_MS")) {
     const long v = std::atol(env);
     if (v > 0) stall_ms = v;
@@ -467,6 +471,7 @@ bool cooperative_lock_slow(void* mu) {
 void note_locked_slow(void* mu) {
   Ctl& c = ctl();
   std::lock_guard<std::mutex> lk(c.mu);
+  // detlint:allow(thread-id): hand-off assert bookkeeping, equality only
   c.owner[mu] = std::this_thread::get_id();
 }
 
@@ -631,7 +636,7 @@ void arm(const PctParams& params) {
     const std::uint64_t horizon = params.horizon > 0 ? params.horizon : 1;
     for (int i = 0; i < params.change_points; ++i)
       c.change_points.push_back(1 + rng.below(horizon));
-    std::sort(c.change_points.begin(), c.change_points.end());
+    std::stable_sort(c.change_points.begin(), c.change_points.end());
     c.next_cp = 0;
     c.low_prio_next = 1000000;
     c.poll_rotation = 0;

@@ -172,7 +172,7 @@ Report validate_octree(const octree::Octree& tree,
 
   // leaves() must be exactly the leaf set in Morton order (ascending
   // point ranges == the DFS visit order of the level-indexed tree).
-  std::sort(leaf_dfs.begin(), leaf_dfs.end(),
+  std::stable_sort(leaf_dfs.begin(), leaf_dfs.end(),
             [&](std::uint32_t a, std::uint32_t b) {
               return tree.node(a).begin < tree.node(b).begin;
             });

@@ -217,12 +217,12 @@ void RouterState::maybe_migrate() {
       candidates.push_back({skey, info.recent, info.total});
     }
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.recent != b.recent) return a.recent < b.recent;
-              if (a.total != b.total) return a.total < b.total;
-              return a.skey < b.skey;
-            });
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.recent != b.recent) return a.recent < b.recent;
+                     if (a.total != b.total) return a.total < b.total;
+                     return a.skey < b.skey;
+                   });
   const std::size_t n = std::min(config_.migrate_batch, candidates.size());
   for (std::size_t i = 0; i < n; ++i) {
     SkeyInfo& info = skeys_[candidates[i].skey];

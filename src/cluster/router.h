@@ -31,7 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/cluster/hash_ring.h"
@@ -202,7 +202,12 @@ class RouterState {
   std::vector<std::uint64_t> assigned_;  // cumulative dispatches per shard
   std::deque<Parked> backlog_;
   std::deque<std::uint64_t> recent_;  // sliding admission window (skeys)
-  std::unordered_map<std::uint64_t, SkeyInfo> skeys_;
+  /// Ordered by skey so the migration victim scan (maybe_migrate
+  /// iterates every tracked structure) walks a deterministic sequence.
+  /// The router is replayed bit-for-bit by the shard sim and the live
+  /// cluster; an unordered_map here put placement decisions one hash-
+  /// order change away from silent divergence (detlint unordered-iter).
+  std::map<std::uint64_t, SkeyInfo> skeys_;
   std::vector<ReplicationOrder> pending_replications_;
   std::vector<MigrationOrder> pending_migrations_;
   std::uint64_t completions_since_check_ = 0;

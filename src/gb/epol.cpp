@@ -6,6 +6,7 @@
 
 #include "src/analysis/contracts.h"
 #include "src/gb/kernel_primitives.h"
+#include "src/parallel/det_reduce.h"
 #include "src/util/fastmath.h"
 #if defined(OCTGB_VALIDATE_BUILD)
 #include "src/analysis/validate.h"
@@ -148,28 +149,24 @@ double epol_range(const octree::Octree& tree, const molecule::Molecule& mol,
                   std::size_t leaf_end, double far_mult,
                   parallel::WorkStealingPool* pool) {
   const auto leaves = tree.leaves();
+  // Per-leaf slots summed in leaf order: bit-identical to the serial
+  // loop at any worker count. The old fetch_add reduction summed
+  // chunk partials in completion order, so the pooled energy drifted
+  // by ulps run-to-run (found by detlint shared-float-accum; regression
+  // test DeterminismOracleTest.EpolBitIdenticalAcrossWorkerCounts).
+  const auto one_leaf = [&](std::size_t i) {
+    return epol_one_leaf<Math>(tree, mol, bins, born_radii, leaves[i],
+                               far_mult);
+  };
   if (pool != nullptr) {
-    std::atomic<double> total{0.0};
+    double total = 0.0;
     pool->run([&] {
-      parallel::parallel_for(
-          *pool, leaf_begin, leaf_end, 1,
-          [&](std::size_t lo, std::size_t hi) {
-            double local = 0.0;
-            for (std::size_t i = lo; i < hi; ++i) {
-              local += epol_one_leaf<Math>(tree, mol, bins, born_radii,
-                                           leaves[i], far_mult);
-            }
-            total.fetch_add(local, std::memory_order_relaxed);
-          });
+      total = parallel::deterministic_sum(pool, leaf_begin, leaf_end,
+                                          one_leaf);
     });
-    return total.load();
+    return total;
   }
-  double total = 0.0;
-  for (std::size_t i = leaf_begin; i < leaf_end; ++i) {
-    total += epol_one_leaf<Math>(tree, mol, bins, born_radii, leaves[i],
-                                 far_mult);
-  }
-  return total;
+  return parallel::deterministic_sum(nullptr, leaf_begin, leaf_end, one_leaf);
 }
 
 }  // namespace
@@ -391,22 +388,17 @@ EpolResult epol_dualtree(const octree::Octree& tree,
   std::vector<Pair> all(std::move(frontier));
 
   double sum = expanded_sum;
+  // Fixed reduction order (ascending pair index): the pooled dual-tree
+  // energy matches the serial loop bit for bit at any worker count.
+  const auto one_pair = [&](std::size_t i) { return process(all[i]); };
   if (pool != nullptr) {
-    std::atomic<double> total{0.0};
+    double total = 0.0;
     pool->run([&] {
-      parallel::parallel_for(*pool, 0, all.size(), 1,
-                             [&](std::size_t lo, std::size_t hi) {
-                               double local = 0.0;
-                               for (std::size_t i = lo; i < hi; ++i) {
-                                 local += process(all[i]);
-                               }
-                               total.fetch_add(local,
-                                               std::memory_order_relaxed);
-                             });
+      total = parallel::deterministic_sum(pool, 0, all.size(), one_pair);
     });
-    sum += total.load();
+    sum += total;
   } else {
-    for (const Pair& pr : all) sum += process(pr);
+    sum += parallel::deterministic_sum(nullptr, 0, all.size(), one_pair);
   }
   out.energy = -0.5 * physics.tau() * physics.coulomb_k * sum;
   return out;

@@ -26,6 +26,11 @@ namespace octgb::gb {
 /// a plain `target += value` when only one thread touches the slot, so
 /// serial plan execution reproduces serial fused traversal exactly.
 inline void kernel_atomic_add(double& target, double value) {
+  // Deposits land in completion order, so the last ulp of a shared
+  // slot can differ across worker counts; the bit-exact scalar replay
+  // (serial plan execution) is the correctness oracle for pooled
+  // kernel runs (DESIGN.md section 17).
+  // detlint:allow(shared-float-accum): scalar replay is the oracle
   std::atomic_ref<double>(target).fetch_add(value,
                                             std::memory_order_relaxed);
 }

@@ -1,7 +1,7 @@
 #include "src/load/driver.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 #include <utility>
 
 #include "src/molecule/generators.h"
@@ -60,7 +60,11 @@ class StructurePool {
   };
   double sigma_;
   std::uint64_t seed_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
+  /// Ordered map: lookups today are by key only, but an ordered
+  /// container keeps any future iteration (cache audits, eviction)
+  /// deterministic by construction -- the live driver feeds the same
+  /// molecules the virtual-time sim replays byte-for-byte.
+  std::map<std::uint64_t, Entry> entries_;
 };
 
 struct Collected {
@@ -136,7 +140,7 @@ DriverResult run_trace_live(const DriverConfig& config,
     util::MutexLock lock(mu);
     by_id = std::move(collected);
   }
-  std::sort(by_id.begin(), by_id.end(),
+  std::stable_sort(by_id.begin(), by_id.end(),
             [](const Collected& a, const Collected& b) { return a.id < b.id; });
 
   SloTracker tracker(config.slo);

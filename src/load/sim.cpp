@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/analysis/contracts.h"
+
 namespace octgb::load {
 
 const char* shed_policy_name(ShedPolicy policy) {
@@ -126,6 +128,16 @@ void ServiceSim::dispatch_batch(Ns start_ns, std::vector<SimOutcome>& out) {
     items.push_back({queue_[i].ev});
   }
   queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+
+  // Mutation hook for the determinism oracle: flipping the batch
+  // processing order models exactly the bug class detlint's
+  // unordered-iter rule guards against (iteration-order-dependent
+  // results). Leader election and cache classification below are order
+  // sensitive, so the digest of the outcomes must change -- the oracle
+  // self-test proves it notices.
+  if (analysis::test_corruption("order_flip")) {
+    std::reverse(items.begin(), items.end());
+  }
 
   std::vector<std::uint64_t> leader_keys;
   for (Item& item : items) {
@@ -300,7 +312,7 @@ std::vector<SimOutcome> ServiceSim::run(std::span<const RequestEvent> trace) {
 
   // Outcomes were appended in settle order; hand them back in trace
   // order so window attribution downstream is a linear scan.
-  std::sort(out.begin(), out.end(),
+  std::stable_sort(out.begin(), out.end(),
             [](const SimOutcome& a, const SimOutcome& b) {
               return a.id < b.id;
             });

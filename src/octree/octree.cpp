@@ -235,7 +235,7 @@ void Octree::build_from(std::span<const geom::Vec3> points,
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].leaf) leaves_.push_back(static_cast<std::uint32_t>(i));
   }
-  std::sort(leaves_.begin(), leaves_.end(),
+  std::stable_sort(leaves_.begin(), leaves_.end(),
             [&](std::uint32_t a, std::uint32_t b) {
               return nodes_[a].begin < nodes_[b].begin;
             });

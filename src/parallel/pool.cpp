@@ -105,6 +105,7 @@ void WorkStealingPool::run(std::function<void()> root) {
   // drivers -- the Chase-Lev deque has exactly one owner end, so two
   // concurrent worker-0 bindings would race push_bottom/pop_bottom.
   util::MutexLock lock(run_mu_);
+  // detlint:allow(thread-id): reentrancy guard, equality-only check
   run_owner_ = std::this_thread::get_id();
   const TlsBinding saved = tls_binding;
   tls_binding = {this, 0};

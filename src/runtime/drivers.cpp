@@ -9,6 +9,7 @@
 #include "src/gb/born.h"
 #include "src/gb/epol.h"
 #include "src/gb/naive.h"
+#include "src/parallel/det_reduce.h"
 #include "src/runtime/partition.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/fastmath.h"
@@ -140,7 +141,10 @@ DriverResult run_distributed(const molecule::Molecule& mol,
 
   std::vector<PhaseTimes> times(static_cast<std::size_t>(P));
   std::vector<double> final_radii(mol.size(), 0.0);
-  std::atomic<double> final_energy{0.0};
+  // Written by rank 0 only, read after simmpi::run joins every rank
+  // thread (join gives the happens-before); no atomic needed, and a
+  // float atomic would trip detlint's shared-float-accum rule.
+  double final_energy = 0.0;
   std::atomic<std::size_t> qpoints{0};
   std::atomic<std::size_t> data_bytes{0};
 
@@ -316,8 +320,8 @@ DriverResult run_distributed(const molecule::Molecule& mol,
     t.total = rank_timer.seconds();
 
     if (r == 0) {
-      final_energy.store(-0.5 * config.params.physics.tau() *
-                         config.params.physics.coulomb_k * acc[0]);
+      final_energy = -0.5 * config.params.physics.tau() *
+                     config.params.physics.coulomb_k * acc[0];
       std::copy(radii.begin(), radii.end(), final_radii.begin());
     }
   });
@@ -329,7 +333,7 @@ DriverResult run_distributed(const molecule::Molecule& mol,
     result.t_epol = std::max(result.t_epol, t.epol);
   }
   result.t_total = total_timer.seconds();
-  result.energy = final_energy.load();
+  result.energy = final_energy;
   result.born_radii = std::move(final_radii);
   result.num_qpoints = qpoints.load();
   result.data_bytes_per_rank = data_bytes.load();
@@ -505,24 +509,17 @@ double approx_epol_atom_division(const octree::Octree& tree,
     return sum;
   };
 
+  // Fixed reduction order (ascending pseudo-leaf index): bit-identical
+  // to the serial loop at any worker count (see det_reduce.h).
+  const auto one = [&](std::size_t i) { return one_pseudo(pseudo[i]); };
   if (pool != nullptr) {
-    std::atomic<double> total{0.0};
+    double total = 0.0;
     pool->run([&] {
-      parallel::parallel_for(*pool, 0, pseudo.size(), 1,
-                             [&](std::size_t lo, std::size_t hi) {
-                               double local = 0.0;
-                               for (std::size_t i = lo; i < hi; ++i) {
-                                 local += one_pseudo(pseudo[i]);
-                               }
-                               total.fetch_add(local,
-                                               std::memory_order_relaxed);
-                             });
+      total = parallel::deterministic_sum(pool, 0, pseudo.size(), one);
     });
-    return total.load();
+    return total;
   }
-  double total = 0.0;
-  for (const auto& pl : pseudo) total += one_pseudo(pl);
-  return total;
+  return parallel::deterministic_sum(nullptr, 0, pseudo.size(), one);
 }
 
 }  // namespace octgb::runtime
